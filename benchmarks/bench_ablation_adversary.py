@@ -1,0 +1,97 @@
+"""E8 — ablation: adversary severity against Figures 3 and 4.
+
+Obstruction-free algorithms promise safety always and progress only under
+contention bounds; this ablation quantifies how much the adversary's
+*style* costs before the m-bounded tail begins.  Preludes compared:
+
+* fair round-robin (benign),
+* seeded uniform random,
+* the writer-priority heuristic (maximal overwriting),
+* crash-failure (all but the survivors crash mid-prelude).
+
+All runs must stay safe; the table reports decision latency per prelude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CrashScheduler,
+    OneShotSetAgreement,
+    RandomScheduler,
+    RepeatedSetAgreement,
+    RoundRobinScheduler,
+    System,
+    WriterPriorityScheduler,
+    run,
+)
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.sched import EventuallyBoundedScheduler
+from repro.spec import assert_execution_safe
+
+N, M, K = 6, 1, 2
+PRELUDE_STEPS = 150
+
+
+def preludes():
+    return {
+        "round-robin": RoundRobinScheduler(),
+        "random(seed=5)": RandomScheduler(seed=5),
+        "writer-priority": WriterPriorityScheduler(),
+        "crash-half": CrashScheduler(
+            crashes={pid: 40 for pid in range(N // 2)},
+            base=RandomScheduler(seed=9),
+        ),
+    }
+
+
+def episode(protocol, prelude):
+    system = System(protocol, workloads=distinct_inputs(N, instances=2)
+                    if protocol.name.startswith("repeated")
+                    else distinct_inputs(N))
+    scheduler = EventuallyBoundedScheduler(
+        survivors=[N - 1], prelude_steps=PRELUDE_STEPS, prelude=prelude
+    )
+    execution = run(system, scheduler, max_steps=500_000)
+    assert_execution_safe(execution, k=K)
+    return execution
+
+
+def test_adversary_ablation(emit):
+    rows = []
+    for protocol_name, factory in (
+        ("figure3", lambda: OneShotSetAgreement(n=N, m=M, k=K)),
+        ("figure4", lambda: RepeatedSetAgreement(n=N, m=M, k=K)),
+    ):
+        for prelude_name, prelude in preludes().items():
+            execution = episode(factory(), prelude)
+            survivor_done = len(execution.config.procs[N - 1].outputs)
+            rows.append(
+                (protocol_name, prelude_name, execution.steps,
+                 max(0, execution.steps - PRELUDE_STEPS), survivor_done)
+            )
+            assert survivor_done >= 1
+    text = format_table(
+        ["protocol", "prelude adversary", "total steps", "post-prelude steps",
+         "survivor decisions"],
+        rows,
+        title=(
+            "E8 — adversary ablation (n=6, m=1, k=2; survivor = p5, "
+            f"prelude {PRELUDE_STEPS} steps)"
+        ),
+    )
+    emit("ablation_adversary", text)
+
+
+@pytest.mark.benchmark(group="ablation-adversary")
+@pytest.mark.parametrize("prelude_name", ["round-robin", "random(seed=5)",
+                                          "writer-priority"])
+def test_bench_adversary(benchmark, prelude_name):
+    def one():
+        return episode(OneShotSetAgreement(n=N, m=M, k=K),
+                       preludes()[prelude_name])
+
+    execution = benchmark(one)
+    assert execution.config.procs[N - 1].outputs

@@ -1,0 +1,101 @@
+"""E9 — §7 probe: could the repeated upper bound drop to n+m−k?
+
+The paper's concluding remarks conjecture the repeated upper bound might
+improve from min(n+2m−k, n) registers to n+m−k (matching the lower bound).
+The conjecture is about *some* algorithm; this probe asks what happens to
+the paper's *own* Figure 4 algorithm when its snapshot is squeezed from its
+nominal ``n+2m−k`` components to ``n+m−k`` — m fewer:
+
+* **Finding** (exhaustive, (3,1,1)): Figure 4 at n+m−k components is
+  *unsafe* — the checker produces a concrete witness schedule with two
+  outputs in a consensus instance.  Lemma 4's Case 2b pigeonhole really
+  needs all n+2m−k components; the conjectured improvement, if true, needs
+  a different algorithm, not a squeezed Figure 4.
+* larger points are probed within a bounded budget and reported
+  (safe-within-budget is inconclusive, and said so).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RepeatedSetAgreement, OneShotSetAgreement, System
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.explore import explore_safety
+from repro.spec.progress import progress_matrix
+
+PROBE_GRID = [(3, 1, 1), (4, 1, 2), (4, 2, 2)]
+
+
+def squeezed_system(n, m, k, instances=1):
+    r = n + m - k
+    protocol = RepeatedSetAgreement(n=n, m=m, k=k, components=r)
+    return System(protocol, workloads=distinct_inputs(n, instances=instances))
+
+
+def probe_point(n, m, k, max_configs=150_000):
+    system = squeezed_system(n, m, k)
+    safety = explore_safety(system, k=k, max_configs=max_configs)
+    if safety.safety_violations:
+        return safety, "UNSAFE (witness found)"
+    verdict = "safe (exhaustive)" if safety.complete else "safe (bounded)"
+    progress = progress_matrix(
+        lambda n=n, m=m, k=k: squeezed_system(n, m, k),
+        n=n,
+        m=m,
+        seeds=(1, 2),
+        prelude_steps=40,
+        budget=20_000,
+    )
+    if not progress.ok:
+        verdict += ", PROGRESS LOST"
+    else:
+        verdict += ", progress ok"
+    return safety, verdict
+
+
+def test_conjecture_probe(emit):
+    rows = []
+    outcomes = {}
+    for n, m, k in PROBE_GRID:
+        safety, verdict = probe_point(n, m, k)
+        outcomes[(n, m, k)] = verdict
+        rows.append(
+            (n, m, k, n + m - k, n + 2 * m - k,
+             safety.configs_explored, verdict)
+        )
+    text = format_table(
+        ["n", "m", "k", "squeezed r (n+m-k)", "nominal r (n+2m-k)",
+         "configs explored", "figure 4 at squeezed r"],
+        rows,
+        title="E9 / §7 probe — Figure 4 squeezed to the lower bound",
+    )
+    emit("conjecture_probe", text)
+    # (3,1,1) settles exhaustively: Figure 4 with only n+m-k = 3 components
+    # is UNSAFE — the paper's algorithm cannot realize the §7 conjecture.
+    assert outcomes[(3, 1, 1)].startswith("UNSAFE")
+
+
+def test_squeezed_oneshot_small_cases():
+    """One-shot Figure 3 squeezed to n+m−k components is unsafe too."""
+    protocol = OneShotSetAgreement(n=3, m=1, k=1, components=3)  # nominal: 4
+    system = System(protocol, workloads=distinct_inputs(3))
+    result = explore_safety(system, k=1, max_configs=400_000)
+    assert result.safety_violations, result.summary()
+    # The witness schedule is concrete and replayable.
+    from repro.runtime.runner import replay
+    from repro.spec.properties import check_k_agreement
+
+    witness = result.safety_violations[0]
+    execution = replay(system, witness.schedule)
+    assert check_k_agreement(execution, k=1)
+
+
+@pytest.mark.benchmark(group="conjecture")
+def test_bench_probe_smallest_point(benchmark):
+    def probe():
+        return probe_point(3, 1, 1, max_configs=60_000)
+
+    safety, verdict = benchmark.pedantic(probe, rounds=1, iterations=1)
+    assert verdict.startswith("UNSAFE")

@@ -1,0 +1,126 @@
+"""E1 — Figure 1: the bounds table, formulas vs *measured* register usage.
+
+For a grid of (n, m, k) this experiment regenerates the paper's Figure 1
+and checks, per cell, that the corresponding artifact in this library
+matches it exactly:
+
+* upper bounds: the register count actually provisioned by each algorithm
+  (one-shot / repeated on the SWMR substrate when that is cheaper;
+  anonymous repeated with its snapshot + register H) equals the formula;
+* the repeated lower bound: the Theorem 2 covering construction certifies a
+  k-Agreement violation at ``n+m−k−1`` registers (run on small instances);
+* consistency: every lower bound ≤ its upper bound, and the m = k = 1
+  repeated case is tight at exactly ``n`` (the paper's headline corollary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AnonymousRepeatedSetAgreement,
+    OneShotSetAgreement,
+    RepeatedSetAgreement,
+    System,
+)
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.lowerbounds import covering_construction, figure1_table
+from repro.lowerbounds.bounds import bounds_consistent
+from repro.objects.layouts import substrate_register_count
+
+GRID = [(3, 1, 1), (4, 1, 1), (4, 1, 2), (4, 2, 2), (5, 1, 2), (5, 2, 3),
+        (6, 1, 1), (6, 2, 4), (8, 3, 5)]
+
+COVERING_GRID = [(3, 1, 1), (4, 1, 2), (4, 2, 2)]
+
+
+def measured_upper_bounds(n, m, k):
+    """Provisioned registers of each upper-bound algorithm at (n, m, k)."""
+    oneshot = OneShotSetAgreement(n=n, m=m, k=k)
+    repeated = RepeatedSetAgreement(n=n, m=m, k=k)
+    anonymous = AnonymousRepeatedSetAgreement(n=n, m=m, k=k)
+    # Theorem 7/8 take the SWMR route when the nominal snapshot exceeds n.
+    oneshot_regs = min(
+        substrate_register_count(oneshot, "atomic"),
+        substrate_register_count(oneshot, "swmr"),
+    )
+    repeated_regs = min(
+        substrate_register_count(repeated, "atomic"),
+        substrate_register_count(repeated, "swmr"),
+    )
+    anonymous_regs = System(
+        anonymous, workloads=distinct_inputs(n)
+    ).layout.register_count()
+    return oneshot_regs, repeated_regs, anonymous_regs
+
+
+def test_fig1_formulas_match_measured_registers(emit):
+    rows = []
+    for n, m, k in GRID:
+        table = figure1_table(n, m, k)
+        oneshot_regs, repeated_regs, anonymous_regs = measured_upper_bounds(n, m, k)
+        assert oneshot_regs == table["non-anonymous/one-shot/upper"].value
+        assert repeated_regs == table["non-anonymous/repeated/upper"].value
+        assert anonymous_regs == table["anonymous/repeated/upper"].value
+        assert bounds_consistent(n, m, k)
+        rows.append(
+            (
+                n, m, k,
+                int(table["non-anonymous/repeated/lower"].value),
+                repeated_regs,
+                oneshot_regs,
+                f"{table['anonymous/one-shot/lower'].value:.2f}",
+                anonymous_regs,
+                anonymous_regs - 1,  # one-shot anonymous drops register H
+            )
+        )
+    text = format_table(
+        ["n", "m", "k", "rep LB", "rep UB (meas)", "1shot UB (meas)",
+         "anon 1shot LB >", "anon rep UB (meas)", "anon 1shot UB"],
+        rows,
+        title="E1 / Figure 1 — formulas vs measured register provisioning",
+    )
+    emit("fig1_table", text)
+
+
+def test_fig1_repeated_consensus_is_tight_at_n():
+    """m = k = 1: repeated consensus needs exactly n registers (paper §1)."""
+    for n in (3, 4, 5, 8, 16):
+        table = figure1_table(n, 1, 1)
+        assert table["non-anonymous/repeated/lower"].value == n
+        assert table["non-anonymous/repeated/upper"].value == n
+
+
+def test_fig1_lower_bound_certified_below_threshold(emit):
+    rows = []
+    for n, m, k in COVERING_GRID:
+        r = n + m - k - 1
+        protocol = RepeatedSetAgreement(n=n, m=m, k=k, components=r)
+        system = System(protocol, workloads=distinct_inputs(n, instances=12))
+        result = covering_construction(system, m=m, k=k)
+        assert result.success, result.summary()
+        assert len(result.distinct_outputs) >= k + 1
+        rows.append(
+            (n, m, k, r, n + m - k, len(result.distinct_outputs),
+             len(result.schedule))
+        )
+    text = format_table(
+        ["n", "m", "k", "registers attacked", "Thm2 bound",
+         "distinct outputs", "schedule steps"],
+        rows,
+        title="E1 — certified k-Agreement violations below the Thm 2 bound",
+    )
+    emit("fig1_lowerbound_violations", text)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_register_accounting(benchmark):
+    """Time the full Figure 1 regeneration across the grid."""
+
+    def regenerate():
+        for n, m, k in GRID:
+            figure1_table(n, m, k)
+            measured_upper_bounds(n, m, k)
+
+    benchmark(regenerate)

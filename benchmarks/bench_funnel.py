@@ -1,0 +1,92 @@
+"""E10 — ablation: the preference funnel (operational Lemmas 4-6).
+
+The algorithms' correctness is, operationally, a funnel: the set of
+distinct values alive in the snapshot collapses until at most ``m``
+survive, after which everyone left decides.  This experiment measures the
+funnel on m-bounded episodes of Figure 3:
+
+* the snapshot **converges** to ≤ m distinct values in every episode
+  (Corollary 6's operational content), and stays there;
+* convergence time grows with the contended prelude's length;
+* preference adoptions and location advances partition the loop
+  iterations (Lemma 5's dichotomy), measured per process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OneShotSetAgreement, System
+from repro.analysis import (
+    convergence_step,
+    distinct_values_over_time,
+    location_advances,
+    preference_changes,
+)
+from repro.bench.sweep import bounded_adversary_run
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+
+GRID = [(4, 1, 1), (6, 1, 2), (6, 2, 3), (8, 2, 4)]
+
+
+def episode(n, m, k, seed, prelude_steps=80):
+    system = System(OneShotSetAgreement(n=n, m=m, k=k),
+                    workloads=distinct_inputs(n))
+    return bounded_adversary_run(
+        system, survivors=list(range(m)), seed=seed,
+        prelude_steps=prelude_steps,
+    )
+
+
+def test_funnel_converges_below_m(emit):
+    rows = []
+    for n, m, k in GRID:
+        execution = episode(n, m, k, seed=6)
+        series = distinct_values_over_time(execution)
+        step = convergence_step(execution, m=m)
+        assert step is not None, "episode never converged to <= m values"
+        assert all(v <= m for v in series[step:])
+        peak = max(series)
+        adoptions = sum(preference_changes(execution).values())
+        advances = sum(location_advances(execution).values())
+        rows.append((n, m, k, execution.steps, peak, step, adoptions,
+                     advances))
+    text = format_table(
+        ["n", "m", "k", "steps", "peak distinct values",
+         "converged at step", "adoptions", "advances"],
+        rows,
+        title="E10 — preference funnel under m-bounded adversaries",
+    )
+    emit("funnel", text)
+
+
+def test_convergence_scales_with_prelude(emit):
+    rows = []
+    last = -1
+    for prelude in (20, 80, 200):
+        execution = episode(6, 1, 2, seed=11, prelude_steps=prelude)
+        step = convergence_step(execution, m=1)
+        assert step is not None
+        rows.append((prelude, execution.steps, step))
+        assert step >= last or step >= prelude // 4  # grows with prelude
+        last = step
+    text = format_table(
+        ["prelude steps", "total steps", "converged at step"],
+        rows,
+        title="E10 — convergence point vs contended prelude length "
+              "(n=6, m=1, k=2)",
+    )
+    emit("funnel_prelude", text)
+
+
+@pytest.mark.benchmark(group="funnel")
+def test_bench_funnel_analysis(benchmark):
+    execution = episode(6, 2, 3, seed=6)
+
+    def analyse():
+        series = distinct_values_over_time(execution)
+        return convergence_step(execution, m=2), max(series)
+
+    step, peak = benchmark(analyse)
+    assert step is not None and peak >= 2

@@ -1,0 +1,86 @@
+"""E11 — ablation: register *width* (the cost the register count hides).
+
+The paper counts registers and allows them to be "large" (cf. [13]'s large
+single-writer registers).  This experiment quantifies large: the repeated
+algorithms store the full output history inside every tuple they write, so
+payload width grows linearly with the instance number, while the one-shot
+algorithm's payloads stay constant.
+
+Regenerated shape claims:
+
+* Figure 3 (one-shot): constant payload width in the instance count
+  (trivially — there is one instance) and in n;
+* Figure 4 (repeated): payload width grows linearly with the number of
+  completed instances;
+* Figure 5 (anonymous repeated): same linear growth, plus register H's
+  payload (the whole published history) growing identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    OneShotSetAgreement,
+    RepeatedSetAgreement,
+    AnonymousRepeatedSetAgreement,
+    System,
+)
+from repro.bench.sweep import bounded_adversary_run
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.spec.stats import max_register_payload
+
+
+def repeated_payload(instances, n=3, m=1, k=1):
+    system = System(
+        RepeatedSetAgreement(n=n, m=m, k=k),
+        workloads=distinct_inputs(n, instances=instances),
+    )
+    execution = bounded_adversary_run(system, survivors=[0], seed=2,
+                                      prelude_steps=30)
+    return max_register_payload(execution)
+
+
+def test_register_width_growth(emit):
+    rows = []
+    widths = []
+    for instances in (1, 2, 4, 8, 16):
+        width = repeated_payload(instances)
+        widths.append(width)
+        rows.append(("figure4", instances, width))
+    # Linear growth: each doubling of instances roughly doubles the width.
+    assert widths[-1] > 4 * widths[0]
+    assert all(a < b for a, b in zip(widths, widths[1:]))
+
+    oneshot_widths = []
+    for n in (3, 5, 8):
+        system = System(OneShotSetAgreement(n=n, m=1, k=1),
+                        workloads=distinct_inputs(n))
+        execution = bounded_adversary_run(system, survivors=[0], seed=2)
+        width = max_register_payload(execution)
+        oneshot_widths.append(width)
+        rows.append(("figure3", 1, width))
+    # One-shot payloads stay flat (value + id only).
+    assert max(oneshot_widths) - min(oneshot_widths) <= 8
+
+    anon = System(
+        AnonymousRepeatedSetAgreement(n=3, m=1, k=1),
+        workloads=distinct_inputs(3, instances=8),
+    )
+    execution = bounded_adversary_run(anon, survivors=[0], seed=2,
+                                      prelude_steps=30)
+    rows.append(("figure5", 8, max_register_payload(execution)))
+
+    text = format_table(
+        ["protocol", "instances", "max payload (repr chars)"],
+        rows,
+        title="E11 — register width: histories make registers large",
+    )
+    emit("register_width", text)
+
+
+@pytest.mark.benchmark(group="register-width")
+def test_bench_payload_measurement(benchmark):
+    width = benchmark(repeated_payload, 8)
+    assert width > 0

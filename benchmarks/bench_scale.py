@@ -1,0 +1,91 @@
+"""E12 — scale: decision cost growth with n (simulation headroom).
+
+The paper's bounds are asymptotic in n; this experiment verifies the
+*simulator* sustains the regimes the other experiments rely on and
+measures how decision cost grows:
+
+* a solo pass of Figure 3 performs Θ(r) = Θ(n) updates+scans before its
+  snapshot is uniform, so solo decision steps grow linearly in n;
+* m-bounded episodes at n up to 48 complete well inside budget;
+* the covering construction's spine length grows with n (more processes to
+  freeze), staying tractable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OneShotSetAgreement, RepeatedSetAgreement, System, run_solo
+from repro.bench.sweep import bounded_adversary_run
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.lowerbounds import covering_construction
+
+SOLO_NS = (4, 8, 16, 32, 48)
+
+
+def solo_steps(n):
+    system = System(OneShotSetAgreement(n=n, m=1, k=1),
+                    workloads=distinct_inputs(n))
+    return run_solo(system, 0, max_steps=1_000_000).steps
+
+
+def test_solo_cost_grows_linearly(emit):
+    rows = []
+    steps = []
+    for n in SOLO_NS:
+        count = solo_steps(n)
+        steps.append(count)
+        rows.append((n, n + 1, count, round(count / n, 1)))
+    # Linear shape: steps/n stays within a narrow band.
+    ratios = [count / n for n, count in zip(SOLO_NS, steps)]
+    assert max(ratios) / min(ratios) < 2.0
+    text = format_table(
+        ["n", "components", "solo steps to decide", "steps/n"],
+        rows,
+        title="E12 — solo decision cost of Figure 3 grows linearly in n",
+    )
+    emit("scale_solo", text)
+
+
+def test_bounded_episodes_scale(emit):
+    rows = []
+    for n in (8, 16, 32, 48):
+        system = System(OneShotSetAgreement(n=n, m=2, k=3),
+                        workloads=distinct_inputs(n))
+        execution = bounded_adversary_run(
+            system, survivors=[0, 1], seed=7, prelude_steps=3 * n,
+            max_steps=2_000_000,
+        )
+        rows.append((n, execution.steps))
+        assert system.decided_all(execution.config, [0, 1])
+    text = format_table(
+        ["n", "episode steps (m=2, k=3)"],
+        rows,
+        title="E12 — m-bounded episodes at scale",
+    )
+    emit("scale_bounded", text)
+
+
+def test_covering_scales(emit):
+    rows = []
+    for n in (3, 5, 7, 9):
+        protocol = RepeatedSetAgreement(n=n, m=1, k=1, components=n - 1)
+        system = System(protocol,
+                        workloads=distinct_inputs(n, instances=12))
+        result = covering_construction(system, m=1, k=1)
+        assert result.success
+        rows.append((n, n - 1, len(result.schedule)))
+    text = format_table(
+        ["n", "registers attacked", "certified schedule steps"],
+        rows,
+        title="E12 — Theorem 2 construction at growing n (consensus)",
+    )
+    emit("scale_covering", text)
+
+
+@pytest.mark.benchmark(group="scale")
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_bench_solo_scale(benchmark, n):
+    steps = benchmark(solo_steps, n)
+    assert steps > 0

@@ -1,0 +1,121 @@
+"""E5 — Theorem 10 / Lemma 9: the anonymous one-shot lower bound.
+
+Regenerated artifacts:
+
+* the bound curve ``sqrt(m(n/k − 2))`` against the anonymous upper bound
+  ``(m+1)(n−k) + m²`` across n — the gap the paper's §7 highlights must
+  *widen* with n (sqrt vs linear/quadratic shape);
+* the ``R(V)`` machinery: solo executions of the anonymous algorithm have
+  input-independent register footprints (the common-prefix property Lemma 9
+  exploits), demonstrated on concrete traces;
+* the Lemma 9 clone glue: certified k-Agreement violations for
+  under-provisioned anonymous algorithms, with the process count matching
+  the lemma's ``⌈(k+1)/m⌉(m + (L²−L)/2)`` requirement exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import System
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.lowerbounds.bounds import (
+    anonymous_oneshot_lower_bound,
+    anonymous_oneshot_upper_bound,
+    lemma9_process_requirement,
+)
+from repro.lowerbounds.cloning import lemma9_glue, register_sequence, solo_trace
+from repro.runtime.runner import run_solo
+
+GLUE_CASES = [(1, 2), (1, 3), (2, 2), (2, 3)]  # (k, attacked register count)
+
+
+def test_bound_gap_widens_with_n(emit):
+    rows = []
+    previous_gap = 0.0
+    for n in (6, 12, 24, 48, 96, 192):
+        m, k = 1, 2
+        lower = anonymous_oneshot_lower_bound(n, m, k)
+        upper = anonymous_oneshot_upper_bound(n, m, k)
+        gap = upper - lower
+        rows.append((n, m, k, f"{lower:.2f}", upper, f"{gap:.1f}"))
+        assert gap > previous_gap  # sqrt vs linear: the gap must widen
+        previous_gap = gap
+    text = format_table(
+        ["n", "m", "k", "lower > sqrt(m(n/k-2))", "upper (m+1)(n-k)+m²",
+         "gap"],
+        rows,
+        title="E5 / Theorem 10 — anonymous one-shot bounds: widening gap",
+    )
+    emit("thm10_bound_gap", text)
+
+
+def test_solo_register_sequences_are_input_independent(emit):
+    """R(V) is the same register sequence for every input value — the
+    common-prefix property the Lemma 9 induction feeds on."""
+    protocol = AnonymousOneShotSetAgreement(n=4, m=1, k=1, components=3)
+    sequences = []
+    for value in ("a", "b", "c", "d"):
+        system = System(protocol, workloads=[[value]] * 4)
+        execution = run_solo(system, 0)
+        sequences.append(register_sequence(execution))
+    assert len(set(sequences)) == 1
+    text = format_table(
+        ["input", "R(V)"],
+        [(v, " ".join(map(str, seq)))
+         for v, seq in zip(("a", "b", "c", "d"), sequences)],
+        title="E5 — solo register footprints R(V) (input-independent)",
+    )
+    emit("thm10_register_sequences", text)
+
+
+def test_clone_glue_certifies_violations(emit):
+    rows = []
+    for k, r in GLUE_CASES:
+        def factory(n, r=r, k=k):
+            return AnonymousOneShotSetAgreement(n=n, m=1, k=k, components=r)
+
+        result = lemma9_glue(factory, k=k, inputs=[f"v{i}" for i in range(k + 1)])
+        assert result.success, result.summary()
+        assert len(result.distinct_outputs) == k + 1
+        assert result.n_processes == max(
+            lemma9_process_requirement(1, k, r), k + 2
+        )
+        rows.append(
+            (k, r, result.n_processes, result.clones_per_group,
+             len(result.schedule), len(result.distinct_outputs))
+        )
+    text = format_table(
+        ["k", "registers", "processes (Lemma 9 formula)", "clones/group",
+         "steps", "outputs"],
+        rows,
+        title="E5 / Lemma 9 — clone-glued violations (anonymous, m=1)",
+    )
+    emit("thm10_clone_glue", text)
+
+
+def test_glue_respects_anonymity():
+    """The choreography relies on clones being *exact* shadows — solo traces
+    must agree structurally across groups, else GlueFailure is raised.  A
+    successful glue therefore certifies the anonymity of the algorithm too."""
+    protocol = AnonymousOneShotSetAgreement(n=4, m=1, k=1, components=2)
+    system = System(protocol, workloads=distinct_inputs(4))
+    t0 = solo_trace(system, 0)
+    t1 = solo_trace(system, 1)
+    assert t0.shape == t1.shape
+    assert t0.registers == t1.registers
+
+
+@pytest.mark.benchmark(group="thm10")
+@pytest.mark.parametrize("k,r", [(1, 2), (2, 2)])
+def test_bench_clone_glue(benchmark, k, r):
+    def factory(n, r=r, k=k):
+        return AnonymousOneShotSetAgreement(n=n, m=1, k=k, components=r)
+
+    def glue():
+        return lemma9_glue(factory, k=k, inputs=[f"v{i}" for i in range(k + 1)])
+
+    result = benchmark(glue)
+    assert result.success

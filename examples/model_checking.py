@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Model checking the paper's algorithm — and breaking it on purpose.
+
+The library's explorer enumerates *every* execution of a small instance.
+This example:
+
+1. exhaustively verifies Figure 3's one-shot consensus at n = 2 (its full
+   reachable configuration space), with the partial-order reduction on;
+2. removes one snapshot component and lets the explorer find a concrete
+   interleaving that makes two processes decide differently;
+3. replays the witness schedule and renders it as a space-time diagram —
+   a picture of the paper's lower-bound intuition: with too few registers,
+   one process's evidence can be overwritten before anyone else sees it.
+
+Run:  python examples/model_checking.py
+"""
+
+from repro import OneShotSetAgreement, System, replay
+from repro.explore import explore_safety
+from repro.spec.properties import check_k_agreement
+from repro.trace import space_time_diagram
+
+
+def main() -> None:
+    # 1. Nominal: r = n+2m-k = 3 components. Exhaustively safe.
+    nominal = System(
+        OneShotSetAgreement(n=2, m=1, k=1),
+        workloads=[["red"], ["blue"]],
+    )
+    result = explore_safety(nominal, k=1, reduction="local-first")
+    print("nominal (3 components):", result.summary())
+    assert result.complete and result.ok
+
+    # 2. Starved: 2 components. The explorer finds a violation.
+    starved = System(
+        OneShotSetAgreement(n=2, m=1, k=1, components=2),
+        workloads=[["red"], ["blue"]],
+    )
+    result = explore_safety(starved, k=1)
+    print("starved (2 components):", result.summary())
+    witness = result.safety_violations[0]
+    print(f"witness: {witness.detail}; schedule {list(witness.schedule)}")
+
+    # 3. Replay and draw it.
+    execution = replay(starved, witness.schedule)
+    violations = check_k_agreement(execution, k=1)
+    assert violations, "the witness must reproduce the violation"
+    print("\nthe violating execution, step by step:")
+    print(space_time_diagram(execution))
+    print(f"\noutputs: p0 -> {execution.config.procs[0].outputs}, "
+          f"p1 -> {execution.config.procs[1].outputs}")
+    print("two different consensus outputs — k-Agreement broken, exactly "
+          "as Theorem 2 predicts below n+m-k registers.")
+
+
+if __name__ == "__main__":
+    main()

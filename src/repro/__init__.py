@@ -1,0 +1,78 @@
+"""repro — reproduction of "On the Space Complexity of Set Agreement" (PODC'15).
+
+A deterministic shared-memory simulation library implementing the paper's
+algorithms (Figures 3, 4, 5), its executable lower-bound constructions
+(Theorems 2 and 10), register-level snapshot substrates, adversarial
+schedulers and property checkers.
+
+Quickstart::
+
+    from repro import OneShotSetAgreement, System, RoundRobinScheduler, run
+    from repro.spec import assert_execution_safe
+
+    protocol = OneShotSetAgreement(n=4, m=1, k=2)
+    system = System(protocol, workloads=[["a"], ["b"], ["c"], ["d"]])
+    execution = run(system, RoundRobinScheduler())
+    assert_execution_safe(execution, k=2)
+    print(execution.instance_outputs(1))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro._types import BOT, Params, is_bot
+from repro.agreement import (
+    AnonymousRepeatedSetAgreement,
+    BaselineOneShotSetAgreement,
+    OneShotSetAgreement,
+    RepeatedSetAgreement,
+    TrivialSetAgreement,
+    validate_parameters,
+)
+from repro.runtime import (
+    Configuration,
+    Execution,
+    System,
+    replay,
+    run,
+    run_until_quiescent,
+)
+from repro.runtime.runner import run_solo
+from repro.sched import (
+    CrashScheduler,
+    EventuallyBoundedScheduler,
+    FixedSchedule,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    WriterPriorityScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOT",
+    "Params",
+    "is_bot",
+    "AnonymousRepeatedSetAgreement",
+    "BaselineOneShotSetAgreement",
+    "OneShotSetAgreement",
+    "RepeatedSetAgreement",
+    "TrivialSetAgreement",
+    "validate_parameters",
+    "Configuration",
+    "Execution",
+    "System",
+    "replay",
+    "run",
+    "run_until_quiescent",
+    "run_solo",
+    "CrashScheduler",
+    "EventuallyBoundedScheduler",
+    "FixedSchedule",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "SoloScheduler",
+    "WriterPriorityScheduler",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""The paper's algorithms: k-set agreement under m-obstruction-freedom.
+
+* :class:`~repro.agreement.oneshot.OneShotSetAgreement` — Figure 3
+  (one-shot, n+2m−k snapshot components; Theorem 7).
+* :class:`~repro.agreement.repeated.RepeatedSetAgreement` — Figure 4
+  (repeated, same space; Theorem 8).
+* :class:`~repro.agreement.anonymous.AnonymousRepeatedSetAgreement` —
+  Figure 5 (anonymous, (m+1)(n−k)+m² components + register H; Theorem 11).
+* :class:`~repro.agreement.baseline.BaselineOneShotSetAgreement` — the
+  DFGR'13-shaped baseline [4] (m = 1, 2(n−k) components; see DESIGN.md §2
+  for the substitution note).
+* :mod:`~repro.agreement.trivial` — the k ≥ n trivial algorithm and the
+  n-register single-writer fallback.
+* :mod:`~repro.agreement.consensus` — k = 1 conveniences.
+* :mod:`~repro.agreement.universal` — a repeated-consensus-driven replicated
+  state machine (the motivation the paper cites for the repeated problem).
+"""
+
+from repro.agreement.base import validate_parameters
+from repro.agreement.oneshot import OneShotSetAgreement
+from repro.agreement.repeated import RepeatedSetAgreement
+from repro.agreement.anonymous import AnonymousRepeatedSetAgreement
+from repro.agreement.baseline import BaselineOneShotSetAgreement
+from repro.agreement.trivial import TrivialSetAgreement
+
+__all__ = [
+    "validate_parameters",
+    "OneShotSetAgreement",
+    "RepeatedSetAgreement",
+    "AnonymousRepeatedSetAgreement",
+    "BaselineOneShotSetAgreement",
+    "TrivialSetAgreement",
+]

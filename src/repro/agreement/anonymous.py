@@ -1,0 +1,398 @@
+"""Figure 5: anonymous repeated m-obstruction-free k-set agreement (Thm 11).
+
+Anonymous processes have no identifiers and run identical code, so the
+identifier-based duplicate test of Figures 3/4 is unavailable.  Instead the
+algorithm counts *copies*: with a snapshot ``A`` of
+``r = (m+1)(n−k) + m²`` components, a process decides when it sees at most
+``m`` distinct entries, all of its own instance, outputting the most
+frequent value; it adopts a new preference only when that preference is
+backed by at least ``ℓ = n + m − k`` components while its own has fewer.
+
+Because the only space-efficient anonymous snapshot implementation known is
+*non-blocking* (Guerraoui–Ruppert [7]), a process can starve inside a scan.
+The algorithm therefore runs two threads per ``Propose``:
+
+* thread 1 executes the update/scan loop above;
+* thread 2 polls one extra register ``H``, where every ``Propose`` begins by
+  publishing its current output history (line 9); a starving process that
+  finds ``|H| ≥ t`` outputs the ``t``-th entry of ``H`` (lines 33–36).
+
+Total space: ``(m+1)(n−k) + m²`` snapshot components + the register ``H``
+= ``(m+1)(n−k) + m² + 1`` registers, matching Theorem 11 (the paper remarks
+the one-shot variant drops ``H``, hence one register fewer).
+
+Faithfulness notes:
+
+* the paper requires the line pairs 21–22, 25–26 and 35–36 to execute
+  without interruption; in this runtime every transition is atomic with the
+  memory access that precedes it, which subsumes that requirement;
+* threads of one operation interleave fairly (round-robin per atomic
+  access), one of the schedules the model allows — adversarial *inter*-
+  process scheduling remains fully in the scheduler's hands;
+* ``i`` advances every loop iteration (Figure 5 line 29 is unconditional,
+  unlike Figures 3/4) — Appendix B's progress argument relies on it;
+* the persistent ``i`` belongs to thread 1; when thread 2 produces the
+  output, :meth:`finalize_persistent` recovers thread 1's latest ``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro._types import Value, is_bot
+from repro.agreement.base import HISTORY_REGISTER, SNAPSHOT, SetAgreementAutomaton
+from repro.errors import ProtocolViolation
+from repro.memory.layout import (
+    MemoryLayout,
+    merge_layouts,
+    register_layout,
+    snapshot_layout,
+)
+from repro.memory.ops import ReadOp, ScanOp, UpdateOp, WriteOp
+from repro.runtime.automaton import Context, Decide
+
+WRITE_H, UPDATE, SCAN, DECIDED = "write_h", "update", "scan", "decided"
+READ_H = "read_h"
+
+
+@dataclass(frozen=True)
+class AnonymousPersistent:
+    """Persistent locals of Figure 5 (lines 4–7)."""
+
+    i: int = 0
+    t: int = 0
+    history: Tuple[Value, ...] = ()
+
+
+@dataclass(frozen=True)
+class LoopThreadState:
+    """Thread 1: H publication, then the update/scan loop (lines 15–30)."""
+
+    pref: Value
+    i: int
+    t: int
+    history: Tuple[Value, ...]
+    phase: str
+    decision: Optional[Value] = None
+
+
+@dataclass(frozen=True)
+class PollThreadState:
+    """Thread 2: poll ``H`` for an output of this instance (lines 32–37)."""
+
+    t: int
+    history: Tuple[Value, ...]
+    phase: str = READ_H
+    decision: Optional[Value] = None
+
+
+def value_counts(scan: Tuple[Value, ...], t: int):
+    """Occurrences of each value among instance-``t`` entries, in scan order."""
+    counts: dict[Value, int] = {}
+    order: list[Value] = []
+    for entry in scan:
+        if is_bot(entry) or entry[1] != t:
+            continue
+        value = entry[0]
+        if value not in counts:
+            counts[value] = 0
+            order.append(value)
+        counts[value] += 1
+    return counts, order
+
+
+def most_frequent_value(scan: Tuple[Value, ...], t: int) -> Value:
+    """The most frequent value among t-entries; ties break by scan order."""
+    counts, order = value_counts(scan, t)
+    if not order:
+        raise ProtocolViolation("most_frequent_value on a scan with no t-entries")
+    return max(order, key=lambda v: (counts[v], -order.index(v)))
+
+
+class AnonymousRepeatedSetAgreement(SetAgreementAutomaton):
+    """The Figure 5 automaton: two threads, no identifiers."""
+
+    name = "anonymous-figure5"
+    anonymous = True
+    n_threads = 2
+
+    def nominal_components(self) -> int:
+        return (self.m + 1) * (self.n - self.k) + self.m * self.m
+
+    @property
+    def ell(self) -> int:
+        """The adoption threshold ℓ = n + m − k (Figure 5, line 16)."""
+        return self.n + self.m - self.k
+
+    def default_layout(self) -> MemoryLayout:
+        return merge_layouts(
+            snapshot_layout(SNAPSHOT, self.components),
+            register_layout(HISTORY_REGISTER, 1, initial=()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def initial_persistent(self, ctx: Context) -> AnonymousPersistent:
+        return AnonymousPersistent()
+
+    def begin(
+        self,
+        ctx: Context,
+        persistent: AnonymousPersistent,
+        value: Value,
+        invocation: int,
+    ):
+        t = persistent.t + 1
+        if t != invocation:
+            raise ProtocolViolation(
+                f"instance counter {t} out of sync with invocation {invocation}"
+            )
+        loop = LoopThreadState(
+            pref=value,
+            i=persistent.i,
+            t=t,
+            history=persistent.history,
+            phase=WRITE_H,
+        )
+        poll = PollThreadState(t=t, history=persistent.history)
+        return (loop, poll)
+
+    # ------------------------------------------------------------------ #
+    # Actions
+    # ------------------------------------------------------------------ #
+
+    def pending(self, ctx: Context, thread: int, state: Any):
+        if thread == 0:
+            return self._loop_pending(state)
+        return self._poll_pending(state)
+
+    def apply(self, ctx: Context, thread: int, state: Any, response):
+        if thread == 0:
+            return self._loop_apply(state, response)
+        return self._poll_apply(state, response)
+
+    def finalize_persistent(self, ctx, decide, thread_states):
+        """Recover thread 1's current location ``i`` whichever thread decides."""
+        loop_state = thread_states[0]
+        persistent: AnonymousPersistent = decide.persistent
+        return replace(persistent, i=loop_state.i)
+
+    # ------------------------------------------------------------------ #
+    # Thread 1: lines 9-12 and 14-30
+    # ------------------------------------------------------------------ #
+
+    def _loop_pending(self, state: LoopThreadState):
+        if state.phase == WRITE_H:
+            return WriteOp(HISTORY_REGISTER, 0, state.history)
+        if state.phase == UPDATE:
+            entry = (state.pref, state.t, state.history)
+            return UpdateOp(SNAPSHOT, state.i % self.components, entry)
+        if state.phase == SCAN:
+            return ScanOp(SNAPSHOT)
+        if state.phase == DECIDED:
+            return Decide(
+                output=state.decision,
+                persistent=AnonymousPersistent(
+                    i=state.i, t=state.t, history=state.history
+                ),
+            )
+        raise ProtocolViolation(f"unknown loop phase {state.phase!r}")
+
+    def _loop_apply(self, state: LoopThreadState, response):
+        if state.phase == WRITE_H:
+            # Lines 11-12: shortcut when the output is already known locally.
+            if len(state.history) >= state.t:
+                return replace(
+                    state,
+                    phase=DECIDED,
+                    decision=state.history[state.t - 1],
+                )
+            return replace(state, phase=UPDATE)
+        if state.phase == UPDATE:
+            return replace(state, phase=SCAN)
+        if state.phase == SCAN:
+            return self._loop_after_scan(state, response)
+        raise ProtocolViolation(f"no loop transition from {state.phase!r}")
+
+    def _loop_after_scan(
+        self, state: LoopThreadState, scan: Tuple[Value, ...]
+    ) -> LoopThreadState:
+        t = state.t
+
+        # Lines 20-22: adopt the history of a process in a higher instance.
+        for entry in scan:
+            if not is_bot(entry) and entry[1] > t:
+                his = entry[2]
+                return replace(
+                    state, history=his, phase=DECIDED, decision=his[t - 1]
+                )
+
+        # Lines 23-26: decide on the most frequent value when at most m
+        # distinct entries remain and every entry is a t-tuple.
+        distinct = {entry for entry in scan}
+        if len(distinct) <= self.m and all(
+            (not is_bot(entry)) and entry[1] == t for entry in scan
+        ):
+            winner = most_frequent_value(scan, t)
+            return replace(
+                state,
+                history=state.history + (winner,),
+                phase=DECIDED,
+                decision=winner,
+            )
+
+        # Lines 27-28: adopt a value backed by >= ℓ components when one's
+        # own preference is backed by fewer than ℓ.
+        counts, order = value_counts(scan, t)
+        own_support = counts.get(state.pref, 0)
+        new_pref = state.pref
+        if own_support < self.ell:
+            for value in order:
+                if value != state.pref and counts[value] >= self.ell:
+                    new_pref = value
+                    break
+
+        # Line 29: the location advances every iteration, unconditionally.
+        return replace(
+            state,
+            pref=new_pref,
+            i=(state.i + 1) % self.components,
+            phase=UPDATE,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Thread 2: lines 32-37
+    # ------------------------------------------------------------------ #
+
+    def _poll_pending(self, state: PollThreadState):
+        if state.phase == READ_H:
+            return ReadOp(HISTORY_REGISTER, 0)
+        if state.phase == DECIDED:
+            return Decide(
+                output=state.decision,
+                persistent=AnonymousPersistent(
+                    i=0,  # replaced by finalize_persistent with thread 1's i
+                    t=state.t,
+                    history=state.history,
+                ),
+            )
+        raise ProtocolViolation(f"unknown poll phase {state.phase!r}")
+
+    def _poll_apply(self, state: PollThreadState, response):
+        if state.phase != READ_H:
+            raise ProtocolViolation(f"no poll transition from {state.phase!r}")
+        sequence = response
+        if len(sequence) >= state.t:
+            winner = sequence[state.t - 1]
+            return replace(
+                state,
+                history=state.history + (winner,),
+                phase=DECIDED,
+                decision=winner,
+            )
+        return state  # keep polling
+
+
+@dataclass(frozen=True)
+class AnonymousOneShotState:
+    """Single-thread loop state of the one-shot variant."""
+
+    pref: Value
+    i: int
+    phase: str
+    decision: Optional[Value] = None
+
+
+class AnonymousOneShotSetAgreement(SetAgreementAutomaton):
+    """The one-shot restriction of Figure 5 (§6 closing remark).
+
+    With a single instance there are no histories to publish, so register
+    ``H`` and the polling thread disappear — saving one register, as the
+    paper remarks: ``(m+1)(n−k) + m²`` registers total.  Entries carry the
+    bare preferred value (an instance tag would be constant), so the
+    algorithm is manifestly anonymous: identical processes with identical
+    inputs write identical entries.
+
+    This is the algorithm the Section 5 lower-bound machinery attacks: its
+    solo runs write components ``0, 1, 2, …`` in a fixed order regardless of
+    the input value, giving the clone construction the common ``R(V)``
+    prefixes Lemma 9 feeds on (see :mod:`repro.lowerbounds.cloning`).
+    """
+
+    name = "anonymous-oneshot-figure5"
+    anonymous = True
+    n_threads = 1
+
+    def nominal_components(self) -> int:
+        return (self.m + 1) * (self.n - self.k) + self.m * self.m
+
+    @property
+    def ell(self) -> int:
+        return self.n + self.m - self.k
+
+    def default_layout(self) -> MemoryLayout:
+        return snapshot_layout(SNAPSHOT, self.components)
+
+    def begin(self, ctx: Context, persistent: Any, value: Value, invocation: int):
+        if invocation != 1:
+            raise ProtocolViolation(
+                f"{self.name} is one-shot; process invoked Propose "
+                f"a {invocation}th time"
+            )
+        return (AnonymousOneShotState(pref=value, i=0, phase=UPDATE),)
+
+    def pending(self, ctx: Context, thread: int, state: AnonymousOneShotState):
+        if state.phase == UPDATE:
+            return UpdateOp(SNAPSHOT, state.i % self.components, state.pref)
+        if state.phase == SCAN:
+            return ScanOp(SNAPSHOT)
+        if state.phase == DECIDED:
+            return Decide(output=state.decision, persistent=None)
+        raise ProtocolViolation(f"unknown phase {state.phase!r}")
+
+    def apply(self, ctx: Context, thread: int, state: AnonymousOneShotState, response):
+        if state.phase == UPDATE:
+            return replace(state, phase=SCAN)
+        if state.phase == SCAN:
+            return self._after_scan(state, response)
+        raise ProtocolViolation(f"no transition from phase {state.phase!r}")
+
+    def _after_scan(
+        self, state: AnonymousOneShotState, scan: Tuple[Value, ...]
+    ) -> AnonymousOneShotState:
+        # Decide: at most m distinct values, no ⊥ — output the most frequent.
+        distinct = {entry for entry in scan}
+        if len(distinct) <= self.m and not any(is_bot(e) for e in scan):
+            counts: dict[Value, int] = {}
+            order: list[Value] = []
+            for entry in scan:
+                if entry not in counts:
+                    counts[entry] = 0
+                    order.append(entry)
+                counts[entry] += 1
+            winner = max(order, key=lambda v: (counts[v], -order.index(v)))
+            return replace(state, phase=DECIDED, decision=winner)
+
+        # Adopt a value backed by >= ℓ copies when one's own has fewer.
+        own = sum(1 for e in scan if e == state.pref)
+        new_pref = state.pref
+        if own < self.ell:
+            seen: list[Value] = []
+            for entry in scan:
+                if is_bot(entry) or entry == state.pref or entry in seen:
+                    continue
+                seen.append(entry)
+                if sum(1 for e in scan if e == entry) >= self.ell:
+                    new_pref = entry
+                    break
+
+        # The location advances every iteration (Figure 5, line 29).
+        return replace(
+            state,
+            pref=new_pref,
+            i=(state.i + 1) % self.components,
+            phase=UPDATE,
+        )

@@ -1,0 +1,97 @@
+"""Shared scaffolding for the set-agreement protocol automata.
+
+The k-set agreement problem (paper §2.1): each ``Propose(v)`` must output a
+value such that, per instance ``i``,
+
+* Validity: outputs of instance ``i`` ⊆ inputs of instance ``i``;
+* k-Agreement: at most ``k`` distinct values are output in instance ``i``;
+
+and m-Obstruction-Freedom: in every execution in which at most ``m``
+processes take infinitely many steps, every correct process completes each
+of its operations.
+
+The parameter regime of every space bound is ``1 ≤ m ≤ k < n`` (Lemma 1
+shows ``m > k`` is unsolvable; ``k ≥ n`` is trivial).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._types import Params
+from repro.errors import ConfigurationError
+from repro.runtime.automaton import ProtocolAutomaton
+
+#: Canonical name of the shared snapshot object in all paper algorithms.
+SNAPSHOT = "A"
+#: Canonical name of Figure 5's extra output register.
+HISTORY_REGISTER = "H"
+
+
+def validate_parameters(n: int, m: int, k: int) -> None:
+    """Enforce the paper's parameter regime ``1 ≤ m ≤ k < n``.
+
+    Raises :class:`~repro.errors.ConfigurationError` with a message naming
+    the violated constraint and the relevant impossibility/triviality result.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need at least 2 processes, got n={n}")
+    if m < 1:
+        raise ConfigurationError(f"need m >= 1, got m={m}")
+    if m > k:
+        raise ConfigurationError(
+            f"m={m} > k={k}: m-obstruction-free k-set agreement is unsolvable "
+            "from registers when m > k (paper, Lemma 1)"
+        )
+    if k >= n:
+        raise ConfigurationError(
+            f"k={k} >= n={n}: the problem is trivial (each process outputs its "
+            "own input; use agreement.trivial.TrivialSetAgreement)"
+        )
+
+
+class SetAgreementAutomaton(ProtocolAutomaton):
+    """Base class pinning down the (n, m, k) parameters and conventions."""
+
+    def __init__(
+        self, n: int, m: int, k: int, *, components: Optional[int] = None, **extra
+    ) -> None:
+        validate_parameters(n, m, k)
+        params = Params(n=n, m=m, k=k, **extra)
+        if components is not None:
+            if components < 1:
+                raise ConfigurationError("components must be >= 1")
+            params = params.updated(components=components)
+        super().__init__(params)
+
+    @property
+    def n(self) -> int:
+        return self.params["n"]
+
+    @property
+    def m(self) -> int:
+        return self.params["m"]
+
+    @property
+    def k(self) -> int:
+        return self.params["k"]
+
+    @property
+    def components(self) -> int:
+        """Number of snapshot components this instance runs with.
+
+        Defaults to the protocol's nominal count; experiments deliberately
+        under-provision it to exercise the lower-bound constructions.
+        """
+        return self.params.get("components", self.nominal_components())
+
+    def nominal_components(self) -> int:
+        """The component count the paper's theorem prescribes."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this instance's parameters."""
+        return (
+            f"{self.name}(n={self.n}, m={self.m}, k={self.k}, "
+            f"r={self.components})"
+        )

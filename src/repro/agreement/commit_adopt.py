@@ -1,0 +1,205 @@
+"""A round-based commit-adopt consensus baseline (2n SWMR registers).
+
+An independent obstruction-free consensus, *not* from the paper: the
+folklore construction that iterates the two phases of Gafni's commit-adopt
+through increasing round numbers, over two arrays ``A`` (announce) and
+``B`` (commit) of single-writer registers — 2n total.  It serves the
+benchmarks as a second baseline for the ``m = k = 1`` corner, where the
+paper's route (Figure 3 over the SWMR substrate) needs exactly ``n``
+registers and Theorem 2 forbids fewer.
+
+Per process::
+
+    r ← 1; est ← input
+    loop:
+        A[id] ← (r, est);  collect A and B
+        if any entry is at a round > r:        catch up (adopt, see below)
+        elif B holds a round-r value ≠ est, or A disagrees at round r:
+                                               adopt; r ← r+1
+        else:
+            B[id] ← (r, est);  collect A and B
+            if any entry is at a round > r:    catch up
+            elif A and B agree on est at r:    **decide est**
+            else:                              adopt; r ← r+1
+
+    adopt = the value of the highest-round entry, where a ``B`` entry
+    outranks every ``A`` entry of the same round, and ``A`` ties break by
+    writer pid.
+
+Safety rests on two facts: (i) at most one value ever enters ``B`` per
+round — two candidates at the same round must each have seen ``A``
+unanimous for their own value, which the write/collect ordering forbids;
+(ii) once a decision's ``(r, v)`` sits in ``B``, the B-priority adoption
+makes every process pass round ``r`` carrying ``v``.  Solo runs decide
+within one extra round, giving obstruction-freedom.
+
+**Validation stance**: this baseline ships without a published proof; the
+test suite compensates by exhaustively model checking it at n = 2
+(complete state space), boundedly at n = 3, and with randomized stress —
+the library's checkers are exactly the right tool for such an artifact
+(the first draft of this very algorithm was caught unsound by
+:func:`repro.explore.explore_safety` in under a second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro._types import Params, Value, is_bot
+from repro.errors import ConfigurationError, ProtocolViolation
+from repro.memory.layout import BankSpec, MemoryLayout, PrimitiveBinding
+from repro.memory.ops import ReadOp, WriteOp
+from repro.runtime.automaton import Context, Decide, ProtocolAutomaton
+
+ARRAY_A, ARRAY_B = "CA_A", "CA_B"
+WRITE_A, WRITE_B, DECIDED = "write_a", "write_b", "decided"
+COLLECT = "collect"  # suffixed with the phase it belongs to
+
+
+@dataclass(frozen=True)
+class CAState:
+    """Round, estimate, and the progress of the current double collect.
+
+    ``after`` records which write the in-progress collect follows
+    (``WRITE_A`` or ``WRITE_B``); the collect reads the ``A`` array first,
+    then ``B``, one register per step.
+    """
+
+    round: int
+    est: Value
+    phase: str
+    after: str = WRITE_A
+    cursor: int = 0
+    collected_a: Tuple[Value, ...] = ()
+    collected_b: Tuple[Value, ...] = ()
+    decision: Optional[Value] = None
+
+
+class CommitAdoptConsensus(ProtocolAutomaton):
+    """Obstruction-free consensus from 2n single-writer registers."""
+
+    name = "commit-adopt-consensus"
+    n_threads = 1
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ConfigurationError("consensus needs at least 2 processes")
+        super().__init__(Params(n=n, m=1, k=1))
+        self.n = n
+
+    def default_layout(self) -> MemoryLayout:
+        return MemoryLayout(
+            (
+                BankSpec(name=f"{ARRAY_A}__bank", size=self.n),
+                BankSpec(name=f"{ARRAY_B}__bank", size=self.n),
+            ),
+            {
+                ARRAY_A: PrimitiveBinding("registers", f"{ARRAY_A}__bank"),
+                ARRAY_B: PrimitiveBinding("registers", f"{ARRAY_B}__bank"),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def begin(self, ctx: Context, persistent: Any, value: Value, invocation: int):
+        if invocation != 1:
+            raise ProtocolViolation(f"{self.name} is one-shot")
+        return (CAState(round=1, est=value, phase=WRITE_A),)
+
+    def pending(self, ctx: Context, thread: int, state: CAState):
+        if state.phase == WRITE_A:
+            return WriteOp(ARRAY_A, ctx.identifier, (state.round, state.est))
+        if state.phase == WRITE_B:
+            return WriteOp(ARRAY_B, ctx.identifier, (state.round, state.est))
+        if state.phase == COLLECT:
+            if len(state.collected_a) < self.n:
+                return ReadOp(ARRAY_A, state.cursor)
+            return ReadOp(ARRAY_B, state.cursor)
+        if state.phase == DECIDED:
+            return Decide(output=state.decision, persistent=None)
+        raise ProtocolViolation(f"unknown phase {state.phase!r}")
+
+    def apply(self, ctx: Context, thread: int, state: CAState, response):
+        if state.phase in (WRITE_A, WRITE_B):
+            return replace(
+                state,
+                phase=COLLECT,
+                after=state.phase,
+                cursor=0,
+                collected_a=(),
+                collected_b=(),
+            )
+        if state.phase != COLLECT:
+            raise ProtocolViolation(f"no transition from phase {state.phase!r}")
+
+        if len(state.collected_a) < self.n:
+            collected_a = state.collected_a + (response,)
+            cursor = 0 if len(collected_a) == self.n else state.cursor + 1
+            return replace(state, cursor=cursor, collected_a=collected_a)
+        collected_b = state.collected_b + (response,)
+        if len(collected_b) < self.n:
+            return replace(state, cursor=state.cursor + 1, collected_b=collected_b)
+        return self._after_double_collect(
+            replace(state, collected_b=collected_b)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Round logic
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _entries_at(bank: Tuple[Value, ...], round_: int):
+        return [
+            (pid, entry[1])
+            for pid, entry in enumerate(bank)
+            if not is_bot(entry) and entry[0] == round_
+        ]
+
+    @staticmethod
+    def _max_round(*banks: Tuple[Value, ...]) -> int:
+        best = 0
+        for bank in banks:
+            for entry in bank:
+                if not is_bot(entry):
+                    best = max(best, entry[0])
+        return best
+
+    def _adopt_value(self, state: CAState, at_round: int) -> Value:
+        """B-priority adoption: B's (unique) value at *at_round* if present,
+        else the max-pid A entry at *at_round*."""
+        b_entries = self._entries_at(state.collected_b, at_round)
+        if b_entries:
+            return max(b_entries)[1]
+        a_entries = self._entries_at(state.collected_a, at_round)
+        assert a_entries, "adoption round has no entries"
+        return max(a_entries)[1]
+
+    def _after_double_collect(self, state: CAState) -> CAState:
+        r = state.round
+        max_round = self._max_round(state.collected_a, state.collected_b)
+        assert max_round >= r  # our own A entry is present
+
+        if max_round > r:
+            # Catch up: jump to the frontier round with its adopted value.
+            return CAState(
+                round=max_round,
+                est=self._adopt_value(state, max_round),
+                phase=WRITE_A,
+            )
+
+        a_values = {value for _, value in self._entries_at(state.collected_a, r)}
+        b_values = {value for _, value in self._entries_at(state.collected_b, r)}
+        clean = a_values == {state.est} and b_values <= {state.est}
+
+        if state.after == WRITE_A:
+            if clean:
+                return replace(state, phase=WRITE_B)
+        elif clean:
+            # Post-B collect, still unanimous and unchallenged: commit.
+            return replace(state, phase=DECIDED, decision=state.est)
+
+        # Contention at our round: adopt (B-priority) and advance.
+        return CAState(
+            round=r + 1, est=self._adopt_value(state, r), phase=WRITE_A
+        )

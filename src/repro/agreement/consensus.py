@@ -1,0 +1,47 @@
+"""Consensus conveniences: the ``k = 1`` corner of the parameter space.
+
+Consensus is the special case ``k = 1`` (paper §1).  Wait-free consensus is
+impossible from registers, but obstruction-free consensus is solvable, and
+the paper's results pin down its repeated space complexity exactly:
+
+* lower bound ``n + m − k = n`` registers (Theorem 2 with ``m = k = 1``);
+* upper bound ``min(n + 2m − k, n) = n`` registers (Theorem 8);
+
+closing, for the repeated problem, the gap the one-shot problem famously
+leaves open between Ω(√n) [6] and O(n).
+
+These factories are thin wrappers over the general automata so examples and
+benchmarks can speak "consensus" directly.
+"""
+
+from __future__ import annotations
+
+from repro.agreement.oneshot import OneShotSetAgreement
+from repro.agreement.repeated import RepeatedSetAgreement
+from repro.agreement.anonymous import AnonymousRepeatedSetAgreement
+
+
+def obstruction_free_consensus(n: int, *, components: int = None) -> OneShotSetAgreement:
+    """One-shot obstruction-free consensus (Figure 3, ``m = k = 1``).
+
+    The nominal snapshot has ``n + 1`` components; Theorem 7 implements it
+    with ``min(n+1, n) = n`` registers via single-writer snapshots [1, 13].
+    """
+    return OneShotSetAgreement(n=n, m=1, k=1, components=components)
+
+
+def repeated_consensus(n: int, *, components: int = None) -> RepeatedSetAgreement:
+    """Repeated obstruction-free consensus (Figure 4, ``m = k = 1``).
+
+    Exactly ``n`` registers are necessary (Theorem 2) and sufficient
+    (Theorem 8) — the paper's headline tight bound.
+    """
+    return RepeatedSetAgreement(n=n, m=1, k=1, components=components)
+
+
+def anonymous_repeated_consensus(n: int) -> AnonymousRepeatedSetAgreement:
+    """Anonymous repeated obstruction-free consensus (Figure 5, ``m = k = 1``).
+
+    Uses ``2(n-1) + 1 + 1 = 2n`` registers per Theorem 11.
+    """
+    return AnonymousRepeatedSetAgreement(n=n, m=1, k=1)

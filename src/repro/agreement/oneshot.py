@@ -1,0 +1,157 @@
+"""Figure 3: one-shot m-obstruction-free k-set agreement (Theorem 7).
+
+The algorithm runs on a snapshot object ``A`` with ``r = n + 2m − k``
+components, all initially ⊥.  Each process keeps a preferred value ``pref``
+(initially its input) and a location ``i`` (initially 0) and loops:
+
+1. ``update(i, (pref, id))``;
+2. ``s ← scan()``;
+3. *(decide)* if ``s`` holds at most ``m`` distinct pairs and no ⊥: output
+   the value of the first pair that appears twice (line 10);
+4. *(adopt)* else if no copy of the process's own pair appears anywhere but
+   position ``i``, and some pair appears twice: adopt the value of the first
+   duplicated pair as ``pref`` — and *stay* at location ``i`` (lines 11–13);
+5. *(advance)* else ``i ← (i+1) mod r`` (line 14).
+
+Intuition: the first ``k − m`` deciders may output anything; the remaining
+``ℓ = n − k + m`` processes are forced, by the pigeonhole over the ``r``
+components, to keep seeing duplicated pairs and converge onto at most ``m``
+values (Lemma 4), for ≤ k outputs total.
+
+Deviation note (degenerate component counts): line 10 of the paper assumes a
+duplicated pair exists, which holds whenever ``r > m`` — always true in the
+paper's regime since ``r = n+2m−k ≥ 2m+1``.  To keep the automaton total
+when experiments deliberately under-provision ``r ≤ m``, the first pair of
+the scan is used when no duplicate exists.  This extension never fires at
+nominal parameters (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro._types import Value, is_bot
+from repro.agreement.base import SNAPSHOT, SetAgreementAutomaton
+from repro.errors import ProtocolViolation
+from repro.memory.layout import MemoryLayout, snapshot_layout
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.runtime.automaton import Context, Decide
+
+#: phases of the per-operation state machine
+UPDATE, SCAN, DECIDED = "update", "scan", "decided"
+
+
+@dataclass(frozen=True)
+class OneShotState:
+    """Per-operation local state: the paper's ``pref`` and ``i`` plus a PC."""
+
+    pref: Value
+    i: int
+    phase: str
+    decision: Optional[Value] = None
+
+
+def first_duplicate_index(scan: Tuple[Value, ...]) -> Optional[int]:
+    """The paper's ``min{j1 : ∃ j2 > j1, s[j1] = s[j2]}``, or ``None``.
+
+    ⊥ entries never count as duplicates of each other: the paper's lines 10
+    and 12 only ever run where the relevant entries are non-⊥ pairs, and
+    treating ⊥ as a value would let line 12 adopt "the value in ⊥".
+    """
+    seen: dict[Value, int] = {}
+    best: Optional[int] = None
+    for j, entry in enumerate(scan):
+        if is_bot(entry):
+            continue
+        if entry in seen:
+            j1 = seen[entry]
+            best = j1 if best is None else min(best, j1)
+        else:
+            seen[entry] = j
+    return best
+
+
+class OneShotSetAgreement(SetAgreementAutomaton):
+    """The Figure 3 automaton.  One thread, one invocation per process."""
+
+    name = "oneshot-figure3"
+    anonymous = False
+    n_threads = 1
+
+    def nominal_components(self) -> int:
+        return self.n + 2 * self.m - self.k
+
+    def default_layout(self) -> MemoryLayout:
+        return snapshot_layout(SNAPSHOT, self.components)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def begin(self, ctx: Context, persistent: Any, value: Value, invocation: int):
+        if invocation != 1:
+            raise ProtocolViolation(
+                f"{self.name} is one-shot; process {ctx.pid} invoked Propose "
+                f"a {invocation}th time"
+            )
+        return (OneShotState(pref=value, i=0, phase=UPDATE),)
+
+    def pending(self, ctx: Context, thread: int, state: OneShotState):
+        if state.phase == UPDATE:
+            return UpdateOp(SNAPSHOT, state.i, (state.pref, ctx.identifier))
+        if state.phase == SCAN:
+            return ScanOp(SNAPSHOT)
+        if state.phase == DECIDED:
+            return Decide(output=state.decision, persistent=None)
+        raise ProtocolViolation(f"unknown phase {state.phase!r}")
+
+    def apply(self, ctx: Context, thread: int, state: OneShotState, response):
+        if state.phase == UPDATE:
+            return replace(state, phase=SCAN)
+        if state.phase == SCAN:
+            return self._after_scan(ctx, state, response)
+        raise ProtocolViolation(f"no transition from phase {state.phase!r}")
+
+    # ------------------------------------------------------------------ #
+    # The decision logic of lines 9-14
+    # ------------------------------------------------------------------ #
+
+    def _after_scan(
+        self, ctx: Context, state: OneShotState, scan: Tuple[Value, ...]
+    ) -> OneShotState:
+        r = self.components
+        own_pair = (state.pref, ctx.identifier)
+        distinct = {entry for entry in scan}
+
+        # Line 9-10: decide when at most m distinct pairs fill the snapshot.
+        if len(distinct) <= self.m and not any(is_bot(entry) for entry in scan):
+            j1 = first_duplicate_index(scan)
+            pick = scan[j1] if j1 is not None else scan[0]
+            return replace(state, phase=DECIDED, decision=pick[0])
+
+        # Line 11-13: adopt the first duplicated pair's value, keep location.
+        # Deviation note: when the minimal duplicated pair already carries
+        # the process's current preference, lines 12-13 as written would
+        # "set" pref to itself and stay at location i forever (a solo
+        # livelock, observable in simulation).  The progress proof's
+        # dichotomy — "either keeps its preferred value and increments i,
+        # or sets its preferred value" (Lemma 5) — resolves the ambiguity:
+        # a no-op assignment counts as *keeping* the preference, so the
+        # location advances.  Lemma 4's Case 2b is unaffected (the update
+        # following such a scan stores a value that appears duplicated,
+        # hence in V by the induction hypothesis), and Lemma 5's Case 2
+        # argument positively requires this reading: with the minimal
+        # duplicate fixed inside never-written registers, a stuck process
+        # would otherwise re-adopt one value forever or ping-pong.
+        others_clean = all(
+            not is_bot(scan[j]) and scan[j] != own_pair
+            for j in range(r)
+            if j != state.i
+        )
+        j1 = first_duplicate_index(scan)
+        if others_clean and j1 is not None and scan[j1][0] != state.pref:
+            return replace(state, pref=scan[j1][0], phase=UPDATE)
+
+        # Line 14: advance the location.
+        return replace(state, i=(state.i + 1) % r, phase=UPDATE)

@@ -1,0 +1,217 @@
+"""Figure 4: repeated m-obstruction-free k-set agreement (Theorem 8).
+
+The repeated problem gives every process an infinite sequence of agreement
+instances; the i-th ``Propose`` of each process participates in instance
+``i``.  The algorithm reuses Figure 3's preference-circulation loop over the
+same snapshot object ``A`` with ``r = n + 2m − k`` components, extended with
+two mechanisms (paper §4.2, Appendix A):
+
+* every stored entry is a 4-tuple ``(pref, id, t, history)`` carrying the
+  instance number ``t`` and the full sequence ``history`` of outputs the
+  process produced for instances ``1 .. t−1``;
+* *shortcuts*: a process that sees an entry of a higher instance ``t' > t``
+  adopts that entry's history wholesale and outputs its ``t``-th element
+  (line 15–16); a process whose own history already covers instance ``t``
+  outputs from it without touching shared memory (lines 9–10).
+
+Entries of *lower* instances (``t' < t``) are treated exactly like ⊥
+(paper: "a value stored by a process in a lower instance is treated as ⊥"),
+both in the decision test (line 17) and in the adoption test (line 22).
+
+Persistent local variables ``i``, ``t``, ``history`` survive across
+invocations — in particular, the first location a ``Propose`` updates is the
+last location of the previous one (Appendix A).
+
+Deviation note: as in Figure 3, the decide rule nominally picks the first
+*duplicated* t-tuple, which exists at nominal ``r`` by pigeonhole; when
+experiments under-provision ``r``, the first entry is used as fallback so
+the automaton stays total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro._types import Value, is_bot
+from repro.agreement.base import SNAPSHOT, SetAgreementAutomaton
+from repro.errors import ProtocolViolation
+from repro.memory.layout import MemoryLayout, snapshot_layout
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.runtime.automaton import Context, Decide
+
+UPDATE, SCAN, DECIDED = "update", "scan", "decided"
+
+
+@dataclass(frozen=True)
+class RepeatedPersistent:
+    """The paper's persistent local variables (Figure 4, lines 3–6)."""
+
+    i: int = 0
+    t: int = 0
+    history: Tuple[Value, ...] = ()
+
+
+@dataclass(frozen=True)
+class RepeatedState:
+    """Per-operation state: current instance ``t`` plus the Figure 3 loop."""
+
+    pref: Value
+    i: int
+    t: int
+    history: Tuple[Value, ...]
+    phase: str
+    decision: Optional[Value] = None
+
+
+def is_instance_tuple(entry: Value, t: int) -> bool:
+    """True iff *entry* is a stored tuple of instance exactly ``t``."""
+    return (not is_bot(entry)) and entry[2] == t
+
+
+def effectively_bot(entry: Value, t: int) -> bool:
+    """⊥, or a tuple of a lower instance (treated as ⊥, paper §4.2)."""
+    return is_bot(entry) or entry[2] < t
+
+
+def first_duplicate_t_tuple(
+    scan: Tuple[Value, ...], t: int
+) -> Optional[int]:
+    """Min index ``j1`` with ``j2 > j1`` s.t. both hold the same t-tuple."""
+    seen: dict[Value, int] = {}
+    best: Optional[int] = None
+    for j, entry in enumerate(scan):
+        if not is_instance_tuple(entry, t):
+            continue
+        if entry in seen:
+            j1 = seen[entry]
+            best = j1 if best is None else min(best, j1)
+        else:
+            seen[entry] = j
+    return best
+
+
+class RepeatedSetAgreement(SetAgreementAutomaton):
+    """The Figure 4 automaton: repeated k-set agreement, one thread."""
+
+    name = "repeated-figure4"
+    anonymous = False
+    n_threads = 1
+
+    def nominal_components(self) -> int:
+        return self.n + 2 * self.m - self.k
+
+    def default_layout(self) -> MemoryLayout:
+        return snapshot_layout(SNAPSHOT, self.components)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def initial_persistent(self, ctx: Context) -> RepeatedPersistent:
+        return RepeatedPersistent()
+
+    def begin(
+        self,
+        ctx: Context,
+        persistent: RepeatedPersistent,
+        value: Value,
+        invocation: int,
+    ):
+        t = persistent.t + 1
+        if t != invocation:
+            raise ProtocolViolation(
+                f"instance counter {t} out of sync with invocation {invocation}"
+            )
+        if len(persistent.history) >= t:
+            # Lines 9-10: this instance's output is already known locally.
+            state = RepeatedState(
+                pref=None,
+                i=persistent.i,
+                t=t,
+                history=persistent.history,
+                phase=DECIDED,
+                decision=persistent.history[t - 1],
+            )
+            return (state,)
+        state = RepeatedState(
+            pref=value,
+            i=persistent.i,
+            t=t,
+            history=persistent.history,
+            phase=UPDATE,
+        )
+        return (state,)
+
+    def pending(self, ctx: Context, thread: int, state: RepeatedState):
+        if state.phase == UPDATE:
+            entry = (state.pref, ctx.identifier, state.t, state.history)
+            return UpdateOp(SNAPSHOT, state.i, entry)
+        if state.phase == SCAN:
+            return ScanOp(SNAPSHOT)
+        if state.phase == DECIDED:
+            return Decide(
+                output=state.decision,
+                persistent=RepeatedPersistent(
+                    i=state.i, t=state.t, history=state.history
+                ),
+            )
+        raise ProtocolViolation(f"unknown phase {state.phase!r}")
+
+    def apply(self, ctx: Context, thread: int, state: RepeatedState, response):
+        if state.phase == UPDATE:
+            return replace(state, phase=SCAN)
+        if state.phase == SCAN:
+            return self._after_scan(ctx, state, response)
+        raise ProtocolViolation(f"no transition from phase {state.phase!r}")
+
+    # ------------------------------------------------------------------ #
+    # Lines 15-25
+    # ------------------------------------------------------------------ #
+
+    def _after_scan(
+        self, ctx: Context, state: RepeatedState, scan: Tuple[Value, ...]
+    ) -> RepeatedState:
+        r = self.components
+        t = state.t
+
+        # Lines 15-16: adopt the history of a process in a higher instance.
+        for entry in scan:
+            if not is_bot(entry) and entry[2] > t:
+                his = entry[3]
+                return replace(
+                    state, history=his, phase=DECIDED, decision=his[t - 1]
+                )
+
+        # Lines 17-21: decide when at most m distinct entries, all of
+        # instance exactly t (neither ⊥ nor lower-instance).
+        distinct = {entry for entry in scan}
+        all_current = all(
+            not is_bot(entry) and entry[2] >= t for entry in scan
+        )
+        if len(distinct) <= self.m and all_current:
+            j1 = first_duplicate_t_tuple(scan, t)
+            winner = scan[j1][0] if j1 is not None else scan[0][0]
+            new_history = state.history + (winner,)
+            return replace(
+                state, history=new_history, phase=DECIDED, decision=winner
+            )
+
+        # Lines 22-24: adopt the value of the first duplicated t-tuple when
+        # every other location is a foreign t-tuple.  As in the one-shot
+        # algorithm (see that class's deviation note), an adoption that
+        # would not change the preference counts as *keeping* it, so the
+        # location advances instead — Lemma 5's dichotomy, required for
+        # m-obstruction-freedom.
+        own_entry = (state.pref, ctx.identifier, t, state.history)
+        others_clean = all(
+            not effectively_bot(scan[j], t) and scan[j] != own_entry
+            for j in range(r)
+            if j != state.i
+        )
+        j1 = first_duplicate_t_tuple(scan, t)
+        if others_clean and j1 is not None and scan[j1][0] != state.pref:
+            return replace(state, pref=scan[j1][0], phase=UPDATE)
+
+        # Line 25: advance the location.
+        return replace(state, i=(state.i + 1) % r, phase=UPDATE)

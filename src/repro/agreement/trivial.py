@@ -1,0 +1,56 @@
+"""The trivial regime ``k ≥ n``: output your own input, zero registers.
+
+The paper (§1, §2.1) notes set agreement is trivial when ``k ≥ n``: each
+process outputs its own input, so at most ``n ≤ k`` values are output and
+validity is immediate.  No shared memory is needed — the automaton's layout
+has zero banks, which also makes this the minimal smoke-test protocol for
+the runtime.
+
+The automaton is repeated (each invocation outputs its own input) and
+trivially wait-free: every ``Propose`` decides at its first step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro._types import Params, Value
+from repro.errors import ConfigurationError
+from repro.memory.layout import MemoryLayout
+from repro.runtime.automaton import Context, Decide, ProtocolAutomaton
+
+
+@dataclass(frozen=True)
+class TrivialState:
+    value: Value
+
+
+class TrivialSetAgreement(ProtocolAutomaton):
+    """Each ``Propose(v)`` outputs ``v`` immediately.  Requires ``k ≥ n``."""
+
+    name = "trivial-k-ge-n"
+    anonymous = True  # it never looks at identifiers
+    n_threads = 1
+
+    def __init__(self, n: int, k: int) -> None:
+        if k < n:
+            raise ConfigurationError(
+                f"trivial algorithm requires k >= n (got n={n}, k={k}); "
+                "use the Figure 3/4/5 algorithms for k < n"
+            )
+        super().__init__(Params(n=n, k=k))
+
+    def default_layout(self) -> MemoryLayout:
+        return MemoryLayout((), {})
+
+    def begin(
+        self, ctx: Context, persistent: Any, value: Value, invocation: int
+    ) -> Tuple[TrivialState]:
+        return (TrivialState(value=value),)
+
+    def pending(self, ctx: Context, thread: int, state: TrivialState):
+        return Decide(output=state.value, persistent=None)
+
+    def apply(self, ctx: Context, thread: int, state: TrivialState, response):
+        raise AssertionError("trivial automaton performs no memory operations")

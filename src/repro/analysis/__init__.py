@@ -1,0 +1,30 @@
+"""Execution analytics: contention profiles and preference convergence.
+
+The progress arguments of §4 are, operationally, statements about how the
+set of *live preferences* shrinks: processes adopt duplicated values until
+at most ``m`` distinct values survive, at which point everyone decides.
+This package measures that dynamic on concrete executions:
+
+* :mod:`~repro.analysis.contention` — per-process preference changes,
+  location advances, and the concurrency profile of a run;
+* :mod:`~repro.analysis.convergence` — the "preference funnel": distinct
+  values present in the snapshot over time, and when it collapses to ≤ m.
+"""
+
+from repro.analysis.contention import (
+    concurrency_profile,
+    location_advances,
+    preference_changes,
+)
+from repro.analysis.convergence import (
+    convergence_step,
+    distinct_values_over_time,
+)
+
+__all__ = [
+    "preference_changes",
+    "location_advances",
+    "concurrency_profile",
+    "distinct_values_over_time",
+    "convergence_step",
+]

@@ -1,0 +1,103 @@
+"""Appendix B's candidate machinery for the anonymous algorithm, executable.
+
+The progress proof of Theorem 11 (Appendix B) tracks, for each value ``v``
+and configuration ``C``, the quantity
+
+    ``mult(C, v)`` = number of snapshot components holding an instance-t
+    entry with value ``v``, **plus** the number of processes poised to
+    perform an update with preference ``v``
+
+and proves (Lemma 18) that once ``mult(C, v) < ℓ``, *no single step can
+raise it back* to ``ℓ`` — values below the support threshold are doomed to
+stop being candidates, which caps the surviving candidates at ``m`` and
+forces decisions.
+
+This module computes ``mult`` on real configurations and exposes the
+Lemma 18 step-invariant as a checkable predicate; the test suite asserts
+it along random executions of Figure 5 — the closest a simulation can come
+to "running" Appendix B.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro._types import Value, is_bot
+from repro.agreement.anonymous import LoopThreadState, UPDATE
+from repro.runtime.system import Configuration, System
+
+
+def poised_preferences(
+    system: System, config: Configuration, instance: int
+) -> Dict[Value, int]:
+    """Preferences of processes poised to update in *instance*.
+
+    A process is poised to update when its loop thread's next action is the
+    ``update`` of Figure 5 line 18 (phase ``UPDATE``) for instance t.
+    """
+    counts: Dict[Value, int] = {}
+    for proc in config.procs:
+        if proc.active is None:
+            continue
+        loop_state = proc.active.slots[0].state
+        if not isinstance(loop_state, LoopThreadState):
+            continue
+        if loop_state.t == instance and loop_state.phase == UPDATE:
+            counts[loop_state.pref] = counts.get(loop_state.pref, 0) + 1
+    return counts
+
+
+def component_support(
+    config: Configuration, instance: int, bank_index: int = 0
+) -> Dict[Value, int]:
+    """Instance-*instance* entries per value in the snapshot bank."""
+    counts: Dict[Value, int] = {}
+    for entry in config.memory[bank_index]:
+        if is_bot(entry) or entry[1] != instance:
+            continue
+        counts[entry[0]] = counts.get(entry[0], 0) + 1
+    return counts
+
+
+def mult(
+    system: System, config: Configuration, value: Value, instance: int
+) -> int:
+    """Appendix B's ``mult(C, v)`` for one instance of Figure 5."""
+    return (
+        component_support(config, instance).get(value, 0)
+        + poised_preferences(system, config, instance).get(value, 0)
+    )
+
+
+def all_tracked_values(
+    system: System, config: Configuration, instance: int
+) -> Set[Value]:
+    """Every value with positive mult — the candidate pool superset."""
+    values = set(component_support(config, instance))
+    values.update(poised_preferences(system, config, instance))
+    return values
+
+
+def lemma18_step_preserves_submult(
+    system: System,
+    before: Configuration,
+    after: Configuration,
+    instance: int,
+    ell: int,
+) -> bool:
+    """Lemma 18's key step: values with ``mult < ℓ`` before a step still
+    have ``mult < ℓ`` after it.
+
+    Checked for every value tracked in either configuration.  Returns
+    ``True`` when the invariant holds across this step.
+    """
+    values = all_tracked_values(system, before, instance) | all_tracked_values(
+        system, after, instance
+    )
+    for value in values:
+        if (
+            mult(system, before, value, instance) < ell
+            and mult(system, after, value, instance) >= ell
+        ):
+            return False
+    return True

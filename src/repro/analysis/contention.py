@@ -1,0 +1,84 @@
+"""Contention metrics over executions of the preference-loop algorithms.
+
+All metrics are computed from the event stream (plus, for the concurrency
+profile, a cheap replay), so they apply to any execution regardless of the
+scheduler that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.memory.ops import UpdateOp, is_write_access
+from repro.runtime.runner import Execution
+
+
+def preference_changes(execution: Execution) -> Dict[int, int]:
+    """Per process: how often the written *value* changed between its
+    consecutive snapshot updates.
+
+    For Figures 3/4/5 the written entry's first element is the preference,
+    so this counts adoptions (line 13 / 24 / 28 events) — the quantity the
+    termination proofs bound.
+    """
+    changes: Dict[int, int] = {}
+    last_value: Dict[int, object] = {}
+    for event in execution.memory_events:
+        if not isinstance(event.op, UpdateOp):
+            continue
+        entry = event.op.value
+        value = entry[0] if isinstance(entry, tuple) and entry else entry
+        pid = event.pid
+        if pid in last_value and last_value[pid] != value:
+            changes[pid] = changes.get(pid, 0) + 1
+        last_value[pid] = value
+        changes.setdefault(pid, changes.get(pid, 0))
+    return changes
+
+
+def location_advances(execution: Execution) -> Dict[int, int]:
+    """Per process: how often its update target moved to a new component.
+
+    The complement of :func:`preference_changes` under Lemma 5's dichotomy:
+    every loop iteration either adopts (same location) or advances.
+    """
+    advances: Dict[int, int] = {}
+    last_component: Dict[int, int] = {}
+    for event in execution.memory_events:
+        if not isinstance(event.op, UpdateOp):
+            continue
+        pid = event.pid
+        component = event.op.component
+        if pid in last_component and last_component[pid] != component:
+            advances[pid] = advances.get(pid, 0) + 1
+        last_component[pid] = component
+        advances.setdefault(pid, advances.get(pid, 0))
+    return advances
+
+
+def concurrency_profile(execution: Execution) -> List[int]:
+    """Number of processes mid-operation after each step.
+
+    Replays the schedule (pure, cheap) and counts active operations; the
+    maximum of this series is the run's peak contention, its tail shape
+    shows whether an adversary really created overlap or just took turns.
+    """
+    system = execution.system
+    config = execution.initial
+    profile: List[int] = []
+    for pid in execution.schedule:
+        config = system.step(config, pid).config
+        profile.append(
+            sum(1 for proc in config.procs if proc.active is not None)
+        )
+    return profile
+
+
+def write_density(execution: Execution) -> float:
+    """Fraction of memory steps that are writes — a cheap contention proxy
+    (scans dominate quiet runs; writes dominate preference churn)."""
+    memory = execution.memory_events
+    if not memory:
+        return 0.0
+    writes = sum(1 for event in memory if is_write_access(event.op))
+    return writes / len(memory)

@@ -1,0 +1,56 @@
+"""The preference funnel: how the set of live values collapses.
+
+The k-agreement argument (Lemma 4) shows that after the (n−ℓ+1)-th decider's
+final scan only ≤ m values can appear duplicated; the termination argument
+(Lemma 5 / Corollary 6) shows that with ≤ m processes running, the snapshot
+eventually contains only their values.  Both are statements about the
+series computed here: the number of distinct values present in the snapshot
+after each step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro._types import is_bot
+from repro.runtime.runner import Execution
+
+
+def distinct_values_over_time(
+    execution: Execution, bank_index: int = 0
+) -> List[int]:
+    """Distinct non-⊥ values (entry first components) in the snapshot after
+    each step of the execution."""
+    system = execution.system
+    config = execution.initial
+    series: List[int] = []
+    for pid in execution.schedule:
+        config = system.step(config, pid).config
+        values = set()
+        for entry in config.memory[bank_index]:
+            if is_bot(entry):
+                continue
+            values.add(entry[0] if isinstance(entry, tuple) and entry else entry)
+        series.append(len(values))
+    return series
+
+
+def convergence_step(
+    execution: Execution, m: int, bank_index: int = 0
+) -> Optional[int]:
+    """First step index from which the snapshot holds ≤ m distinct values
+    forever (within this execution), or ``None`` if it never converges.
+
+    For a completed m-bounded episode of Figures 3/4 this is finite — it is
+    the operational content of Corollary 6 — and the decisions cluster
+    shortly after it.
+    """
+    series = distinct_values_over_time(execution, bank_index)
+    converged_from: Optional[int] = None
+    for index, count in enumerate(series):
+        if count <= m:
+            if converged_from is None:
+                converged_from = index
+        else:
+            converged_from = None
+    return converged_from

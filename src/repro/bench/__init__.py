@@ -1,0 +1,19 @@
+"""Benchmark harness utilities: workloads, sweeps and paper-style tables."""
+
+from repro.bench.workloads import (
+    adversarial_inputs,
+    clustered_inputs,
+    distinct_inputs,
+)
+from repro.bench.sweep import SweepRow, bounded_adversary_run, sweep_protocol
+from repro.bench.tables import format_table
+
+__all__ = [
+    "distinct_inputs",
+    "clustered_inputs",
+    "adversarial_inputs",
+    "SweepRow",
+    "bounded_adversary_run",
+    "sweep_protocol",
+    "format_table",
+]

@@ -1,0 +1,119 @@
+"""Parameter sweeps: run a protocol across (n, m, k) grids and collect rows.
+
+The benchmark files in ``benchmarks/`` are thin: they call these helpers
+with the experiment's grid and print the resulting table.  One *run* means:
+build a fresh system, schedule a contended random prelude, then let an
+m-bounded survivor set finish — the canonical m-obstruction-free episode —
+and record step/space metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.bench.workloads import distinct_inputs
+from repro.runtime.runner import Execution, run
+from repro.runtime.system import System
+from repro.sched.bounded import EventuallyBoundedScheduler
+from repro.sched.random_walk import RandomScheduler
+from repro.spec.properties import assert_execution_safe
+from repro.spec.stats import execution_stats
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (n, m, k) sweep point with its aggregate measurements."""
+
+    n: int
+    m: int
+    k: int
+    registers: int
+    runs: int
+    mean_steps: float
+    max_steps: int
+    mean_memory_steps: float
+    distinct_outputs: int  # max over runs of per-run distinct instance-1 outputs
+
+
+def bounded_adversary_run(
+    system: System,
+    survivors: Sequence[int],
+    *,
+    seed: int,
+    prelude_steps: int = 60,
+    max_steps: int = 400_000,
+) -> Execution:
+    """One m-obstruction-free episode: random prelude, then only survivors."""
+    scheduler = EventuallyBoundedScheduler(
+        survivors=survivors,
+        prelude_steps=prelude_steps,
+        prelude=RandomScheduler(seed=seed),
+    )
+    return run(system, scheduler, max_steps=max_steps)
+
+
+def sweep_protocol(
+    protocol_factory: Callable[[int, int, int], object],
+    grid: Sequence[Tuple[int, int, int]],
+    *,
+    seeds: Sequence[int] = (1, 2, 3),
+    instances: int = 1,
+    layout_factory: Optional[Callable[[object], object]] = None,
+    prelude_steps: int = 60,
+    max_steps: int = 400_000,
+    check_safety: bool = True,
+) -> List[SweepRow]:
+    """Run ``protocol_factory(n, m, k)`` over *grid* × *seeds*; collect rows.
+
+    Safety is asserted on every run (a benchmark that silently measured an
+    unsafe execution would be worse than useless); survivors are the first
+    ``m`` processes — rotating them is the job of the progress tests, not
+    the timing benches.
+    """
+    rows: List[SweepRow] = []
+    for n, m, k in grid:
+        total_steps = 0
+        total_memory = 0
+        peak = 0
+        worst_distinct = 0
+        registers = 0
+        for seed in seeds:
+            protocol = protocol_factory(n, m, k)
+            layout = layout_factory(protocol) if layout_factory else None
+            system = System(
+                protocol,
+                workloads=distinct_inputs(n, instances=instances),
+                layout=layout,
+            )
+            registers = system.layout.register_count()
+            execution = bounded_adversary_run(
+                system,
+                survivors=list(range(m)),
+                seed=seed,
+                prelude_steps=prelude_steps,
+                max_steps=max_steps,
+            )
+            if check_safety:
+                assert_execution_safe(execution, k=k)
+            stats = execution_stats(execution)
+            total_steps += stats.total_steps
+            total_memory += stats.memory_steps
+            peak = max(peak, stats.total_steps)
+            worst_distinct = max(
+                worst_distinct, len(set(execution.instance_outputs(1)))
+            )
+        rows.append(
+            SweepRow(
+                n=n,
+                m=m,
+                k=k,
+                registers=registers,
+                runs=len(seeds),
+                mean_steps=total_steps / len(seeds),
+                max_steps=peak,
+                mean_memory_steps=total_memory / len(seeds),
+                distinct_outputs=worst_distinct,
+            )
+        )
+    return rows

@@ -1,0 +1,41 @@
+"""Plain-text tables in the style the paper's Figure 1 uses.
+
+No external dependencies: benchmarks print through ``format_table`` so the
+rows the paper reports and the rows we measure line up visually in
+``bench_output.txt`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table; numbers are right-aligned."""
+    materialized: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,56 @@
+"""Input workload generators for benchmarks and stress tests.
+
+Set agreement's difficulty depends on the input *pattern*: all-distinct
+inputs maximize the number of candidate outputs (the regime the lower
+bounds reason about), clustered inputs let decisions happen early, and
+near-unanimous inputs probe the validity corner.  Every generator returns
+one input sequence per process, globally unique strings unless stated
+otherwise, so outputs can be traced back to their proposer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._types import Value
+
+
+def distinct_inputs(n: int, instances: int = 1, prefix: str = "v") -> List[List[Value]]:
+    """Globally distinct inputs: process i proposes ``{prefix}{i}.{t}``."""
+    return [[f"{prefix}{i}.{t}" for t in range(instances)] for i in range(n)]
+
+
+def clustered_inputs(
+    n: int, clusters: int, instances: int = 1, prefix: str = "c"
+) -> List[List[Value]]:
+    """Only *clusters* distinct values per instance, round-robin assigned.
+
+    With ``clusters <= k`` every execution trivially satisfies k-agreement;
+    with ``clusters = k+1`` the algorithm must actually eliminate a value —
+    benchmarks use both sides of that line.
+    """
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    return [
+        [f"{prefix}{i % clusters}.{t}" for t in range(instances)]
+        for i in range(n)
+    ]
+
+
+def adversarial_inputs(
+    n: int, instances: int = 1, prefix: str = "a"
+) -> List[List[Value]]:
+    """One dissenting process, everyone else unanimous per instance.
+
+    The dissenter rotates across instances, so repeated runs exercise the
+    preference-adoption machinery from every position.
+    """
+    workloads: List[List[Value]] = [[] for _ in range(n)]
+    for t in range(instances):
+        dissenter = t % n
+        for i in range(n):
+            if i == dissenter:
+                workloads[i].append(f"{prefix}-dissent.{t}")
+            else:
+                workloads[i].append(f"{prefix}-common.{t}")
+    return workloads

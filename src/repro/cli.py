@@ -1,0 +1,285 @@
+"""Command-line interface: run, explore, and reproduce from the shell.
+
+Installed as ``python -m repro``.  Sub-commands mirror the library's main
+entry points:
+
+* ``bounds``    — print the Figure 1 table for one (n, m, k);
+* ``run``       — run a protocol under a chosen adversary and report
+  outputs, step counts and (optionally) a space-time diagram;
+* ``explore``   — exhaustively model-check a small instance;
+* ``covering``  — run the Theorem 2 covering construction against an
+  under-provisioned Figure 4 and print the certified violation;
+* ``glue``      — run the Lemma 9 clone construction against the anonymous
+  one-shot algorithm.
+
+Every command prints plain text and exits non-zero on failure, so the CLI
+can anchor shell-based regression checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    AnonymousRepeatedSetAgreement,
+    OneShotSetAgreement,
+    RandomScheduler,
+    RepeatedSetAgreement,
+    RoundRobinScheduler,
+    System,
+    WriterPriorityScheduler,
+    run,
+)
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.explore import explore_safety
+from repro.lowerbounds import covering_construction, figure1_table
+from repro.lowerbounds.cloning import lemma9_glue
+from repro.objects import implemented_snapshot_layout
+from repro.sched import EventuallyBoundedScheduler
+from repro.spec import check_safety, execution_stats
+from repro.trace import space_time_diagram
+
+PROTOCOLS = {
+    "oneshot": OneShotSetAgreement,
+    "repeated": RepeatedSetAgreement,
+    "anonymous": AnonymousRepeatedSetAgreement,
+    "anonymous-oneshot": AnonymousOneShotSetAgreement,
+}
+
+SCHEDULERS = ("round-robin", "random", "writer-priority", "bounded")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Space Complexity of Set Agreement' "
+            "(PODC 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bounds = sub.add_parser("bounds", help="print the Figure 1 bounds table")
+    _add_nmk(bounds)
+
+    runner = sub.add_parser("run", help="run a protocol under an adversary")
+    runner.add_argument("--protocol", choices=sorted(PROTOCOLS), default="oneshot")
+    _add_nmk(runner)
+    runner.add_argument("--instances", type=int, default=1)
+    runner.add_argument("--components", type=int, default=None,
+                        help="override the snapshot component count")
+    runner.add_argument("--scheduler", choices=SCHEDULERS, default="bounded")
+    runner.add_argument("--seed", type=int, default=1)
+    runner.add_argument("--substrate", default="atomic",
+                        help="snapshot substrate (atomic, double-collect, "
+                             "wait-free, swmr, anonymous-double-collect)")
+    runner.add_argument("--max-steps", type=int, default=200_000)
+    runner.add_argument("--diagram", action="store_true",
+                        help="print a space-time diagram of the run")
+
+    explorer = sub.add_parser("explore", help="exhaustive safety check")
+    explorer.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                          default="oneshot")
+    _add_nmk(explorer)
+    explorer.add_argument("--components", type=int, default=None)
+    explorer.add_argument("--max-configs", type=int, default=200_000)
+
+    covering = sub.add_parser(
+        "covering", help="Theorem 2 construction vs under-provisioned Fig. 4"
+    )
+    _add_nmk(covering)
+    covering.add_argument("--registers", type=int, default=None,
+                          help="registers to attack (default n+m-k-1)")
+    covering.add_argument("--instances", type=int, default=12)
+    covering.add_argument("--save-certificate", metavar="PATH", default=None,
+                          help="archive the violation as a re-checkable "
+                               "JSON certificate")
+
+    glue = sub.add_parser(
+        "glue", help="Lemma 9 clone construction vs the anonymous algorithm"
+    )
+    glue.add_argument("--k", type=int, default=1)
+    glue.add_argument("--registers", type=int, default=2)
+
+    verify = sub.add_parser(
+        "verify", help="re-check a saved violation certificate"
+    )
+    verify.add_argument("certificate", help="path to a certificate JSON")
+
+    return parser
+
+
+def _add_nmk(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--m", type=int, default=1)
+    parser.add_argument("--k", type=int, default=1)
+
+
+def cmd_bounds(args) -> int:
+    """Print the Figure 1 bounds table at (n, m, k)."""
+    table = figure1_table(args.n, args.m, args.k)
+    rows = [(cell, str(bound)) for cell, bound in table.items()]
+    print(format_table(
+        ["cell", "bound"], rows,
+        title=f"Figure 1 at n={args.n}, m={args.m}, k={args.k}",
+    ))
+    return 0
+
+
+def _make_scheduler(args, n, m):
+    if args.scheduler == "round-robin":
+        return RoundRobinScheduler()
+    if args.scheduler == "random":
+        return RandomScheduler(seed=args.seed)
+    if args.scheduler == "writer-priority":
+        return WriterPriorityScheduler()
+    return EventuallyBoundedScheduler(
+        survivors=list(range(m)),
+        prelude_steps=60,
+        prelude=RandomScheduler(seed=args.seed),
+    )
+
+
+def cmd_run(args) -> int:
+    """Run a protocol under the chosen adversary and report outcomes."""
+    protocol_cls = PROTOCOLS[args.protocol]
+    kwargs = dict(n=args.n, m=args.m, k=args.k)
+    if args.components is not None:
+        kwargs["components"] = args.components
+    protocol = protocol_cls(**kwargs)
+    layout = implemented_snapshot_layout(protocol, args.substrate)
+    system = System(
+        protocol,
+        workloads=distinct_inputs(args.n, instances=args.instances),
+        layout=layout,
+    )
+    scheduler = _make_scheduler(args, args.n, args.m)
+    execution = run(system, scheduler, max_steps=args.max_steps,
+                    on_limit="return")
+
+    stats = execution_stats(execution)
+    print(f"protocol:  {protocol.describe()} on {args.substrate}")
+    print(f"registers: {system.layout.register_count()}")
+    print(f"steps:     {stats.total_steps} "
+          f"({stats.memory_steps} memory, {stats.decisions} decisions)")
+    for instance in range(1, args.instances + 1):
+        outputs = sorted(set(execution.instance_outputs(instance)), key=repr)
+        print(f"instance {instance}: outputs {outputs}")
+    violations = check_safety(execution, args.k)
+    for violation in violations:
+        print(f"VIOLATION: {violation}")
+    if args.diagram:
+        print()
+        print(space_time_diagram(execution, length=min(execution.steps, 72)))
+    return 1 if violations else 0
+
+
+def cmd_explore(args) -> int:
+    """Exhaustively model-check a small instance; exit 1 on violations."""
+    protocol_cls = PROTOCOLS[args.protocol]
+    kwargs = dict(n=args.n, m=args.m, k=args.k)
+    if args.components is not None:
+        kwargs["components"] = args.components
+    protocol = protocol_cls(**kwargs)
+    system = System(protocol, workloads=distinct_inputs(args.n))
+    result = explore_safety(system, k=args.k, max_configs=args.max_configs)
+    print(result.summary())
+    for violation in result.safety_violations:
+        print(f"  witness schedule ({len(violation.schedule)} steps): "
+              f"{list(violation.schedule)}")
+        print(f"  {violation.detail}")
+    return 1 if result.safety_violations else 0
+
+
+def cmd_covering(args) -> int:
+    """Run the Theorem 2 covering construction and print its narrative."""
+    registers = (
+        args.registers if args.registers is not None
+        else args.n + args.m - args.k - 1
+    )
+    protocol = RepeatedSetAgreement(
+        n=args.n, m=args.m, k=args.k, components=registers
+    )
+    system = System(
+        protocol, workloads=distinct_inputs(args.n, instances=args.instances)
+    )
+    result = covering_construction(system, m=args.m, k=args.k)
+    for line in result.narrative:
+        print(line)
+    print(result.summary())
+    if result.success and args.save_certificate:
+        from repro.lowerbounds.certificates import (
+            certificate_for_system,
+            save_certificate,
+        )
+
+        certificate = certificate_for_system(
+            system, result.schedule,
+            claim=(
+                f"Theorem 2: repeated {args.k}-set agreement (m={args.m}) "
+                f"among {args.n} processes violates k-Agreement with "
+                f"{registers} registers"
+            ),
+        )
+        save_certificate(certificate, args.save_certificate)
+        print(f"certificate saved to {args.save_certificate}")
+    return 0 if result.success else 1
+
+
+def cmd_glue(args) -> int:
+    """Run the Lemma 9 clone construction and print its narrative."""
+    def factory(n):
+        return AnonymousOneShotSetAgreement(
+            n=n, m=1, k=args.k, components=args.registers
+        )
+
+    result = lemma9_glue(
+        factory, k=args.k, inputs=[f"v{i}" for i in range(args.k + 1)]
+    )
+    for line in result.narrative:
+        print(line)
+    print(result.summary())
+    return 0 if result.success else 1
+
+
+def cmd_verify(args) -> int:
+    """Re-check a saved violation certificate by replay."""
+    from repro.errors import SpecificationViolation
+    from repro.lowerbounds.certificates import load_certificate, verify_certificate
+
+    certificate = load_certificate(args.certificate)
+    print(f"claim: {certificate.claim}")
+    try:
+        violations = verify_certificate(certificate)
+    except SpecificationViolation as exc:
+        print(f"FAILED: {exc}")
+        return 1
+    for violation in violations:
+        print(f"verified: {violation}")
+    return 0
+
+
+COMMANDS = {
+    "bounds": cmd_bounds,
+    "run": cmd_run,
+    "explore": cmd_explore,
+    "covering": cmd_covering,
+    "glue": cmd_glue,
+    "verify": cmd_verify,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid construction-time configuration (bad ``n``/``m``/``k``, layout…)."""
+
+
+class MemoryError_(ReproError):
+    """Illegal shared-memory access (unknown object, index out of range…).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``MemoryError``.
+    """
+
+
+class NotEnabledError(ReproError):
+    """A scheduler selected a process that has no enabled step."""
+
+
+class ScheduleExhaustedError(ReproError):
+    """A replay schedule ran out of steps before the run's goal was met."""
+
+
+class StepLimitExceeded(ReproError):
+    """A bounded run or search hit its step budget before completing."""
+
+
+class ProtocolViolation(ReproError):
+    """An algorithm produced an ill-formed action (e.g. op on unknown object)."""
+
+
+class SpecificationViolation(ReproError):
+    """A checked execution violated a correctness property.
+
+    Raised by :mod:`repro.spec` checkers when used in *raise* mode; carries a
+    human-readable account of the violated property and the offending
+    evidence.
+    """
+
+    def __init__(self, property_name: str, detail: str) -> None:
+        super().__init__(f"{property_name}: {detail}")
+        self.property_name = property_name
+        self.detail = detail
+
+
+class SearchInconclusive(ReproError):
+    """A bounded exploration was cut by its budget without reaching closure."""
+
+
+class AnonymityViolation(ReproError):
+    """An automaton declared anonymous consulted its process identifier."""

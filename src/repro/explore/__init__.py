@@ -1,0 +1,20 @@
+"""Exhaustive state-space exploration for small instances.
+
+Safety of set agreement must hold in *every* execution.  For small systems
+the execution space, quotiented by configuration equality, is finite enough
+to enumerate outright; this package does so, producing either a proof of
+safety over the explored space or a concrete counterexample schedule.
+
+It is also the engine behind the §7-conjecture probe (benchmark E9) and the
+cross-validation of the Theorem 2 covering construction: both ask "does an
+under-provisioned algorithm have *any* unsafe execution?", which exploration
+answers definitively on tiny instances.
+"""
+
+from repro.explore.checker import (
+    ExplorationResult,
+    explore_progress_closure,
+    explore_safety,
+)
+
+__all__ = ["ExplorationResult", "explore_safety", "explore_progress_closure"]

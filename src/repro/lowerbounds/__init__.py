@@ -1,0 +1,48 @@
+"""Executable lower bounds: the paper's proofs as running constructions.
+
+* :mod:`~repro.lowerbounds.bounds` — every formula of Figure 1 (and the
+  arithmetic lemmas behind them) in closed form;
+* :mod:`~repro.lowerbounds.fragments` — bounded exploration primitives used
+  by covering arguments ("find an execution fragment by Q writing outside
+  A", with visited-set closure detection);
+* :mod:`~repro.lowerbounds.covering` — the Theorem 2 / Figure 2
+  construction: given *any* repeated set-agreement system on fewer than
+  ``n+m−k`` registers, synthesize and replay-certify an execution with
+  ``k+1`` distinct outputs in one instance;
+* :mod:`~repro.lowerbounds.cloning` — the Section 5 anonymous machinery:
+  clone schedules, ``α(V)`` executions, ``R(V)`` register sequences and the
+  Lemma 9 gluing on small instances.
+"""
+
+from repro.lowerbounds.bounds import (
+    BoundsCell,
+    anonymous_oneshot_lower_bound,
+    anonymous_repeated_upper_bound,
+    anonymous_oneshot_upper_bound,
+    figure1_table,
+    lemma9_process_requirement,
+    oneshot_upper_bound,
+    repeated_lower_bound,
+    repeated_upper_bound,
+)
+from repro.lowerbounds.covering import CoveringResult, covering_construction
+from repro.lowerbounds.fragments import (
+    FragmentSearch,
+    find_write_outside,
+)
+
+__all__ = [
+    "BoundsCell",
+    "figure1_table",
+    "repeated_lower_bound",
+    "repeated_upper_bound",
+    "oneshot_upper_bound",
+    "anonymous_oneshot_lower_bound",
+    "anonymous_oneshot_upper_bound",
+    "anonymous_repeated_upper_bound",
+    "lemma9_process_requirement",
+    "CoveringResult",
+    "covering_construction",
+    "FragmentSearch",
+    "find_write_outside",
+]

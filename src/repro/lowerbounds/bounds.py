@@ -1,0 +1,152 @@
+"""Closed-form bounds: every cell of the paper's Figure 1.
+
+For m-obstruction-free k-set agreement among n processes, 1 ≤ m ≤ k < n,
+inputs from a domain D with |D| > k:
+
+====================  =========================  ============================
+                      Repeated                   One-shot
+====================  =========================  ============================
+Non-anonymous lower   n + m − k     (Thm 2)      2             ([4])
+Non-anonymous upper   min(n+2m−k,n) (Thm 8)      min(n+2m−k,n) (Thm 7)
+Anonymous lower       n + m − k     (Thm 2)      > sqrt(m(n/k − 2)), D = IN
+                                                 (Thm 10)
+Anonymous upper       (m+1)(n−k)+m²+1 (Thm 11)   (m+1)(n−k)+m²  (§6 remark)
+====================  =========================  ============================
+
+The anonymous *repeated* lower bound is the Theorem 2 corollary (anonymity
+only restricts algorithms, so the bound carries over); the non-anonymous
+one-shot lower bound of 2 registers is cited from [4].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.agreement.base import validate_parameters
+
+
+def repeated_lower_bound(n: int, m: int, k: int) -> int:
+    """Theorem 2: repeated m-OF k-set agreement needs ≥ n+m−k registers."""
+    validate_parameters(n, m, k)
+    return n + m - k
+
+
+def repeated_upper_bound(n: int, m: int, k: int) -> int:
+    """Theorem 8: min(n+2m−k, n) registers suffice for the repeated problem."""
+    validate_parameters(n, m, k)
+    return min(n + 2 * m - k, n)
+
+
+def oneshot_upper_bound(n: int, m: int, k: int) -> int:
+    """Theorem 7: min(n+2m−k, n) registers suffice one-shot (same algorithm)."""
+    return repeated_upper_bound(n, m, k)
+
+
+def oneshot_nonanonymous_lower_bound(n: int, m: int, k: int) -> int:
+    """The only known one-shot non-anonymous lower bound: 2 registers [4]."""
+    validate_parameters(n, m, k)
+    return 2
+
+
+def anonymous_oneshot_lower_bound(n: int, m: int, k: int) -> float:
+    """Theorem 10: anonymous one-shot algorithms need > sqrt(m(n/k − 2)).
+
+    Returns the (real-valued) threshold; the register count must strictly
+    exceed it.  Generalizes the Ω(√n) bound of Fich–Herlihy–Shavit [6]
+    (the special case m = k = 1).
+    """
+    validate_parameters(n, m, k)
+    return math.sqrt(m * (n / k - 2)) if n / k > 2 else 0.0
+
+
+def anonymous_repeated_upper_bound(n: int, m: int, k: int) -> int:
+    """Theorem 11: (m+1)(n−k) + m² + 1 registers (snapshot + register H)."""
+    validate_parameters(n, m, k)
+    return (m + 1) * (n - k) + m * m + 1
+
+
+def anonymous_oneshot_upper_bound(n: int, m: int, k: int) -> int:
+    """§6 closing remark: one-shot drops register H, saving one register."""
+    return anonymous_repeated_upper_bound(n, m, k) - 1
+
+
+def lemma9_process_requirement(m: int, k: int, r: int) -> int:
+    """Lemma 9's hypothesis: n ≥ ⌈(k+1)/m⌉ · (m + (r² − r)/2).
+
+    The clone-based induction needs this many processes to supply the
+    ``c·j(j−1)/2`` clones added while gluing executions.
+    """
+    c = math.ceil((k + 1) / m)
+    return c * (m + (r * r - r) // 2)
+
+
+def baseline_register_count(n: int, k: int) -> int:
+    """Space of the DFGR'13 baseline [4] for m = 1: 2(n−k) registers."""
+    validate_parameters(n, 1, k)
+    return 2 * (n - k)
+
+
+@dataclass(frozen=True)
+class BoundsCell:
+    """One cell of Figure 1: a bound value plus its provenance.
+
+    ``kind`` is ``"lower"`` (registers required: ≥ / >) or ``"upper"``
+    (registers sufficient: ≤).
+    """
+
+    value: float
+    source: str
+    strict: bool = False  # True when the bound is "more than" (Thm 10)
+    kind: str = "lower"
+
+    def __str__(self) -> str:
+        if self.kind == "upper":
+            op = "<="
+        else:
+            op = ">" if self.strict else ">="
+        return f"{op} {self.value:g} ({self.source})"
+
+
+def figure1_table(n: int, m: int, k: int) -> Dict[str, BoundsCell]:
+    """The full Figure 1 for one (n, m, k): eight labelled cells."""
+    validate_parameters(n, m, k)
+    return {
+        "non-anonymous/repeated/lower": BoundsCell(
+            repeated_lower_bound(n, m, k), "Theorem 2"
+        ),
+        "non-anonymous/repeated/upper": BoundsCell(
+            repeated_upper_bound(n, m, k), "Theorem 8", kind="upper"
+        ),
+        "non-anonymous/one-shot/lower": BoundsCell(
+            oneshot_nonanonymous_lower_bound(n, m, k), "[4]"
+        ),
+        "non-anonymous/one-shot/upper": BoundsCell(
+            oneshot_upper_bound(n, m, k), "Theorem 7", kind="upper"
+        ),
+        "anonymous/repeated/lower": BoundsCell(
+            repeated_lower_bound(n, m, k), "Theorem 2 (corollary)"
+        ),
+        "anonymous/repeated/upper": BoundsCell(
+            anonymous_repeated_upper_bound(n, m, k), "Theorem 11", kind="upper"
+        ),
+        "anonymous/one-shot/lower": BoundsCell(
+            anonymous_oneshot_lower_bound(n, m, k), "Theorem 10", strict=True
+        ),
+        "anonymous/one-shot/upper": BoundsCell(
+            anonymous_oneshot_upper_bound(n, m, k), "§6 remark", kind="upper"
+        ),
+    }
+
+
+def bounds_consistent(n: int, m: int, k: int) -> bool:
+    """Sanity predicate: every lower bound is at most its upper bound."""
+    table = figure1_table(n, m, k)
+    pairs = [
+        ("non-anonymous/repeated/lower", "non-anonymous/repeated/upper"),
+        ("non-anonymous/one-shot/lower", "non-anonymous/one-shot/upper"),
+        ("anonymous/repeated/lower", "anonymous/repeated/upper"),
+        ("anonymous/one-shot/lower", "anonymous/one-shot/upper"),
+    ]
+    return all(table[lo].value <= table[hi].value for lo, hi in pairs)

@@ -1,0 +1,153 @@
+"""Violation certificates: portable, re-checkable lower-bound evidence.
+
+Every lower-bound artifact in this library — a covering construction, a
+clone glue, an explorer witness — boils down to the same thing: a system
+description plus a schedule whose replay violates k-Agreement.  This module
+gives that a single on-disk format and a verifier, so evidence found by an
+expensive search can be archived, shipped in a bug report, or re-checked
+in CI in milliseconds:
+
+    certificate = from_covering(result, system)
+    save_certificate(certificate, "violation.json")
+    ...
+    verify_certificate(load_certificate("violation.json"))  # rebuilds the
+    # system from the metadata, replays, and re-checks k-Agreement
+
+Verification trusts nothing but the replay: a tampered or stale
+certificate simply fails to verify.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.agreement.anonymous import (
+    AnonymousOneShotSetAgreement,
+    AnonymousRepeatedSetAgreement,
+)
+from repro.agreement.oneshot import OneShotSetAgreement
+from repro.agreement.repeated import RepeatedSetAgreement
+from repro.errors import ConfigurationError, SpecificationViolation
+from repro.runtime.runner import replay
+from repro.runtime.system import System
+from repro.spec.properties import check_k_agreement
+
+FORMAT_VERSION = 1
+
+_PROTOCOLS = {
+    "oneshot-figure3": OneShotSetAgreement,
+    "repeated-figure4": RepeatedSetAgreement,
+    "anonymous-figure5": AnonymousRepeatedSetAgreement,
+    "anonymous-oneshot-figure5": AnonymousOneShotSetAgreement,
+}
+
+
+@dataclass(frozen=True)
+class ViolationCertificate:
+    """Everything needed to rebuild the system and replay the violation.
+
+    Workload values must be strings (they are round-tripped through JSON);
+    all built-in workload generators produce strings.
+    """
+
+    protocol: str
+    n: int
+    m: int
+    k: int
+    components: Optional[int]
+    workloads: Tuple[Tuple[str, ...], ...]
+    schedule: Tuple[int, ...]
+    claim: str  # human-readable statement of what this certifies
+
+    def build_system(self) -> System:
+        """Reconstruct the attacked system from the recorded metadata."""
+        if self.protocol not in _PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; known: "
+                f"{sorted(_PROTOCOLS)}"
+            )
+        kwargs = dict(n=self.n, m=self.m, k=self.k)
+        if self.components is not None:
+            kwargs["components"] = self.components
+        protocol = _PROTOCOLS[self.protocol](**kwargs)
+        return System(protocol, workloads=[list(w) for w in self.workloads])
+
+
+def certificate_for_system(
+    system: System, schedule, claim: str
+) -> ViolationCertificate:
+    """Package a schedule against *system* as a certificate."""
+    if system.workloads is None:
+        raise ConfigurationError(
+            "certificates require static workloads"
+        )
+    automaton = system.automaton
+    params = automaton.params
+    return ViolationCertificate(
+        protocol=automaton.name,
+        n=params["n"],
+        m=params.get("m", 1),
+        k=params["k"],
+        components=params.get("components"),
+        workloads=tuple(tuple(str(v) for v in w) for w in system.workloads),
+        schedule=tuple(schedule),
+        claim=claim,
+    )
+
+
+def verify_certificate(certificate: ViolationCertificate) -> List:
+    """Rebuild, replay, re-check.  Returns the violations found.
+
+    Raises :class:`~repro.errors.SpecificationViolation` if the replay does
+    **not** exhibit a k-Agreement violation — i.e. the certificate fails.
+    """
+    system = certificate.build_system()
+    execution = replay(system, certificate.schedule)
+    violations = check_k_agreement(execution, certificate.k)
+    if not violations:
+        raise SpecificationViolation(
+            "CertificateCheck",
+            f"replaying {len(certificate.schedule)} steps produced no "
+            f"k-Agreement violation (claim was: {certificate.claim})",
+        )
+    return violations
+
+
+def save_certificate(
+    certificate: ViolationCertificate, path: Union[str, pathlib.Path]
+) -> None:
+    """Write the certificate as JSON at *path*."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "protocol": certificate.protocol,
+        "n": certificate.n,
+        "m": certificate.m,
+        "k": certificate.k,
+        "components": certificate.components,
+        "workloads": [list(w) for w in certificate.workloads],
+        "schedule": list(certificate.schedule),
+        "claim": certificate.claim,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_certificate(path: Union[str, pathlib.Path]) -> ViolationCertificate:
+    """Read a certificate written by :func:`save_certificate`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported certificate format {payload.get('format_version')!r}"
+        )
+    return ViolationCertificate(
+        protocol=payload["protocol"],
+        n=payload["n"],
+        m=payload["m"],
+        k=payload["k"],
+        components=payload["components"],
+        workloads=tuple(tuple(w) for w in payload["workloads"]),
+        schedule=tuple(payload["schedule"]),
+        claim=payload["claim"],
+    )

@@ -1,0 +1,389 @@
+"""Section 5: the anonymous lower bound's clone machinery, executable.
+
+Anonymity lets the adversary run *clones* — processes with the same input
+that shadow another process step for step and are indistinguishable from
+it.  Theorem 10 builds on two executable pieces, both implemented here:
+
+* :func:`alpha_execution` / :func:`register_sequence` — the Lemma 1
+  executions ``α(V)`` (≤ m processes, all of ``V`` output) and their
+  register footprints ``R(V)`` (distinct registers in first-write order);
+* :func:`lemma9_glue` — the *Claim* inside Lemma 9: when ``c = ⌈(k+1)/m⌉``
+  groups' solo executions write only registers of a common sequence ``R``,
+  they can be glued — with paused clones providing per-group block writes
+  that reset every register to the group's expected view — into a single
+  execution where each group outputs its own value obliviously to the
+  others, for ``k+1`` distinct outputs.
+
+The glue is implemented for ``m = 1`` (each ``α(V)`` is a deterministic
+solo run, as in the Fich–Herlihy–Shavit special case the theorem
+generalizes); the paper's arithmetic says it needs
+``n ≥ ⌈(k+1)/m⌉(m + (L² − L)/2)`` processes where ``L = |R|`` — exactly
+:func:`~repro.lowerbounds.bounds.lemma9_process_requirement`.  Run against
+the paper's own anonymous algorithm with an under-provisioned snapshot
+(whose solo runs sweep components ``0..r−1`` in a fixed order regardless
+of input, so all ``R(V)`` coincide), it produces a replay-certified
+k-Agreement violation — experiment E5.
+
+Every step of the choreography is validated against the solo trace's
+structure; a deviation (which would mean the gluing hypothesis fails for
+the attacked algorithm) raises :class:`GlueFailure` rather than producing
+an uncertified result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._types import Value
+from repro.errors import ReproError
+from repro.lowerbounds.fragments import _path  # reuse the parent-path helper
+from repro.memory.layout import RegisterCoord
+from repro.memory.ops import is_write_access
+from repro.runtime.events import DecideEvent, Event, InvokeEvent, MemoryEvent
+from repro.runtime.runner import Execution, replay, run_solo
+from repro.runtime.system import Configuration, System
+from repro.spec.properties import Violation, check_k_agreement
+
+
+class GlueFailure(ReproError):
+    """The clone choreography diverged from the solo traces."""
+
+
+# --------------------------------------------------------------------- #
+# α(V) and R(V)
+# --------------------------------------------------------------------- #
+
+
+def register_sequence(
+    execution: Execution, events: Optional[Sequence[Event]] = None
+) -> Tuple[RegisterCoord, ...]:
+    """``R(V)``: distinct registers written, in first-write order."""
+    layout = execution.system.layout
+    seen: List[RegisterCoord] = []
+    for event in events if events is not None else execution.events:
+        if isinstance(event, MemoryEvent) and is_write_access(event.op):
+            coord = layout.op_coord(event.op)
+            if coord is not None and coord not in seen:
+                seen.append(coord)
+    return tuple(seen)
+
+
+def alpha_execution(
+    system: System,
+    group: Sequence[int],
+    values: Sequence[Value],
+    *,
+    max_configs: int = 200_000,
+) -> Optional[Execution]:
+    """A Lemma 1 execution: only *group* steps; all of *values* are output.
+
+    For ``|group| = 1`` this is the deterministic solo run.  For larger
+    groups a BFS over group-only interleavings searches for a configuration
+    whose instance-1 outputs cover *values*; Lemma 1 guarantees existence
+    for a correct algorithm when the group proposes exactly those values.
+    """
+    if len(group) == 1:
+        execution = run_solo(system, group[0])
+        outputs = set(execution.instance_outputs(1))
+        return execution if set(values) <= outputs else None
+
+    from collections import deque
+
+    target = set(values)
+    initial = system.initial_configuration()
+    parents: Dict[Configuration, Tuple[Optional[Configuration], Optional[int]]] = {
+        initial: (None, None)
+    }
+    queue = deque([initial])
+    explored = 0
+    while queue:
+        if explored >= max_configs:
+            return None
+        config = queue.popleft()
+        explored += 1
+        outputs = {
+            proc.outputs[0] for proc in config.procs if proc.outputs
+        }
+        if target <= outputs:
+            return replay(system, _path(parents, config))
+        for pid in group:
+            if not system.enabled(config, pid):
+                continue
+            successor = system.step(config, pid).config
+            if successor not in parents:
+                parents[successor] = (config, pid)
+                queue.append(successor)
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Solo trace structure
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SoloTrace:
+    """The structure of one deterministic solo run of a one-shot protocol.
+
+    ``shape[s]`` describes step ``s`` as ``("invoke", None)``,
+    ``("write", coord)``, ``("read", None)`` or ``("decide", None)`` —
+    values are deliberately excluded so traces of different inputs can be
+    compared structurally.
+    """
+
+    shape: Tuple[Tuple[str, Optional[RegisterCoord]], ...]
+    registers: Tuple[RegisterCoord, ...]  # R(V): first-write order
+
+    @property
+    def length(self) -> int:
+        return len(self.shape)
+
+    def first_write_index(self, register_position: int) -> int:
+        """σ-index of the first write to the x-th register of R(V)."""
+        target = self.registers[register_position]
+        for index, (kind, coord) in enumerate(self.shape):
+            if kind == "write" and coord == target:
+                return index
+        raise GlueFailure(f"register {target} never written")  # pragma: no cover
+
+    def last_write_index_before(self, register_position: int, limit: int) -> int:
+        """σ-index of the last write to the x-th register before *limit*."""
+        target = self.registers[register_position]
+        best = None
+        for index, (kind, coord) in enumerate(self.shape[:limit]):
+            if kind == "write" and coord == target:
+                best = index
+        if best is None:
+            raise GlueFailure(
+                f"no write to {target} before σ-index {limit}"
+            )
+        return best
+
+
+def solo_trace(system: System, pid: int) -> SoloTrace:
+    """Run *pid* solo and record the structural shape of its execution."""
+    execution = run_solo(system, pid)
+    layout = system.layout
+    shape: List[Tuple[str, Optional[RegisterCoord]]] = []
+    for event in execution.events:
+        if isinstance(event, InvokeEvent):
+            shape.append(("invoke", None))
+        elif isinstance(event, DecideEvent):
+            shape.append(("decide", None))
+        elif isinstance(event, MemoryEvent):
+            if is_write_access(event.op):
+                shape.append(("write", layout.op_coord(event.op)))
+            else:
+                shape.append(("read", None))
+    return SoloTrace(
+        shape=tuple(shape), registers=register_sequence(execution)
+    )
+
+
+# --------------------------------------------------------------------- #
+# The Lemma 9 glue (m = 1)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class GlueResult:
+    """Outcome of the clone choreography, replay-certified."""
+
+    success: bool
+    schedule: Tuple[int, ...]
+    distinct_outputs: Tuple[Value, ...]
+    k: int
+    n_processes: int
+    registers: int
+    clones_per_group: int
+    violations: List[Violation] = field(default_factory=list)
+    narrative: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line account of the glue's outcome."""
+        if self.success:
+            return (
+                f"clone glue: {len(self.distinct_outputs)} distinct outputs "
+                f"(> k = {self.k}) from {self.n_processes} anonymous "
+                f"processes over {self.registers} registers "
+                f"({len(self.schedule)} certified steps)"
+            )
+        return "clone glue failed: " + (
+            self.narrative[-1] if self.narrative else "unknown stage"
+        )
+
+
+def lemma9_glue(
+    protocol_factory,
+    k: int,
+    inputs: Sequence[Value],
+    *,
+    max_solo_steps: int = 50_000,
+) -> GlueResult:
+    """Glue ``c = k+1`` solo executions of an anonymous one-shot algorithm.
+
+    ``protocol_factory(n)`` must build the anonymous protocol instance for
+    ``n`` processes (the construction computes how many processes — mains
+    plus clones — it needs from the solo trace's register footprint, the
+    paper's ``⌈(k+1)/m⌉(m + (L²−L)/2)`` with ``m = 1``).
+
+    ``inputs`` supplies the ``c`` distinct values (one per group).
+    """
+    c = k + 1
+    if len(set(inputs)) < c:
+        raise GlueFailure(f"need {c} distinct inputs, got {inputs!r}")
+    inputs = list(inputs)[:c]
+
+    # Probe a solo run to learn the register footprint L = |R(V)|.
+    n_probe = k + 2  # smallest non-trivial process count
+    probe_protocol = protocol_factory(n_probe)
+    probe_system = System(
+        probe_protocol, workloads=[[inputs[0]]] * n_probe
+    )
+    probe = solo_trace(probe_system, 0)
+    L = len(probe.registers)
+    clones_per_group = L * (L - 1) // 2
+    n = max(c * (1 + clones_per_group), k + 2)
+
+    protocol = protocol_factory(n)
+    narrative = [
+        f"c={c} groups, solo footprint L={L} registers, "
+        f"{clones_per_group} clones/group, n={n} processes, "
+        f"{protocol.default_layout().register_count()} registers provisioned"
+    ]
+
+    # Group ℓ occupies pids [ℓ*(1+clones): main first, then its clones].
+    group_base = [g * (1 + clones_per_group) for g in range(c)]
+    workloads: List[List[Value]] = []
+    for g in range(c):
+        workloads.extend([[inputs[g]]] * (1 + clones_per_group))
+    while len(workloads) < n:
+        workloads.append([inputs[0]])  # spare processes, never scheduled
+    system = System(protocol, workloads=workloads)
+
+    # Solo traces per group must agree structurally (anonymity in action).
+    sigma = solo_trace(system, group_base[0])
+    for g in range(1, c):
+        other = solo_trace(system, group_base[g])
+        if other.shape != sigma.shape or other.registers != sigma.registers:
+            raise GlueFailure(
+                f"solo traces of groups 0 and {g} differ structurally; the "
+                "common-R(V) hypothesis fails for these inputs"
+            )
+    if len(sigma.registers) != L:
+        raise GlueFailure("probe footprint does not transfer to the full system")
+
+    # prefix_end[j] = σ-index of the first write to R[j] (0-based), i.e. the
+    # end of the round-j prefix; prefix_end[L] = the entire run.
+    prefix_end = [sigma.first_write_index(x) for x in range(L)] + [sigma.length]
+
+    # Clone assignments: round r ∈ 2..L uses r−1 clones paused at the last
+    # writes to R[0..r−2] within prefix_end[r−1].
+    assignments: List[Tuple[int, int, int]] = []  # (round, reg position, pause σ-index)
+    for r in range(2, L + 1):
+        for x in range(r - 1):
+            pause = sigma.last_write_index_before(x, prefix_end[r - 1])
+            assignments.append((r, x, pause))
+    assert len(assignments) == clones_per_group
+
+    # Choreography state.
+    config = system.initial_configuration()
+    schedule: List[int] = []
+    progress = {pid: 0 for pid in range(n)}  # σ-index each process is at
+
+    def step_expect(pid: int, sigma_index: int) -> None:
+        nonlocal config
+        expected_kind, expected_coord = sigma.shape[sigma_index]
+        result = system.step(config, pid)
+        event = result.event
+        actual: Tuple[str, Optional[RegisterCoord]]
+        if isinstance(event, InvokeEvent):
+            actual = ("invoke", None)
+        elif isinstance(event, DecideEvent):
+            actual = ("decide", None)
+        elif is_write_access(event.op):
+            actual = ("write", system.layout.op_coord(event.op))
+        else:
+            actual = ("read", None)
+        if actual != (expected_kind, expected_coord):
+            raise GlueFailure(
+                f"p{pid} diverged at σ-index {sigma_index}: expected "
+                f"{(expected_kind, expected_coord)}, took {actual}"
+            )
+        config = result.config
+        schedule.append(pid)
+        progress[pid] = sigma_index + 1
+
+    def lockstep(group: int, until: int, active_clones: Dict[int, int]) -> None:
+        """Advance the group's main to σ-index *until*, shadowed by clones.
+
+        ``active_clones`` maps clone pid -> pause σ-index; a clone steps
+        right behind the main while its σ-progress is below its pause.
+        """
+        main = group_base[group]
+        while progress[main] < until:
+            s = progress[main]
+            step_expect(main, s)
+            for clone_pid, pause in active_clones.items():
+                if progress[clone_pid] == s and s < pause:
+                    step_expect(clone_pid, s)
+
+    # Assign concrete clone pids per group.
+    clone_pids: Dict[int, Dict[Tuple[int, int], int]] = {}
+    clone_pauses: Dict[int, Dict[int, int]] = {}
+    for g in range(c):
+        clone_pids[g] = {}
+        clone_pauses[g] = {}
+        for offset, (r, x, pause) in enumerate(assignments):
+            pid = group_base[g] + 1 + offset
+            clone_pids[g][(r, x)] = pid
+            clone_pauses[g][pid] = pause
+
+    # β_0: every group's main (and all clones) runs its no-write prefix.
+    for g in range(c):
+        lockstep(g, prefix_end[0], clone_pauses[g])
+    narrative.append(f"β₀: {c} groups through their no-write prefixes")
+
+    # Rounds 1..L.
+    for r in range(1, L + 1):
+        for g in range(c):
+            # Block write by this round's clones (r−1 of them, rounds≥2).
+            for x in range(r - 1):
+                pid = clone_pids[g][(r, x)]
+                pause = clone_pauses[g][pid]
+                if progress[pid] != pause:
+                    raise GlueFailure(
+                        f"round {r}: clone p{pid} of group {g} is at "
+                        f"σ-index {progress[pid]}, expected pause {pause}"
+                    )
+                step_expect(pid, pause)  # performs exactly its poised write
+            # Main continues to the next prefix boundary.
+            lockstep(g, prefix_end[r], clone_pauses[g])
+        narrative.append(
+            f"round {r}: block writes of {max(r - 1, 0)} clones/group, mains "
+            f"advanced to σ-index {prefix_end[r]}"
+        )
+
+    # Certify by replay.
+    execution = replay(system, schedule)
+    outputs = tuple(
+        sorted(set(execution.instance_outputs(1)), key=repr)
+    )
+    violations = check_k_agreement(execution, k)
+    success = len(outputs) >= k + 1
+    narrative.append(
+        f"replay: instance 1 outputs {outputs} "
+        f"({'violation certified' if success else 'NO violation'})"
+    )
+    return GlueResult(
+        success=success,
+        schedule=tuple(schedule),
+        distinct_outputs=outputs,
+        k=k,
+        n_processes=n,
+        registers=system.layout.register_count(),
+        clones_per_group=clones_per_group,
+        violations=violations,
+        narrative=narrative,
+    )

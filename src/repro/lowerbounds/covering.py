@@ -1,0 +1,334 @@
+"""The Theorem 2 construction (Figure 2), executable and self-certifying.
+
+Given a repeated set-agreement system on too few registers, this module
+*builds the violating execution the proof describes*:
+
+1. Inductively construct a spine execution ``α₁ β₁ α₂ β₂ … β_{c−1}``
+   (``c = ⌈(k+1)/m⌉``) where each ``α_j`` runs a churning group ``Q_j``
+   until, one by one, its members are *poised* to write a fresh register
+   (the poised member moves to ``P_j``, a fresh process replaces it), and
+   ``β_j`` is a *block write* by ``P_j`` overwriting exactly the covered
+   register set ``A_j``.  The loop for group ``j`` ends when no fragment by
+   ``Q_j`` can write outside ``A_j`` (exhaustive fragment search,
+   :mod:`repro.lowerbounds.fragments`).
+2. Splice, at each ``D_j`` (just before ``β_j``), a fragment ``γ_j`` in
+   which ``Q_j`` alone runs to a fresh instance ``s+1`` and outputs
+   ``|Q_j|`` distinct values (Lemma 1; a deterministic solo run for
+   ``|Q_j| = 1``, BFS otherwise).  ``γ_j``'s writes stay inside ``A_j``, so
+   the block write ``β_j`` obliterates every trace of it and the rest of
+   the spine proceeds unchanged.
+3. **Certify**: replay the entire spliced schedule through the pure step
+   function from the initial configuration, and check that instance
+   ``s+1`` outputs ``Σ|Q_j| = k+1`` distinct values — a concrete
+   k-Agreement violation.  The replay is the proof; even if a bounded
+   search returned ``UNKNOWN`` and the construction proceeded
+   optimistically, a false construction cannot produce a certified result.
+
+The paper's arithmetic guarantees the construction succeeds whenever the
+system has at most ``n+m−k−1`` registers; running it against the paper's
+*own* Figure 4 algorithm, deliberately under-provisioned, is experiment E2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+from repro._types import Value
+from repro.errors import ReproError
+from repro.lowerbounds.fragments import (
+    CLOSED,
+    FOUND,
+    UNKNOWN,
+    find_distinct_decisions,
+    find_write_outside,
+)
+from repro.memory.layout import RegisterCoord
+from repro.memory.ops import is_write_access
+from repro.runtime.events import MemoryEvent
+from repro.runtime.runner import replay
+from repro.runtime.system import Configuration, System
+from repro.spec.properties import Violation, check_k_agreement
+
+
+class CoveringFailure(ReproError):
+    """The construction could not be completed (see message for the stage)."""
+
+
+@dataclass
+class GroupRecord:
+    """Bookkeeping for one group ``j`` of the construction."""
+
+    index: int
+    final_q: Tuple[int, ...]
+    p_set: Tuple[Tuple[int, RegisterCoord], ...]
+    covered: Tuple[RegisterCoord, ...]
+    splice_position: int  # index into the spine schedule where D_j sits
+    closure_status: str
+    gamma: Tuple[int, ...] = ()
+
+
+@dataclass
+class CoveringResult:
+    """Outcome of the construction, with its replay-certified evidence."""
+
+    success: bool
+    schedule: Tuple[int, ...]
+    target_instance: int
+    distinct_outputs: Tuple[Value, ...]
+    k: int
+    violations: List[Violation]
+    groups: List[GroupRecord]
+    narrative: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line account of the construction's outcome."""
+        if self.success:
+            return (
+                f"covering construction: instance {self.target_instance} "
+                f"outputs {len(self.distinct_outputs)} distinct values "
+                f"(> k = {self.k}) over a certified {len(self.schedule)}-step "
+                "execution"
+            )
+        return "covering construction failed: " + (
+            self.narrative[-1] if self.narrative else "unknown stage"
+        )
+
+
+def _advance(
+    system: System,
+    config: Configuration,
+    schedule: Sequence[int],
+) -> Configuration:
+    for pid in schedule:
+        config = system.step(config, pid).config
+    return config
+
+
+def covering_construction(
+    system: System,
+    m: int,
+    k: int,
+    *,
+    max_configs_per_search: int = 100_000,
+    gamma_max_configs: int = 200_000,
+) -> CoveringResult:
+    """Run Figure 2 against *system* and certify the resulting execution.
+
+    The system's workloads must give every process globally distinct input
+    values and enough invocations to reach the fresh instance (a generous
+    workload length is checked as the construction learns ``s``).
+    """
+    n = system.n
+    c = math.ceil((k + 1) / m)
+    narrative: List[str] = [
+        f"n={n}, m={m}, k={k}: c={c} groups over "
+        f"{system.layout.register_count()} registers "
+        f"(lower bound needs >= {n + m - k})"
+    ]
+
+    spine: List[int] = []
+    config = system.initial_configuration()
+    groups: List[GroupRecord] = []
+    fixed_q_union: Set[int] = set()
+    ever_used: Set[int] = set()
+
+    for j in range(1, c):
+        size = m if j > 1 else k + 1 - (c - 1) * m
+        candidates = [p for p in range(n) if p not in fixed_q_union]
+        candidates.sort(key=lambda p: (p in ever_used, p))
+        if len(candidates) < size:
+            raise CoveringFailure(
+                f"group {j}: need {size} processes outside earlier groups, "
+                f"only {len(candidates)} available"
+            )
+        q_set: List[int] = candidates[:size]
+        ever_used.update(q_set)
+        p_set: List[Tuple[int, RegisterCoord]] = []
+        covered: Set[RegisterCoord] = set()
+        closure_status = CLOSED
+
+        while True:
+            search = find_write_outside(
+                system,
+                config,
+                q_set,
+                frozenset(covered),
+                max_configs=max_configs_per_search,
+            )
+            if search.status == CLOSED:
+                narrative.append(
+                    f"group {j}: closure over {search.configs_explored} "
+                    f"configurations with A_{j} = {sorted(map(str, covered))}"
+                )
+                break
+            if search.status == UNKNOWN:
+                closure_status = UNKNOWN
+                narrative.append(
+                    f"group {j}: fragment search budget cut "
+                    f"({search.configs_explored} configurations) — continuing "
+                    "optimistically; the final replay certifies or refutes"
+                )
+                break
+            assert search.status == FOUND
+            spine.extend(search.schedule)
+            config = _advance(system, config, search.schedule)
+            poised = search.poised_pid
+            coord = search.coord
+            # Line 11: the replacement is chosen before R joins A_j.
+            replacement_pool = [
+                p
+                for p in range(n)
+                if p not in fixed_q_union
+                and p not in q_set
+                and p not in {pid for pid, _ in p_set}
+                and p != poised
+            ]
+            if not replacement_pool:
+                raise CoveringFailure(
+                    f"group {j}: no replacement process available "
+                    f"(|A_{j}| = {len(covered)}); the register count "
+                    "is too large for the covering argument at these "
+                    "parameters"
+                )
+            replacement = min(
+                replacement_pool, key=lambda p: (p in ever_used, p)
+            )
+            ever_used.add(replacement)
+            covered.add(coord)
+            p_set.append((poised, coord))
+            q_set = [p for p in q_set if p != poised] + [replacement]
+            narrative.append(
+                f"group {j}: froze p{poised} poised at {coord}, "
+                f"replaced by p{replacement} (|A_{j}|={len(covered)})"
+            )
+
+        splice_position = len(spine)
+        d_config = config
+
+        # β_j: the block write — each frozen process takes its single step.
+        for pid, coord in p_set:
+            result = system.step(config, pid)
+            event = result.event
+            if not (
+                isinstance(event, MemoryEvent)
+                and is_write_access(event.op)
+                and system.layout.op_coord(event.op) == coord
+            ):
+                raise CoveringFailure(
+                    f"group {j}: frozen process p{pid} was expected to write "
+                    f"{coord}, stepped {event!r} instead"
+                )
+            config = result.config
+            spine.append(pid)
+
+        fixed_q_union.update(q_set)
+        groups.append(
+            GroupRecord(
+                index=j,
+                final_q=tuple(q_set),
+                p_set=tuple(p_set),
+                covered=tuple(sorted(covered, key=str)),
+                splice_position=splice_position,
+                closure_status=closure_status,
+            )
+        )
+
+    # s = the maximum number of Propose invocations any process started.
+    s = max(proc.next_input for proc in config.procs)
+    target_instance = s + 1
+    narrative.append(f"s = {s}; splicing targets fresh instance {target_instance}")
+
+    # Group c: fresh processes at the end of the spine, no covering needed.
+    final_candidates = [p for p in range(n) if p not in fixed_q_union]
+    if len(final_candidates) < m:
+        raise CoveringFailure(
+            f"group {c}: need {m} processes outside earlier groups, "
+            f"only {len(final_candidates)} available"
+        )
+    groups.append(
+        GroupRecord(
+            index=c,
+            final_q=tuple(final_candidates[:m]),
+            p_set=(),
+            covered=(),
+            splice_position=len(spine),
+            closure_status=CLOSED,
+        )
+    )
+
+    # Check workloads can reach the fresh instance.
+    if system.workloads is None:
+        raise CoveringFailure(
+            "the covering construction requires static workloads "
+            "(dynamic workload_fn systems are not supported)"
+        )
+    for record in groups:
+        for pid in record.final_q:
+            if len(system.workloads[pid]) < target_instance:
+                raise CoveringFailure(
+                    f"process p{pid} has only {len(system.workloads[pid])} "
+                    f"workload inputs but the construction needs instance "
+                    f"{target_instance}; rebuild the system with longer "
+                    "workloads"
+                )
+
+    # γ_j fragments: Q_j alone runs from D_j to distinct instance-(s+1)
+    # outputs.  D_j configurations are recomputed by folding the spine.
+    spine_tuple = tuple(spine)
+    for record in groups:
+        d_config = _advance(
+            system,
+            system.initial_configuration(),
+            spine_tuple[: record.splice_position],
+        )
+        gamma = find_distinct_decisions(
+            system,
+            d_config,
+            record.final_q,
+            target_instance,
+            max_configs=gamma_max_configs,
+        )
+        if gamma is None:
+            raise CoveringFailure(
+                f"group {record.index}: found no fragment in which "
+                f"{record.final_q} output distinct values for instance "
+                f"{target_instance} (Lemma 1 search budget "
+                f"{gamma_max_configs})"
+            )
+        record.gamma = gamma
+        narrative.append(
+            f"group {record.index}: γ of {len(gamma)} steps drives "
+            f"{record.final_q} to {len(record.final_q)} distinct outputs"
+        )
+
+    # Splice γ fragments into the spine at their D_j positions.
+    final_schedule: List[int] = []
+    cursor = 0
+    for record in groups:
+        final_schedule.extend(spine_tuple[cursor : record.splice_position])
+        final_schedule.extend(record.gamma)
+        cursor = record.splice_position
+    final_schedule.extend(spine_tuple[cursor:])
+
+    # Certify by replay.
+    execution = replay(system, final_schedule)
+    outputs = tuple(sorted(set(execution.instance_outputs(target_instance)),
+                           key=repr))
+    violations = check_k_agreement(execution, k)
+    success = len(outputs) >= k + 1
+    narrative.append(
+        f"replay: instance {target_instance} outputs {outputs} "
+        f"({'violation certified' if success else 'NO violation'})"
+    )
+    return CoveringResult(
+        success=success,
+        schedule=tuple(final_schedule),
+        target_instance=target_instance,
+        distinct_outputs=outputs,
+        k=k,
+        violations=violations,
+        groups=groups,
+        narrative=narrative,
+    )

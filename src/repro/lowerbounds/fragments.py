@@ -1,0 +1,188 @@
+"""Fragment search: the exploration primitive of covering arguments.
+
+The inductive step of Theorem 2 (Figure 2, line 8) needs, from a
+configuration ``D`` and a process group ``Q``:
+
+    an execution fragment by ``Q`` until some ``q ∈ Q`` is *poised* for the
+    first time to write to a register outside ``A`` — or the knowledge that
+    no such fragment exists.
+
+Because the runtime's step function is pure and configurations are
+hashable, this is a plain BFS over the ``Q``-only reachable configuration
+graph:
+
+* a process whose next step writes outside ``A`` (checked with
+  :meth:`System.peek`) is *poised*; the path to that configuration is the
+  fragment δ and the search stops;
+* poised steps are never *taken* — exactly like the proof, which freezes
+  ``q`` just before its write;
+* if the frontier exhausts without finding a poised process, the claim
+  "no fragment by Q writes outside A" holds **for the explored space**:
+  with a finite workload the Q-only graph is finite and the closure is
+  exact; a ``max_configs`` cut degrades the answer to ``UNKNOWN``
+  (the covering construction then still certifies its final output by
+  replay, so an optimistic continuation can never produce a false theorem).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.memory.layout import RegisterCoord
+from repro.memory.ops import is_write_access
+from repro.runtime.events import MemoryEvent
+from repro.runtime.system import Configuration, System
+
+FOUND, CLOSED, UNKNOWN = "found", "closed", "unknown"
+
+
+@dataclass(frozen=True)
+class FragmentSearch:
+    """Result of one fragment search.
+
+    ``status`` is ``"found"`` (δ leads to a poised process), ``"closed"``
+    (exhaustive: no Q-fragment ever writes outside A), or ``"unknown"``
+    (budget cut).  On ``"found"``, ``schedule`` is δ, ``poised_pid`` the
+    process about to write, and ``coord`` the register it is poised at.
+    """
+
+    status: str
+    schedule: Tuple[int, ...] = ()
+    poised_pid: Optional[int] = None
+    coord: Optional[RegisterCoord] = None
+    configs_explored: int = 0
+
+
+def poised_write_outside(
+    system: System,
+    config: Configuration,
+    pid: int,
+    allowed: FrozenSet[RegisterCoord],
+) -> Optional[RegisterCoord]:
+    """The coord outside *allowed* that *pid* is poised to write, if any."""
+    if not system.enabled(config, pid):
+        return None
+    event = system.peek(config, pid)
+    if isinstance(event, MemoryEvent) and is_write_access(event.op):
+        coord = system.layout.op_coord(event.op)
+        if coord is not None and coord not in allowed:
+            return coord
+    return None
+
+
+def find_write_outside(
+    system: System,
+    config: Configuration,
+    group: Sequence[int],
+    allowed: FrozenSet[RegisterCoord],
+    *,
+    max_configs: int = 100_000,
+) -> FragmentSearch:
+    """BFS the Q-only graph for a process poised to write outside *allowed*."""
+    group = tuple(group)
+    parents: Dict[Configuration, Tuple[Optional[Configuration], Optional[int]]] = {
+        config: (None, None)
+    }
+    queue: deque[Configuration] = deque([config])
+    explored = 0
+
+    while queue:
+        if explored >= max_configs:
+            return FragmentSearch(status=UNKNOWN, configs_explored=explored)
+        current = queue.popleft()
+        explored += 1
+
+        for pid in group:
+            coord = poised_write_outside(system, current, pid, allowed)
+            if coord is not None:
+                return FragmentSearch(
+                    status=FOUND,
+                    schedule=_path(parents, current),
+                    poised_pid=pid,
+                    coord=coord,
+                    configs_explored=explored,
+                )
+
+        for pid in group:
+            if not system.enabled(current, pid):
+                continue
+            # Poised writes outside A are not taken (the proof freezes the
+            # process there); everything else expands the frontier.
+            if poised_write_outside(system, current, pid, allowed) is not None:
+                continue  # pragma: no cover - already returned above
+            successor = system.step(current, pid).config
+            if successor not in parents:
+                parents[successor] = (current, pid)
+                queue.append(successor)
+
+    return FragmentSearch(status=CLOSED, configs_explored=explored)
+
+
+def _path(
+    parents: Dict[Configuration, Tuple[Optional[Configuration], Optional[int]]],
+    config: Configuration,
+) -> Tuple[int, ...]:
+    schedule: List[int] = []
+    cursor: Optional[Configuration] = config
+    while cursor is not None:
+        parent, pid = parents[cursor]
+        if pid is not None:
+            schedule.append(pid)
+        cursor = parent
+    schedule.reverse()
+    return tuple(schedule)
+
+
+def find_distinct_decisions(
+    system: System,
+    config: Configuration,
+    group: Sequence[int],
+    instance: int,
+    *,
+    max_configs: int = 200_000,
+) -> Optional[Tuple[int, ...]]:
+    """Find a Q-only schedule after which the group's instance-*instance*
+    outputs are pairwise distinct (the Lemma 1 executions used for the
+    spliced γ fragments).
+
+    For ``|group| = 1`` this is the deterministic solo run.  For larger
+    groups the search is a BFS over interleavings; Lemma 1 guarantees a
+    witness exists for any correct algorithm when the group members propose
+    distinct values, but an incorrect/underprovisioned algorithm may lack
+    one — ``None`` is then returned.
+    """
+    group = tuple(group)
+
+    def achieved(candidate: Configuration) -> bool:
+        outputs = []
+        for pid in group:
+            outs = candidate.procs[pid].outputs
+            if len(outs) < instance:
+                return False
+            outputs.append(outs[instance - 1])
+        return len(set(outputs)) == len(group)
+
+    parents: Dict[Configuration, Tuple[Optional[Configuration], Optional[int]]] = {
+        config: (None, None)
+    }
+    queue: deque[Configuration] = deque([config])
+    explored = 0
+    while queue:
+        if explored >= max_configs:
+            return None
+        current = queue.popleft()
+        explored += 1
+        if achieved(current):
+            return _path(parents, current)
+        for pid in group:
+            if not system.enabled(current, pid):
+                continue
+            if len(current.procs[pid].outputs) >= instance:
+                continue  # this member is done with the target instance
+            successor = system.step(current, pid).config
+            if successor not in parents:
+                parents[successor] = (current, pid)
+                queue.append(successor)
+    return None

@@ -1,0 +1,33 @@
+"""Shared-memory model: operations, register banks, snapshots and layouts."""
+
+from repro.memory.ops import (
+    Op,
+    ReadOp,
+    WriteOp,
+    UpdateOp,
+    ScanOp,
+    is_write_access,
+    written_register,
+)
+from repro.memory.layout import (
+    BankSpec,
+    MemoryLayout,
+    PrimitiveBinding,
+    ImplementedBinding,
+    RegisterCoord,
+)
+
+__all__ = [
+    "Op",
+    "ReadOp",
+    "WriteOp",
+    "UpdateOp",
+    "ScanOp",
+    "is_write_access",
+    "written_register",
+    "BankSpec",
+    "MemoryLayout",
+    "PrimitiveBinding",
+    "ImplementedBinding",
+    "RegisterCoord",
+]

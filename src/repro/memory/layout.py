@@ -1,0 +1,296 @@
+"""Memory layouts: named shared objects resolved onto register banks.
+
+Algorithms issue operations against *named objects* ("A", "H", ...).  A
+:class:`MemoryLayout` declares, for each object, either:
+
+* a :class:`PrimitiveBinding` — the object is atomic; its state lives in one
+  register bank and every operation on it completes in a single step; or
+* an :class:`ImplementedBinding` — the object is implemented from registers
+  by an :class:`~repro.runtime.frames.ObjectImplementation`; operations
+  expand into sequences of register steps on the banks the implementation
+  owns (this is how the paper's snapshot-from-registers constructions are
+  exercised, see :mod:`repro.objects`).
+
+The layout also owns the library's *space accounting*: the total number of
+registers a system uses — the quantity all of the paper's bounds are about —
+is the sum of bank sizes (:meth:`MemoryLayout.register_count`).  A primitive
+snapshot with ``r`` components therefore costs ``r`` registers, matching the
+paper's accounting (Theorem 7, [5]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro._types import BOT, Value
+from repro.errors import ConfigurationError, MemoryError_, ProtocolViolation
+from repro.memory import register as register_sem
+from repro.memory.ops import Op, ReadOp, ScanOp, UpdateOp, WriteOp
+
+MemoryState = Tuple[Tuple[Value, ...], ...]
+
+
+@dataclass(frozen=True)
+class RegisterCoord:
+    """Global coordinates of one register: (bank position, index in bank)."""
+
+    bank: int
+    index: int
+
+    def __repr__(self) -> str:
+        return f"r[{self.bank}.{self.index}]"
+
+
+@dataclass(frozen=True)
+class BankSpec:
+    """Declaration of one register bank.
+
+    ``initial`` is the value every register of the bank starts with; the
+    paper's algorithms initialize everything to ⊥.
+    """
+
+    name: str
+    size: int
+    initial: Value = BOT
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"bank {self.name!r} must have size >= 1")
+
+    def initial_bank(self) -> Tuple[Value, ...]:
+        """The bank's initial contents (every register at ``initial``)."""
+        return (self.initial,) * self.size
+
+
+@dataclass(frozen=True)
+class PrimitiveBinding:
+    """Bind an object name to an atomic bank.
+
+    ``kind`` is ``"registers"`` (accepts :class:`ReadOp`/:class:`WriteOp`) or
+    ``"snapshot"`` (accepts :class:`UpdateOp`/:class:`ScanOp`).
+    """
+
+    kind: str
+    bank: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("registers", "snapshot"):
+            raise ConfigurationError(f"unknown primitive kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ImplementedBinding:
+    """Bind an object name to a register-level implementation.
+
+    ``impl`` is an :class:`~repro.runtime.frames.ObjectImplementation`; it is
+    given the listed banks to work with.  The layout stays agnostic of the
+    implementation's internals — the runtime drives it through frames.
+    """
+
+    impl: Any
+    banks: Tuple[str, ...]
+
+
+Binding = Any  # PrimitiveBinding | ImplementedBinding
+
+
+class MemoryLayout:
+    """An immutable description of a system's shared memory.
+
+    Build one with :meth:`builder` or the convenience constructors in
+    protocol modules; afterwards it only answers pure queries and applies
+    primitive operations functionally.
+    """
+
+    def __init__(
+        self,
+        banks: Tuple[BankSpec, ...],
+        objects: Mapping[str, Binding],
+    ) -> None:
+        names = [bank.name for bank in banks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate bank names in {names}")
+        self._banks = banks
+        self._bank_index: Dict[str, int] = {b.name: i for i, b in enumerate(banks)}
+        self._objects: Dict[str, Binding] = dict(objects)
+        # Every bank is implicitly addressable as a plain register object
+        # under its own name; object implementations rely on this to issue
+        # register accesses against the banks they own.
+        for bank in banks:
+            self._objects.setdefault(
+                bank.name, PrimitiveBinding("registers", bank.name)
+            )
+        for obj_name, binding in self._objects.items():
+            for bank_name in self._banks_of(binding):
+                if bank_name not in self._bank_index:
+                    raise ConfigurationError(
+                        f"object {obj_name!r} refers to unknown bank {bank_name!r}"
+                    )
+
+    @staticmethod
+    def _banks_of(binding: Binding) -> Tuple[str, ...]:
+        if isinstance(binding, PrimitiveBinding):
+            return (binding.bank,)
+        if isinstance(binding, ImplementedBinding):
+            return binding.banks
+        raise ConfigurationError(f"unknown binding type {type(binding).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def banks(self) -> Tuple[BankSpec, ...]:
+        return self._banks
+
+    @property
+    def object_names(self) -> Tuple[str, ...]:
+        return tuple(self._objects)
+
+    def binding(self, obj: str) -> Binding:
+        """The binding of object *obj* (raises on unknown names)."""
+        try:
+            return self._objects[obj]
+        except KeyError:
+            raise ProtocolViolation(f"operation on unknown object {obj!r}") from None
+
+    def bank_index(self, name: str) -> int:
+        """Position of bank *name* in the memory-state tuple."""
+        try:
+            return self._bank_index[name]
+        except KeyError:
+            raise MemoryError_(f"unknown bank {name!r}") from None
+
+    def bank_size(self, name: str) -> int:
+        """Number of registers in bank *name*."""
+        return self._banks[self.bank_index(name)].size
+
+    def register_count(self) -> int:
+        """Total registers used by the system — the paper's space measure."""
+        return sum(bank.size for bank in self._banks)
+
+    def coord(self, bank_name: str, index: int) -> RegisterCoord:
+        """Global coordinates of register *index* of bank *bank_name*."""
+        bank = self.bank_index(bank_name)
+        if index < 0 or index >= self._banks[bank].size:
+            raise MemoryError_(
+                f"index {index} out of range for bank {bank_name!r} "
+                f"of size {self._banks[bank].size}"
+            )
+        return RegisterCoord(bank, index)
+
+    def op_coord(self, op: Op) -> Optional[RegisterCoord]:
+        """Global coordinates of the register written by *op*, or ``None``.
+
+        Only meaningful for ops that target primitive-bound objects (after
+        frame expansion every write is one); used by covering constructions.
+        """
+        binding = self.binding(op.obj)
+        if isinstance(op, WriteOp):
+            return self.coord(_primitive_bank(binding, op), op.index)
+        if isinstance(op, UpdateOp):
+            return self.coord(_primitive_bank(binding, op), op.component)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def initial_memory(self) -> MemoryState:
+        """The initial contents of every bank, as the state tuple."""
+        return tuple(bank.initial_bank() for bank in self._banks)
+
+    def apply_primitive(
+        self, memory: MemoryState, op: Op
+    ) -> Tuple[MemoryState, Value]:
+        """Apply *op* (which must target a primitive binding) atomically.
+
+        Returns ``(new_memory, response)``.  Reads and scans leave memory
+        unchanged; writes and updates return ``None`` as their response, per
+        the operation signatures in the paper's model.
+        """
+        binding = self.binding(op.obj)
+        bank_name = _primitive_bank(binding, op)
+        bank_pos = self.bank_index(bank_name)
+        bank = memory[bank_pos]
+        if isinstance(op, ReadOp):
+            _require_kind(binding, "registers", op)
+            return memory, register_sem.read(bank, op.index)
+        if isinstance(op, WriteOp):
+            _require_kind(binding, "registers", op)
+            new_bank = register_sem.write(bank, op.index, op.value)
+            return _replace_bank(memory, bank_pos, new_bank), None
+        if isinstance(op, ScanOp):
+            _require_kind(binding, "snapshot", op)
+            return memory, bank
+        if isinstance(op, UpdateOp):
+            _require_kind(binding, "snapshot", op)
+            new_bank = register_sem.write(bank, op.component, op.value)
+            return _replace_bank(memory, bank_pos, new_bank), None
+        raise ProtocolViolation(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------ #
+    # Construction helper
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, *entries: Tuple[str, Binding, BankSpec]) -> "MemoryLayout":
+        """Build a layout from ``(object_name, binding, *bank_specs)`` rows.
+
+        Convenience for the common one-bank-per-object case; richer layouts
+        can call the constructor directly.
+        """
+        banks: list[BankSpec] = []
+        objects: dict[str, Binding] = {}
+        for name, binding, *bank_specs in entries:  # type: ignore[misc]
+            objects[name] = binding
+            banks.extend(bank_specs)  # type: ignore[arg-type]
+        return cls(tuple(banks), objects)
+
+
+def _primitive_bank(binding: Binding, op: Op) -> str:
+    if isinstance(binding, PrimitiveBinding):
+        return binding.bank
+    raise ProtocolViolation(
+        f"operation {op!r} targets an implemented object; it must be expanded "
+        "through a frame, not applied atomically"
+    )
+
+
+def _require_kind(binding: PrimitiveBinding, kind: str, op: Op) -> None:
+    if binding.kind != kind:
+        raise ProtocolViolation(
+            f"operation {op!r} is not valid on a {binding.kind!r} object"
+        )
+
+
+def _replace_bank(
+    memory: MemoryState, position: int, bank: Tuple[Value, ...]
+) -> MemoryState:
+    return memory[:position] + (bank,) + memory[position + 1 :]
+
+
+def snapshot_layout(name: str, components: int, *, initial: Value = BOT) -> MemoryLayout:
+    """Layout with a single primitive snapshot object *name* of ``components``."""
+    bank = BankSpec(name=f"{name}__bank", size=components, initial=initial)
+    return MemoryLayout((bank,), {name: PrimitiveBinding("snapshot", bank.name)})
+
+
+def register_layout(name: str, size: int, *, initial: Value = BOT) -> MemoryLayout:
+    """Layout with a single primitive register bank *name* of ``size``."""
+    bank = BankSpec(name=f"{name}__bank", size=size, initial=initial)
+    return MemoryLayout((bank,), {name: PrimitiveBinding("registers", bank.name)})
+
+
+def merge_layouts(*layouts: MemoryLayout) -> MemoryLayout:
+    """Combine several layouts into one (names must not collide)."""
+    banks: list[BankSpec] = []
+    objects: dict[str, Binding] = {}
+    for layout in layouts:
+        banks.extend(layout.banks)
+        for obj in layout.object_names:
+            if obj in objects:
+                raise ConfigurationError(f"duplicate object name {obj!r} in merge")
+            objects[obj] = layout.binding(obj)
+    return MemoryLayout(tuple(banks), objects)

@@ -1,0 +1,98 @@
+"""The operation ADT: atomic shared-memory accesses issued by automata.
+
+Four operation kinds cover everything the paper's algorithms need:
+
+* :class:`ReadOp` / :class:`WriteOp` — accesses to a single register of a
+  register bank (multi-writer multi-reader, per the paper's model §2).
+* :class:`UpdateOp` / :class:`ScanOp` — accesses to a snapshot object [1]:
+  ``update(i, v)`` writes value ``v`` to component ``i`` and ``scan()``
+  returns the vector of all components.
+
+Operations name their target *object*; a :class:`~repro.memory.layout.MemoryLayout`
+resolves the name either to a primitive (atomic) object or to a register-level
+implementation executed step-by-step (see :mod:`repro.runtime.frames`).
+
+All operation classes are frozen dataclasses, hence hashable: executions and
+events containing them can be stored in sets and compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro._types import Value
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Atomically read register ``index`` of register bank ``obj``."""
+
+    obj: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"read({self.obj}[{self.index}])"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Atomically write ``value`` to register ``index`` of bank ``obj``."""
+
+    obj: str
+    index: int
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"write({self.obj}[{self.index}] := {self.value!r})"
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """Atomically write ``value`` to component ``component`` of snapshot ``obj``."""
+
+    obj: str
+    component: int
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"update({self.obj}[{self.component}] := {self.value!r})"
+
+
+@dataclass(frozen=True)
+class ScanOp:
+    """Atomically read all components of snapshot object ``obj``."""
+
+    obj: str
+
+    def __repr__(self) -> str:
+        return f"scan({self.obj})"
+
+
+Op = Union[ReadOp, WriteOp, UpdateOp, ScanOp]
+
+
+def is_write_access(op: Op) -> bool:
+    """Return ``True`` iff *op* modifies shared memory.
+
+    The space lower bounds in the paper only track *writes* (covering
+    arguments erase written registers with block writes; reads are free), so
+    several constructions key off this predicate.
+    """
+    return isinstance(op, (WriteOp, UpdateOp))
+
+
+def written_register(op: Op) -> Optional[tuple[str, int]]:
+    """Return the ``(object, index)`` pair written by *op*, or ``None``.
+
+    Snapshot updates count as writes to the single component they modify:
+    treating components as registers only *strengthens* covering arguments
+    (a scan reads all components in one step but writes nothing), and it is
+    exactly the accounting the paper uses when it charges a snapshot object
+    with ``r`` components ``r`` registers (Theorem 7).
+    """
+    if isinstance(op, WriteOp):
+        return (op.obj, op.index)
+    if isinstance(op, UpdateOp):
+        return (op.obj, op.component)
+    return None

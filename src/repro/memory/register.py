@@ -1,0 +1,41 @@
+"""Pure semantics of multi-writer multi-reader register banks.
+
+A *bank* is an immutable tuple of register values.  These helpers implement
+the two atomic register operations of the paper's model (§2): a read returns
+the current value of one register and a write replaces it.  Both are pure
+functions over tuples so the runtime can keep whole configurations immutable
+and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro._types import Value
+from repro.errors import MemoryError_
+
+Bank = Tuple[Value, ...]
+
+
+def read(bank: Bank, index: int) -> Value:
+    """Return the value of register *index* in *bank*.
+
+    Raises :class:`~repro.errors.MemoryError_` on an out-of-range index so a
+    buggy automaton fails loudly rather than wrapping around (negative Python
+    indices would otherwise silently alias the end of the bank).
+    """
+    _check_index(bank, index)
+    return bank[index]
+
+
+def write(bank: Bank, index: int, value: Value) -> Bank:
+    """Return a new bank equal to *bank* with register *index* set to *value*."""
+    _check_index(bank, index)
+    return bank[:index] + (value,) + bank[index + 1 :]
+
+
+def _check_index(bank: Bank, index: int) -> None:
+    if not isinstance(index, int) or index < 0 or index >= len(bank):
+        raise MemoryError_(
+            f"register index {index!r} out of range for bank of size {len(bank)}"
+        )

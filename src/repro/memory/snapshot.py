@@ -1,0 +1,35 @@
+"""Pure semantics of the atomic multi-writer snapshot object [1].
+
+A snapshot object with ``r`` components supports two atomic operations
+(paper §2): ``update(i, v)`` writes ``v`` to component ``i`` and ``scan()``
+returns the vector of the most recently written values of all components.
+
+Here the object is a *primitive*: each operation is one atomic step.  The
+paper charges a primitive snapshot with ``r`` components exactly ``r``
+registers, because it can be implemented from that many registers when
+``r ≤ n`` ([5]; Theorem 7's accounting).  Register-level implementations that
+make that accounting concrete live in :mod:`repro.objects`.
+
+The component tuple representation is shared with register banks, so a
+snapshot's state *is* a bank; ``update`` delegates to the register write and
+``scan`` returns the whole bank.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro._types import Value
+from repro.memory import register
+
+Components = Tuple[Value, ...]
+
+
+def update(components: Components, index: int, value: Value) -> Components:
+    """Return new component vector with component *index* set to *value*."""
+    return register.write(components, index, value)
+
+
+def scan(components: Components) -> Components:
+    """Return the full component vector (atomically, as one step)."""
+    return components

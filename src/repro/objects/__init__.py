@@ -1,0 +1,39 @@
+"""Register-level implementations of snapshot objects.
+
+The paper's space bounds count registers; its algorithms speak snapshot.
+These implementations close the gap, each as an
+:class:`~repro.runtime.frames.ObjectImplementation` driven one register
+access per process step:
+
+* :class:`~repro.objects.doublecollect.DoubleCollectSnapshot` — ``r``
+  components from ``r`` MWMR registers; *non-blocking* scans via double
+  collect with (pid, seq)-tagged writes.
+* :class:`~repro.objects.doublecollect.AnonymousDoubleCollectSnapshot` —
+  the identifier-free variant used under Figure 5; see its docstring for
+  the Guerraoui–Ruppert [7] approximation note.
+* :class:`~repro.objects.waitfree.WaitFreeSnapshot` — ``r`` components from
+  ``r`` MWMR registers, *wait-free* via embedded-scan helping (the Afek et
+  al. [1] technique adapted to multi-writer components).
+* :class:`~repro.objects.swmr.SingleWriterSnapshot` — ``r`` components from
+  exactly ``n`` single-writer registers (the [1, 13] route Theorem 7 takes
+  when ``n + 2m − k > n``), wait-free via the same helping.
+
+Helpers in :mod:`~repro.objects.layouts` build complete memory layouts
+binding a protocol's snapshot to any of these substrates.
+"""
+
+from repro.objects.doublecollect import (
+    AnonymousDoubleCollectSnapshot,
+    DoubleCollectSnapshot,
+)
+from repro.objects.waitfree import WaitFreeSnapshot
+from repro.objects.swmr import SingleWriterSnapshot
+from repro.objects.layouts import implemented_snapshot_layout
+
+__all__ = [
+    "DoubleCollectSnapshot",
+    "AnonymousDoubleCollectSnapshot",
+    "WaitFreeSnapshot",
+    "SingleWriterSnapshot",
+    "implemented_snapshot_layout",
+]

@@ -1,0 +1,82 @@
+"""Layout builders: bind a protocol's snapshot to a register-level substrate.
+
+A :class:`~repro.agreement.base.SetAgreementAutomaton` issues its snapshot
+operations against the object named ``"A"``; by default that object is an
+atomic primitive.  :func:`implemented_snapshot_layout` rebuilds the
+protocol's layout with ``"A"`` bound to a chosen
+:class:`~repro.runtime.frames.ObjectImplementation` instead, preserving
+every other object (e.g. Figure 5's register ``H``) untouched — the
+substrate ablation (benchmark E7) is exactly this swap.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro._types import Params
+from repro.agreement.base import SNAPSHOT, SetAgreementAutomaton
+from repro.errors import ConfigurationError
+from repro.memory.layout import (
+    ImplementedBinding,
+    MemoryLayout,
+    PrimitiveBinding,
+)
+from repro.objects.doublecollect import (
+    AnonymousDoubleCollectSnapshot,
+    DoubleCollectSnapshot,
+)
+from repro.objects.swmr import SingleWriterSnapshot
+from repro.objects.waitfree import WaitFreeSnapshot
+
+SubstrateKind = Literal[
+    "atomic", "double-collect", "anonymous-double-collect", "wait-free", "swmr"
+]
+
+_SUBSTRATES = {
+    "double-collect": DoubleCollectSnapshot,
+    "anonymous-double-collect": AnonymousDoubleCollectSnapshot,
+    "wait-free": WaitFreeSnapshot,
+    "swmr": SingleWriterSnapshot,
+}
+
+
+def implemented_snapshot_layout(
+    protocol: SetAgreementAutomaton, kind: SubstrateKind
+) -> MemoryLayout:
+    """The protocol's layout with its snapshot on substrate *kind*.
+
+    ``kind="atomic"`` returns the protocol's default layout unchanged.
+    """
+    if kind == "atomic":
+        return protocol.default_layout()
+    if kind not in _SUBSTRATES:
+        raise ConfigurationError(
+            f"unknown snapshot substrate {kind!r}; "
+            f"choose one of {'/'.join(['atomic', *sorted(_SUBSTRATES)])}"
+        )
+    impl_cls = _SUBSTRATES[kind]
+    impl = impl_cls(Params(components=protocol.components, n=protocol.n))
+    impl_banks = impl.bank_specs(prefix=SNAPSHOT)
+
+    base = protocol.default_layout()
+    banks = list(impl_banks)
+    objects = {
+        SNAPSHOT: ImplementedBinding(
+            impl=impl, banks=tuple(b.name for b in impl_banks)
+        )
+    }
+    for obj in base.object_names:
+        binding = base.binding(obj)
+        if obj == SNAPSHOT:
+            continue
+        if isinstance(binding, PrimitiveBinding) and binding.bank == obj:
+            continue  # implicit bank alias, regenerated automatically
+        objects[obj] = binding
+        if isinstance(binding, PrimitiveBinding):
+            banks.append(base.banks[base.bank_index(binding.bank)])
+    return MemoryLayout(tuple(banks), objects)
+
+
+def substrate_register_count(protocol: SetAgreementAutomaton, kind: SubstrateKind) -> int:
+    """Registers the protocol uses on substrate *kind* (space accounting)."""
+    return implemented_snapshot_layout(protocol, kind).register_count()

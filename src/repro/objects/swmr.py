@@ -1,0 +1,197 @@
+"""Snapshot with ``r`` components from exactly ``n`` single-writer registers.
+
+Theorem 7's accounting is ``min(n + 2m − k, n)`` registers: when the nominal
+component count exceeds ``n``, the snapshot is implemented from ``n``
+*single-writer* registers instead ([1] + the single-writer-to-multi-writer
+folklore of Vitányi–Awerbuch [13], in the unbounded "large register"
+regime).  This class realizes that route:
+
+* register ``q`` is written only by process ``q`` (the SWMR discipline is
+  asserted at runtime) and holds
+  ``(seq_q, comps_q, view_q)`` where ``comps_q[i]`` is ``q``'s latest write
+  to component ``i`` as a ``(lamport_ts, q, value)`` triple (or ⊥), and
+  ``view_q`` is the embedded scan taken by ``q``'s latest update;
+* the *current* value of component ``i`` is the value of the
+  ``(ts, pid)``-maximal triple over all processes' ``comps``: Lamport
+  timestamps with pid tie-break give multi-writer components a total write
+  order;
+* ``update(i, v)`` performs an embedded scan (which also yields the maximal
+  timestamp for component ``i``), then writes its whole register once with
+  ``ts = max_ts(i) + 1``;
+* ``scan()`` double-collects the ``n`` registers; a register that changes
+  identifies its (unique) writer, and a writer seen moving twice has a
+  borrowable embedded view — the same helping argument as
+  :mod:`repro.objects.waitfree`, so scans are wait-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple
+
+from repro._types import BOT, Value, is_bot
+from repro.errors import ProtocolViolation
+from repro.memory.layout import BankSpec
+from repro.memory.ops import Op, ReadOp, ScanOp, UpdateOp, WriteOp
+from repro.runtime.frames import ImplContext, ObjectImplementation, Return
+
+SCANNING, WRITING, DONE = "scanning", "writing", "done"
+
+
+@dataclass(frozen=True)
+class _SwmrPersistent:
+    """Per-process cross-operation state: seq and own component triples."""
+
+    seq: int = 0
+    comps: Tuple[Value, ...] = ()
+
+
+@dataclass(frozen=True)
+class _Frame:
+    persistent: _SwmrPersistent
+    target: Optional[Tuple[int, Value]]  # None for scan
+    phase: str = SCANNING
+    cursor: int = 0
+    current: Tuple[Value, ...] = ()
+    previous: Optional[Tuple[Value, ...]] = None
+    moved: FrozenSet[int] = frozenset()
+    view: Optional[Tuple[Value, ...]] = None
+    max_ts: int = 0  # maximal timestamp seen for the target component
+
+
+class SingleWriterSnapshot(ObjectImplementation):
+    """r components from n SWMR registers; wait-free via helping."""
+
+    name = "single-writer-snapshot"
+
+    def __init__(self, params) -> None:
+        super().__init__(params)
+        self.components = params["components"]
+        self.n = params["n"]
+
+    def bank_specs(self, prefix: str) -> Tuple[BankSpec, ...]:
+        return (BankSpec(name=f"{prefix}__swmr", size=self.n),)
+
+    def initial_persistent(self, ictx: ImplContext) -> _SwmrPersistent:
+        return _SwmrPersistent(seq=0, comps=(BOT,) * self.components)
+
+    # ------------------------------------------------------------------ #
+    # Resolution of collected registers into component values
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, collect: Tuple[Value, ...]) -> Tuple[Value, ...]:
+        """Component values = (ts, pid)-maximal triples across registers."""
+        values = []
+        for i in range(self.components):
+            best = None
+            for entry in collect:
+                if is_bot(entry):
+                    continue
+                triple = entry[1][i]
+                if is_bot(triple):
+                    continue
+                if best is None or (triple[0], triple[1]) > (best[0], best[1]):
+                    best = triple
+            values.append(BOT if best is None else best[2])
+        return tuple(values)
+
+    def _component_max_ts(self, collect: Tuple[Value, ...], component: int) -> int:
+        best = 0
+        for entry in collect:
+            if is_bot(entry):
+                continue
+            triple = entry[1][component]
+            if not is_bot(triple):
+                best = max(best, triple[0])
+        return best
+
+    # ------------------------------------------------------------------ #
+
+    def begin(self, ictx: ImplContext, persistent: _SwmrPersistent, op: Op):
+        if isinstance(op, UpdateOp):
+            return _Frame(persistent=persistent, target=(op.component, op.value))
+        if isinstance(op, ScanOp):
+            return _Frame(persistent=persistent, target=None)
+        raise ProtocolViolation(f"{self.name} supports update/scan, got {op!r}")
+
+    def pending(self, ictx: ImplContext, state: _Frame):
+        bank = ictx.banks[0]
+        if state.phase == SCANNING:
+            return ReadOp(bank, state.cursor)
+        if state.phase == WRITING:
+            component, value = state.target
+            persistent = state.persistent
+            triple = (state.max_ts + 1, ictx.pid, value)
+            comps = (
+                persistent.comps[:component]
+                + (triple,)
+                + persistent.comps[component + 1 :]
+            )
+            entry = (persistent.seq + 1, comps, state.view)
+            return WriteOp(bank, ictx.pid, entry)
+        if state.phase == DONE:
+            if state.target is None:
+                return Return(response=state.view, persistent=state.persistent)
+            component, value = state.target
+            persistent = state.persistent
+            triple = (state.max_ts + 1, ictx.pid, value)
+            comps = (
+                persistent.comps[:component]
+                + (triple,)
+                + persistent.comps[component + 1 :]
+            )
+            return Return(
+                response=None,
+                persistent=_SwmrPersistent(seq=persistent.seq + 1, comps=comps),
+            )
+        raise ProtocolViolation(f"unknown phase {state.phase!r}")
+
+    def apply(self, ictx: ImplContext, state: _Frame, response: Value):
+        if state.phase == WRITING:
+            return replace(state, phase=DONE)
+        if state.phase != SCANNING:
+            raise ProtocolViolation(f"no transition from phase {state.phase!r}")
+
+        current = state.current + (response,)
+        if len(current) < self.n:
+            return replace(state, cursor=state.cursor + 1, current=current)
+
+        if state.previous is not None:
+            if state.previous == current:
+                return self._finish_scan(state, current)
+            borrowed = self._try_borrow(state, current)
+            if borrowed is not None:
+                return self._finish_borrowed(state, current, borrowed)
+            moved = state.moved | self._movers(state.previous, current)
+            return replace(
+                state, cursor=0, current=(), previous=current, moved=moved
+            )
+        return replace(state, cursor=0, current=(), previous=current)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _movers(previous, current) -> FrozenSet[int]:
+        return frozenset(
+            q for q, (old, new) in enumerate(zip(previous, current)) if old != new
+        )
+
+    def _try_borrow(self, state: _Frame, current) -> Optional[Tuple[Value, ...]]:
+        for q, (old, new) in enumerate(zip(state.previous, current)):
+            if old != new and q in state.moved and not is_bot(new):
+                return new[2]  # the mover's embedded view
+        return None
+
+    def _finish_scan(self, state: _Frame, collect) -> _Frame:
+        view = self._resolve(collect)
+        return self._complete(state, collect, view)
+
+    def _finish_borrowed(self, state: _Frame, collect, view) -> _Frame:
+        return self._complete(state, collect, view)
+
+    def _complete(self, state: _Frame, collect, view) -> _Frame:
+        if state.target is None:
+            return replace(state, phase=DONE, view=view)
+        component, _ = state.target
+        max_ts = self._component_max_ts(collect, component)
+        return replace(state, phase=WRITING, view=view, max_ts=max_ts)

@@ -1,0 +1,160 @@
+"""Wait-free snapshot from ``r`` MWMR registers via embedded-scan helping.
+
+The Afek-et-al. [1] helping technique, adapted to multi-writer components:
+every ``update(i, v)`` first performs an *embedded scan* and stores its
+result (a full view of the object) alongside the value; a scanner that
+observes the same process complete two updates during its own scan may
+*borrow* that process's latest embedded view — that view was computed
+entirely within the scanner's interval, so returning it is linearizable.
+
+Register ``j`` holds ⊥ or ``(value, pid, seq, view)``.  Tag uniqueness
+((pid, seq) pairs never repeat) rules out ABA, so:
+
+* two identical consecutive collects certify quiescence → return directly;
+* a changed register exposes the pid that moved; a pid seen moving twice
+  has a borrowable view.
+
+Each failed double collect implies some process moved, and after at most
+``n`` distinct movers some pid must repeat, so a scan finishes within
+``O(n)`` collects — wait-freedom, at the price of ``O(r)``-sized register
+contents (the paper's "large registers" regime, cf. [13]).
+
+Updates contain one embedded scan and one write, so they are wait-free too.
+This is the substrate that preserves m-obstruction-freedom of Figures 3/4
+for ``m ≥ 2`` at the register level (the non-blocking double collect only
+guarantees it for ``m = 1``); benchmark E7 compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple
+
+from repro._types import BOT, Value, is_bot
+from repro.errors import ProtocolViolation
+from repro.memory.layout import BankSpec
+from repro.memory.ops import Op, ReadOp, ScanOp, UpdateOp, WriteOp
+from repro.runtime.frames import ImplContext, ObjectImplementation, Return
+
+SCANNING, WRITING, DONE = "scanning", "writing", "done"
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """Shared frame for scans and updates (updates embed a scan).
+
+    ``target`` is ``None`` for a plain scan, else ``(component, value)``.
+    ``moved`` is the set of pids observed completing an update during this
+    scan; a second observation of the same pid triggers borrowing.
+    """
+
+    seq: int
+    target: Optional[Tuple[int, Value]]
+    phase: str = SCANNING
+    cursor: int = 0
+    current: Tuple[Value, ...] = ()
+    previous: Optional[Tuple[Value, ...]] = None
+    moved: FrozenSet[int] = frozenset()
+    view: Optional[Tuple[Value, ...]] = None
+
+
+class WaitFreeSnapshot(ObjectImplementation):
+    """Wait-free r-register snapshot with embedded-scan helping."""
+
+    name = "wait-free-snapshot"
+
+    def __init__(self, params) -> None:
+        super().__init__(params)
+        self.components = params["components"]
+
+    def bank_specs(self, prefix: str) -> Tuple[BankSpec, ...]:
+        return (BankSpec(name=f"{prefix}__regs", size=self.components),)
+
+    def initial_persistent(self, ictx: ImplContext) -> int:
+        return 0  # per-process sequence number
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _value_of(entry: Value) -> Value:
+        return BOT if is_bot(entry) else entry[0]
+
+    @staticmethod
+    def _pid_of(entry: Value) -> Optional[int]:
+        return None if is_bot(entry) else entry[1]
+
+    @staticmethod
+    def _view_of(entry: Value) -> Tuple[Value, ...]:
+        return entry[3]
+
+    def begin(self, ictx: ImplContext, persistent: int, op: Op) -> _Frame:
+        if isinstance(op, UpdateOp):
+            return _Frame(seq=persistent, target=(op.component, op.value))
+        if isinstance(op, ScanOp):
+            return _Frame(seq=persistent, target=None)
+        raise ProtocolViolation(f"{self.name} supports update/scan, got {op!r}")
+
+    def pending(self, ictx: ImplContext, state: _Frame):
+        bank = ictx.banks[0]
+        if state.phase == SCANNING:
+            return ReadOp(bank, state.cursor)
+        if state.phase == WRITING:
+            component, value = state.target
+            entry = (value, ictx.pid, state.seq + 1, state.view)
+            return WriteOp(bank, component, entry)
+        if state.phase == DONE:
+            if state.target is None:
+                return Return(response=state.view, persistent=state.seq)
+            return Return(response=None, persistent=state.seq + 1)
+        raise ProtocolViolation(f"unknown phase {state.phase!r}")
+
+    def apply(self, ictx: ImplContext, state: _Frame, response: Value):
+        if state.phase == WRITING:
+            return replace(state, phase=DONE)
+        if state.phase != SCANNING:
+            raise ProtocolViolation(f"no transition from phase {state.phase!r}")
+
+        current = state.current + (response,)
+        if len(current) < self.components:
+            return replace(state, cursor=state.cursor + 1, current=current)
+
+        # A full collect is gathered.
+        if state.previous is not None:
+            if state.previous == current:
+                view = tuple(self._value_of(e) for e in current)
+                return self._finish_scan(state, view)
+            borrowed = self._try_borrow(state, current)
+            if borrowed is not None:
+                moved_pid, view = borrowed
+                return self._finish_scan(state, view)
+            moved = state.moved | self._movers(state.previous, current)
+            return replace(
+                state, cursor=0, current=(), previous=current, moved=moved
+            )
+        return replace(state, cursor=0, current=(), previous=current)
+
+    # ------------------------------------------------------------------ #
+
+    def _movers(
+        self, previous: Tuple[Value, ...], current: Tuple[Value, ...]
+    ) -> FrozenSet[int]:
+        moved = set()
+        for old, new in zip(previous, current):
+            if old != new and not is_bot(new):
+                moved.add(self._pid_of(new))
+        return frozenset(moved)
+
+    def _try_borrow(self, state: _Frame, current: Tuple[Value, ...]):
+        """A pid already in ``moved`` that moved again has a borrowable view."""
+        for old, new in zip(state.previous, current):
+            if old != new and not is_bot(new):
+                pid = self._pid_of(new)
+                if pid in state.moved:
+                    return pid, self._view_of(new)
+        return None
+
+    def _finish_scan(self, state: _Frame, view: Tuple[Value, ...]) -> _Frame:
+        if state.target is None:
+            return replace(state, phase=DONE, view=view)
+        # An update proceeds to its single write, carrying the view.
+        return replace(state, phase=WRITING, view=view)

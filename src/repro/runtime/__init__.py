@@ -1,0 +1,49 @@
+"""Deterministic simulation runtime for asynchronous shared memory.
+
+The runtime realizes the paper's interleaving model (§2) as pure functions:
+
+* a :class:`~repro.runtime.system.Configuration` is an immutable value
+  holding every process's local state and the contents of every register;
+* :meth:`~repro.runtime.system.System.step` maps ``(configuration, pid)`` to
+  the next configuration plus an :mod:`event <repro.runtime.events>`
+  describing the atomic step taken.
+
+Because steps are pure, executions are fully determined by their schedule
+(the sequence of chosen process ids); they can be replayed, spliced and
+explored exhaustively — which is exactly what the paper's lower-bound
+constructions require.
+"""
+
+from repro.runtime.automaton import Context, Decide, ProtocolAutomaton
+from repro.runtime.frames import ImplContext, ObjectImplementation, Return
+from repro.runtime.system import (
+    ActiveOp,
+    Configuration,
+    ProcState,
+    Slot,
+    System,
+)
+from repro.runtime.events import DecideEvent, Event, InvokeEvent, MemoryEvent
+from repro.runtime.runner import Execution, replay, run, run_until_quiescent
+
+__all__ = [
+    "Context",
+    "Decide",
+    "ProtocolAutomaton",
+    "ImplContext",
+    "ObjectImplementation",
+    "Return",
+    "ActiveOp",
+    "Configuration",
+    "ProcState",
+    "Slot",
+    "System",
+    "Event",
+    "InvokeEvent",
+    "MemoryEvent",
+    "DecideEvent",
+    "Execution",
+    "run",
+    "replay",
+    "run_until_quiescent",
+]

@@ -1,0 +1,156 @@
+"""The protocol-automaton interface: algorithms as explicit state machines.
+
+Every algorithm in the library — the paper's Figures 3, 4 and 5, the
+baselines, the trivial algorithms — is written as a *deterministic state
+machine over frozen local states*, not as Python threads.  This is the
+design decision that makes the rest of the reproduction possible:
+
+* local states are immutable and hashable, so whole configurations are
+  values: they can be stored in visited sets (model checking), compared
+  (covering constructions) and branched from (what-if exploration) without
+  deep copies of interpreter frames;
+* the next shared-memory access of a process is *inspectable* ("poised"
+  steps in the paper's proofs) without running it.
+
+An automaton describes how one process executes a (possibly repeated)
+sequence of ``Propose`` operations:
+
+* :meth:`ProtocolAutomaton.initial_persistent` — local variables that
+  survive across invocations (the paper's persistent ``i``/``t``/``history``
+  in Figures 4 and 5);
+* :meth:`ProtocolAutomaton.begin` — start one ``Propose(v)``, returning the
+  initial state of each of the operation's *threads* (Figure 5 runs two
+  threads per operation; everything else runs one);
+* :meth:`ProtocolAutomaton.pending` — the thread's next action: a shared
+  memory operation (:mod:`repro.memory.ops`) or a :class:`Decide`;
+* :meth:`ProtocolAutomaton.apply` — the thread's state transition on the
+  response of its pending operation.
+
+Local computation between shared-memory accesses is folded into
+:meth:`apply` — the standard reduction for interleaving models, sound here
+because every bound in the paper concerns registers, not local work.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Tuple, Union
+
+from repro._types import Params, Value
+from repro.errors import AnonymityViolation
+from repro.memory.layout import MemoryLayout
+from repro.memory.ops import Op
+
+
+@dataclass(frozen=True)
+class Context:
+    """Per-process execution context handed to every automaton callback.
+
+    ``pid`` is the runtime's process index.  Anonymous algorithms (paper §5,
+    §6) must not consult it: they access identity only through
+    :attr:`identifier`, which raises for anonymous automata, so an accidental
+    identity leak fails loudly instead of silently breaking the anonymity
+    assumptions of the clone-based lower bound.
+    """
+
+    pid: int
+    n: int
+    params: Params
+    anonymous: bool = False
+
+    @property
+    def identifier(self) -> int:
+        """The process identifier, for identifier-based (eponymous) algorithms."""
+        if self.anonymous:
+            raise AnonymityViolation(
+                "anonymous automaton attempted to read its process identifier"
+            )
+        return self.pid
+
+
+@dataclass(frozen=True)
+class Decide:
+    """Terminal action of a ``Propose``: output a value, update persistence.
+
+    ``persistent`` is the new cross-invocation local state; for one-shot
+    protocols it is conventionally the old persistent state.
+    """
+
+    output: Value
+    persistent: Any
+
+
+Action = Union[Op, Decide]
+
+
+class ProtocolAutomaton(ABC):
+    """Deterministic per-process program for (repeated) set agreement.
+
+    Subclasses are constructed with their parameters (``n``, ``m``, ``k``,
+    register counts…) and expose them via :attr:`params`.  The same automaton
+    object is shared by all processes; per-process data lives exclusively in
+    the states it returns.
+    """
+
+    #: human-readable protocol name (used in reports and benchmarks)
+    name: str = "protocol"
+    #: whether processes are anonymous (identifier access then raises)
+    anonymous: bool = False
+    #: number of concurrent threads per operation (Figure 5 uses 2)
+    n_threads: int = 1
+
+    def __init__(self, params: Params) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def default_layout(self) -> MemoryLayout:
+        """The memory layout this protocol expects (object names + sizes).
+
+        Systems may substitute a different layout exposing the same object
+        names — e.g. replacing a primitive snapshot with a register-level
+        implementation — which is how the substrate ablations run.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def initial_persistent(self, ctx: Context) -> Any:
+        """Cross-invocation local state; default: no persistent state."""
+        return None
+
+    @abstractmethod
+    def begin(
+        self, ctx: Context, persistent: Any, value: Value, invocation: int
+    ) -> Tuple[Any, ...]:
+        """Start ``Propose(value)``; return initial state for each thread.
+
+        ``invocation`` is the 1-based count of this process's invocations,
+        i.e. the instance number of repeated agreement the operation targets.
+        """
+
+    @abstractmethod
+    def pending(self, ctx: Context, thread: int, state: Any) -> Action:
+        """The thread's next action given its current *state*."""
+
+    @abstractmethod
+    def apply(self, ctx: Context, thread: int, state: Any, response: Value) -> Any:
+        """Transition on the response to the thread's pending operation."""
+
+    def finalize_persistent(
+        self, ctx: Context, decide: Decide, thread_states: Tuple[Any, ...]
+    ) -> Any:
+        """Reconcile persistent state when one thread decides.
+
+        Multi-threaded protocols whose persistent variables are owned by a
+        thread other than the deciding one (Figure 5's location counter ``i``
+        lives in thread 1 while thread 2 may produce the output) override
+        this to merge ``decide.persistent`` with the surviving thread
+        states.  Default: ``decide.persistent`` unchanged.
+        """
+        return decide.persistent

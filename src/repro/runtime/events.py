@@ -1,0 +1,85 @@
+"""Event records: what each atomic step of an execution did.
+
+The paper's model distinguishes four step kinds (§2): operation invocation,
+a shared-memory access, local computation, and an operation response.  Local
+computation is folded into transitions (see :mod:`repro.runtime.automaton`),
+so an execution is a sequence of three event kinds:
+
+* :class:`InvokeEvent` — a ``Propose(value)`` began;
+* :class:`MemoryEvent` — one atomic register / snapshot access;
+* :class:`DecideEvent` — a ``Propose`` returned an output.
+
+Events are frozen and hashable; property checkers (:mod:`repro.spec`)
+consume them, and benchmarks aggregate them into step counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro._types import Value
+from repro.memory.ops import Op
+
+
+@dataclass(frozen=True)
+class InvokeEvent:
+    """Process ``pid`` invoked its ``invocation``-th ``Propose(value)``."""
+
+    pid: int
+    invocation: int
+    value: Value
+
+    kind = "invoke"
+
+    def __repr__(self) -> str:
+        return f"p{self.pid}: invoke #{self.invocation} Propose({self.value!r})"
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """Process ``pid`` performed one atomic shared-memory access.
+
+    ``thread`` is the operation-local thread that took the step (0 except in
+    multi-threaded protocols such as Figure 5).  ``in_frame`` marks register
+    accesses performed inside an object-implementation frame, so substrate
+    ablations can separate high-level from register-level steps.
+    """
+
+    pid: int
+    invocation: int
+    op: Op
+    response: Value
+    thread: int = 0
+    in_frame: bool = False
+
+    kind = "memory"
+
+    def __repr__(self) -> str:
+        frame = " [frame]" if self.in_frame else ""
+        return f"p{self.pid}: {self.op!r} -> {self.response!r}{frame}"
+
+
+@dataclass(frozen=True)
+class DecideEvent:
+    """Process ``pid`` completed its ``invocation``-th ``Propose``, outputting ``output``."""
+
+    pid: int
+    invocation: int
+    output: Value
+    thread: int = 0
+
+    kind = "decide"
+
+    def __repr__(self) -> str:
+        return f"p{self.pid}: decide #{self.invocation} -> {self.output!r}"
+
+
+Event = Union[InvokeEvent, MemoryEvent, DecideEvent]
+
+
+def decided_value(event: Event) -> Optional[Value]:
+    """The output carried by *event* if it is a decision, else ``None``."""
+    if isinstance(event, DecideEvent):
+        return event.output
+    return None

@@ -1,0 +1,140 @@
+"""Procedural adapter: write protocols as generator functions.
+
+The core automaton interface (explicit frozen-state machines) is what makes
+replay, splicing and model checking possible — but it is verbose for quick
+experiments.  This adapter lets a user write a process as a plain generator::
+
+    def racer(ctx, value):
+        for i in range(3):
+            yield UpdateOp("A", i, (value, ctx.pid))
+        s = yield ScanOp("A")
+        return s[0][0]          # the returned value is the decision
+
+and run it under any scheduler::
+
+    protocol = ProceduralProtocol(racer, layout=snapshot_layout("A", 3))
+    execution = run(System(protocol, workloads=[["a"], ["b"]]),
+                    RoundRobinScheduler())
+
+**Constraints** (enforced, not just documented): generator state lives in a
+mutable box, so configurations containing procedural states are *linear* —
+each may be stepped onward exactly once.  Forking a configuration (stepping
+the same one twice), exhaustive exploration, and :meth:`System.peek` (hence
+the :class:`~repro.sched.adversarial.WriterPriorityScheduler`) are rejected
+with :class:`~repro.errors.ProtocolViolation`.  Determinstic replay *from
+the initial configuration* works: a fresh run of the same schedule.  For
+anything that needs configuration forking, write a frozen-state automaton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro._types import Params, Value
+from repro.errors import ProtocolViolation
+from repro.memory.layout import MemoryLayout
+from repro.memory.ops import Op
+from repro.runtime.automaton import Context, Decide, ProtocolAutomaton
+
+ProcedureFn = Callable[..., Generator[Op, Value, Value]]
+
+
+class _GeneratorBox:
+    """Identity-hashed holder of a live generator plus a linearity guard."""
+
+    __slots__ = ("generator", "version")
+
+    def __init__(self, generator: Generator) -> None:
+        self.generator = generator
+        self.version = 0
+
+    def __hash__(self) -> int:  # identity: fine for linear runs
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass(frozen=True)
+class ProceduralState:
+    """One step of a procedural process: the box plus its pending action.
+
+    ``pending`` is precomputed at each advance, so reading it is pure; only
+    :meth:`ProceduralProtocol.apply` advances the generator, and the
+    ``version`` check makes accidental configuration forking loud.
+    """
+
+    box: _GeneratorBox
+    version: int
+    pending_action: Any  # Op | Decide
+
+
+class ProceduralProtocol(ProtocolAutomaton):
+    """Wrap a generator function into a (linear-run-only) protocol."""
+
+    name = "procedural"
+    n_threads = 1
+    supports_peek = False
+
+    def __init__(
+        self,
+        procedure: ProcedureFn,
+        layout: MemoryLayout,
+        *,
+        params: Optional[Params] = None,
+        anonymous: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(params if params is not None else Params())
+        self.procedure = procedure
+        self._layout = layout
+        self.anonymous = anonymous
+        if name is not None:
+            self.name = name
+
+    def default_layout(self) -> MemoryLayout:
+        return self._layout
+
+    # ------------------------------------------------------------------ #
+
+    def begin(self, ctx: Context, persistent: Any, value: Value, invocation: int):
+        generator = self.procedure(ctx, value)
+        box = _GeneratorBox(generator)
+        action = self._advance(box, None, first=True)
+        return (ProceduralState(box=box, version=0, pending_action=action),)
+
+    def pending(self, ctx: Context, thread: int, state: ProceduralState):
+        return state.pending_action
+
+    def apply(self, ctx: Context, thread: int, state: ProceduralState, response):
+        box = state.box
+        if box.version != state.version:
+            raise ProtocolViolation(
+                "procedural configuration was forked: a ProceduralProtocol "
+                "run is linear (no peek, no exploration, no re-stepping an "
+                "old configuration); use a frozen-state automaton instead"
+            )
+        box.version += 1
+        action = self._advance(box, response, first=False)
+        return ProceduralState(
+            box=box, version=box.version, pending_action=action
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _advance(box: _GeneratorBox, response: Value, *, first: bool):
+        try:
+            if first:
+                op = next(box.generator)
+            else:
+                op = box.generator.send(response)
+        except StopIteration as stop:
+            return Decide(output=stop.value, persistent=None)
+        if not isinstance(op, tuple(Op.__args__)):  # type: ignore[attr-defined]
+            raise ProtocolViolation(
+                f"procedural process yielded {op!r}; generators must yield "
+                "memory operations and return their decision"
+            )
+        return op

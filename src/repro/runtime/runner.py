@@ -1,0 +1,193 @@
+"""Run loops: fold schedules or schedulers over the pure step function.
+
+An :class:`Execution` packages everything needed to reason about a run —
+the system, the schedule actually taken, the event trace, and the initial /
+final configurations.  Because :meth:`repro.runtime.system.System.step` is
+pure, ``replay(system, execution.schedule)`` reproduces the execution
+exactly; the lower-bound constructions lean on this to certify spliced
+schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro._types import Value
+from repro.errors import NotEnabledError, StepLimitExceeded
+from repro.runtime.events import DecideEvent, Event, MemoryEvent
+from repro.runtime.system import Configuration, System
+
+StopCondition = Callable[[Configuration, List[Event]], bool]
+#: A monitor observes each (configuration, event) pair after every step and
+#: raises (typically SpecificationViolation) when an invariant breaks.
+Monitor = Callable[[Configuration, Event], None]
+
+
+@dataclass
+class Execution:
+    """A finite execution: schedule, events and end-point configurations."""
+
+    system: System
+    initial: Configuration
+    schedule: List[int] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    config: Configuration = None  # type: ignore[assignment]
+    hit_step_limit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = self.initial
+
+    # ---------------------------------------------------------------- #
+    # Observations
+    # ---------------------------------------------------------------- #
+
+    @property
+    def steps(self) -> int:
+        return len(self.schedule)
+
+    @property
+    def decisions(self) -> List[DecideEvent]:
+        return [e for e in self.events if isinstance(e, DecideEvent)]
+
+    @property
+    def memory_events(self) -> List[MemoryEvent]:
+        return [e for e in self.events if isinstance(e, MemoryEvent)]
+
+    def outputs(self) -> Tuple[Tuple[Value, ...], ...]:
+        """Per-process output tuples at the final configuration."""
+        return self.system.outputs(self.config)
+
+    def instance_outputs(self, instance: int) -> Tuple[Value, ...]:
+        """Outputs produced for repeated-agreement *instance* (1-based)."""
+        return self.system.instance_outputs(self.config, instance)
+
+    def process_steps(self, pid: int) -> int:
+        """Number of steps *pid* took in this execution."""
+        return sum(1 for chosen in self.schedule if chosen == pid)
+
+    def append_step(self, pid: int) -> Event:
+        """Take one step by *pid*, recording it.  Mutates this execution."""
+        result = self.system.step(self.config, pid)
+        self.config = result.config
+        self.schedule.append(pid)
+        self.events.append(result.event)
+        return result.event
+
+
+def run(
+    system: System,
+    scheduler,
+    *,
+    max_steps: int = 100_000,
+    initial: Optional[Configuration] = None,
+    stop: Optional[StopCondition] = None,
+    on_limit: str = "raise",
+    monitors: Optional[Sequence[Monitor]] = None,
+) -> Execution:
+    """Run *system* under *scheduler* until quiescence, *stop*, or the budget.
+
+    The run ends when every process has halted (completed its workload), when
+    *stop* returns true, or when the scheduler returns ``None``.  Hitting
+    ``max_steps`` raises :class:`~repro.errors.StepLimitExceeded` unless
+    ``on_limit="return"``, in which case the partial execution is returned
+    with :attr:`Execution.hit_step_limit` set.
+
+    ``monitors`` are invoked after every step with the new configuration and
+    the event taken; they raise to abort the run — the way per-step
+    invariants (e.g. the paper's Lemma 3, :mod:`repro.spec.invariants`)
+    are enforced online.
+    """
+    if on_limit not in ("raise", "return"):
+        raise ValueError(f"on_limit must be 'raise' or 'return', got {on_limit!r}")
+    start = initial if initial is not None else system.initial_configuration()
+    execution = Execution(system=system, initial=start)
+    if hasattr(scheduler, "reset"):
+        scheduler.reset()
+    while True:
+        if stop is not None and stop(execution.config, execution.events):
+            return execution
+        enabled = system.enabled_pids(execution.config)
+        if not enabled:
+            return execution
+        if execution.steps >= max_steps:
+            if on_limit == "return":
+                execution.hit_step_limit = True
+                return execution
+            raise StepLimitExceeded(
+                f"run exceeded {max_steps} steps without terminating "
+                f"({system.automaton.name}, n={system.n})"
+            )
+        pid = scheduler.choose(execution.config, system, enabled, execution.steps)
+        if pid is None:
+            return execution
+        if pid not in enabled:
+            raise NotEnabledError(
+                f"scheduler chose disabled process {pid} (enabled: {enabled})"
+            )
+        event = execution.append_step(pid)
+        if monitors:
+            for monitor in monitors:
+                monitor(execution.config, event)
+
+
+def replay(
+    system: System,
+    schedule: Sequence[int],
+    *,
+    initial: Optional[Configuration] = None,
+) -> Execution:
+    """Re-execute *schedule* exactly; raises if any chosen pid is disabled."""
+    start = initial if initial is not None else system.initial_configuration()
+    execution = Execution(system=system, initial=start)
+    for pid in schedule:
+        execution.append_step(pid)
+    return execution
+
+
+def run_until_quiescent(
+    system: System,
+    scheduler,
+    *,
+    max_steps: int = 100_000,
+    initial: Optional[Configuration] = None,
+) -> Execution:
+    """Run until every process has completed its entire workload."""
+    return run(system, scheduler, max_steps=max_steps, initial=initial)
+
+
+def run_solo(
+    system: System,
+    pid: int,
+    *,
+    initial: Optional[Configuration] = None,
+    max_steps: int = 100_000,
+    until_decisions: Optional[int] = None,
+) -> Execution:
+    """Run only process *pid* until it halts (or completes *until_decisions*).
+
+    Solo runs are the obstruction-free regime with ``|P| = 1`` and the basic
+    building block of the covering construction (Theorem 2's γ fragments for
+    ``m = 1``).
+    """
+    start = initial if initial is not None else system.initial_configuration()
+    execution = Execution(system=system, initial=start)
+    while system.enabled(execution.config, pid):
+        if until_decisions is not None:
+            if len(execution.config.procs[pid].outputs) >= until_decisions:
+                return execution
+        if execution.steps >= max_steps:
+            raise StepLimitExceeded(
+                f"solo run of process {pid} exceeded {max_steps} steps; the "
+                "protocol may not be obstruction-free at this register count"
+            )
+        execution.append_step(pid)
+    return execution
+
+
+def schedule_of(events_or_execution) -> List[int]:
+    """Extract the pid schedule from an execution (convenience)."""
+    if isinstance(events_or_execution, Execution):
+        return list(events_or_execution.schedule)
+    return [e.pid for e in events_or_execution]

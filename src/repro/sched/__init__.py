@@ -1,0 +1,45 @@
+"""Schedulers (adversaries) controlling interleavings of the simulated system.
+
+In the asynchronous model, progress properties quantify over the adversary's
+choices of which process steps next.  Each scheduler here is a deterministic
+or seeded strategy; the runner records the schedule actually taken so any
+run can be replayed exactly.
+
+The family spans the paper's regimes:
+
+* :class:`~repro.sched.solo.SoloScheduler` — solo runs (obstruction-freedom);
+* :class:`~repro.sched.bounded.EventuallyBoundedScheduler` — executions in
+  which eventually at most ``m`` processes take steps (the m-obstruction-free
+  progress condition, Taubenfeld [12]);
+* :class:`~repro.sched.round_robin.RoundRobinScheduler`,
+  :class:`~repro.sched.random_walk.RandomScheduler` — generic fair and
+  randomized adversaries for safety stress;
+* :class:`~repro.sched.crash.CrashScheduler` — crash failures;
+* :class:`~repro.sched.adversarial.WriterPriorityScheduler` — a contention
+  heuristic that maximizes overwriting.
+"""
+
+from repro.sched.base import FixedSchedule, Scheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sched.solo import SoloScheduler
+from repro.sched.random_walk import RandomScheduler
+from repro.sched.bounded import EventuallyBoundedScheduler
+from repro.sched.crash import CrashScheduler
+from repro.sched.adversarial import WriterPriorityScheduler
+from repro.sched.cyclic import CyclicScheduler, phases
+from repro.sched.composed import InterleavedScheduler, PhasedScheduler
+
+__all__ = [
+    "PhasedScheduler",
+    "InterleavedScheduler",
+    "Scheduler",
+    "FixedSchedule",
+    "RoundRobinScheduler",
+    "SoloScheduler",
+    "RandomScheduler",
+    "EventuallyBoundedScheduler",
+    "CrashScheduler",
+    "WriterPriorityScheduler",
+    "CyclicScheduler",
+    "phases",
+]

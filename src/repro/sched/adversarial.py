@@ -1,0 +1,51 @@
+"""A contention-maximizing heuristic adversary.
+
+Obstruction-free algorithms make progress only without interference; this
+adversary manufactures interference.  Each step it prefers a process whose
+*next* access is a write (inspected via :meth:`System.peek` — legal for an
+adaptive adversary in the standard model, which sees internal states), so
+written registers keep changing under everyone's feet and preference-
+adoption loops (Figures 3–5) are stressed maximally.  Among writers it
+round-robins, which empirically keeps all preferences circulating.
+
+Used by the adversary-ablation benchmark (E8) and by liveness stress tests:
+the paper's algorithms must *still* decide once the adversary is m-bounded,
+and must never violate safety meanwhile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.memory.ops import is_write_access
+from repro.runtime.events import MemoryEvent
+from repro.sched.base import Scheduler
+
+
+class WriterPriorityScheduler(Scheduler):
+    """Prefer processes poised to write; round-robin within each class."""
+
+    def __init__(self, subset: Optional[Iterable[int]] = None) -> None:
+        self._subset = tuple(sorted(set(subset))) if subset is not None else None
+        self._cursor = 0
+
+    def choose(self, config, system, enabled, step_index):
+        candidates = (
+            [pid for pid in self._subset if pid in enabled]
+            if self._subset is not None
+            else list(enabled)
+        )
+        if not candidates:
+            return None
+        writers = []
+        for pid in candidates:
+            event = system.peek(config, pid)
+            if isinstance(event, MemoryEvent) and is_write_access(event.op):
+                writers.append(pid)
+        pool = writers if writers else candidates
+        pid = pool[self._cursor % len(pool)]
+        self._cursor += 1
+        return pid
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,53 @@
+"""Scheduler protocol and the fixed-schedule replayer."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple
+
+from repro.runtime.system import Configuration, System
+
+
+class Scheduler(ABC):
+    """Strategy choosing which enabled process takes the next step.
+
+    ``choose`` may return ``None`` to end the run (an adversary is never
+    obliged to keep scheduling).  Schedulers may be stateful; ``reset`` is
+    called at the start of every run.
+    """
+
+    @abstractmethod
+    def choose(
+        self,
+        config: Configuration,
+        system: System,
+        enabled: Tuple[int, ...],
+        step_index: int,
+    ) -> Optional[int]:
+        """Return the pid to step next (must be in *enabled*), or ``None``."""
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        """Reinitialize internal state before a run."""
+
+
+class FixedSchedule(Scheduler):
+    """Replay a predetermined sequence of pids, then stop.
+
+    Choosing a disabled pid is an error surfaced by the runner — a fixed
+    schedule is a claim about a concrete execution, so silently skipping
+    would hide construction bugs.
+    """
+
+    def __init__(self, schedule: Sequence[int]) -> None:
+        self._schedule = tuple(schedule)
+        self._position = 0
+
+    def choose(self, config, system, enabled, step_index):
+        if self._position >= len(self._schedule):
+            return None
+        pid = self._schedule[self._position]
+        self._position += 1
+        return pid
+
+    def reset(self) -> None:
+        self._position = 0

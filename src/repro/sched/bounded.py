@@ -1,0 +1,52 @@
+"""Eventually-m-bounded adversaries: the m-obstruction-free regime.
+
+m-obstruction-freedom (paper §2.1) requires every correct process to
+complete its operations in executions where *at most m processes take
+infinitely many steps*.  The finite analogue realized here: an arbitrary
+"prelude" interleaving involving everyone, after which only a chosen set
+``P`` with ``|P| ≤ m`` is scheduled.  An algorithm is m-obstruction-free in
+practice iff, for every such adversary, the processes of ``P`` decide within
+a bounded number of post-prelude steps — which is exactly what the progress
+checker (:mod:`repro.spec.progress`) asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sched.base import Scheduler
+from repro.sched.round_robin import RoundRobinScheduler
+
+
+class EventuallyBoundedScheduler(Scheduler):
+    """Run *prelude* for ``prelude_steps`` steps, then only ``survivors``.
+
+    ``prelude`` defaults to fair round-robin over all processes.  After the
+    switch, survivors run round-robin — fair among themselves, as required
+    for them to count as "taking infinitely many steps".
+    """
+
+    def __init__(
+        self,
+        survivors: Iterable[int],
+        prelude_steps: int,
+        prelude: Optional[Scheduler] = None,
+    ) -> None:
+        self.survivors = tuple(sorted(set(survivors)))
+        if not self.survivors:
+            raise ValueError("survivor set must be non-empty")
+        self.prelude_steps = prelude_steps
+        self._prelude = prelude if prelude is not None else RoundRobinScheduler()
+        self._tail = RoundRobinScheduler(subset=self.survivors)
+
+    def choose(self, config, system, enabled, step_index):
+        if step_index < self.prelude_steps:
+            pid = self._prelude.choose(config, system, enabled, step_index)
+            if pid is not None:
+                return pid
+            # Prelude has nothing to schedule; fall through to survivors.
+        return self._tail.choose(config, system, enabled, step_index)
+
+    def reset(self) -> None:
+        self._prelude.reset()
+        self._tail.reset()

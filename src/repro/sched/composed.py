@@ -1,0 +1,85 @@
+"""Scheduler combinators: build complex adversaries from simple ones.
+
+:class:`PhasedScheduler` runs a sequence of (steps, scheduler) phases —
+the general form of which :class:`~repro.sched.bounded.EventuallyBoundedScheduler`
+is the two-phase special case.  :class:`InterleavedScheduler` alternates
+several schedulers step by step, which composes e.g. a crash pattern with
+a writer-priority heuristic without writing a new class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.sched.base import Scheduler
+
+
+class PhasedScheduler(Scheduler):
+    """Run each ``(steps, scheduler)`` phase in order; the last runs forever.
+
+    A phase's scheduler returning ``None`` advances to the next phase early
+    (an adversary done with its agenda hands over).  The final phase's
+    ``None`` ends the run.
+    """
+
+    def __init__(self, phases: Sequence[Tuple[int, Scheduler]]) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases: List[Tuple[int, Scheduler]] = list(phases)
+        self._index = 0
+        self._spent = 0
+
+    def choose(self, config, system, enabled, step_index):
+        while self._index < len(self.phases):
+            budget, scheduler = self.phases[self._index]
+            is_last = self._index == len(self.phases) - 1
+            if not is_last and self._spent >= budget:
+                self._advance()
+                continue
+            pid = scheduler.choose(config, system, enabled, step_index)
+            if pid is None:
+                if is_last:
+                    return None
+                self._advance()
+                continue
+            self._spent += 1
+            return pid
+        return None
+
+    def _advance(self) -> None:
+        self._index += 1
+        self._spent = 0
+
+    def reset(self) -> None:
+        self._index = 0
+        self._spent = 0
+        for _, scheduler in self.phases:
+            scheduler.reset()
+
+
+class InterleavedScheduler(Scheduler):
+    """Alternate between schedulers, one step each, round-robin.
+
+    A constituent returning ``None`` is skipped for that turn; the run ends
+    only when *all* constituents decline in one full rotation.
+    """
+
+    def __init__(self, schedulers: Sequence[Scheduler]) -> None:
+        if not schedulers:
+            raise ValueError("need at least one scheduler")
+        self.schedulers = list(schedulers)
+        self._turn = 0
+
+    def choose(self, config, system, enabled, step_index):
+        for _ in range(len(self.schedulers)):
+            scheduler = self.schedulers[self._turn % len(self.schedulers)]
+            self._turn += 1
+            pid = scheduler.choose(config, system, enabled, step_index)
+            if pid is not None:
+                return pid
+        return None
+
+    def reset(self) -> None:
+        self._turn = 0
+        for scheduler in self.schedulers:
+            scheduler.reset()

@@ -1,0 +1,52 @@
+"""Crash-failure adversary: processes stop taking steps forever.
+
+A crashed process is indistinguishable, to the others, from a very slow one
+— the fundamental fact of asynchrony.  Crashing all but ``m`` processes
+turns any base scheduler into an m-bounded one, so this adversary doubles
+as a failure-injection tool for the progress benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.sched.base import Scheduler
+from repro.sched.round_robin import RoundRobinScheduler
+
+
+class CrashScheduler(Scheduler):
+    """Wrap *base*, permanently excluding pids once their crash step passes.
+
+    ``crashes`` maps pid -> global step index at which the process crashes
+    (it takes no step at or after that index).
+    """
+
+    def __init__(
+        self, crashes: Mapping[int, int], base: Optional[Scheduler] = None
+    ) -> None:
+        self.crashes = dict(crashes)
+        self._base = base if base is not None else RoundRobinScheduler()
+
+    def _alive(self, enabled, step_index):
+        return tuple(
+            pid
+            for pid in enabled
+            if pid not in self.crashes or step_index < self.crashes[pid]
+        )
+
+    def choose(self, config, system, enabled, step_index):
+        alive = self._alive(enabled, step_index)
+        if not alive:
+            return None
+        # Re-ask the base scheduler until it proposes a live process; a base
+        # scheduler that insists on a crashed pid forever ends the run.
+        for _ in range(len(enabled) + 1):
+            pid = self._base.choose(config, system, alive, step_index)
+            if pid is None:
+                return None
+            if pid in alive:
+                return pid
+        return None
+
+    def reset(self) -> None:
+        self._base.reset()

@@ -1,0 +1,43 @@
+"""Cyclic (phased) scheduling: repeat a fixed pid pattern.
+
+Useful for crafting asymmetric regimes — e.g. "q gets 200 consecutive steps,
+then p gets 4" — which is how the Figure 5 starvation-rescue experiment
+(E6) manufactures a perpetual writer and a starving scanner.  Disabled pids
+in the pattern are skipped; the run ends when a full cycle finds nobody to
+schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sched.base import Scheduler
+
+
+def phases(*groups: Sequence[int]) -> tuple:
+    """Flatten ``([q]*200, [p]*4)``-style phase groups into one pattern."""
+    pattern = []
+    for group in groups:
+        pattern.extend(group)
+    return tuple(pattern)
+
+
+class CyclicScheduler(Scheduler):
+    """Repeat *pattern* forever, skipping entries that are disabled."""
+
+    def __init__(self, pattern: Iterable[int]) -> None:
+        self.pattern = tuple(pattern)
+        if not self.pattern:
+            raise ValueError("pattern must be non-empty")
+        self._cursor = 0
+
+    def choose(self, config, system, enabled, step_index):
+        for _ in range(len(self.pattern)):
+            pid = self.pattern[self._cursor % len(self.pattern)]
+            self._cursor += 1
+            if pid in enabled:
+                return pid
+        return None
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,51 @@
+"""Seeded random scheduling for safety stress testing.
+
+Safety (Validity, k-Agreement) must hold in *every* execution, so random
+interleavings are a cheap probe of the execution space; hypothesis-based
+property tests drive this scheduler with many seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.sched.base import Scheduler
+
+
+class RandomScheduler(Scheduler):
+    """Pick a uniformly random enabled process each step (seeded).
+
+    ``weights`` optionally biases selection per pid (unnormalized); biased
+    schedules are useful to approximate regimes where some processes are
+    slow without silencing them entirely.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        subset: Optional[Iterable[int]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._seed = seed
+        self._subset = tuple(sorted(set(subset))) if subset is not None else None
+        self._weights = tuple(weights) if weights is not None else None
+        self._rng = random.Random(seed)
+
+    def choose(self, config, system, enabled, step_index):
+        candidates = (
+            [pid for pid in self._subset if pid in enabled]
+            if self._subset is not None
+            else list(enabled)
+        )
+        if not candidates:
+            return None
+        if self._weights is None:
+            return self._rng.choice(candidates)
+        weights = [self._weights[pid] for pid in candidates]
+        if sum(weights) <= 0:
+            return self._rng.choice(candidates)
+        return self._rng.choices(candidates, weights=weights, k=1)[0]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

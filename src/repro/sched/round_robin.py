@@ -1,0 +1,35 @@
+"""Fair round-robin scheduling over all (or a subset of) processes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sched.base import Scheduler
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through processes in pid order, skipping disabled ones.
+
+    With ``subset`` given, only those processes are scheduled — a simple way
+    to realize the paper's executions "in which only processes in Q take
+    steps".
+    """
+
+    def __init__(self, subset: Optional[Iterable[int]] = None) -> None:
+        self._subset = tuple(sorted(set(subset))) if subset is not None else None
+        self._cursor = 0
+
+    def choose(self, config, system, enabled, step_index):
+        candidates = (
+            [pid for pid in self._subset if pid in enabled]
+            if self._subset is not None
+            else list(enabled)
+        )
+        if not candidates:
+            return None
+        pid = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return pid
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,19 @@
+"""Solo scheduling: one process runs alone (the obstruction-free regime)."""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+
+class SoloScheduler(Scheduler):
+    """Schedule only process ``pid``; stop when it halts.
+
+    Obstruction-freedom (m = 1) demands termination exactly under such
+    schedules, once the process runs without interference.
+    """
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+
+    def choose(self, config, system, enabled, step_index):
+        return self.pid if self.pid in enabled else None

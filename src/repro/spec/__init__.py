@@ -1,0 +1,25 @@
+"""Property checkers: the paper's correctness conditions, made executable."""
+
+from repro.spec.properties import (
+    Violation,
+    assert_execution_safe,
+    check_k_agreement,
+    check_safety,
+    check_validity,
+    instance_inputs,
+    instance_outputs,
+)
+from repro.spec.stats import ExecutionStats, execution_stats, registers_written
+
+__all__ = [
+    "Violation",
+    "assert_execution_safe",
+    "check_k_agreement",
+    "check_safety",
+    "check_validity",
+    "instance_inputs",
+    "instance_outputs",
+    "ExecutionStats",
+    "execution_stats",
+    "registers_written",
+]

@@ -1,0 +1,125 @@
+"""Configuration invariants from the paper's proofs, as runtime monitors.
+
+The correctness arguments of §4 and Appendix A rest on structural
+invariants of the shared snapshot's contents.  Each of them is implemented
+here as a *monitor* — a callable ``(configuration, event) -> None`` that
+raises :class:`~repro.errors.SpecificationViolation` the moment the
+invariant breaks — pluggable into :func:`repro.runtime.runner.run` via its
+``monitors`` parameter, so tests enforce the lemmas on **every
+configuration** of a run, not just at the end:
+
+* :func:`lemma3_monitor` — Figure 3's Lemma 3: all pairs in ``A`` carrying
+  the same process identifier have the same value;
+* :func:`lemma12_monitor` — Figure 4's Lemma 12: for each (id, instance),
+  all stored t-tuples are identical;
+* :func:`commit_adopt_round_monitor` — the single-value-per-round-in-B
+  lemma of the commit-adopt baseline (the property whose violation the
+  model checker caught in this library's first draft of that algorithm);
+* :func:`consensus_history_monitor` — with ``k = 1``, any two histories
+  stored in ``A`` are prefix-compatible (per-instance consensus leaves no
+  room for divergent histories).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro._types import Value, is_bot
+from repro.errors import SpecificationViolation
+from repro.runtime.events import Event
+from repro.runtime.system import Configuration
+
+Monitor = Callable[[Configuration, Event], None]
+
+
+def _snapshot_bank(config: Configuration, bank_index: int = 0):
+    return config.memory[bank_index]
+
+
+def lemma3_monitor(bank_index: int = 0) -> Monitor:
+    """Figure 3 / Lemma 3: one value per identifier in the snapshot."""
+
+    def monitor(config: Configuration, event: Event) -> None:
+        per_id: Dict[int, Value] = {}
+        for entry in _snapshot_bank(config, bank_index):
+            if is_bot(entry):
+                continue
+            value, pid = entry[0], entry[1]
+            if pid in per_id and per_id[pid] != value:
+                raise SpecificationViolation(
+                    "Lemma 3",
+                    f"identifier {pid} stored both {per_id[pid]!r} and "
+                    f"{value!r}",
+                )
+            per_id[pid] = value
+
+    return monitor
+
+
+def lemma12_monitor(bank_index: int = 0) -> Monitor:
+    """Figure 4 / Lemma 12: identical t-tuples per (identifier, instance)."""
+
+    def monitor(config: Configuration, event: Event) -> None:
+        per_key: Dict[Tuple[int, int], Value] = {}
+        for entry in _snapshot_bank(config, bank_index):
+            if is_bot(entry):
+                continue
+            value, pid, instance = entry[0], entry[1], entry[2]
+            key = (pid, instance)
+            if key in per_key and per_key[key] != entry:
+                raise SpecificationViolation(
+                    "Lemma 12",
+                    f"process {pid} stored two different tuples for "
+                    f"instance {instance}: {per_key[key]!r} vs {entry!r}",
+                )
+            per_key[key] = entry
+
+    return monitor
+
+
+def commit_adopt_round_monitor(b_bank_index: int = 1) -> Monitor:
+    """Commit-adopt baseline: array ``B`` holds one value per round."""
+
+    def monitor(config: Configuration, event: Event) -> None:
+        per_round: Dict[int, Value] = {}
+        for entry in config.memory[b_bank_index]:
+            if is_bot(entry):
+                continue
+            round_, value = entry
+            if round_ in per_round and per_round[round_] != value:
+                raise SpecificationViolation(
+                    "CommitAdopt-B-unique",
+                    f"round {round_} committed both {per_round[round_]!r} "
+                    f"and {value!r}",
+                )
+            per_round[round_] = value
+
+    return monitor
+
+
+def consensus_history_monitor(
+    bank_index: int = 0, history_position: int = 3
+) -> Monitor:
+    """k = 1: all histories stored in ``A`` are prefix-compatible.
+
+    ``history_position`` is the tuple index of the history field (3 for
+    Figure 4's ``(pref, id, t, history)``, 2 for Figure 5's
+    ``(pref, t, history)``).
+    """
+
+    def monitor(config: Configuration, event: Event) -> None:
+        histories = [
+            entry[history_position]
+            for entry in _snapshot_bank(config, bank_index)
+            if not is_bot(entry)
+        ]
+        for a in histories:
+            for b in histories:
+                shared = min(len(a), len(b))
+                if a[:shared] != b[:shared]:
+                    raise SpecificationViolation(
+                        "Consensus-history-prefix",
+                        f"incompatible histories {a!r} vs {b!r}",
+                    )
+
+    return monitor

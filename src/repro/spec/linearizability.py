@@ -1,0 +1,222 @@
+"""Linearizability checking for snapshot implementations.
+
+The register-level substrates (:mod:`repro.objects`) claim to implement an
+*atomic* snapshot.  This module verifies that claim on concrete executions:
+
+1. :class:`SnapshotScript` is a harness automaton that makes each process
+   perform a scripted sequence of ``update``/``scan`` operations against the
+   object ``"A"`` (bound to the substrate under test);
+2. :func:`extract_history` reconstructs, from the execution's event stream,
+   each high-level operation's real-time interval (first to last register
+   access of its frame) and its response (accumulated by the harness);
+3. :func:`check_linearizable` runs a Wing–Gong style search for a
+   linearization: a total order of the operations, consistent with the
+   real-time partial order, under which every scan returns exactly the
+   component vector produced by the preceding updates.
+
+Exponential in the worst case, fine for the focused histories the tests
+generate — and it has real teeth: it rejects, e.g., a broken double collect
+that returns after a single collect (a regression test asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro._types import BOT, Params, Value
+from repro.errors import ConfigurationError
+from repro.memory.layout import MemoryLayout
+from repro.memory.ops import Op, ScanOp, UpdateOp
+from repro.runtime.automaton import Context, Decide, ProtocolAutomaton
+from repro.runtime.events import MemoryEvent
+from repro.runtime.runner import Execution
+
+
+@dataclass(frozen=True)
+class _ScriptState:
+    position: int
+    responses: Tuple[Value, ...]
+
+
+class SnapshotScript(ProtocolAutomaton):
+    """Drive the object ``"A"`` with per-process operation scripts.
+
+    ``scripts[pid]`` is a sequence of :class:`UpdateOp` / :class:`ScanOp`
+    (targeting ``"A"``).  Each process performs its script within a single
+    ``Propose`` and decides with the tuple of responses it observed.
+    """
+
+    name = "snapshot-script-harness"
+    n_threads = 1
+
+    def __init__(self, scripts: Sequence[Sequence[Op]], components: int) -> None:
+        super().__init__(Params(components=components))
+        self.scripts: Tuple[Tuple[Op, ...], ...] = tuple(
+            tuple(script) for script in scripts
+        )
+        for script in self.scripts:
+            for op in script:
+                if op.obj != "A" or not isinstance(op, (UpdateOp, ScanOp)):
+                    raise ConfigurationError(
+                        f"scripts must contain update/scan ops on 'A', got {op!r}"
+                    )
+        self.components = components
+
+    def default_layout(self) -> MemoryLayout:
+        from repro.memory.layout import snapshot_layout
+
+        return snapshot_layout("A", self.components)
+
+    def begin(self, ctx: Context, persistent: Any, value: Value, invocation: int):
+        return (_ScriptState(position=0, responses=()),)
+
+    def pending(self, ctx: Context, thread: int, state: _ScriptState):
+        script = self.scripts[ctx.pid]
+        if state.position >= len(script):
+            return Decide(output=state.responses, persistent=None)
+        return script[state.position]
+
+    def apply(self, ctx: Context, thread: int, state: _ScriptState, response):
+        return _ScriptState(
+            position=state.position + 1,
+            responses=state.responses + (response,),
+        )
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed high-level operation with its real-time interval."""
+
+    pid: int
+    op: Op
+    response: Value
+    start: int  # index of its first step in the execution
+    end: int  # index of its last step
+
+
+def extract_history(
+    execution: Execution, scripts: Sequence[Sequence[Op]]
+) -> List[OpRecord]:
+    """Reconstruct high-level operation intervals from the execution.
+
+    The harness state's ``position`` field is the authoritative progress
+    marker: the execution is re-driven step by step, and whenever a
+    process's position advances, the operation it just completed is closed.
+    Interval conventions:
+
+    * on a *primitive* substrate an operation is the single step that
+      performs it (the completing event is a non-frame memory access);
+    * on an *implemented* substrate an operation spans from its frame's
+      first register access to its last; the runtime folds the frame's
+      return into the process's next step, so the completed op's ``end`` is
+      the process's previous event and the folding step is simultaneously
+      the *next* operation's first access (its ``start``).
+    """
+    system = execution.system
+    responses = {
+        pid: outputs[0]
+        for pid, outputs in enumerate(execution.outputs())
+        if outputs
+    }
+    history: List[OpRecord] = []
+    position = {pid: 0 for pid in range(system.n)}
+    op_start: dict[int, Optional[int]] = {pid: None for pid in range(system.n)}
+    last_event = {pid: None for pid in range(system.n)}
+
+    config = execution.initial
+    for index, pid in enumerate(execution.schedule):
+        result = system.step(config, pid)
+        config = result.config
+        event = result.event
+        proc = config.procs[pid]
+
+        if proc.active is not None:
+            new_position = proc.active.slots[0].state.position
+        elif proc.outputs:
+            new_position = len(scripts[pid])
+        else:
+            new_position = 0  # just idle before invocation
+
+        if (
+            op_start[pid] is None
+            and isinstance(event, MemoryEvent)
+            and new_position == position[pid]
+        ):
+            op_start[pid] = index  # first access of the current operation
+
+        if new_position > position[pid]:
+            completed = position[pid]
+            if completed + 1 != new_position:
+                raise ConfigurationError(
+                    f"process {pid} advanced {new_position - completed} "
+                    "operations in one step"
+                )
+            if pid not in responses:
+                raise ConfigurationError(
+                    f"process {pid} performed operations but never decided; "
+                    "run the harness to quiescence before extracting"
+                )
+            if isinstance(event, MemoryEvent) and not event.in_frame:
+                start = end = index  # primitive: the op is this very step
+                op_start[pid] = None
+            else:
+                start = op_start[pid]
+                end = last_event[pid]
+                # A folding memory event already belongs to the next op.
+                op_start[pid] = index if isinstance(event, MemoryEvent) else None
+            history.append(
+                OpRecord(
+                    pid=pid,
+                    op=scripts[pid][completed],
+                    response=responses[pid][completed],
+                    start=start,
+                    end=end,
+                )
+            )
+            position[pid] = new_position
+
+        if isinstance(event, MemoryEvent):
+            last_event[pid] = index
+
+    history.sort(key=lambda record: (record.start, record.end))
+    return history
+
+
+def check_linearizable(
+    history: Sequence[OpRecord], components: int
+) -> Optional[Tuple[OpRecord, ...]]:
+    """Return a witness linearization, or ``None`` if none exists.
+
+    Wing–Gong search: repeatedly pick a *minimal* operation (one whose start
+    precedes every remaining operation's end), apply it to the abstract
+    snapshot state, require scans to match their recorded responses, and
+    backtrack on mismatch.
+    """
+    initial_state = (BOT,) * components
+
+    def search(
+        remaining: Tuple[OpRecord, ...], state: Tuple[Value, ...]
+    ) -> Optional[Tuple[OpRecord, ...]]:
+        if not remaining:
+            return ()
+        min_end = min(record.end for record in remaining)
+        for index, record in enumerate(remaining):
+            if record.start > min_end:
+                continue  # not minimal: someone else finished before it began
+            if isinstance(record.op, ScanOp):
+                if record.response != state:
+                    continue
+                next_state = state
+            else:
+                op = record.op
+                next_state = (
+                    state[: op.component] + (op.value,) + state[op.component + 1 :]
+                )
+            rest = remaining[:index] + remaining[index + 1 :]
+            tail = search(rest, next_state)
+            if tail is not None:
+                return (record,) + tail
+        return None
+
+    return search(tuple(history), initial_state)

@@ -1,0 +1,152 @@
+"""m-obstruction-freedom, checked over finite adversary families.
+
+The progress condition (paper §2.1) quantifies over infinite executions: if
+at most ``m`` processes take infinitely many steps, every correct process
+completes every operation.  Its finite, falsifiable analogue used here:
+
+    for every prelude interleaving and every survivor set ``P`` with
+    ``|P| ≤ m``, once only ``P`` is scheduled (fairly), every process in
+    ``P`` completes its whole workload within a step budget.
+
+:func:`check_bounded_progress` tests one adversary; :func:`progress_matrix`
+sweeps survivor sets and seeded preludes and aggregates failures, each with
+the concrete schedule that exhibits it (replayable evidence).
+
+A budget violation is *evidence*, not proof, of non-termination — but for
+the paper's algorithms the expected decision latency under an m-bounded
+adversary is small and bounded runs that exceed a generous budget have, in
+every case we exhibit (e.g. the under-provisioned Figure 4), a genuinely
+livelocked preference cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import StepLimitExceeded
+from repro.runtime.runner import Execution, run
+from repro.runtime.system import System
+from repro.sched.base import Scheduler
+from repro.sched.bounded import EventuallyBoundedScheduler
+from repro.sched.random_walk import RandomScheduler
+
+
+@dataclass(frozen=True)
+class ProgressFailure:
+    """One adversary under which survivors failed to finish in budget."""
+
+    survivors: Tuple[int, ...]
+    prelude_steps: int
+    seed: Optional[int]
+    schedule: Tuple[int, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"survivors {self.survivors}, prelude {self.prelude_steps} "
+            f"(seed {self.seed}): {self.detail}"
+        )
+
+
+@dataclass
+class ProgressReport:
+    """Aggregate over an adversary family."""
+
+    attempted: int = 0
+    failures: List[ProgressFailure] = field(default_factory=list)
+    max_steps_observed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line account of the adversary family's outcome."""
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"progress: {status} over {self.attempted} adversaries "
+            f"(max steps observed {self.max_steps_observed})"
+        )
+
+
+def check_bounded_progress(
+    system: System,
+    survivors: Sequence[int],
+    *,
+    prelude_steps: int = 0,
+    prelude: Optional[Scheduler] = None,
+    budget: int = 50_000,
+) -> Execution:
+    """Run one m-bounded adversary; raise StepLimitExceeded on stall.
+
+    Returns the complete execution when every survivor finished its
+    workload.  The caller chooses ``survivors`` with ``|survivors| ≤ m``;
+    this function is agnostic of ``m`` on purpose — running it with a larger
+    set is exactly how one demonstrates that the guarantee stops at ``m``.
+    """
+    scheduler = EventuallyBoundedScheduler(
+        survivors=survivors, prelude_steps=prelude_steps, prelude=prelude
+    )
+    execution = run(system, scheduler, max_steps=prelude_steps + budget)
+    if not system.decided_all(execution.config, survivors):
+        # The scheduler returned None (nobody left to schedule) before the
+        # survivors completed — possible only if a survivor is stuck with
+        # no enabled step, which the model precludes; fail loudly.
+        raise StepLimitExceeded(
+            f"survivors {tuple(survivors)} did not complete "
+            f"({execution.steps} steps taken)"
+        )
+    return execution
+
+
+def progress_matrix(
+    system_factory,
+    *,
+    n: int,
+    m: int,
+    survivor_sets: Optional[Iterable[Tuple[int, ...]]] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    prelude_steps: int = 50,
+    budget: int = 50_000,
+) -> ProgressReport:
+    """Sweep survivor sets of size ≤ m crossed with seeded random preludes.
+
+    ``system_factory`` builds a fresh :class:`System` per adversary (runs
+    must not share configurations).  By default every non-empty survivor set
+    of size exactly ``m`` is tried, plus every singleton (the pure
+    obstruction-free regime).
+    """
+    if survivor_sets is None:
+        singletons = [(pid,) for pid in range(n)]
+        full = [tuple(c) for c in itertools.combinations(range(n), m)]
+        survivor_sets = list(dict.fromkeys(singletons + full))
+    report = ProgressReport()
+    for survivors in survivor_sets:
+        for seed in seeds:
+            report.attempted += 1
+            system = system_factory()
+            prelude = RandomScheduler(seed=seed)
+            try:
+                execution = check_bounded_progress(
+                    system,
+                    survivors,
+                    prelude_steps=prelude_steps,
+                    prelude=prelude,
+                    budget=budget,
+                )
+                report.max_steps_observed = max(
+                    report.max_steps_observed, execution.steps
+                )
+            except StepLimitExceeded as exc:
+                report.failures.append(
+                    ProgressFailure(
+                        survivors=tuple(survivors),
+                        prelude_steps=prelude_steps,
+                        seed=seed,
+                        schedule=(),
+                        detail=str(exc),
+                    )
+                )
+    return report

@@ -1,0 +1,107 @@
+"""Safety properties of (repeated) k-set agreement, checked over traces.
+
+For an execution α and instance ``i`` (paper §2.1):
+
+* ``In_i(α)``  — values used as the argument of some process's i-th Propose;
+* ``Out_i(α)`` — values returned by some process's i-th Propose;
+* Validity:     ``Out_i(α) ⊆ In_i(α)`` for all ``i``;
+* k-Agreement:  ``|Out_i(α)| ≤ k`` for all ``i``.
+
+Both properties are prefix-closed, so checking finite executions is exact.
+Checkers return a list of :class:`Violation` records (empty = property
+holds); :func:`assert_execution_safe` raises instead, for use as a test
+oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+from repro._types import Value
+from repro.errors import SpecificationViolation
+from repro.runtime.events import DecideEvent, Event, InvokeEvent
+from repro.runtime.runner import Execution
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated property instance, with human-readable evidence."""
+
+    property_name: str
+    instance: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[instance {self.instance}] {self.property_name}: {self.detail}"
+
+
+def instance_inputs(events: Iterable[Event]) -> Dict[int, Set[Value]]:
+    """``In_i``: inputs per instance, keyed by 1-based instance number."""
+    inputs: Dict[int, Set[Value]] = {}
+    for event in events:
+        if isinstance(event, InvokeEvent):
+            inputs.setdefault(event.invocation, set()).add(event.value)
+    return inputs
+
+
+def instance_outputs(events: Iterable[Event]) -> Dict[int, Set[Value]]:
+    """``Out_i``: outputs per instance, keyed by 1-based instance number."""
+    outputs: Dict[int, Set[Value]] = {}
+    for event in events:
+        if isinstance(event, DecideEvent):
+            outputs.setdefault(event.invocation, set()).add(event.output)
+    return outputs
+
+
+def check_validity(execution: Execution) -> List[Violation]:
+    """Every output of every instance must be one of that instance's inputs."""
+    inputs = instance_inputs(execution.events)
+    outputs = instance_outputs(execution.events)
+    violations = []
+    for instance, outs in sorted(outputs.items()):
+        ins = inputs.get(instance, set())
+        strays = outs - ins
+        if strays:
+            violations.append(
+                Violation(
+                    "Validity",
+                    instance,
+                    f"outputs {sorted(map(repr, strays))} not among inputs "
+                    f"{sorted(map(repr, ins))}",
+                )
+            )
+    return violations
+
+
+def check_k_agreement(execution: Execution, k: int) -> List[Violation]:
+    """At most *k* distinct outputs per instance."""
+    outputs = instance_outputs(execution.events)
+    violations = []
+    for instance, outs in sorted(outputs.items()):
+        if len(outs) > k:
+            violations.append(
+                Violation(
+                    "k-Agreement",
+                    instance,
+                    f"{len(outs)} distinct outputs {sorted(map(repr, outs))} "
+                    f"exceed k={k}",
+                )
+            )
+    return violations
+
+
+def check_safety(execution: Execution, k: int) -> List[Violation]:
+    """Validity and k-Agreement together."""
+    return check_validity(execution) + check_k_agreement(execution, k)
+
+
+def assert_execution_safe(execution: Execution, k: int) -> None:
+    """Raise :class:`~repro.errors.SpecificationViolation` on any violation."""
+    violations = check_safety(execution, k)
+    if violations:
+        first = violations[0]
+        raise SpecificationViolation(
+            first.property_name,
+            "; ".join(str(v) for v in violations),
+        )

@@ -1,0 +1,116 @@
+"""Execution metrics: step counts and the paper's space measure.
+
+``registers_written`` reports the set of *global register coordinates* an
+execution actually wrote — the quantity the covering lower bound reasons
+about — while ``layout.register_count()`` is the static provision.  Both
+appear in the Figure 1 benchmark: an upper-bound algorithm must never write
+outside its provisioned registers, and its provision must equal the
+theorem's formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.memory.layout import RegisterCoord
+from repro.memory.ops import is_write_access
+from repro.runtime.events import DecideEvent, InvokeEvent, MemoryEvent
+from repro.runtime.runner import Execution
+
+
+def registers_written(execution: Execution) -> Set[RegisterCoord]:
+    """Global coordinates of every register the execution wrote."""
+    layout = execution.system.layout
+    written: Set[RegisterCoord] = set()
+    for event in execution.memory_events:
+        if is_write_access(event.op):
+            coord = layout.op_coord(event.op)
+            if coord is not None:
+                written.add(coord)
+    return written
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Summary of one execution, as printed by the benchmark tables."""
+
+    total_steps: int
+    memory_steps: int
+    write_steps: int
+    scan_steps: int
+    invocations: int
+    decisions: int
+    registers_provisioned: int
+    registers_written: int
+    steps_per_decision: float
+
+    def row(self) -> Tuple:
+        """The record as a flat tuple, for table printers."""
+        return (
+            self.total_steps,
+            self.memory_steps,
+            self.write_steps,
+            self.scan_steps,
+            self.decisions,
+            self.registers_provisioned,
+            self.registers_written,
+            round(self.steps_per_decision, 1),
+        )
+
+
+def execution_stats(execution: Execution) -> ExecutionStats:
+    """Aggregate an execution into an :class:`ExecutionStats` record."""
+    memory_steps = write_steps = scan_steps = invocations = decisions = 0
+    for event in execution.events:
+        if isinstance(event, MemoryEvent):
+            memory_steps += 1
+            if is_write_access(event.op):
+                write_steps += 1
+            else:
+                scan_steps += 1
+        elif isinstance(event, InvokeEvent):
+            invocations += 1
+        elif isinstance(event, DecideEvent):
+            decisions += 1
+    return ExecutionStats(
+        total_steps=len(execution.schedule),
+        memory_steps=memory_steps,
+        write_steps=write_steps,
+        scan_steps=scan_steps,
+        invocations=invocations,
+        decisions=decisions,
+        registers_provisioned=execution.system.layout.register_count(),
+        registers_written=len(registers_written(execution)),
+        steps_per_decision=(
+            len(execution.schedule) / decisions if decisions else float("inf")
+        ),
+    )
+
+
+def max_register_payload(execution: Execution) -> int:
+    """The widest value ever written to a register, in ``repr`` characters.
+
+    The paper's space measure counts *registers*, explicitly allowing
+    "large" ones ([13]); this metric quantifies how large.  The repeated
+    algorithms embed full output histories in every stored tuple, so their
+    payload width grows linearly with the instance number — an interesting
+    cost the register count hides (measured by benchmark E11).
+    """
+    widest = 0
+    for event in execution.memory_events:
+        if is_write_access(event.op):
+            value = getattr(event.op, "value", None)
+            widest = max(widest, len(repr(value)))
+    return widest
+
+
+def per_process_decision_latency(execution: Execution) -> Dict[int, int]:
+    """Steps taken by each process before its first decision."""
+    latency: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
+    for event in execution.events:
+        counts[event.pid] = counts.get(event.pid, 0) + 1
+        if isinstance(event, DecideEvent) and event.pid not in latency:
+            latency[event.pid] = counts[event.pid]
+    return latency

@@ -1,0 +1,23 @@
+"""Execution-trace tooling: diagrams, filtering and export.
+
+Debugging an interleaving argument by reading raw event lists is painful;
+this package renders executions the way the papers draw them:
+
+* :func:`~repro.trace.diagram.space_time_diagram` — an ASCII space-time
+  diagram, one lane per process, one column per step;
+* :func:`~repro.trace.diagram.register_timeline` — per-register write
+  history (who wrote what, when);
+* :mod:`~repro.trace.export` — JSONL export/import of executions, so a
+  violating schedule found by a search can be archived and replayed later.
+"""
+
+from repro.trace.diagram import register_timeline, space_time_diagram
+from repro.trace.export import execution_to_jsonl, load_schedule, save_schedule
+
+__all__ = [
+    "space_time_diagram",
+    "register_timeline",
+    "execution_to_jsonl",
+    "save_schedule",
+    "load_schedule",
+]

@@ -1,0 +1,90 @@
+"""ASCII renderings of executions.
+
+``space_time_diagram`` draws the classic distributed-computing picture —
+one horizontal lane per process, time flowing left to right, one glyph per
+step:
+
+* ``I`` — operation invocation;
+* ``w`` — register/component write;
+* ``r`` — read or scan;
+* ``D`` — decision (operation response);
+* ``.`` — the process did not move at this step.
+
+``register_timeline`` complements it with the per-register write history,
+which is what covering arguments reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.memory.ops import is_write_access
+from repro.runtime.events import DecideEvent, InvokeEvent, MemoryEvent
+from repro.runtime.runner import Execution
+
+_GLYPHS = {"invoke": "I", "write": "w", "read": "r", "decide": "D"}
+
+
+def _glyph(event) -> str:
+    if isinstance(event, InvokeEvent):
+        return _GLYPHS["invoke"]
+    if isinstance(event, DecideEvent):
+        return _GLYPHS["decide"]
+    if isinstance(event, MemoryEvent):
+        return _GLYPHS["write"] if is_write_access(event.op) else _GLYPHS["read"]
+    return "?"
+
+
+def space_time_diagram(
+    execution: Execution,
+    *,
+    start: int = 0,
+    length: Optional[int] = None,
+    pids: Optional[Sequence[int]] = None,
+) -> str:
+    """Render (a window of) the execution as one lane per process.
+
+    ``start``/``length`` select a step window; ``pids`` restricts lanes.
+    Long executions are windowed rather than wrapped — a diagram that lies
+    about adjacency is worse than a truncated one.
+    """
+    events = execution.events[start:]
+    if length is not None:
+        events = events[:length]
+    lanes = pids if pids is not None else range(execution.system.n)
+
+    rows: List[str] = []
+    header = "step    " + "".join(
+        str((start + i) % 10) for i in range(len(events))
+    )
+    rows.append(header)
+    for pid in lanes:
+        cells = [
+            _glyph(event) if event.pid == pid else "."
+            for event in events
+        ]
+        rows.append(f"p{pid:<4}   " + "".join(cells))
+    legend = "        I=invoke w=write r=read/scan D=decide"
+    rows.append(legend)
+    return "\n".join(rows)
+
+
+def register_timeline(execution: Execution) -> str:
+    """Per-register write history: ``r[b.i]: step@pid=value ...``."""
+    layout = execution.system.layout
+    history: Dict[str, List[str]] = {}
+    for index, event in enumerate(execution.events):
+        if not isinstance(event, MemoryEvent) or not is_write_access(event.op):
+            continue
+        coord = layout.op_coord(event.op)
+        if coord is None:
+            continue
+        value = getattr(event.op, "value", None)
+        history.setdefault(str(coord), []).append(
+            f"{index}@p{event.pid}={value!r}"
+        )
+    lines = [
+        f"{coord}: " + "  ".join(entries)
+        for coord, entries in sorted(history.items())
+    ]
+    return "\n".join(lines) if lines else "(no writes)"

@@ -1,0 +1,72 @@
+"""Persist and reload executions.
+
+A violating schedule found by an expensive search (exploration, covering,
+clone glue) is a proof artifact; these helpers archive it as JSON so it can
+be replayed — against the same deterministic system — in a later session,
+a regression test, or a bug report.
+
+Only the *schedule* (plus system identification metadata) is persisted:
+because the runtime is deterministic, the schedule is the execution.  Event
+streams can additionally be exported as human-greppable JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+from repro.errors import ConfigurationError
+from repro.runtime.events import DecideEvent, InvokeEvent, MemoryEvent
+from repro.runtime.runner import Execution
+
+PathLike = Union[str, pathlib.Path]
+
+FORMAT_VERSION = 1
+
+
+def save_schedule(execution: Execution, path: PathLike, *, note: str = "") -> None:
+    """Archive the execution's schedule with identifying metadata."""
+    if execution.system.workloads is None:
+        raise ConfigurationError(
+            "schedules of dynamic-workload systems cannot be archived "
+            "(the workload function is not serializable)"
+        )
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "protocol": execution.system.automaton.name,
+        "params": dict(execution.system.automaton.params),
+        "n": execution.system.n,
+        "workloads": [list(w) for w in execution.system.workloads],
+        "schedule": list(execution.schedule),
+        "note": note,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, default=repr))
+
+
+def load_schedule(path: PathLike) -> List[int]:
+    """Load an archived schedule (metadata validation is the caller's job
+    for anything beyond the format version)."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported schedule format {payload.get('format_version')!r}"
+        )
+    return [int(pid) for pid in payload["schedule"]]
+
+
+def execution_to_jsonl(execution: Execution) -> str:
+    """One JSON object per event — greppable, diffable, jq-able."""
+    lines = []
+    for index, event in enumerate(execution.events):
+        record = {"step": index, "pid": event.pid, "kind": event.kind}
+        if isinstance(event, InvokeEvent):
+            record.update(invocation=event.invocation, value=repr(event.value))
+        elif isinstance(event, DecideEvent):
+            record.update(invocation=event.invocation, output=repr(event.output),
+                          thread=event.thread)
+        elif isinstance(event, MemoryEvent):
+            record.update(op=repr(event.op), response=repr(event.response),
+                          in_frame=event.in_frame, thread=event.thread)
+        lines.append(json.dumps(record))
+    return "\n".join(lines)

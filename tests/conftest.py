@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import (
+    OneShotSetAgreement,
+    RepeatedSetAgreement,
+    AnonymousRepeatedSetAgreement,
+    System,
+)
+
+
+def one_shot_system(n: int, m: int, k: int, *, components=None) -> System:
+    """One-shot system with distinct inputs ``v0..v{n-1}``."""
+    protocol = OneShotSetAgreement(n=n, m=m, k=k, components=components)
+    return System(protocol, workloads=[[f"v{i}"] for i in range(n)])
+
+
+def repeated_system(
+    n: int, m: int, k: int, *, instances: int = 2, components=None
+) -> System:
+    """Repeated system with globally distinct inputs ``p{i}c{t}``."""
+    protocol = RepeatedSetAgreement(n=n, m=m, k=k, components=components)
+    workloads = [[f"p{i}c{t}" for t in range(instances)] for i in range(n)]
+    return System(protocol, workloads=workloads)
+
+
+def anonymous_system(
+    n: int, m: int, k: int, *, instances: int = 2
+) -> System:
+    protocol = AnonymousRepeatedSetAgreement(n=n, m=m, k=k)
+    workloads = [[f"p{i}c{t}" for t in range(instances)] for i in range(n)]
+    return System(protocol, workloads=workloads)
+
+
+def small_parameter_grid(max_n: int = 5):
+    """All valid (n, m, k) with 1 <= m <= k < n <= max_n."""
+    grid = []
+    for n in range(2, max_n + 1):
+        for k in range(1, n):
+            for m in range(1, k + 1):
+                grid.append((n, m, k))
+    return grid
+
+
+@pytest.fixture
+def grid():
+    return small_parameter_grid()

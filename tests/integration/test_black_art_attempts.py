@@ -1,0 +1,187 @@
+"""Negative results: naive 2-register (n−1)-set agreement candidates fail.
+
+The paper's §7 notes that the DFGR'13 algorithm [4] solves k = n−1 with
+*two* registers — below what Figure 3's analysis supports — and its title
+calls the technique "black art".  Our baseline reconstruction (DESIGN.md
+§2) therefore refuses k = n−1.  This module documents *why* that corner is
+hard: three natural straw-man algorithms for the k = n−1 / two-register
+regime, each refuted by the exhaustive model checker within milliseconds,
+witness schedules included.
+
+The straw men (all obstruction-free by construction):
+
+* ``WriteBothVerify`` — publish to Y then X, re-read both, decide own value
+  when both reads return it.  Fails to the *sandwich*: a late solo process
+  overwrites both registers and legitimately sees only itself.
+* ``ReadFirst`` — same, but read Y before the first write and adopt.  Fails
+  when both processes read early (⊥) and then run complete passes back to
+  back.
+* ``InterleavedReads`` — write Y, read X, write X, read Y, with value-based
+  adoption.  Fails to a stale-own-value confirmation: a process adopts,
+  flips back on its own old X write, and certifies a pass on registers
+  holding only its stale values.
+
+These tests pin the refutations (and the witnesses' replayability) so the
+straw men stay dead; anyone attempting a faithful [4] reconstruction can
+start from here.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import pytest
+
+from repro._types import Params, Value, is_bot
+from repro.errors import ProtocolViolation
+from repro.memory.layout import BankSpec, MemoryLayout, PrimitiveBinding
+from repro.memory.ops import ReadOp, WriteOp
+from repro.runtime.automaton import Decide, ProtocolAutomaton
+from repro.runtime.runner import replay
+from repro.runtime.system import System
+from repro.explore import explore_safety
+from repro.spec.properties import check_k_agreement
+
+
+@dataclass(frozen=True)
+class _S:
+    pref: Value
+    phase: str
+    decision: Optional[Value] = None
+
+
+class _TwoRegisterBase(ProtocolAutomaton):
+    """Shared scaffolding: two MWMR registers X and Y."""
+
+    n_threads = 1
+
+    def __init__(self, n: int) -> None:
+        super().__init__(Params(n=n, m=1, k=n - 1))
+        self.n = n
+
+    def default_layout(self) -> MemoryLayout:
+        return MemoryLayout(
+            (BankSpec("X__bank", 1), BankSpec("Y__bank", 1)),
+            {
+                "X": PrimitiveBinding("registers", "X__bank"),
+                "Y": PrimitiveBinding("registers", "Y__bank"),
+            },
+        )
+
+    def begin(self, ctx, persistent, value, invocation):
+        return (_S(pref=value, phase=self.initial_phase),)
+
+
+class WriteBothVerify(_TwoRegisterBase):
+    name = "straw-write-both-verify"
+    initial_phase = "wy"
+
+    def pending(self, ctx, thread, st):
+        ops = {
+            "wy": WriteOp("Y", 0, (st.pref, ctx.identifier)),
+            "wx": WriteOp("X", 0, (st.pref, ctx.identifier)),
+            "ry": ReadOp("Y", 0),
+            "rx": ReadOp("X", 0),
+        }
+        if st.phase in ops:
+            return ops[st.phase]
+        return Decide(output=st.decision, persistent=None)
+
+    def apply(self, ctx, thread, st, resp):
+        if st.phase == "wy":
+            return replace(st, phase="wx")
+        if st.phase == "wx":
+            return replace(st, phase="ry")
+        if st.phase == "ry":
+            if not is_bot(resp) and resp == (st.pref, ctx.identifier):
+                return replace(st, phase="rx")
+            return _S(pref=resp[0], phase="wy")
+        if st.phase == "rx":
+            if not is_bot(resp) and resp == (st.pref, ctx.identifier):
+                return replace(st, phase="dec", decision=st.pref)
+            return _S(pref=resp[0], phase="wy")
+        raise ProtocolViolation(st.phase)
+
+
+class ReadFirst(WriteBothVerify):
+    name = "straw-read-first"
+    initial_phase = "r0"
+
+    def pending(self, ctx, thread, st):
+        if st.phase == "r0":
+            return ReadOp("Y", 0)
+        return super().pending(ctx, thread, st)
+
+    def apply(self, ctx, thread, st, resp):
+        if st.phase == "r0":
+            if not is_bot(resp):
+                return _S(pref=resp[0], phase="wy")
+            return replace(st, phase="wy")
+        return super().apply(ctx, thread, st, resp)
+
+
+class InterleavedReads(_TwoRegisterBase):
+    name = "straw-interleaved-reads"
+    initial_phase = "wy"
+
+    def pending(self, ctx, thread, st):
+        ops = {
+            "wy": WriteOp("Y", 0, (st.pref, ctx.identifier)),
+            "rx": ReadOp("X", 0),
+            "wx": WriteOp("X", 0, (st.pref, ctx.identifier)),
+            "ry": ReadOp("Y", 0),
+        }
+        if st.phase in ops:
+            return ops[st.phase]
+        return Decide(output=st.decision, persistent=None)
+
+    def apply(self, ctx, thread, st, resp):
+        if st.phase == "wy":
+            return replace(st, phase="rx")
+        if st.phase == "rx":
+            if not is_bot(resp) and resp[0] != st.pref:
+                return _S(pref=resp[0], phase="wy")
+            return replace(st, phase="wx")
+        if st.phase == "wx":
+            return replace(st, phase="ry")
+        if st.phase == "ry":
+            if not is_bot(resp) and resp[0] == st.pref:
+                return replace(st, phase="dec", decision=st.pref)
+            if not is_bot(resp):
+                return _S(pref=resp[0], phase="wy")
+            return _S(pref=st.pref, phase="wy")
+        raise ProtocolViolation(st.phase)
+
+
+STRAW_MEN = [WriteBothVerify, ReadFirst, InterleavedReads]
+
+
+@pytest.mark.parametrize("straw_cls", STRAW_MEN)
+def test_straw_man_refuted_at_n2(straw_cls):
+    """Each candidate already fails consensus (the n=2 face of k=n−1)."""
+    system = System(straw_cls(2), workloads=[["a"], ["b"]])
+    result = explore_safety(system, k=1, max_configs=500_000)
+    assert result.safety_violations, (
+        f"{straw_cls.name} unexpectedly survived — a 2-register consensus "
+        "this simple would be a publishable surprise; check the checker"
+    )
+
+
+@pytest.mark.parametrize("straw_cls", STRAW_MEN)
+def test_straw_man_witness_replays(straw_cls):
+    system = System(straw_cls(2), workloads=[["a"], ["b"]])
+    result = explore_safety(system, k=1, max_configs=500_000)
+    witness = result.safety_violations[0]
+    execution = replay(system, witness.schedule)
+    assert check_k_agreement(execution, k=1)
+
+
+def test_straw_men_are_obstruction_free():
+    """The candidates fail on safety, not on progress: solo runs decide.
+
+    (This is what makes them seductive straw men.)"""
+    from repro.runtime.runner import run_solo
+
+    for straw_cls in STRAW_MEN:
+        system = System(straw_cls(3), workloads=[["a"], ["b"], ["c"]])
+        execution = run_solo(system, 0, max_steps=1_000)
+        assert execution.config.procs[0].outputs == ("a",)

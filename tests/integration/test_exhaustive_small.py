@@ -1,0 +1,80 @@
+"""Integration: exhaustive model checking of tiny instances.
+
+These are the strongest correctness statements the suite makes: for n = 2
+the full reachable configuration space of the one-shot algorithms is
+finite and completely enumerated — safety holds in *every* execution, not
+just sampled ones.  Under-provisioned variants must conversely exhibit
+witnessed violations (cross-validating the lower-bound constructions).
+"""
+
+import pytest
+
+from repro import OneShotSetAgreement, System
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.agreement.commit_adopt import CommitAdoptConsensus
+from repro.bench.workloads import distinct_inputs
+from repro.explore import explore_progress_closure, explore_safety
+
+
+class TestNominalSafetyExhaustive:
+    def test_oneshot_consensus_n2(self):
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        result = explore_safety(system, k=1)
+        assert result.complete and result.ok
+
+    def test_oneshot_k1_n3_bounded(self):
+        system = System(OneShotSetAgreement(n=3, m=1, k=1),
+                        workloads=distinct_inputs(3))
+        result = explore_safety(system, k=1, max_configs=120_000)
+        assert result.ok  # no violation within the bounded space
+
+    def test_anonymous_oneshot_n3_k2(self):
+        system = System(AnonymousOneShotSetAgreement(n=3, m=1, k=2),
+                        workloads=distinct_inputs(3))
+        result = explore_safety(system, k=2, max_configs=150_000)
+        assert result.ok
+
+    def test_commit_adopt_n2_bounded(self):
+        system = System(CommitAdoptConsensus(2), workloads=distinct_inputs(2))
+        result = explore_safety(system, k=1, max_configs=120_000)
+        assert result.ok
+
+
+class TestUnderProvisionedViolations:
+    @pytest.mark.parametrize("components", [1, 2])
+    def test_oneshot_n2_below_nominal_unsafe(self, components):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1, components=components),
+            workloads=distinct_inputs(2),
+        )
+        result = explore_safety(system, k=1, max_configs=100_000)
+        assert result.safety_violations, (
+            f"expected a violation at {components} components (nominal 3)"
+        )
+
+    def test_anonymous_oneshot_squeezed_unsafe(self):
+        system = System(
+            AnonymousOneShotSetAgreement(n=3, m=1, k=1, components=2),
+            workloads=distinct_inputs(3),
+        )
+        result = explore_safety(system, k=1, max_configs=300_000)
+        assert result.safety_violations
+
+
+class TestProgressClosure:
+    def test_oneshot_consensus_n2_closure(self):
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        result = explore_progress_closure(
+            system, m=1, max_configs=1_000, solo_budget=5_000
+        )
+        assert result.ok
+
+    def test_oneshot_m2_closure_n3(self):
+        system = System(OneShotSetAgreement(n=3, m=2, k=2),
+                        workloads=distinct_inputs(3))
+        result = explore_progress_closure(
+            system, m=2, max_configs=300, solo_budget=20_000
+        )
+        assert result.ok

@@ -1,0 +1,87 @@
+"""Integration: the lower-bound constructions against the upper-bound
+algorithms, cross-validated with the independent explorer.
+
+The three pillars of the reproduction must agree with each other:
+
+* the covering construction (Theorem 2) certifies violations exactly where
+  the formula says algorithms cannot exist;
+* the explorer independently finds violations at the same points;
+* at nominal provisioning, neither can produce a certified violation.
+"""
+
+import pytest
+
+from repro import OneShotSetAgreement, RepeatedSetAgreement, System
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.bench.workloads import distinct_inputs
+from repro.explore import explore_safety
+from repro.lowerbounds import covering_construction
+from repro.lowerbounds.bounds import repeated_lower_bound
+from repro.lowerbounds.cloning import lemma9_glue
+from repro.runtime.runner import replay
+
+
+@pytest.mark.parametrize("n,m,k", [(3, 1, 1), (4, 1, 2), (4, 2, 2)])
+def test_covering_agrees_with_formula(n, m, k):
+    bound = repeated_lower_bound(n, m, k)
+    system = System(
+        RepeatedSetAgreement(n=n, m=m, k=k, components=bound - 1),
+        workloads=distinct_inputs(n, instances=12),
+    )
+    result = covering_construction(system, m=m, k=k)
+    assert result.success
+    assert len(result.distinct_outputs) == k + 1
+
+
+def test_covering_and_explorer_agree_on_smallest_case():
+    """Both independent methods find the same fact: Figure 4 at 2 registers
+    with (3,1,1) is unsafe."""
+    system = System(
+        RepeatedSetAgreement(n=3, m=1, k=1, components=2),
+        workloads=distinct_inputs(3, instances=4),
+    )
+    covering = covering_construction(
+        System(
+            RepeatedSetAgreement(n=3, m=1, k=1, components=2),
+            workloads=distinct_inputs(3, instances=12),
+        ),
+        m=1, k=1,
+    )
+    exploration = explore_safety(system, k=1, max_configs=150_000)
+    assert covering.success
+    assert exploration.safety_violations
+
+
+def test_glue_and_explorer_agree_on_anonymous_case():
+    def factory(n):
+        return AnonymousOneShotSetAgreement(n=n, m=1, k=1, components=2)
+
+    glue = lemma9_glue(factory, k=1, inputs=["a", "b"])
+    assert glue.success
+
+    system = System(factory(4), workloads=distinct_inputs(4))
+    exploration = explore_safety(system, k=1, max_configs=250_000)
+    assert exploration.safety_violations
+
+
+def test_constructed_schedules_survive_cold_replay():
+    """Schedules exported by the constructions must reproduce the violation
+    on a freshly built system — nothing may depend on in-memory state."""
+    n, m, k = 4, 1, 2
+
+    def build():
+        return System(
+            RepeatedSetAgreement(n=n, m=m, k=k, components=2),
+            workloads=distinct_inputs(n, instances=12),
+        )
+
+    result = covering_construction(build(), m=m, k=k)
+    fresh = replay(build(), result.schedule)
+    assert len(set(fresh.instance_outputs(result.target_instance))) >= k + 1
+
+
+def test_nominal_oneshot_immune_to_exploration():
+    system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                    workloads=distinct_inputs(2))
+    result = explore_safety(system, k=1)
+    assert result.complete and result.ok

@@ -1,0 +1,86 @@
+"""Integration: m-obstruction-freedom across algorithms and survivor sets.
+
+For each algorithm and parameter point, every survivor set of size ≤ m,
+crossed with seeded hostile preludes, must finish its workload within a
+budget — and, as the *negative* control, survivor sets of size m+1 must be
+able to stall the 1-obstruction-free baseline (the guarantee genuinely
+stops at m).
+"""
+
+import pytest
+
+from repro import (
+    AnonymousRepeatedSetAgreement,
+    OneShotSetAgreement,
+    RepeatedSetAgreement,
+    System,
+)
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.bench.workloads import distinct_inputs
+from repro.spec.progress import progress_matrix
+
+POINTS = [(4, 1, 2), (4, 2, 2), (5, 2, 3)]
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_oneshot_progress(n, m, k):
+    report = progress_matrix(
+        lambda: System(OneShotSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n)),
+        n=n, m=m, seeds=(1, 2), prelude_steps=60, budget=60_000,
+    )
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_repeated_progress(n, m, k):
+    report = progress_matrix(
+        lambda: System(RepeatedSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n, instances=2)),
+        n=n, m=m, seeds=(1, 2), prelude_steps=60, budget=80_000,
+    )
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_anonymous_repeated_progress(n, m, k):
+    report = progress_matrix(
+        lambda: System(AnonymousRepeatedSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n, instances=2)),
+        n=n, m=m, seeds=(1, 2), prelude_steps=60, budget=80_000,
+    )
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_anonymous_oneshot_progress(n, m, k):
+    report = progress_matrix(
+        lambda: System(AnonymousOneShotSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n)),
+        n=n, m=m, seeds=(1, 2), prelude_steps=60, budget=60_000,
+    )
+    assert report.ok, report.summary()
+
+
+def test_guarantee_stops_at_m():
+    """Negative control: some (m+1)-survivor adversary stalls Figure 4 at
+    m = 1 — otherwise the m in m-obstruction-freedom would be vacuous."""
+    from repro.errors import StepLimitExceeded
+    from repro.sched import RandomScheduler
+    from repro.spec.progress import check_bounded_progress
+
+    stalled = False
+    for seed in range(10):
+        system = System(
+            RepeatedSetAgreement(n=3, m=1, k=1, components=2),
+            workloads=distinct_inputs(3, instances=2),
+        )
+        try:
+            check_bounded_progress(
+                system, survivors=[0, 1], prelude_steps=30,
+                prelude=RandomScheduler(seed=seed), budget=5_000,
+            )
+        except StepLimitExceeded:
+            stalled = True
+            break
+    assert stalled

@@ -1,0 +1,125 @@
+"""Integration: every algorithm × substrate × adversary must stay safe.
+
+Safety (Validity + k-Agreement) must hold in *all* executions, so this
+matrix runs each protocol under each adversary family on each snapshot
+substrate it supports and asserts the checkers on every run.  This is the
+suite's broadest net; anything that survives it has been exercised across
+every composition boundary in the library.
+"""
+
+import pytest
+
+from repro import (
+    AnonymousRepeatedSetAgreement,
+    BaselineOneShotSetAgreement,
+    CrashScheduler,
+    OneShotSetAgreement,
+    RandomScheduler,
+    RepeatedSetAgreement,
+    RoundRobinScheduler,
+    System,
+    WriterPriorityScheduler,
+    run,
+)
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.agreement.commit_adopt import CommitAdoptConsensus
+from repro.bench.workloads import adversarial_inputs, clustered_inputs, distinct_inputs
+from repro.objects import implemented_snapshot_layout
+from repro.spec import assert_execution_safe
+
+PARAMS = [(4, 1, 2), (4, 2, 3), (5, 2, 2)]
+
+
+def protocols(n, m, k):
+    yield OneShotSetAgreement(n=n, m=m, k=k), 1
+    yield RepeatedSetAgreement(n=n, m=m, k=k), 2
+    yield AnonymousRepeatedSetAgreement(n=n, m=m, k=k), 2
+    yield AnonymousOneShotSetAgreement(n=n, m=m, k=k), 1
+    if m == 1 and k <= n - 2:
+        yield BaselineOneShotSetAgreement(n=n, k=k), 1
+
+
+def adversaries(n):
+    yield RoundRobinScheduler()
+    yield RandomScheduler(seed=17)
+    yield WriterPriorityScheduler()
+    yield CrashScheduler(crashes={0: 25, 1: 60}, base=RandomScheduler(seed=4))
+
+
+@pytest.mark.parametrize("n,m,k", PARAMS)
+def test_safety_across_protocols_and_adversaries(n, m, k):
+    for protocol, instances in protocols(n, m, k):
+        for adversary in adversaries(n):
+            system = System(
+                protocol, workloads=distinct_inputs(n, instances=instances)
+            )
+            execution = run(
+                system, adversary, max_steps=3_000, on_limit="return"
+            )
+            assert_execution_safe(execution, k=k)
+
+
+@pytest.mark.parametrize("n,m,k", PARAMS)
+@pytest.mark.parametrize("kind", ["double-collect", "wait-free", "swmr"])
+def test_safety_on_register_substrates(n, m, k, kind):
+    for protocol, instances in protocols(n, m, k):
+        if protocol.anonymous and kind != "double-collect":
+            continue  # anonymous protocols use the anonymous substrate
+        layout = implemented_snapshot_layout(protocol, kind)
+        system = System(
+            protocol,
+            workloads=distinct_inputs(n, instances=instances),
+            layout=layout,
+        )
+        execution = run(
+            system, RandomScheduler(seed=23), max_steps=8_000,
+            on_limit="return",
+        )
+        assert_execution_safe(execution, k=k)
+
+
+@pytest.mark.parametrize("n,m,k", PARAMS)
+def test_safety_on_anonymous_substrate(n, m, k):
+    for protocol_cls in (AnonymousRepeatedSetAgreement,
+                         AnonymousOneShotSetAgreement):
+        protocol = protocol_cls(n=n, m=m, k=k)
+        layout = implemented_snapshot_layout(protocol, "anonymous-double-collect")
+        system = System(protocol, workloads=distinct_inputs(n), layout=layout)
+        execution = run(
+            system, RandomScheduler(seed=31), max_steps=8_000,
+            on_limit="return",
+        )
+        assert_execution_safe(execution, k=k)
+
+
+@pytest.mark.parametrize("workload_fn", [clustered_inputs, adversarial_inputs])
+def test_safety_on_special_workloads(workload_fn):
+    n, m, k = 5, 2, 3
+    if workload_fn is clustered_inputs:
+        workloads = workload_fn(n, clusters=k + 1, instances=2)
+    else:
+        workloads = workload_fn(n, instances=2)
+    for protocol in (RepeatedSetAgreement(n=n, m=m, k=k),
+                     AnonymousRepeatedSetAgreement(n=n, m=m, k=k)):
+        system = System(protocol, workloads=workloads)
+        execution = run(system, RandomScheduler(seed=8), max_steps=5_000,
+                        on_limit="return")
+        assert_execution_safe(execution, k=k)
+
+
+def test_unanimous_inputs_force_unanimous_outputs():
+    """With a single proposed value, validity pins every output."""
+    n, m, k = 4, 2, 3
+    system = System(
+        OneShotSetAgreement(n=n, m=m, k=k),
+        workloads=[["only"] for _ in range(n)],
+    )
+    execution = run(system, RandomScheduler(seed=2), max_steps=50_000)
+    assert set(execution.instance_outputs(1)) == {"only"}
+
+
+def test_commit_adopt_in_matrix():
+    for adversary in adversaries(3):
+        system = System(CommitAdoptConsensus(3), workloads=distinct_inputs(3))
+        execution = run(system, adversary, max_steps=3_000, on_limit="return")
+        assert_execution_safe(execution, k=1)

@@ -1,0 +1,89 @@
+"""Integration: progress guarantees of the snapshot substrates differ.
+
+The double-collect snapshot is non-blocking — a scanner starves under a
+perpetual writer — while the wait-free substrate's helping bounds every
+scan.  This contrast is the reason Figure 5 has its second thread (see
+benchmark E6) and the reason the wait-free substrate exists; here it is
+demonstrated directly at the object level.
+"""
+
+import pytest
+
+from repro import System, run
+from repro._types import Params
+from repro.memory.layout import ImplementedBinding, MemoryLayout
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.objects import DoubleCollectSnapshot, WaitFreeSnapshot
+from repro.sched import CyclicScheduler, phases
+from repro.spec.linearizability import SnapshotScript
+
+COMPONENTS = 2
+
+
+def starving_system(impl_cls, writer_ops=60):
+    """p0 scans once; p1 performs a long stream of updates."""
+    impl = impl_cls(Params(components=COMPONENTS, n=2))
+    banks = impl.bank_specs(prefix="A")
+    layout = MemoryLayout(
+        tuple(banks),
+        {"A": ImplementedBinding(impl, tuple(b.name for b in banks))},
+    )
+    scripts = [
+        [ScanOp("A")],
+        [UpdateOp("A", i % COMPONENTS, f"w{i}") for i in range(writer_ops)],
+    ]
+    protocol = SnapshotScript(scripts, components=COMPONENTS)
+    return System(protocol, workloads=[[0], [0]], layout=layout)
+
+
+def starvation_schedule():
+    """One scanner read per writer update completion: collects never match."""
+    return CyclicScheduler(phases([1, 1], [0]))
+
+
+class TestNonBlockingStarves:
+    def test_double_collect_scan_starves_under_perpetual_writer(self):
+        # Enough writer operations to keep writes flowing past the budget.
+        system = starving_system(DoubleCollectSnapshot, writer_ops=200)
+        execution = run(system, starvation_schedule(), max_steps=150,
+                        on_limit="return")
+        # The writer interleaves a completed update into every collect, so
+        # the scanner never returns.
+        assert not system.decided_all(execution.config, [0])
+
+    def test_double_collect_scan_completes_once_writer_stops(self):
+        system = starving_system(DoubleCollectSnapshot, writer_ops=5)
+        execution = run(system, starvation_schedule(), max_steps=300)
+        assert system.decided_all(execution.config, [0])
+
+
+class TestWaitFreeHelps:
+    def test_wait_free_scan_completes_despite_perpetual_writer(self):
+        from repro.runtime.events import DecideEvent, MemoryEvent
+
+        system = starving_system(WaitFreeSnapshot, writer_ops=400)
+        execution = run(system, starvation_schedule(), max_steps=600,
+                        on_limit="return")
+        assert system.decided_all(execution.config, [0]), (
+            "the helping mechanism should have bounded the scan"
+        )
+        # And it completed *while* the writer was still writing — i.e. via
+        # borrowing, not because the writer went quiet.
+        decide_index = next(
+            i for i, e in enumerate(execution.events)
+            if isinstance(e, DecideEvent) and e.pid == 0
+        )
+        later_writes = [
+            e for e in execution.events[decide_index:]
+            if isinstance(e, MemoryEvent) and e.pid == 1
+        ]
+        assert later_writes, "writer should still have been active"
+
+    def test_borrowed_view_is_linearizable(self):
+        from repro.spec.linearizability import check_linearizable, extract_history
+
+        system = starving_system(WaitFreeSnapshot, writer_ops=10)
+        scripts = system.automaton.scripts
+        execution = run(system, starvation_schedule(), max_steps=2_000)
+        history = extract_history(execution, scripts)
+        assert check_linearizable(history, components=COMPONENTS) is not None

@@ -1,0 +1,124 @@
+"""Hypothesis: safety invariants of all algorithms under random adversaries.
+
+Safety must hold in every execution; hypothesis drives randomized
+interleavings, parameter points, workload shapes, and crash patterns, and
+the checkers act as the invariant.  Shrinking gives minimal failing
+schedules for free if anything regresses.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CrashScheduler,
+    OneShotSetAgreement,
+    RandomScheduler,
+    RepeatedSetAgreement,
+    System,
+    run,
+)
+from repro.agreement.anonymous import (
+    AnonymousOneShotSetAgreement,
+    AnonymousRepeatedSetAgreement,
+)
+from repro.agreement.commit_adopt import CommitAdoptConsensus
+from repro.bench.workloads import clustered_inputs, distinct_inputs
+from repro.spec import check_safety
+
+points = st.sampled_from(
+    [(2, 1, 1), (3, 1, 1), (3, 1, 2), (4, 1, 2), (4, 2, 2), (4, 2, 3),
+     (5, 2, 3), (5, 1, 4)]
+)
+seeds = st.integers(min_value=0, max_value=100_000)
+budgets = st.integers(min_value=0, max_value=1_500)
+
+
+def assert_safe(system, k, seed, budget):
+    execution = run(system, RandomScheduler(seed=seed), max_steps=budget,
+                    on_limit="return")
+    violations = check_safety(execution, k)
+    assert not violations, [str(v) for v in violations]
+
+
+class TestOneShot:
+    @given(points, seeds, budgets)
+    @settings(max_examples=60, deadline=None)
+    def test_figure3_safety(self, point, seed, budget):
+        n, m, k = point
+        system = System(OneShotSetAgreement(n=n, m=m, k=k),
+                        workloads=distinct_inputs(n))
+        assert_safe(system, k, seed, budget)
+
+    @given(points, seeds, budgets, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_figure3_safety_clustered_inputs(self, point, seed, budget, c):
+        n, m, k = point
+        system = System(OneShotSetAgreement(n=n, m=m, k=k),
+                        workloads=clustered_inputs(n, clusters=c))
+        assert_safe(system, k, seed, budget)
+
+
+class TestRepeated:
+    @given(points, seeds, budgets)
+    @settings(max_examples=50, deadline=None)
+    def test_figure4_safety(self, point, seed, budget):
+        n, m, k = point
+        system = System(RepeatedSetAgreement(n=n, m=m, k=k),
+                        workloads=distinct_inputs(n, instances=3))
+        assert_safe(system, k, seed, budget)
+
+    @given(points, seeds, budgets)
+    @settings(max_examples=30, deadline=None)
+    def test_figure4_safety_under_crashes(self, point, seed, budget):
+        n, m, k = point
+        system = System(RepeatedSetAgreement(n=n, m=m, k=k),
+                        workloads=distinct_inputs(n, instances=2))
+        scheduler = CrashScheduler(
+            crashes={seed % n: seed % 50}, base=RandomScheduler(seed=seed)
+        )
+        execution = run(system, scheduler, max_steps=budget, on_limit="return")
+        assert not check_safety(execution, k)
+
+
+class TestAnonymous:
+    @given(points, seeds, budgets)
+    @settings(max_examples=40, deadline=None)
+    def test_figure5_safety(self, point, seed, budget):
+        n, m, k = point
+        system = System(AnonymousRepeatedSetAgreement(n=n, m=m, k=k),
+                        workloads=distinct_inputs(n, instances=2))
+        assert_safe(system, k, seed, budget)
+
+    @given(points, seeds, budgets)
+    @settings(max_examples=40, deadline=None)
+    def test_anonymous_oneshot_safety(self, point, seed, budget):
+        n, m, k = point
+        system = System(AnonymousOneShotSetAgreement(n=n, m=m, k=k),
+                        workloads=distinct_inputs(n))
+        assert_safe(system, k, seed, budget)
+
+
+class TestCommitAdopt:
+    @given(st.integers(min_value=2, max_value=5), seeds, budgets)
+    @settings(max_examples=40, deadline=None)
+    def test_commit_adopt_safety(self, n, seed, budget):
+        system = System(CommitAdoptConsensus(n), workloads=distinct_inputs(n))
+        assert_safe(system, 1, seed, budget)
+
+
+class TestValidityIsByConstruction:
+    @given(points, seeds, budgets)
+    @settings(max_examples=30, deadline=None)
+    def test_outputs_traceable_to_inputs(self, point, seed, budget):
+        """Stronger than per-instance validity: every output of every
+        process equals some process's input for that same instance."""
+        n, m, k = point
+        workloads = distinct_inputs(n, instances=2)
+        system = System(RepeatedSetAgreement(n=n, m=m, k=k),
+                        workloads=workloads)
+        execution = run(system, RandomScheduler(seed=seed),
+                        max_steps=budget, on_limit="return")
+        for pid, proc in enumerate(execution.config.procs):
+            for instance, output in enumerate(proc.outputs, start=1):
+                valid = {w[instance - 1] for w in workloads}
+                assert output in valid

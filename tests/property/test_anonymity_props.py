@@ -1,0 +1,128 @@
+"""Hypothesis: anonymity means clone-indistinguishability.
+
+Section 5's whole machinery rests on one semantic fact: in an anonymous
+algorithm, a *clone* (same input, scheduled in lockstep right behind a
+process) evolves through exactly the same local states and issues exactly
+the same operations.  These properties verify that fact mechanically for
+the anonymous automata — and verify its *failure* for the identifier-based
+ones (whose entries embed pids), which is what makes the clone argument
+specific to the anonymous setting.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import System
+from repro.agreement.anonymous import (
+    AnonymousOneShotSetAgreement,
+    AnonymousRepeatedSetAgreement,
+)
+from repro.agreement.oneshot import OneShotSetAgreement
+
+seeds = st.integers(min_value=0, max_value=10_000)
+lengths = st.integers(min_value=1, max_value=120)
+
+
+def lockstep_states(system, leader, clone, steps):
+    """Run leader and clone in lockstep; return their state pairs."""
+    config = system.initial_configuration()
+    pairs = []
+    for _ in range(steps):
+        if not system.enabled(config, leader):
+            break
+        config = system.step(config, leader).config
+        config = system.step(config, clone).config
+        pairs.append((config.procs[leader], config.procs[clone]))
+    return pairs
+
+
+def states_equal(a, b):
+    """Local equality modulo the output bookkeeping the runtime adds."""
+    return (
+        a.persistent == b.persistent
+        and a.active == b.active
+        and a.outputs == b.outputs
+    )
+
+
+class TestAnonymousCloneIndistinguishability:
+    @given(lengths)
+    @settings(max_examples=20, deadline=None)
+    def test_oneshot_clone_shadows_exactly(self, steps):
+        protocol = AnonymousOneShotSetAgreement(n=4, m=1, k=2, components=3)
+        system = System(protocol, workloads=[["v"], ["v"], ["x"], ["y"]])
+        for leader_state, clone_state in lockstep_states(system, 0, 1, steps):
+            assert states_equal(leader_state, clone_state)
+
+    @given(lengths)
+    @settings(max_examples=20, deadline=None)
+    def test_repeated_clone_shadows_exactly(self, steps):
+        protocol = AnonymousRepeatedSetAgreement(n=4, m=1, k=2)
+        system = System(
+            protocol, workloads=[["v", "w"], ["v", "w"], ["x", "x2"],
+                                 ["y", "y2"]]
+        )
+        for leader_state, clone_state in lockstep_states(system, 0, 1, steps):
+            assert states_equal(leader_state, clone_state)
+
+    @given(st.integers(min_value=4, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_identifier_based_algorithm_leaks_identity(self, steps):
+        """Figure 3 embeds pids in its entries: after a leader/clone pair
+        has written, the shared memory itself distinguishes them — the
+        clone's identifier is visible.  (The anonymous algorithms leave no
+        such trace, which is what the clone lower bound exploits.)"""
+        from repro._types import is_bot
+
+        protocol = OneShotSetAgreement(n=4, m=1, k=2)
+        system = System(protocol, workloads=[["v"], ["v"], ["x"], ["y"]])
+        config = system.initial_configuration()
+        for _ in range(steps):
+            if not system.enabled(config, 0):
+                break
+            config = system.step(config, 0).config
+            config = system.step(config, 1).config
+        ids_in_memory = {
+            entry[1]
+            for entry in config.memory[0]
+            if not is_bot(entry)
+        }
+        if len([e for e in config.memory[0] if not is_bot(e)]) >= 1:
+            # the most recent writer of the shared component is the clone
+            assert 1 in ids_in_memory
+
+    @given(st.integers(min_value=6, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_anonymous_algorithm_leaves_no_identity_trace(self, steps):
+        """Converse: after a lockstep anonymous leader/clone pair ran, the
+        memory state is exactly what the leader running the same ops alone
+        twice... i.e. entries carry no process-distinguishing field."""
+        protocol = AnonymousOneShotSetAgreement(n=4, m=1, k=2, components=3)
+        system = System(protocol, workloads=[["v"], ["v"], ["x"], ["y"]])
+        config = system.initial_configuration()
+        for _ in range(steps):
+            if not system.enabled(config, 0):
+                break
+            config = system.step(config, 0).config
+            config = system.step(config, 1).config
+        from repro._types import is_bot
+
+        for entry in config.memory[0]:
+            assert is_bot(entry) or entry == "v"  # bare values, no ids
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_clone_pair_decides_identically(self, seed):
+        """Two anonymous clones that run to completion in lockstep output
+        the same value for every instance."""
+        protocol = AnonymousOneShotSetAgreement(n=4, m=2, k=3)
+        system = System(protocol, workloads=[["v"], ["v"], ["x"], ["y"]])
+        config = system.initial_configuration()
+        guard = 0
+        while (system.enabled(config, 0) or system.enabled(config, 1)):
+            for pid in (0, 1):
+                if system.enabled(config, pid):
+                    config = system.step(config, pid).config
+            guard += 1
+            assert guard < 10_000
+        assert config.procs[0].outputs == config.procs[1].outputs

@@ -1,0 +1,108 @@
+"""Hypothesis properties of the Figure 1 formulas and their relationships."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.bounds import (
+    anonymous_oneshot_lower_bound,
+    anonymous_oneshot_upper_bound,
+    anonymous_repeated_upper_bound,
+    bounds_consistent,
+    figure1_table,
+    lemma9_process_requirement,
+    repeated_lower_bound,
+    repeated_upper_bound,
+)
+
+
+@st.composite
+def parameter_points(draw):
+    n = draw(st.integers(min_value=2, max_value=200))
+    k = draw(st.integers(min_value=1, max_value=n - 1))
+    m = draw(st.integers(min_value=1, max_value=k))
+    return n, m, k
+
+
+class TestFormulaRelations:
+    @given(parameter_points())
+    @settings(max_examples=200)
+    def test_lower_at_most_upper(self, point):
+        n, m, k = point
+        assert repeated_lower_bound(n, m, k) <= repeated_upper_bound(n, m, k)
+
+    @given(parameter_points())
+    @settings(max_examples=200)
+    def test_upper_never_exceeds_n(self, point):
+        n, m, k = point
+        assert repeated_upper_bound(n, m, k) <= n
+
+    @given(parameter_points())
+    @settings(max_examples=200)
+    def test_lower_bound_positive(self, point):
+        n, m, k = point
+        assert repeated_lower_bound(n, m, k) >= 1 + m - 0  # n > k => >= m+1
+        assert repeated_lower_bound(n, m, k) >= m + 1
+
+    @given(parameter_points())
+    @settings(max_examples=200)
+    def test_anonymous_lower_below_anonymous_upper(self, point):
+        n, m, k = point
+        lower = anonymous_oneshot_lower_bound(n, m, k)
+        upper = anonymous_oneshot_upper_bound(n, m, k)
+        assert lower < upper or upper == 0
+
+    @given(parameter_points())
+    @settings(max_examples=200)
+    def test_anonymous_repeated_costs_one_extra(self, point):
+        n, m, k = point
+        assert (
+            anonymous_repeated_upper_bound(n, m, k)
+            == anonymous_oneshot_upper_bound(n, m, k) + 1
+        )
+
+    @given(parameter_points())
+    @settings(max_examples=100)
+    def test_full_table_consistent(self, point):
+        n, m, k = point
+        assert bounds_consistent(n, m, k)
+        assert len(figure1_table(n, m, k)) == 8
+
+
+class TestAsymptoticShape:
+    @given(st.integers(min_value=3, max_value=60))
+    @settings(max_examples=40)
+    def test_anonymous_lower_grows_like_sqrt_n(self, x):
+        """Doubling n (at fixed m = k = 1) multiplies the bound by ~sqrt(2)
+        (up to the additive constant)."""
+        n = 4 * x
+        small = anonymous_oneshot_lower_bound(n, 1, 1)
+        large = anonymous_oneshot_lower_bound(4 * n, 1, 1)
+        assume(small > 1)
+        assert 1.5 <= large / small <= 2.5  # ~2 for a sqrt law
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60)
+    def test_lemma9_requirement_quadratic_in_r(self, r, m):
+        k = m  # simplest regime
+        quad = lemma9_process_requirement(m, k, 2 * r) / max(
+            lemma9_process_requirement(m, k, r), 1
+        )
+        if r >= 8:
+            assert 3.0 <= quad <= 4.5  # ~4 for a quadratic law
+
+
+class TestTheorem10Arithmetic:
+    @given(parameter_points())
+    @settings(max_examples=150)
+    def test_threshold_implies_lemma9_applicable(self, point):
+        """Theorem 10's derivation: r <= sqrt(m(n/k - 2)) implies
+        n >= ceil((k+1)/m) (m + (r²-r)/2) — re-check the paper's chain of
+        inequalities numerically."""
+        n, m, k = point
+        threshold = anonymous_oneshot_lower_bound(n, m, k)
+        r = int(threshold)
+        if r < 1:
+            return
+        assert n >= lemma9_process_requirement(m, k, r), (n, m, k, r)

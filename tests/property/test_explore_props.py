@@ -1,0 +1,59 @@
+"""Hypothesis: explorer correctness properties.
+
+* POR/full agreement: the "local-first" reduction never changes the
+  has-violation verdict (soundness + completeness of the ample set);
+* witness validity: every witness schedule replays to a real violation;
+* monotonicity: adding registers to Figure 3 never *introduces* violations
+  at n = 2 (safety is monotone in provisioned space for this algorithm's
+  decision rules — more components only delay decisions).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import OneShotSetAgreement, System
+from repro.bench.workloads import distinct_inputs
+from repro.explore import explore_safety
+from repro.runtime.runner import replay
+from repro.spec.properties import check_k_agreement
+
+components_range = st.integers(min_value=1, max_value=4)
+
+
+def build(components):
+    protocol = OneShotSetAgreement(n=2, m=1, k=1, components=components)
+    return System(protocol, workloads=distinct_inputs(2))
+
+
+class TestExplorerProperties:
+    @given(components_range)
+    @settings(max_examples=8, deadline=None)
+    def test_por_agrees_with_full(self, components):
+        full = explore_safety(build(components), k=1, max_configs=250_000)
+        reduced = explore_safety(
+            build(components), k=1, max_configs=250_000,
+            reduction="local-first",
+        )
+        assert bool(full.safety_violations) == bool(reduced.safety_violations)
+
+    @given(components_range, st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_witnesses_always_replay(self, components, use_por):
+        result = explore_safety(
+            build(components), k=1, max_configs=250_000,
+            reduction="local-first" if use_por else "none",
+        )
+        for witness in result.safety_violations:
+            execution = replay(build(components), witness.schedule)
+            assert check_k_agreement(execution, k=1)
+
+    @given(components_range)
+    @settings(max_examples=8, deadline=None)
+    def test_safety_monotone_in_components_at_n2(self, components):
+        """If r components are safe, r is >= the nominal 3 — equivalently,
+        every violation lives strictly below nominal."""
+        result = explore_safety(build(components), k=1, max_configs=250_000)
+        if components >= 3:  # nominal n+2m-k = 3
+            assert not result.safety_violations
+        else:
+            assert result.safety_violations

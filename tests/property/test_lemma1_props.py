@@ -1,0 +1,60 @@
+"""Hypothesis: Lemma 1 as an executable statement.
+
+Lemma 1: for any set V of m input values and any set Q of m processes,
+there is an execution of a correct m-obstruction-free k-set agreement
+algorithm in which only processes in Q take steps and all values in V are
+output.  The search :func:`repro.lowerbounds.cloning.alpha_execution`
+realizes it; these properties exercise the lemma across sampled Q and V.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import OneShotSetAgreement, RepeatedSetAgreement, System
+from repro.lowerbounds.cloning import alpha_execution
+from repro.runtime.events import InvokeEvent, MemoryEvent
+
+
+@st.composite
+def q_choices(draw):
+    n = 4
+    q = draw(st.sets(st.integers(min_value=0, max_value=n - 1),
+                     min_size=2, max_size=2))
+    return n, tuple(sorted(q))
+
+
+class TestLemma1:
+    @given(q_choices())
+    @settings(max_examples=10, deadline=None)
+    def test_m2_groups_output_both_values(self, nq):
+        n, group = nq
+        protocol = RepeatedSetAgreement(n=n, m=2, k=2)
+        system = System(protocol, workloads=[[f"v{i}"] for i in range(n)])
+        values = [f"v{pid}" for pid in group]
+        execution = alpha_execution(system, group, values)
+        assert execution is not None
+        outputs = set(execution.instance_outputs(1))
+        assert set(values) <= outputs
+
+    @given(q_choices())
+    @settings(max_examples=10, deadline=None)
+    def test_only_group_members_take_steps(self, nq):
+        n, group = nq
+        protocol = RepeatedSetAgreement(n=n, m=2, k=2)
+        system = System(protocol, workloads=[[f"v{i}"] for i in range(n)])
+        values = [f"v{pid}" for pid in group]
+        execution = alpha_execution(system, group, values)
+        assert execution is not None
+        steppers = {e.pid for e in execution.events
+                    if isinstance(e, (InvokeEvent, MemoryEvent))}
+        assert steppers <= set(group)
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_m1_alpha_is_the_solo_run(self, pid):
+        protocol = OneShotSetAgreement(n=4, m=1, k=2)
+        system = System(protocol, workloads=[[f"v{i}"] for i in range(4)])
+        execution = alpha_execution(system, [pid], [f"v{pid}"])
+        assert execution is not None
+        assert set(e.pid for e in execution.events) == {pid}
+        assert execution.config.procs[pid].outputs == (f"v{pid}",)

@@ -1,0 +1,85 @@
+"""Hypothesis: snapshot substrates are linearizable on random workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RandomScheduler, System, run
+from repro._types import Params
+from repro.memory.layout import ImplementedBinding, MemoryLayout
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.objects import (
+    DoubleCollectSnapshot,
+    SingleWriterSnapshot,
+    WaitFreeSnapshot,
+)
+from repro.spec.linearizability import (
+    SnapshotScript,
+    check_linearizable,
+    extract_history,
+)
+
+COMPONENTS = 2
+N = 3
+
+
+@st.composite
+def scripts_strategy(draw):
+    """Per-process scripts of 1-3 update/scan ops on a 2-component object."""
+    scripts = []
+    for pid in range(N):
+        length = draw(st.integers(min_value=1, max_value=3))
+        ops = []
+        for index in range(length):
+            if draw(st.booleans()):
+                component = draw(st.integers(min_value=0, max_value=COMPONENTS - 1))
+                ops.append(UpdateOp("A", component, f"p{pid}.{index}"))
+            else:
+                ops.append(ScanOp("A"))
+        scripts.append(ops)
+    return scripts
+
+
+def layout_for(impl):
+    banks = impl.bank_specs(prefix="A")
+    return MemoryLayout(
+        tuple(banks),
+        {"A": ImplementedBinding(impl, tuple(b.name for b in banks))},
+    )
+
+
+def check(impl_cls, scripts, seed):
+    impl = impl_cls(Params(components=COMPONENTS, n=N))
+    protocol = SnapshotScript(scripts, components=COMPONENTS)
+    system = System(protocol, workloads=[[0]] * N, layout=layout_for(impl))
+    execution = run(system, RandomScheduler(seed=seed), max_steps=100_000)
+    history = extract_history(execution, scripts)
+    assert len(history) == sum(len(s) for s in scripts)
+    assert check_linearizable(history, components=COMPONENTS) is not None
+
+
+class TestSubstrateLinearizability:
+    @given(scripts_strategy(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_double_collect(self, scripts, seed):
+        check(DoubleCollectSnapshot, scripts, seed)
+
+    @given(scripts_strategy(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_wait_free(self, scripts, seed):
+        check(WaitFreeSnapshot, scripts, seed)
+
+    @given(scripts_strategy(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_single_writer(self, scripts, seed):
+        check(SingleWriterSnapshot, scripts, seed)
+
+    @given(scripts_strategy(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_atomic_reference(self, scripts, seed):
+        """The primitive snapshot trivially linearizes — this pins the
+        harness + checker pipeline itself."""
+        protocol = SnapshotScript(scripts, components=COMPONENTS)
+        system = System(protocol, workloads=[[0]] * N)
+        execution = run(system, RandomScheduler(seed=seed), max_steps=10_000)
+        history = extract_history(execution, scripts)
+        assert check_linearizable(history, components=COMPONENTS) is not None

@@ -1,0 +1,86 @@
+"""Hypothesis: the lower-bound constructions across sampled parameters.
+
+Randomized-parameter versions of the pinned-point tests: wherever the
+formulas say the covering construction must succeed, it does; and the
+certified output counts are exactly ``k+1`` (the construction never
+over- or under-shoots the contradiction it builds).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RepeatedSetAgreement, System
+from repro.bench.workloads import distinct_inputs
+from repro.lowerbounds import covering_construction
+from repro.lowerbounds.bounds import repeated_lower_bound
+from repro.runtime.runner import replay
+
+
+@st.composite
+def attackable_points(draw):
+    """Small (n, m, k) with n+m−k−1 ≥ 1 registers to attack."""
+    n = draw(st.integers(min_value=3, max_value=5))
+    k = draw(st.integers(min_value=1, max_value=n - 1))
+    m = draw(st.integers(min_value=1, max_value=min(k, 2)))
+    return n, m, k
+
+
+class TestCoveringAcrossParameters:
+    @given(attackable_points())
+    @settings(max_examples=10, deadline=None)
+    def test_construction_succeeds_below_bound(self, point):
+        n, m, k = point
+        bound = repeated_lower_bound(n, m, k)
+        if bound - 1 < 1:
+            return
+        system = System(
+            RepeatedSetAgreement(n=n, m=m, k=k, components=bound - 1),
+            workloads=distinct_inputs(n, instances=12),
+        )
+        result = covering_construction(system, m=m, k=k)
+        assert result.success
+        assert len(result.distinct_outputs) == k + 1
+
+    @given(attackable_points(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_certificate_replays_on_fresh_system(self, point, _salt):
+        n, m, k = point
+        bound = repeated_lower_bound(n, m, k)
+        if bound - 1 < 1:
+            return
+
+        def build():
+            return System(
+                RepeatedSetAgreement(n=n, m=m, k=k, components=bound - 1),
+                workloads=distinct_inputs(n, instances=12),
+            )
+
+        result = covering_construction(build(), m=m, k=k)
+        fresh = replay(build(), result.schedule)
+        outputs = set(fresh.instance_outputs(result.target_instance))
+        assert len(outputs) == k + 1
+
+    @given(attackable_points())
+    @settings(max_examples=8, deadline=None)
+    def test_group_sizes_match_the_proof(self, point):
+        """|Q_1| = k+1-(c-1)m, |Q_j| = m for j > 1, groups disjoint."""
+        import math
+
+        n, m, k = point
+        bound = repeated_lower_bound(n, m, k)
+        if bound - 1 < 1:
+            return
+        system = System(
+            RepeatedSetAgreement(n=n, m=m, k=k, components=bound - 1),
+            workloads=distinct_inputs(n, instances=12),
+        )
+        result = covering_construction(system, m=m, k=k)
+        c = math.ceil((k + 1) / m)
+        assert len(result.groups) == c
+        assert len(result.groups[0].final_q) == k + 1 - (c - 1) * m
+        for group in result.groups[1:]:
+            assert len(group.final_q) == m
+        seen = set()
+        for group in result.groups:
+            assert not (seen & set(group.final_q))
+            seen.update(group.final_q)

@@ -1,0 +1,99 @@
+"""Hypothesis properties of the shared-memory model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._types import BOT
+from repro.memory import register, snapshot
+from repro.memory.layout import merge_layouts, register_layout, snapshot_layout
+from repro.memory.ops import ReadOp, ScanOp, UpdateOp, WriteOp
+
+values = st.one_of(st.integers(), st.text(max_size=4), st.none(), st.just(BOT))
+small_sizes = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def bank_and_index(draw):
+    size = draw(small_sizes)
+    bank = tuple(draw(st.lists(values, min_size=size, max_size=size)))
+    index = draw(st.integers(min_value=0, max_value=size - 1))
+    return bank, index
+
+
+class TestRegisterSemantics:
+    @given(bank_and_index(), values)
+    def test_read_after_write(self, bi, value):
+        bank, index = bi
+        assert register.read(register.write(bank, index, value), index) == value
+
+    @given(bank_and_index(), values)
+    def test_write_preserves_other_registers(self, bi, value):
+        bank, index = bi
+        new = register.write(bank, index, value)
+        for j in range(len(bank)):
+            if j != index:
+                assert new[j] == bank[j]
+
+    @given(bank_and_index(), values, values)
+    def test_last_write_wins(self, bi, first, second):
+        bank, index = bi
+        twice = register.write(register.write(bank, index, first), index, second)
+        assert register.read(twice, index) == second
+
+    @given(bank_and_index(), values)
+    def test_write_is_idempotent(self, bi, value):
+        bank, index = bi
+        once = register.write(bank, index, value)
+        assert register.write(once, index, value) == once
+
+    @given(bank_and_index())
+    def test_reads_do_not_mutate(self, bi):
+        bank, index = bi
+        before = tuple(bank)
+        register.read(bank, index)
+        assert bank == before
+
+
+class TestSnapshotSemantics:
+    @given(bank_and_index(), values)
+    def test_scan_reflects_update(self, bi, value):
+        comps, index = bi
+        scanned = snapshot.scan(snapshot.update(comps, index, value))
+        assert scanned[index] == value
+
+    @given(bank_and_index(), values)
+    def test_commuting_updates_to_distinct_components(self, bi, value):
+        comps, index = bi
+        other = (index + 1) % len(comps)
+        if other == index:
+            return
+        ab = snapshot.update(snapshot.update(comps, index, value), other, "x")
+        ba = snapshot.update(snapshot.update(comps, other, "x"), index, value)
+        assert ab == ba
+
+
+class TestLayoutProperties:
+    @given(small_sizes, small_sizes)
+    def test_merge_register_count_additive(self, a, b):
+        layout = merge_layouts(snapshot_layout("A", a), register_layout("H", b))
+        assert layout.register_count() == a + b
+
+    @given(bank_and_index(), values)
+    @settings(max_examples=30)
+    def test_primitive_roundtrip_through_layout(self, bi, value):
+        bank, index = bi
+        layout = snapshot_layout("A", len(bank))
+        memory = layout.initial_memory()
+        memory, _ = layout.apply_primitive(memory, UpdateOp("A", index, value))
+        _, scanned = layout.apply_primitive(memory, ScanOp("A"))
+        assert scanned[index] == value
+        assert all(scanned[j] is BOT for j in range(len(bank)) if j != index)
+
+    @given(small_sizes, values)
+    @settings(max_examples=30)
+    def test_register_object_roundtrip(self, size, value):
+        layout = register_layout("R", size)
+        memory = layout.initial_memory()
+        memory, _ = layout.apply_primitive(memory, WriteOp("R", size - 1, value))
+        _, read_back = layout.apply_primitive(memory, ReadOp("R", size - 1))
+        assert read_back == value

@@ -1,0 +1,94 @@
+"""Hypothesis properties of the simulation runtime: determinism & purity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    OneShotSetAgreement,
+    RandomScheduler,
+    RepeatedSetAgreement,
+    System,
+    replay,
+    run,
+)
+from repro.bench.workloads import distinct_inputs
+
+params = st.sampled_from([(2, 1, 1), (3, 1, 1), (3, 1, 2), (4, 2, 2), (4, 2, 3)])
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def build(n, m, k, repeated=False):
+    if repeated:
+        protocol = RepeatedSetAgreement(n=n, m=m, k=k)
+        return System(protocol, workloads=distinct_inputs(n, instances=2))
+    protocol = OneShotSetAgreement(n=n, m=m, k=k)
+    return System(protocol, workloads=distinct_inputs(n))
+
+
+class TestDeterminism:
+    @given(params, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_execution(self, point, seed):
+        n, m, k = point
+        a = run(build(n, m, k), RandomScheduler(seed=seed), max_steps=600,
+                on_limit="return")
+        b = run(build(n, m, k), RandomScheduler(seed=seed), max_steps=600,
+                on_limit="return")
+        assert a.schedule == b.schedule
+        assert a.events == b.events
+        assert a.config == b.config
+
+    @given(params, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_replay_reproduces(self, point, seed):
+        n, m, k = point
+        original = run(build(n, m, k), RandomScheduler(seed=seed),
+                       max_steps=500, on_limit="return")
+        again = replay(build(n, m, k), original.schedule)
+        assert again.events == original.events
+        assert again.config == original.config
+
+
+class TestPurity:
+    @given(params, seeds, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_step_does_not_mutate_source_config(self, point, seed, cut):
+        n, m, k = point
+        system = build(n, m, k, repeated=True)
+        execution = run(system, RandomScheduler(seed=seed), max_steps=cut,
+                        on_limit="return")
+        config = execution.config
+        snapshot_before = config
+        for pid in system.enabled_pids(config):
+            system.step(config, pid)
+        assert config == snapshot_before
+
+    @given(params, seeds, st.integers(min_value=0, max_value=80))
+    @settings(max_examples=25, deadline=None)
+    def test_step_deterministic_from_any_config(self, point, seed, cut):
+        n, m, k = point
+        system = build(n, m, k)
+        execution = run(system, RandomScheduler(seed=seed), max_steps=cut,
+                        on_limit="return")
+        for pid in system.enabled_pids(execution.config):
+            first = system.step(execution.config, pid)
+            second = system.step(execution.config, pid)
+            assert first.config == second.config
+            assert first.event == second.event
+
+
+class TestSchedulePrefix:
+    @given(params, seeds, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_replay_then_continue(self, point, seed, cut):
+        """Splitting a schedule at any point and resuming from the midpoint
+        configuration yields the identical final configuration — the
+        property the covering construction's splicing relies on."""
+        n, m, k = point
+        system = build(n, m, k)
+        whole = run(system, RandomScheduler(seed=seed), max_steps=200,
+                    on_limit="return")
+        cut = min(cut, len(whole.schedule))
+        head = replay(system, whole.schedule[:cut])
+        tail = replay(system, whole.schedule[cut:], initial=head.config)
+        assert tail.config == whole.config

@@ -1,0 +1,74 @@
+"""Hypothesis: scheduler laws that every adversary must obey."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CrashScheduler,
+    OneShotSetAgreement,
+    RandomScheduler,
+    RoundRobinScheduler,
+    System,
+    run,
+)
+from repro.bench.workloads import distinct_inputs
+from repro.sched import CyclicScheduler, EventuallyBoundedScheduler
+
+seeds = st.integers(min_value=0, max_value=50_000)
+sizes = st.integers(min_value=2, max_value=6)
+
+
+def system_of(n):
+    return System(OneShotSetAgreement(n=n, m=1, k=n - 1),
+                  workloads=distinct_inputs(n))
+
+
+class TestSchedulerLaws:
+    @given(sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_chosen_pids_always_enabled(self, n, seed):
+        """The runner enforces it, so a completed run is the proof."""
+        execution = run(system_of(n), RandomScheduler(seed=seed),
+                        max_steps=400, on_limit="return")
+        assert all(0 <= pid < n for pid in execution.schedule)
+
+    @given(sizes, seeds, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_tail_only_survivors(self, n, seed, prelude):
+        survivor = seed % n
+        scheduler = EventuallyBoundedScheduler(
+            survivors=[survivor], prelude_steps=prelude,
+            prelude=RandomScheduler(seed=seed),
+        )
+        execution = run(system_of(n), scheduler, max_steps=100_000)
+        assert set(execution.schedule[prelude:]) <= {survivor}
+
+    @given(sizes, seeds, st.integers(min_value=0, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_crashed_never_step_after_crash(self, n, seed, crash_at):
+        crashed = seed % n
+        scheduler = CrashScheduler(
+            crashes={crashed: crash_at}, base=RandomScheduler(seed=seed)
+        )
+        execution = run(system_of(n), scheduler, max_steps=600,
+                        on_limit="return")
+        for index, pid in enumerate(execution.schedule):
+            if pid == crashed:
+                assert index < crash_at
+
+    @given(sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_round_robin_fair_prefix(self, n):
+        execution = run(system_of(n), RoundRobinScheduler(), max_steps=n * 3,
+                        on_limit="return")
+        prefix = execution.schedule[: n * 2]
+        for pid in range(n):
+            assert prefix.count(pid) >= 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1,
+                    max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_cyclic_follows_pattern_while_all_enabled(self, pattern):
+        execution = run(system_of(3), CyclicScheduler(pattern),
+                        max_steps=len(pattern), on_limit="return")
+        assert execution.schedule == list(pattern)[: execution.steps]

@@ -1,0 +1,85 @@
+"""Hypothesis properties of the trace tooling."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import OneShotSetAgreement, RandomScheduler, System, run
+from repro.bench.workloads import distinct_inputs
+from repro.runtime.events import DecideEvent, InvokeEvent, MemoryEvent
+from repro.trace import execution_to_jsonl, space_time_diagram
+from repro.trace.diagram import register_timeline
+
+seeds = st.integers(min_value=0, max_value=5_000)
+sizes = st.sampled_from([(2, 1, 1), (3, 1, 2), (4, 2, 3)])
+budgets = st.integers(min_value=1, max_value=300)
+
+
+def execution_of(point, seed, budget):
+    n, m, k = point
+    system = System(OneShotSetAgreement(n=n, m=m, k=k),
+                    workloads=distinct_inputs(n))
+    return run(system, RandomScheduler(seed=seed), max_steps=budget,
+               on_limit="return")
+
+
+class TestDiagramProperties:
+    @given(sizes, seeds, budgets)
+    @settings(max_examples=25, deadline=None)
+    def test_glyph_counts_match_event_counts(self, point, seed, budget):
+        execution = execution_of(point, seed, budget)
+        diagram = space_time_diagram(execution)
+        body = "".join(
+            line.split(None, 1)[1] if " " in line else ""
+            for line in diagram.splitlines()
+            if line.startswith("p")
+        )
+        invokes = sum(isinstance(e, InvokeEvent) for e in execution.events)
+        decides = sum(isinstance(e, DecideEvent) for e in execution.events)
+        assert body.count("I") == invokes
+        assert body.count("D") == decides
+
+    @given(sizes, seeds, budgets)
+    @settings(max_examples=25, deadline=None)
+    def test_each_column_has_exactly_one_glyph(self, point, seed, budget):
+        execution = execution_of(point, seed, budget)
+        diagram = space_time_diagram(execution)
+        lanes = [
+            line.split(None, 1)[1]
+            for line in diagram.splitlines()
+            if line.startswith("p") and " " in line
+        ]
+        if not lanes or not execution.events:
+            return
+        for column in range(len(execution.events)):
+            glyphs = [lane[column] for lane in lanes if lane[column] != "."]
+            assert len(glyphs) == 1
+
+    @given(sizes, seeds, budgets)
+    @settings(max_examples=20, deadline=None)
+    def test_timeline_mentions_every_written_register(self, point, seed, budget):
+        from repro.memory.ops import is_write_access
+        from repro.spec.stats import registers_written
+
+        execution = execution_of(point, seed, budget)
+        timeline = register_timeline(execution)
+        for coord in registers_written(execution):
+            assert str(coord) in timeline
+
+
+class TestJsonlProperties:
+    @given(sizes, seeds, budgets)
+    @settings(max_examples=20, deadline=None)
+    def test_jsonl_is_valid_and_complete(self, point, seed, budget):
+        execution = execution_of(point, seed, budget)
+        lines = execution_to_jsonl(execution).splitlines()
+        if not execution.events:
+            assert lines == [""] or lines == []
+            return
+        assert len(lines) == len(execution.events)
+        for index, line in enumerate(lines):
+            record = json.loads(line)
+            assert record["step"] == index
+            assert record["pid"] == execution.events[index].pid
+            assert record["kind"] == execution.events[index].kind

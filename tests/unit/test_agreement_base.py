@@ -1,0 +1,76 @@
+"""Unit tests for parameter validation and the agreement base class."""
+
+import pytest
+
+from repro import validate_parameters
+from repro.agreement.base import SetAgreementAutomaton
+from repro.agreement.oneshot import OneShotSetAgreement
+from repro.errors import ConfigurationError
+from repro.runtime.automaton import Context
+from tests.conftest import small_parameter_grid
+
+
+class TestValidateParameters:
+    def test_valid_grid_accepted(self):
+        for n, m, k in small_parameter_grid():
+            validate_parameters(n, m, k)  # must not raise
+
+    def test_m_greater_than_k_cites_lemma1(self):
+        with pytest.raises(ConfigurationError, match="Lemma 1"):
+            validate_parameters(4, 3, 2)
+
+    def test_k_at_least_n_cites_triviality(self):
+        with pytest.raises(ConfigurationError, match="trivial"):
+            validate_parameters(3, 1, 3)
+
+    def test_m_zero_rejected(self):
+        with pytest.raises(ConfigurationError, match="m >= 1"):
+            validate_parameters(3, 0, 2)
+
+    def test_single_process_rejected(self):
+        with pytest.raises(ConfigurationError, match="2 processes"):
+            validate_parameters(1, 1, 1)
+
+
+class TestBaseClass:
+    def test_parameter_properties(self):
+        protocol = OneShotSetAgreement(n=6, m=2, k=4)
+        assert (protocol.n, protocol.m, protocol.k) == (6, 2, 4)
+
+    def test_describe_mentions_everything(self):
+        text = OneShotSetAgreement(n=6, m=2, k=4).describe()
+        assert "n=6" in text and "m=2" in text and "k=4" in text
+        assert "r=6" in text  # n + 2m - k
+
+    def test_zero_components_rejected(self):
+        with pytest.raises(ConfigurationError, match="components"):
+            OneShotSetAgreement(n=4, m=1, k=2, components=0)
+
+    def test_nominal_components_abstract(self):
+        class Incomplete(SetAgreementAutomaton):
+            def default_layout(self):  # pragma: no cover
+                raise NotImplementedError
+
+            def begin(self, *a):  # pragma: no cover
+                raise NotImplementedError
+
+            def pending(self, *a):  # pragma: no cover
+                raise NotImplementedError
+
+            def apply(self, *a):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(NotImplementedError):
+            Incomplete(n=3, m=1, k=1).nominal_components()
+
+
+class TestContext:
+    def test_identifier_for_eponymous(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=1)
+        ctx = Context(pid=2, n=3, params=protocol.params)
+        assert ctx.identifier == 2
+
+    def test_params_reachable(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=2)
+        ctx = Context(pid=0, n=3, params=protocol.params)
+        assert ctx.params["k"] == 2

@@ -1,0 +1,122 @@
+"""Unit tests for the execution-analytics package."""
+
+from repro import (
+    OneShotSetAgreement,
+    RandomScheduler,
+    SoloScheduler,
+    System,
+    run,
+    run_solo,
+)
+from repro.analysis import (
+    concurrency_profile,
+    convergence_step,
+    distinct_values_over_time,
+    location_advances,
+    preference_changes,
+)
+from repro.analysis.contention import write_density
+from repro.bench.sweep import bounded_adversary_run
+from repro.bench.workloads import distinct_inputs
+
+
+def solo_execution(n=3):
+    system = System(OneShotSetAgreement(n=n, m=1, k=1),
+                    workloads=distinct_inputs(n))
+    return run_solo(system, 0)
+
+
+def contended_execution(n=4, m=1, k=1, seed=5):
+    system = System(OneShotSetAgreement(n=n, m=m, k=k),
+                    workloads=distinct_inputs(n))
+    return bounded_adversary_run(system, survivors=[0], seed=seed)
+
+
+class TestPreferenceChanges:
+    def test_solo_never_changes_preference(self):
+        execution = solo_execution()
+        changes = preference_changes(execution)
+        assert changes.get(0, 0) == 0
+
+    def test_contended_runs_can_change_preferences(self):
+        total = 0
+        for seed in range(6):
+            execution = contended_execution(seed=seed)
+            total += sum(preference_changes(execution).values())
+        assert total > 0  # some adoption happened across seeds
+
+
+class TestLocationAdvances:
+    def test_solo_advances_through_components(self):
+        execution = solo_execution()
+        advances = location_advances(execution)
+        # A solo consensus run sweeps enough components to fill the
+        # snapshot with its own pairs: at least r-1 advances.
+        r = execution.system.automaton.components
+        assert advances[0] >= r - 1
+
+    def test_dichotomy_accounting(self):
+        """Each update is preceded by either an adoption or an advance
+        (except the first): changes + advances <= updates - 1 per process."""
+        from repro.memory.ops import UpdateOp
+
+        execution = contended_execution(seed=3)
+        changes = preference_changes(execution)
+        advances = location_advances(execution)
+        updates = {}
+        for event in execution.memory_events:
+            if isinstance(event.op, UpdateOp):
+                updates[event.pid] = updates.get(event.pid, 0) + 1
+        for pid, count in updates.items():
+            assert changes.get(pid, 0) + advances.get(pid, 0) <= count
+
+
+class TestConcurrencyProfile:
+    def test_profile_length_matches_steps(self):
+        execution = contended_execution()
+        profile = concurrency_profile(execution)
+        assert len(profile) == execution.steps
+
+    def test_solo_profile_peaks_at_one(self):
+        execution = solo_execution()
+        assert max(concurrency_profile(execution)) == 1
+
+    def test_contended_profile_exceeds_one(self):
+        execution = contended_execution(n=4)
+        assert max(concurrency_profile(execution)) >= 2
+
+
+class TestWriteDensity:
+    def test_between_zero_and_one(self):
+        execution = contended_execution()
+        assert 0.0 <= write_density(execution) <= 1.0
+
+    def test_empty_execution(self):
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        execution = run(system, SoloScheduler(0), max_steps=0,
+                        on_limit="return")
+        assert write_density(execution) == 0.0
+
+
+class TestConvergence:
+    def test_distinct_values_series_bounds(self):
+        execution = contended_execution(n=4)
+        series = distinct_values_over_time(execution)
+        assert len(series) == execution.steps
+        assert all(0 <= v <= 4 for v in series)
+
+    def test_solo_converges_immediately(self):
+        execution = solo_execution()
+        step = convergence_step(execution, m=1)
+        assert step is not None
+        assert step <= 2  # after its first update only its value is present
+
+    def test_bounded_episode_converges(self):
+        """Corollary 6 operationally: after the m-bounded tail, at most m
+        values live in the snapshot."""
+        execution = contended_execution(n=4, seed=9)
+        step = convergence_step(execution, m=1)
+        assert step is not None
+        series = distinct_values_over_time(execution)
+        assert all(v <= 1 for v in series[step:])

@@ -1,0 +1,211 @@
+"""Unit tests for the Figure 5 anonymous algorithms (repeated + one-shot)."""
+
+import pytest
+
+from repro import AnonymousRepeatedSetAgreement, System, RandomScheduler, run, run_solo
+from repro._types import BOT
+from repro.agreement.anonymous import (
+    AnonymousOneShotSetAgreement,
+    AnonymousPersistent,
+    LoopThreadState,
+    PollThreadState,
+    most_frequent_value,
+    value_counts,
+    DECIDED,
+    SCAN,
+    UPDATE,
+    WRITE_H,
+)
+from repro.errors import AnonymityViolation
+from repro.runtime.automaton import Context, Decide
+from repro.sched import EventuallyBoundedScheduler
+from repro.spec import assert_execution_safe
+
+
+def make(n=3, m=1, k=2):
+    return AnonymousRepeatedSetAgreement(n=n, m=m, k=k)
+
+
+def ctx_for(protocol, pid=0):
+    return Context(pid=pid, n=protocol.n, params=protocol.params,
+                   anonymous=True)
+
+
+def entry(value, t, history=()):
+    return (value, t, tuple(history))
+
+
+class TestParameters:
+    def test_nominal_components(self):
+        assert make(3, 1, 2).components == 3   # (m+1)(n-k)+m² = 2·1+1
+        assert make(6, 2, 4).components == 10  # 3·2+4
+
+    def test_register_count_includes_h(self):
+        system = System(make(3, 1, 2), workloads=[["a"], ["b"], ["c"]])
+        assert system.layout.register_count() == 4  # 3 components + H
+
+    def test_ell(self):
+        assert make(3, 1, 2).ell == 2  # n+m-k
+        assert make(6, 2, 4).ell == 4
+
+    def test_identifier_access_raises(self):
+        ctx = ctx_for(make())
+        with pytest.raises(AnonymityViolation):
+            _ = ctx.identifier
+
+
+class TestValueCounts:
+    def test_counts_only_matching_instance(self):
+        scan = (entry("a", 1), entry("a", 1), entry("b", 2), BOT)
+        counts, order = value_counts(scan, 1)
+        assert counts == {"a": 2}
+        assert order == ["a"]
+
+    def test_most_frequent(self):
+        scan = (entry("a", 1), entry("b", 1), entry("b", 1))
+        assert most_frequent_value(scan, 1) == "b"
+
+    def test_tie_breaks_by_scan_order(self):
+        scan = (entry("z", 1), entry("q", 1))
+        assert most_frequent_value(scan, 1) == "z"
+
+
+class TestThread1:
+    def test_begin_writes_h_first(self):
+        protocol = make()
+        loop, poll = protocol.begin(
+            ctx_for(protocol), AnonymousPersistent(), "v", 1
+        )
+        assert loop.phase == WRITE_H
+        assert isinstance(poll, PollThreadState)
+
+    def test_shortcut_after_h_write(self):
+        protocol = make()
+        state = LoopThreadState(pref=None, i=0, t=1, history=("x",),
+                                phase=WRITE_H)
+        new = protocol._loop_apply(state, None)
+        assert new.phase == DECIDED and new.decision == "x"
+
+    def test_update_scan_alternation(self):
+        protocol = make()
+        state = LoopThreadState(pref="v", i=0, t=1, history=(), phase=WRITE_H)
+        state = protocol._loop_apply(state, None)
+        assert state.phase == UPDATE
+        state = protocol._loop_apply(state, None)
+        assert state.phase == SCAN
+
+    def test_higher_instance_adoption(self):
+        protocol = make()
+        state = LoopThreadState(pref="v", i=0, t=1, history=(), phase=SCAN)
+        scan = (entry("w", 3, ("x", "y")), BOT, BOT)
+        new = protocol._loop_after_scan(state, scan)
+        assert new.phase == DECIDED and new.decision == "x"
+
+    def test_decide_most_frequent(self):
+        protocol = make(3, 1, 2)  # r=3, m=1
+        state = LoopThreadState(pref="v", i=0, t=1, history=(), phase=SCAN)
+        scan = (entry("w", 1),) * 3
+        new = protocol._loop_after_scan(state, scan)
+        assert new.phase == DECIDED and new.decision == "w"
+        assert new.history == ("w",)
+
+    def test_no_decide_with_bot(self):
+        protocol = make(3, 1, 2)
+        state = LoopThreadState(pref="v", i=0, t=1, history=(), phase=SCAN)
+        scan = (entry("w", 1), entry("w", 1), BOT)
+        new = protocol._loop_after_scan(state, scan)
+        assert new.phase == UPDATE
+
+    def test_location_advances_unconditionally(self):
+        """Figure 5 line 29: i increments every iteration (unlike Fig 3/4)."""
+        protocol = make(3, 1, 2)
+        state = LoopThreadState(pref="v", i=1, t=1, history=(), phase=SCAN)
+        scan = (entry("w", 1), entry("w", 1), BOT)
+        new = protocol._loop_after_scan(state, scan)
+        assert new.i == 2
+
+    def test_adoption_threshold_ell(self):
+        protocol = make(4, 1, 2)  # r = (2)(2)+1 = 5, ell = 3
+        state = LoopThreadState(pref="v", i=0, t=1, history=(), phase=SCAN)
+        # "w" backed by ell=3 components, own "v" by 1 -> adopt w.
+        scan = (entry("w", 1), entry("w", 1), entry("w", 1), entry("v", 1), BOT)
+        new = protocol._loop_after_scan(state, scan)
+        assert new.pref == "w"
+
+    def test_no_adoption_below_threshold(self):
+        protocol = make(4, 1, 2)  # ell = 3
+        state = LoopThreadState(pref="v", i=0, t=1, history=(), phase=SCAN)
+        scan = (entry("w", 1), entry("w", 1), entry("v", 1), BOT, BOT)
+        new = protocol._loop_after_scan(state, scan)
+        assert new.pref == "v"
+
+
+class TestThread2:
+    def test_poll_waits_until_long_enough(self):
+        protocol = make()
+        state = PollThreadState(t=2, history=("a",))
+        new = protocol._poll_apply(state, ("x",))
+        assert new.phase != DECIDED
+
+    def test_poll_decides_from_h(self):
+        protocol = make()
+        state = PollThreadState(t=2, history=("a",))
+        new = protocol._poll_apply(state, ("x", "y", "z"))
+        assert new.phase == DECIDED and new.decision == "y"
+        assert new.history == ("a", "y")
+
+
+class TestFinalizePersistent:
+    def test_thread2_decision_recovers_thread1_location(self):
+        protocol = make()
+        loop_state = LoopThreadState(pref="v", i=7, t=1, history=(),
+                                     phase=UPDATE)
+        decide = Decide(output="x",
+                        persistent=AnonymousPersistent(i=0, t=1, history=("x",)))
+        merged = protocol.finalize_persistent(
+            ctx_for(protocol), decide, (loop_state, None)
+        )
+        assert merged.i == 7 and merged.history == ("x",)
+
+
+class TestOneShotVariant:
+    def test_components_match_paper_remark(self):
+        protocol = AnonymousOneShotSetAgreement(n=4, m=1, k=2)
+        system = System(protocol, workloads=[[f"v{i}"] for i in range(4)])
+        # one register fewer than the repeated variant (no H)
+        assert system.layout.register_count() == (2) * (4 - 2) + 1
+
+    def test_solo_sweeps_components_in_order_and_decides_own(self):
+        protocol = AnonymousOneShotSetAgreement(n=4, m=1, k=1, components=3)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"], ["d"]])
+        execution = run_solo(system, 1)
+        assert execution.config.procs[1].outputs == ("b",)
+        from repro.lowerbounds.cloning import register_sequence
+
+        coords = register_sequence(execution)
+        assert [c.index for c in coords] == [0, 1, 2]
+
+    def test_safe_under_adversary(self):
+        for seed in (1, 2):
+            protocol = AnonymousOneShotSetAgreement(n=4, m=2, k=3)
+            system = System(protocol, workloads=[[f"v{i}"] for i in range(4)])
+            scheduler = EventuallyBoundedScheduler(
+                survivors=[0, 1], prelude_steps=60,
+                prelude=RandomScheduler(seed=seed),
+            )
+            execution = run(system, scheduler, max_steps=200_000)
+            assert_execution_safe(execution, k=3)
+
+
+class TestEndToEnd:
+    def test_repeated_instances_under_adversary(self):
+        system = System(
+            make(4, 2, 3),
+            workloads=[[f"p{i}c{t}" for t in range(2)] for i in range(4)],
+        )
+        scheduler = EventuallyBoundedScheduler(
+            survivors=[1, 2], prelude_steps=100, prelude=RandomScheduler(seed=5)
+        )
+        execution = run(system, scheduler, max_steps=300_000)
+        assert_execution_safe(execution, k=3)
+        assert system.decided_all(execution.config, [1, 2])

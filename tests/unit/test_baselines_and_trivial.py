@@ -1,0 +1,116 @@
+"""Unit tests for baseline/trivial/consensus/commit-adopt protocols."""
+
+import pytest
+
+from repro import (
+    BaselineOneShotSetAgreement,
+    RoundRobinScheduler,
+    System,
+    TrivialSetAgreement,
+    run,
+    run_solo,
+)
+from repro.agreement.commit_adopt import CommitAdoptConsensus
+from repro.agreement.consensus import (
+    anonymous_repeated_consensus,
+    obstruction_free_consensus,
+    repeated_consensus,
+)
+from repro.bench.sweep import bounded_adversary_run
+from repro.bench.workloads import distinct_inputs
+from repro.errors import ConfigurationError
+from repro.spec import assert_execution_safe
+
+
+class TestTrivial:
+    def test_requires_k_ge_n(self):
+        with pytest.raises(ConfigurationError):
+            TrivialSetAgreement(n=3, k=2)
+
+    def test_outputs_own_inputs(self):
+        system = System(TrivialSetAgreement(n=3, k=3),
+                        workloads=[["a"], ["b"], ["c"]])
+        execution = run(system, RoundRobinScheduler())
+        assert [p.outputs[0] for p in execution.config.procs] == ["a", "b", "c"]
+
+    def test_zero_registers(self):
+        system = System(TrivialSetAgreement(n=3, k=3),
+                        workloads=[["a"], ["b"], ["c"]])
+        assert system.layout.register_count() == 0
+
+    def test_wait_free(self):
+        """Every process decides in exactly 2 steps regardless of others."""
+        system = System(TrivialSetAgreement(n=3, k=3),
+                        workloads=[["a"], ["b"], ["c"]])
+        execution = run_solo(system, 1)
+        assert execution.steps == 2
+
+
+class TestBaseline:
+    def test_space_is_2_n_minus_k(self):
+        protocol = BaselineOneShotSetAgreement(n=7, k=3)
+        assert protocol.components == 8
+
+    def test_k_equal_n_minus_1_refused(self):
+        with pytest.raises(ConfigurationError, match="k <= n-2"):
+            BaselineOneShotSetAgreement(n=4, k=3)
+
+    def test_m_is_one(self):
+        assert BaselineOneShotSetAgreement(n=5, k=2).m == 1
+
+    def test_safe_and_live(self):
+        system = System(BaselineOneShotSetAgreement(n=5, k=2),
+                        workloads=distinct_inputs(5))
+        execution = bounded_adversary_run(system, survivors=[4], seed=3)
+        assert_execution_safe(execution, k=2)
+        assert execution.config.procs[4].outputs
+
+
+class TestConsensusFactories:
+    def test_oneshot_consensus_params(self):
+        protocol = obstruction_free_consensus(5)
+        assert (protocol.m, protocol.k) == (1, 1)
+        assert protocol.components == 6  # n + 1
+
+    def test_repeated_consensus_params(self):
+        protocol = repeated_consensus(4)
+        assert protocol.components == 5
+
+    def test_anonymous_consensus_registers(self):
+        protocol = anonymous_repeated_consensus(4)
+        system = System(protocol, workloads=distinct_inputs(4))
+        assert system.layout.register_count() == 2 * 4  # 2(n-1)+1 +1 = 2n
+
+    def test_components_override(self):
+        assert obstruction_free_consensus(5, components=3).components == 3
+
+
+class TestCommitAdopt:
+    def test_register_count_is_2n(self):
+        system = System(CommitAdoptConsensus(4), workloads=distinct_inputs(4))
+        assert system.layout.register_count() == 8
+
+    def test_solo_decides_input_in_one_round(self):
+        system = System(CommitAdoptConsensus(3), workloads=distinct_inputs(3))
+        execution = run_solo(system, 1)
+        assert execution.config.procs[1].outputs == ("v1.0",)
+        # one round: write A, collect 2n, write B, collect 2n, decide
+        assert execution.steps == 1 + 1 + 6 + 1 + 6 + 1
+
+    def test_too_few_processes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitAdoptConsensus(1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_under_contention(self, seed):
+        system = System(CommitAdoptConsensus(3), workloads=distinct_inputs(3))
+        execution = bounded_adversary_run(system, survivors=[seed % 3],
+                                          seed=seed)
+        assert_execution_safe(execution, k=1)
+
+    def test_catch_up_adopts_frontier_value(self):
+        """A process that sleeps through another's decision adopts it."""
+        system = System(CommitAdoptConsensus(2), workloads=distinct_inputs(2))
+        lead = run_solo(system, 0)
+        follow = run_solo(system, 1, initial=lead.config)
+        assert follow.config.procs[1].outputs == lead.config.procs[0].outputs

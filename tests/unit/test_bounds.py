@@ -1,0 +1,117 @@
+"""Unit tests for the Figure 1 bound formulas."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbounds.bounds import (
+    anonymous_oneshot_lower_bound,
+    anonymous_oneshot_upper_bound,
+    anonymous_repeated_upper_bound,
+    baseline_register_count,
+    bounds_consistent,
+    figure1_table,
+    lemma9_process_requirement,
+    oneshot_nonanonymous_lower_bound,
+    oneshot_upper_bound,
+    repeated_lower_bound,
+    repeated_upper_bound,
+)
+from tests.conftest import small_parameter_grid
+
+
+class TestFormulas:
+    def test_repeated_lower(self):
+        assert repeated_lower_bound(5, 1, 2) == 4
+        assert repeated_lower_bound(10, 3, 7) == 6
+
+    def test_repeated_upper_min(self):
+        assert repeated_upper_bound(5, 1, 2) == 5  # n+2m-k = 5 = n
+        assert repeated_upper_bound(5, 2, 2) == 5  # n+2m-k = 7 > n -> n
+        assert repeated_upper_bound(10, 1, 5) == 7
+
+    def test_oneshot_upper_equals_repeated(self):
+        for n, m, k in small_parameter_grid():
+            assert oneshot_upper_bound(n, m, k) == repeated_upper_bound(n, m, k)
+
+    def test_consensus_corner_is_tight(self):
+        """m = k = 1: both repeated bounds equal n — the headline result."""
+        for n in range(2, 40):
+            assert repeated_lower_bound(n, 1, 1) == n
+            assert repeated_upper_bound(n, 1, 1) == n
+
+    def test_anonymous_lower_matches_fhs_special_case(self):
+        """m = k = 1 recovers the Ω(√n) of Fich-Herlihy-Shavit [6]."""
+        assert anonymous_oneshot_lower_bound(102, 1, 1) == pytest.approx(10.0)
+
+    def test_anonymous_lower_zero_when_n_small(self):
+        assert anonymous_oneshot_lower_bound(4, 1, 2) == 0.0
+
+    def test_anonymous_uppers(self):
+        assert anonymous_repeated_upper_bound(6, 2, 4) == 3 * 2 + 4 + 1
+        assert anonymous_oneshot_upper_bound(6, 2, 4) == 3 * 2 + 4
+
+    def test_oneshot_nonanon_lower_is_two(self):
+        assert oneshot_nonanonymous_lower_bound(9, 2, 4) == 2
+
+    def test_baseline_space(self):
+        assert baseline_register_count(8, 3) == 10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repeated_lower_bound(3, 2, 1)
+        with pytest.raises(ConfigurationError):
+            repeated_upper_bound(3, 1, 3)
+
+
+class TestLemma9Requirement:
+    def test_formula(self):
+        # c = ceil((k+1)/m); n >= c (m + (r²-r)/2)
+        assert lemma9_process_requirement(1, 1, 2) == 2 * (1 + 1)
+        assert lemma9_process_requirement(1, 2, 3) == 3 * (1 + 3)
+        assert lemma9_process_requirement(2, 3, 2) == 2 * (2 + 1)
+
+    def test_monotone_in_r(self):
+        values = [lemma9_process_requirement(1, 1, r) for r in range(1, 8)]
+        assert values == sorted(values)
+
+
+class TestFigure1Table:
+    def test_all_eight_cells_present(self, grid):
+        for n, m, k in grid:
+            table = figure1_table(n, m, k)
+            assert len(table) == 8
+
+    def test_sources_cited(self):
+        table = figure1_table(5, 1, 2)
+        assert table["non-anonymous/repeated/lower"].source == "Theorem 2"
+        assert table["anonymous/one-shot/lower"].strict
+
+    def test_consistency_across_grid(self, grid):
+        for n, m, k in grid:
+            assert bounds_consistent(n, m, k), (n, m, k)
+
+    def test_cell_str(self):
+        table = figure1_table(5, 1, 2)
+        assert ">" in str(table["anonymous/one-shot/lower"])
+        assert "Theorem 8" in str(table["non-anonymous/repeated/upper"])
+
+
+class TestShapeClaims:
+    def test_lower_bound_monotone_in_m(self):
+        """More survivors to serve -> more registers."""
+        for k in (3, 5):
+            values = [repeated_lower_bound(10, m, k) for m in range(1, k + 1)]
+            assert values == sorted(values)
+
+    def test_lower_bound_antitone_in_k(self):
+        """More allowed outputs -> problem easier -> fewer registers."""
+        values = [repeated_lower_bound(10, 1, k) for k in range(1, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_gap_between_bounds_is_exactly_m_when_small(self):
+        for n, m, k in small_parameter_grid():
+            if n + 2 * m - k <= n:
+                gap = repeated_upper_bound(n, m, k) - repeated_lower_bound(n, m, k)
+                assert gap == m

@@ -1,0 +1,138 @@
+"""Tests running Appendix B's candidate bookkeeping on real executions.
+
+The checkable renditions of the Appendix B machinery:
+
+1. (unconditional) one step changes any value's ``mult`` by at most +1 —
+   updates move a poised preference into a component (net ≤ 0 for that
+   value), scans can re-poise at most the stepping process;
+2. (unconditional, Figure 5 lines 27-28) whenever a process's preference
+   *changes* at a scan, the adopted value had ≥ ℓ component support in the
+   scanned memory;
+3. (the Lemma 18 step-invariant, in its endgame regime) once every process
+   is past its ``H`` write in a single-instance run, a value with
+   ``mult < ℓ`` never regains ``mult ≥ ℓ``.
+"""
+
+from repro import AnonymousRepeatedSetAgreement, RandomScheduler, System
+from repro.agreement.anonymous import LoopThreadState, SCAN, UPDATE, WRITE_H
+from repro.analysis.candidates import (
+    all_tracked_values,
+    component_support,
+    lemma18_step_preserves_submult,
+    mult,
+    poised_preferences,
+)
+from repro.bench.workloads import clustered_inputs, distinct_inputs
+from repro.memory.ops import ScanOp
+from repro.runtime.events import MemoryEvent
+
+
+def make_system(n=4, m=1, k=2, clusters=None):
+    protocol = AnonymousRepeatedSetAgreement(n=n, m=m, k=k)
+    workloads = (
+        clustered_inputs(n, clusters=clusters)
+        if clusters
+        else distinct_inputs(n)
+    )
+    return System(protocol, workloads=workloads)
+
+
+def walk(system, seed, steps):
+    """Yield (before, event, after) triples along a random execution."""
+    scheduler = RandomScheduler(seed=seed)
+    scheduler.reset()
+    config = system.initial_configuration()
+    for index in range(steps):
+        enabled = system.enabled_pids(config)
+        if not enabled:
+            return
+        pid = scheduler.choose(config, system, enabled, index)
+        result = system.step(config, pid)
+        yield config, result.event, result.config
+        config = result.config
+
+
+class TestMultAccounting:
+    def test_initial_mult_zero(self):
+        system = make_system()
+        config = system.initial_configuration()
+        assert mult(system, config, "v0.0", 1) == 0
+
+    def test_mult_counts_components_and_poised(self):
+        system = make_system(n=4, m=1, k=2, clusters=2)
+        # Step two same-input processes to their poised-update states.
+        config = system.initial_configuration()
+        for pid in (0, 2):  # both propose cluster value c0.0
+            for _ in range(2):  # invoke, write H
+                config = system.step(config, pid).config
+        poised = poised_preferences(system, config, 1)
+        assert poised.get("c0.0", 0) == 2
+        assert component_support(config, 1) == {}
+        assert mult(system, config, "c0.0", 1) == 2
+
+    def test_step_changes_mult_by_at_most_one(self):
+        for seed in (1, 2, 3):
+            system = make_system(n=4, m=2, k=3, clusters=2)
+            for before, event, after in walk(system, seed, 300):
+                for value in all_tracked_values(system, after, 1):
+                    delta = mult(system, after, value, 1) - mult(
+                        system, before, value, 1
+                    )
+                    assert delta <= 1, (value, event)
+
+
+class TestAdoptionThreshold:
+    def test_pref_changes_only_to_ell_supported_values(self):
+        ell = None
+        for seed in range(5):
+            system = make_system(n=5, m=1, k=3, clusters=2)
+            ell = system.automaton.ell
+            for before, event, after in walk(system, seed, 400):
+                if not (isinstance(event, MemoryEvent)
+                        and isinstance(event.op, ScanOp)):
+                    continue
+                pid = event.pid
+                pre = before.procs[pid].active
+                post = after.procs[pid].active
+                if pre is None or post is None:
+                    continue
+                pre_state = pre.slots[0].state
+                post_state = post.slots[0].state
+                if not isinstance(pre_state, LoopThreadState):
+                    continue
+                if not isinstance(post_state, LoopThreadState):
+                    continue
+                if post_state.phase not in (UPDATE, SCAN):
+                    continue
+                if pre_state.pref != post_state.pref:
+                    support = component_support(before, pre_state.t).get(
+                        post_state.pref, 0
+                    )
+                    assert support >= ell, (
+                        f"adopted {post_state.pref!r} with support "
+                        f"{support} < ell {ell}"
+                    )
+
+    def test_lemma18_case_analysis(self):
+        """The precise, unconditional core of Lemma 18's proof: the only
+        step that can lift a sub-ℓ value back to ℓ is a scan-apply that
+        *kept* its preference — which lines 27-28 permit only when **no**
+        value had ℓ component support in the scanned memory.  (In the
+        proof's endgame, Lemma 17 rules that situation out, completing the
+        argument; before the endgame it genuinely happens, which is why the
+        invariant is conditional in the paper.)"""
+        for seed in range(5):
+            system = make_system(n=4, m=1, k=2)
+            ell = system.automaton.ell
+            for before, event, after in walk(system, seed, 500):
+                if lemma18_step_preserves_submult(
+                    system, before, after, instance=1, ell=ell
+                ):
+                    continue
+                # The invariant broke: per the proof's case analysis, the
+                # pre-step memory must have had no ℓ-supported value.
+                support = component_support(before, 1)
+                assert all(count < ell for count in support.values()), (
+                    f"sub-ℓ value regained ℓ support although "
+                    f"{support} had an ℓ-supported value (seed {seed})"
+                )

@@ -1,0 +1,85 @@
+"""Unit tests for violation certificates."""
+
+import pytest
+
+from repro import OneShotSetAgreement, RepeatedSetAgreement, System
+from repro.bench.workloads import distinct_inputs
+from repro.errors import ConfigurationError, SpecificationViolation
+from repro.explore import explore_safety
+from repro.lowerbounds import covering_construction
+from repro.lowerbounds.certificates import (
+    ViolationCertificate,
+    certificate_for_system,
+    load_certificate,
+    save_certificate,
+    verify_certificate,
+)
+
+
+def covering_certificate():
+    system = System(
+        RepeatedSetAgreement(n=3, m=1, k=1, components=2),
+        workloads=distinct_inputs(3, instances=12),
+    )
+    result = covering_construction(system, m=1, k=1)
+    return certificate_for_system(
+        system, result.schedule,
+        claim="Theorem 2: Figure 4 with 2 registers violates consensus",
+    )
+
+
+def explorer_certificate():
+    system = System(
+        OneShotSetAgreement(n=2, m=1, k=1, components=2),
+        workloads=distinct_inputs(2),
+    )
+    result = explore_safety(system, k=1)
+    witness = result.safety_violations[0]
+    return certificate_for_system(
+        system, witness.schedule,
+        claim="explorer witness: Figure 3 with 2 components, n=2",
+    )
+
+
+class TestVerification:
+    def test_covering_certificate_verifies(self):
+        violations = verify_certificate(covering_certificate())
+        assert violations
+
+    def test_explorer_certificate_verifies(self):
+        violations = verify_certificate(explorer_certificate())
+        assert violations
+
+    def test_tampered_schedule_fails(self):
+        certificate = explorer_certificate()
+        tampered = ViolationCertificate(
+            **{**certificate.__dict__, "schedule": certificate.schedule[:2]}
+        )
+        with pytest.raises(SpecificationViolation, match="CertificateCheck"):
+            verify_certificate(tampered)
+
+    def test_unknown_protocol_rejected(self):
+        certificate = ViolationCertificate(
+            protocol="nonsense", n=2, m=1, k=1, components=2,
+            workloads=(("a",), ("b",)), schedule=(0,), claim="bogus",
+        )
+        with pytest.raises(ConfigurationError):
+            verify_certificate(certificate)
+
+
+class TestRoundtrip:
+    def test_save_load_verify(self, tmp_path):
+        certificate = covering_certificate()
+        path = tmp_path / "cert.json"
+        save_certificate(certificate, path)
+        loaded = load_certificate(path)
+        assert loaded == certificate
+        assert verify_certificate(loaded)
+
+    def test_format_version_checked(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 42}))
+        with pytest.raises(ConfigurationError):
+            load_certificate(path)

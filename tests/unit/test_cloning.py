@@ -1,0 +1,120 @@
+"""Unit tests for the Section 5 clone machinery."""
+
+import pytest
+
+from repro import OneShotSetAgreement, System
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.lowerbounds.bounds import lemma9_process_requirement
+from repro.lowerbounds.cloning import (
+    GlueFailure,
+    alpha_execution,
+    lemma9_glue,
+    register_sequence,
+    solo_trace,
+)
+from repro.runtime.runner import replay, run_solo
+
+
+def anon_factory(k=1, r=2):
+    def factory(n):
+        return AnonymousOneShotSetAgreement(n=n, m=1, k=k, components=r)
+
+    return factory
+
+
+class TestRegisterSequence:
+    def test_orders_by_first_write(self):
+        protocol = AnonymousOneShotSetAgreement(n=3, m=1, k=1, components=3)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        execution = run_solo(system, 0)
+        coords = register_sequence(execution)
+        assert [c.index for c in coords] == [0, 1, 2]
+
+    def test_deduplicates(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=2)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        execution = run_solo(system, 0)
+        coords = register_sequence(execution)
+        assert len(coords) == len(set(coords))
+
+
+class TestAlphaExecution:
+    def test_solo_alpha(self):
+        protocol = AnonymousOneShotSetAgreement(n=3, m=1, k=1, components=3)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        execution = alpha_execution(system, [1], ["b"])
+        assert execution is not None
+        assert "b" in execution.instance_outputs(1)
+
+    def test_group_alpha_all_values_output(self):
+        from repro import RepeatedSetAgreement
+
+        protocol = RepeatedSetAgreement(n=4, m=2, k=2)
+        system = System(protocol, workloads=[[f"v{i}"] for i in range(4)])
+        execution = alpha_execution(system, [0, 2], ["v0", "v2"])
+        assert execution is not None
+        outputs = set(execution.instance_outputs(1))
+        assert {"v0", "v2"} <= outputs
+
+    def test_solo_alpha_failure_returns_none(self):
+        """A solo run cannot output a value it did not propose."""
+        protocol = AnonymousOneShotSetAgreement(n=3, m=1, k=1, components=3)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        assert alpha_execution(system, [1], ["zzz"]) is None
+
+
+class TestSoloTrace:
+    def test_shape_has_invoke_and_decide(self):
+        protocol = AnonymousOneShotSetAgreement(n=3, m=1, k=1, components=2)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        trace = solo_trace(system, 0)
+        kinds = [kind for kind, _ in trace.shape]
+        assert kinds[0] == "invoke"
+        assert kinds[-1] == "decide"
+        assert kinds.count("write") == 2
+
+    def test_first_and_last_write_indices(self):
+        protocol = AnonymousOneShotSetAgreement(n=3, m=1, k=1, components=2)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        trace = solo_trace(system, 0)
+        f0 = trace.first_write_index(0)
+        f1 = trace.first_write_index(1)
+        assert f0 < f1
+        assert trace.last_write_index_before(0, f1) == f0
+
+    def test_input_independence(self):
+        protocol = AnonymousOneShotSetAgreement(n=3, m=1, k=1, components=2)
+        system = System(protocol, workloads=[["x"], ["yy"], ["zzz"]])
+        shapes = {solo_trace(system, pid).shape for pid in range(3)}
+        assert len(shapes) == 1
+
+
+class TestLemma9Glue:
+    def test_process_count_matches_formula(self):
+        result = lemma9_glue(anon_factory(k=1, r=2), k=1, inputs=["a", "b"])
+        assert result.n_processes == lemma9_process_requirement(1, 1, 2)
+
+    def test_violation_certified_and_replayable(self):
+        result = lemma9_glue(anon_factory(k=1, r=2), k=1, inputs=["a", "b"])
+        assert result.success
+        assert set(result.distinct_outputs) == {"a", "b"}
+        # Rebuild the very system and replay the schedule from scratch.
+        protocol = anon_factory(k=1, r=2)(result.n_processes)
+        workloads = []
+        per_group = 1 + result.clones_per_group
+        for g in range(2):
+            workloads.extend([[["a", "b"][g]]] * per_group)
+        system = System(protocol, workloads=workloads)
+        execution = replay(system, result.schedule)
+        assert len(set(execution.instance_outputs(1))) == 2
+
+    def test_needs_distinct_inputs(self):
+        with pytest.raises(GlueFailure, match="distinct"):
+            lemma9_glue(anon_factory(), k=1, inputs=["same", "same"])
+
+    def test_k2_uses_three_groups(self):
+        result = lemma9_glue(
+            anon_factory(k=2, r=2), k=2, inputs=["a", "b", "c"]
+        )
+        assert result.success
+        assert len(result.distinct_outputs) == 3

@@ -1,0 +1,109 @@
+"""Repository quality gates: documentation and API-surface consistency.
+
+These tests keep the library honest as it grows: every public module,
+class, and function must carry a docstring, and every name exported via
+``__all__`` must actually exist.
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages([str(SRC_ROOT)], prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+MODULES = all_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} is missing a module docstring"
+    )
+
+
+def _inherits_doc(cls, method_name):
+    """An override of a documented base method counts as documented."""
+    for base in cls.__mro__[1:]:
+        inherited = getattr(base, method_name, None)
+        if inherited is not None and (inherited.__doc__ or "").strip():
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if (method.__doc__ and method.__doc__.strip()) or \
+                        _inherits_doc(member, method_name):
+                    continue
+                undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {sorted(undocumented)}"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_exist(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert not missing, f"{module_name}.__all__ lists missing names {missing}"
+
+
+def test_no_print_statements_in_library_code():
+    """The library communicates through return values and exceptions; only
+    the CLI may print.  (AST-based, so docstring examples don't count.)"""
+    import ast
+
+    offenders = []
+    for path in SRC_ROOT.rglob("*.py"):
+        if path.name in ("cli.py", "__main__.py"):
+            continue
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                offenders.append(
+                    f"{path.relative_to(SRC_ROOT)}:{node.lineno}"
+                )
+    assert not offenders, f"print() in library code: {offenders}"
+
+
+def test_public_api_importable_from_top_level():
+    for name in repro.__all__:
+        assert hasattr(repro, name)

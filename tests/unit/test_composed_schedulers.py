@@ -1,0 +1,83 @@
+"""Unit tests for the scheduler combinators."""
+
+import pytest
+
+from repro import (
+    RoundRobinScheduler,
+    SoloScheduler,
+    System,
+    TrivialSetAgreement,
+    run,
+)
+from repro.sched.composed import InterleavedScheduler, PhasedScheduler
+
+
+def trivial_system(n=3, per_proc=4):
+    protocol = TrivialSetAgreement(n=n, k=n)
+    return System(
+        protocol,
+        workloads=[[f"v{p}.{j}" for j in range(per_proc)] for p in range(n)],
+    )
+
+
+class TestPhased:
+    def test_phases_execute_in_order(self):
+        scheduler = PhasedScheduler([
+            (3, SoloScheduler(0)),
+            (2, SoloScheduler(1)),
+            (0, RoundRobinScheduler()),
+        ])
+        execution = run(trivial_system(), scheduler)
+        assert execution.schedule[:3] == [0, 0, 0]
+        assert execution.schedule[3:5] == [1, 1]
+
+    def test_early_handover_on_none(self):
+        # Solo p0 halts after 8 steps (4 invocations x 2); phase budget 50.
+        scheduler = PhasedScheduler([
+            (50, SoloScheduler(0)),
+            (0, SoloScheduler(1)),
+        ])
+        execution = run(trivial_system(), scheduler)
+        assert execution.schedule[:8] == [0] * 8
+        assert execution.schedule[8] == 1
+
+    def test_last_phase_none_ends_run(self):
+        scheduler = PhasedScheduler([(0, SoloScheduler(2))])
+        execution = run(trivial_system(), scheduler)
+        assert set(execution.schedule) == {2}
+        assert not execution.config.procs[0].outputs
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedScheduler([])
+
+    def test_reset_restores_all_phases(self):
+        scheduler = PhasedScheduler([
+            (2, SoloScheduler(0)),
+            (0, SoloScheduler(1)),
+        ])
+        first = run(trivial_system(), scheduler)
+        second = run(trivial_system(), scheduler)  # run() resets
+        assert first.schedule == second.schedule
+
+
+class TestInterleaved:
+    def test_alternates_constituents(self):
+        scheduler = InterleavedScheduler([SoloScheduler(0), SoloScheduler(1)])
+        execution = run(trivial_system(), scheduler)
+        assert execution.schedule[:4] == [0, 1, 0, 1]
+
+    def test_skips_exhausted_constituent(self):
+        scheduler = InterleavedScheduler([SoloScheduler(0), SoloScheduler(1)])
+        execution = run(trivial_system(n=2, per_proc=1), scheduler)
+        # p0 halts after 2 steps; thereafter only p1's turns produce steps.
+        assert execution.schedule == [0, 1, 0, 1]
+
+    def test_all_declining_ends_run(self):
+        scheduler = InterleavedScheduler([SoloScheduler(0)])
+        execution = run(trivial_system(n=2, per_proc=1), scheduler)
+        assert set(execution.schedule) == {0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavedScheduler([])

@@ -1,0 +1,86 @@
+"""Unit tests for the Theorem 2 covering construction."""
+
+import pytest
+
+from repro import RepeatedSetAgreement, System
+from repro.bench.workloads import distinct_inputs
+from repro.lowerbounds.covering import (
+    CoveringFailure,
+    covering_construction,
+)
+from repro.runtime.runner import replay
+from repro.spec.properties import check_k_agreement
+
+
+def attacked_system(n, m, k, r, instances=12):
+    protocol = RepeatedSetAgreement(n=n, m=m, k=k, components=r)
+    return System(protocol, workloads=distinct_inputs(n, instances=instances))
+
+
+class TestConstruction:
+    def test_smallest_case_produces_violation(self):
+        system = attacked_system(3, 1, 1, 2)
+        result = covering_construction(system, m=1, k=1)
+        assert result.success
+        assert len(result.distinct_outputs) == 2
+        assert result.violations  # check_k_agreement found it too
+
+    def test_group_structure(self):
+        system = attacked_system(3, 1, 1, 2)
+        result = covering_construction(system, m=1, k=1)
+        # c = ceil((k+1)/m) = 2 groups, sizes k+1-(c-1)m = 1 and m = 1.
+        assert len(result.groups) == 2
+        assert len(result.groups[0].final_q) == 1
+        assert len(result.groups[1].final_q) == 1
+        # Group Q sets are disjoint.
+        q_sets = [set(g.final_q) for g in result.groups]
+        assert not (q_sets[0] & q_sets[1])
+
+    def test_covered_registers_within_provision(self):
+        system = attacked_system(4, 1, 2, 2)
+        result = covering_construction(system, m=1, k=2)
+        for group in result.groups[:-1]:
+            assert len(group.covered) <= 2
+            assert len(group.p_set) == len(group.covered)
+
+    def test_schedule_is_self_certifying(self):
+        system = attacked_system(4, 1, 2, 2)
+        result = covering_construction(system, m=1, k=2)
+        fresh = replay(system, result.schedule)
+        outputs = set(fresh.instance_outputs(result.target_instance))
+        assert len(outputs) >= 3
+        assert check_k_agreement(fresh, 2)
+
+    def test_multi_member_groups(self):
+        """m = 2: the final group has two processes and the Lemma 1 search
+        must find them two distinct outputs."""
+        system = attacked_system(4, 2, 2, 3, instances=14)
+        result = covering_construction(system, m=2, k=2)
+        assert result.success
+        assert len(result.groups[-1].final_q) == 2
+
+    def test_narrative_records_stages(self):
+        system = attacked_system(3, 1, 1, 2)
+        result = covering_construction(system, m=1, k=1)
+        text = "\n".join(result.narrative)
+        assert "froze" in text
+        assert "closure" in text
+        assert "violation certified" in text
+
+
+class TestFailureModes:
+    def test_workloads_too_short(self):
+        system = attacked_system(3, 1, 1, 2, instances=1)
+        with pytest.raises(CoveringFailure, match="workload"):
+            covering_construction(system, m=1, k=1)
+
+    def test_cannot_certify_against_safe_algorithm(self):
+        """At the nominal register count the construction must not produce
+        a certified violation (it either fails or certifies nothing)."""
+        protocol = RepeatedSetAgreement(n=3, m=1, k=1)  # nominal r = 4
+        system = System(protocol, workloads=distinct_inputs(3, instances=10))
+        try:
+            result = covering_construction(system, m=1, k=1)
+        except CoveringFailure:
+            return
+        assert not result.success

@@ -1,0 +1,122 @@
+"""Unit tests for dynamic workloads and the adaptive universal construction."""
+
+import pytest
+
+from repro import (
+    OneShotSetAgreement,
+    RandomScheduler,
+    RepeatedSetAgreement,
+    RoundRobinScheduler,
+    System,
+    TrivialSetAgreement,
+    run,
+)
+from repro.agreement.universal import ReplicatedStateMachine
+from repro.errors import ConfigurationError
+from repro.spec import assert_execution_safe
+
+
+class TestSystemConstruction:
+    def test_exactly_one_workload_source_required(self):
+        protocol = TrivialSetAgreement(n=2, k=2)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            System(protocol)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            System(protocol, workloads=[["a"], ["b"]],
+                   workload_fn=lambda pid, inv, outs: None)
+
+    def test_workload_fn_requires_n(self):
+        protocol = TrivialSetAgreement(n=2, k=2)
+        with pytest.raises(ConfigurationError, match="requires explicit n"):
+            System(protocol, workload_fn=lambda pid, inv, outs: None)
+
+
+class TestDynamicRuns:
+    def test_fixed_count_via_fn(self):
+        protocol = TrivialSetAgreement(n=2, k=2)
+
+        def two_each(pid, invocation, outputs):
+            return f"p{pid}.{invocation}" if invocation <= 2 else None
+
+        system = System(protocol, n=2, workload_fn=two_each)
+        execution = run(system, RoundRobinScheduler())
+        assert execution.config.procs[0].outputs == ("p0.1", "p0.2")
+        assert execution.config.procs[1].outputs == ("p1.1", "p1.2")
+
+    def test_fn_sees_prior_outputs(self):
+        """The next proposal can depend on what was decided so far."""
+        protocol = RepeatedSetAgreement(n=2, m=1, k=1)
+
+        def echo_last(pid, invocation, outputs):
+            if invocation > 3:
+                return None
+            if outputs:
+                return f"seen:{outputs[-1]}"
+            return f"fresh:{pid}"
+
+        system = System(protocol, n=2, workload_fn=echo_last)
+        execution = run(system, RoundRobinScheduler(), max_steps=100_000)
+        assert_execution_safe(execution, k=1)
+        for proc in execution.config.procs:
+            assert len(proc.outputs) == 3
+
+    def test_dynamic_system_still_replayable(self):
+        from repro import replay
+
+        protocol = OneShotSetAgreement(n=3, m=1, k=2)
+
+        def fn(pid, invocation, outputs):
+            return f"v{pid}" if invocation == 1 else None
+
+        def build():
+            return System(protocol, n=3, workload_fn=fn)
+
+        original = run(build(), RandomScheduler(seed=6), max_steps=100_000)
+        again = replay(build(), original.schedule)
+        assert again.outputs() == original.outputs()
+
+    def test_static_consumers_reject_dynamic_systems(self):
+        from repro.explore import explore_safety
+
+        protocol = OneShotSetAgreement(n=2, m=1, k=1)
+        system = System(
+            protocol, n=2,
+            workload_fn=lambda pid, inv, outs: "v" if inv == 1 else None,
+        )
+        with pytest.raises(ValueError, match="static workloads"):
+            explore_safety(system, k=1)
+
+
+class TestAdaptiveUniversal:
+    def commands(self):
+        return [
+            [("add", 1), ("add", 2)],
+            [("add", 10), ("add", 20)],
+            [("add", 100), ("add", 200)],
+        ]
+
+    def make(self):
+        return ReplicatedStateMachine(
+            n=3, apply_fn=lambda s, c: s + c[1], initial_state=0
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_no_command_is_ever_lost(self, seed):
+        result = self.make().run_adaptive(
+            self.commands(), scheduler=RandomScheduler(seed=seed)
+        )
+        flat = [c for cs in self.commands() for c in cs]
+        assert sorted(result.log, key=repr) == sorted(flat, key=repr)
+        assert result.rejected == ()
+        assert result.final_state == 333
+
+    def test_log_has_no_duplicates(self):
+        result = self.make().run_adaptive(self.commands())
+        assert len(result.log) == len(set(result.log))
+
+    def test_uneven_command_counts(self):
+        rsm = self.make()
+        commands = [[("add", 1)], [("add", 10), ("add", 20), ("add", 30)], []]
+        result = rsm.run_adaptive(commands)
+        assert result.final_state == 61
+        assert len(result.log) == 4

@@ -1,0 +1,70 @@
+"""Unit tests for event records and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.memory.ops import ReadOp, UpdateOp
+from repro.runtime.events import (
+    DecideEvent,
+    InvokeEvent,
+    MemoryEvent,
+    decided_value,
+)
+
+
+class TestEvents:
+    def test_kinds(self):
+        assert InvokeEvent(0, 1, "v").kind == "invoke"
+        assert MemoryEvent(0, 1, ReadOp("A", 0), "x").kind == "memory"
+        assert DecideEvent(0, 1, "v").kind == "decide"
+
+    def test_hashable_and_comparable(self):
+        a = MemoryEvent(0, 1, UpdateOp("A", 0, "v"), None)
+        b = MemoryEvent(0, 1, UpdateOp("A", 0, "v"), None)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_reprs_mention_pid(self):
+        assert "p3" in repr(InvokeEvent(3, 1, "v"))
+        assert "p3" in repr(DecideEvent(3, 1, "v"))
+        assert "p3" in repr(MemoryEvent(3, 1, ReadOp("A", 0), "x"))
+
+    def test_frame_flag_in_repr(self):
+        framed = MemoryEvent(0, 1, ReadOp("A", 0), "x", in_frame=True)
+        assert "[frame]" in repr(framed)
+        plain = MemoryEvent(0, 1, ReadOp("A", 0), "x")
+        assert "[frame]" not in repr(plain)
+
+    def test_decided_value_helper(self):
+        assert decided_value(DecideEvent(0, 1, "v")) == "v"
+        assert decided_value(InvokeEvent(0, 1, "v")) is None
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_cls", [
+        errors.ConfigurationError,
+        errors.MemoryError_,
+        errors.NotEnabledError,
+        errors.ScheduleExhaustedError,
+        errors.StepLimitExceeded,
+        errors.ProtocolViolation,
+        errors.SpecificationViolation,
+        errors.SearchInconclusive,
+        errors.AnonymityViolation,
+    ])
+    def test_all_derive_from_repro_error(self, exc_cls):
+        if exc_cls is errors.SpecificationViolation:
+            instance = exc_cls("prop", "detail")
+        else:
+            instance = exc_cls("boom")
+        assert isinstance(instance, errors.ReproError)
+
+    def test_specification_violation_carries_fields(self):
+        exc = errors.SpecificationViolation("k-Agreement", "too many")
+        assert exc.property_name == "k-Agreement"
+        assert exc.detail == "too many"
+        assert "k-Agreement" in str(exc)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)

@@ -1,0 +1,88 @@
+"""Unit tests for the exhaustive exploration checkers."""
+
+from repro import OneShotSetAgreement, RepeatedSetAgreement, System, TrivialSetAgreement
+from repro.explore import explore_progress_closure, explore_safety
+from repro.runtime.runner import replay
+from repro.spec.properties import check_k_agreement
+
+
+class TestSafetyExploration:
+    def test_trivial_system_fully_explored(self):
+        system = System(TrivialSetAgreement(n=2, k=2), workloads=[["a"], ["b"]])
+        result = explore_safety(system, k=2)
+        assert result.complete and result.ok
+        # 2 procs x (invoke, decide): interleavings of 4 steps; small space.
+        assert result.configs_explored >= 4
+
+    def test_nominal_oneshot_consensus_safe_exhaustively(self):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1), workloads=[["a"], ["b"]]
+        )
+        result = explore_safety(system, k=1)
+        assert result.complete
+        assert result.ok
+
+    def test_underprovisioned_violation_found_with_witness(self):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1, components=2),
+            workloads=[["a"], ["b"]],
+        )
+        result = explore_safety(system, k=1)
+        assert result.safety_violations
+        witness = result.safety_violations[0]
+        assert witness.property_name == "k-Agreement"
+        # The witness schedule reproduces the violation from scratch.
+        execution = replay(system, witness.schedule)
+        assert check_k_agreement(execution, k=1)
+
+    def test_budget_truncation_flagged(self):
+        system = System(
+            OneShotSetAgreement(n=3, m=1, k=2), workloads=[["a"], ["b"], ["c"]]
+        )
+        result = explore_safety(system, k=2, max_configs=50)
+        assert not result.complete
+        assert result.configs_explored == 50
+
+    def test_stop_at_first_false_collects_more(self):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1, components=1),
+            workloads=[["a"], ["b"]],
+        )
+        result = explore_safety(system, k=1, stop_at_first=False,
+                                max_configs=5_000)
+        assert len(result.safety_violations) >= 1
+
+    def test_summary_strings(self):
+        system = System(TrivialSetAgreement(n=2, k=2), workloads=[["a"], ["b"]])
+        result = explore_safety(system, k=2)
+        assert "complete" in result.summary()
+        assert "no violations" in result.summary()
+
+
+class TestProgressClosure:
+    def test_trivial_progress(self):
+        system = System(TrivialSetAgreement(n=2, k=2), workloads=[["a"], ["b"]])
+        result = explore_progress_closure(system, m=1)
+        assert result.ok and result.complete
+
+    def test_oneshot_consensus_progress_closure(self):
+        """From every reachable configuration of the nominal one-shot
+        consensus at n=2, each solo survivor finishes — the strongest
+        finite rendition of obstruction-freedom."""
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1), workloads=[["a"], ["b"]]
+        )
+        result = explore_progress_closure(
+            system, m=1, max_configs=2_000, solo_budget=2_000
+        )
+        assert result.ok
+
+    def test_repeated_consensus_progress_closure_bounded(self):
+        system = System(
+            RepeatedSetAgreement(n=2, m=1, k=1),
+            workloads=[["a1", "a2"], ["b1", "b2"]],
+        )
+        result = explore_progress_closure(
+            system, m=1, max_configs=1_000, solo_budget=3_000
+        )
+        assert result.ok

@@ -1,0 +1,119 @@
+"""Unit tests for the fragment-search primitives."""
+
+from repro import RepeatedSetAgreement, OneShotSetAgreement, System
+from repro.lowerbounds.fragments import (
+    CLOSED,
+    FOUND,
+    UNKNOWN,
+    find_distinct_decisions,
+    find_write_outside,
+    poised_write_outside,
+)
+from repro.memory.layout import RegisterCoord
+from repro.runtime.runner import replay
+
+
+def repeated_system(n=3, m=1, k=1, components=2, instances=6):
+    protocol = RepeatedSetAgreement(n=n, m=m, k=k, components=components)
+    workloads = [[f"p{i}.{t}" for t in range(instances)] for i in range(n)]
+    return System(protocol, workloads=workloads)
+
+
+class TestPoised:
+    def test_initial_process_not_poised_before_invoke(self):
+        system = repeated_system()
+        config = system.initial_configuration()
+        # First step is an invocation, not a write.
+        assert poised_write_outside(system, config, 0, frozenset()) is None
+
+    def test_poised_after_invoke(self):
+        system = repeated_system()
+        config = system.step(system.initial_configuration(), 0).config
+        coord = poised_write_outside(system, config, 0, frozenset())
+        assert coord == RegisterCoord(0, 0)
+
+    def test_allowed_set_masks(self):
+        system = repeated_system()
+        config = system.step(system.initial_configuration(), 0).config
+        allowed = frozenset({RegisterCoord(0, 0)})
+        assert poised_write_outside(system, config, 0, allowed) is None
+
+
+class TestFindWriteOutside:
+    def test_finds_first_write_immediately(self):
+        system = repeated_system()
+        search = find_write_outside(
+            system, system.initial_configuration(), [0], frozenset()
+        )
+        assert search.status == FOUND
+        assert search.poised_pid == 0
+        assert search.coord == RegisterCoord(0, 0)
+        assert len(search.schedule) == 1  # just the invocation
+
+    def test_schedule_leads_to_poised_config(self):
+        system = repeated_system()
+        search = find_write_outside(
+            system, system.initial_configuration(), [0],
+            frozenset({RegisterCoord(0, 0)}),
+        )
+        assert search.status == FOUND
+        execution = replay(system, search.schedule)
+        assert poised_write_outside(
+            system, execution.config, search.poised_pid,
+            frozenset({RegisterCoord(0, 0)}),
+        ) == search.coord
+
+    def test_closure_when_all_registers_allowed(self):
+        system = repeated_system(components=2, instances=3)
+        allowed = frozenset({RegisterCoord(0, 0), RegisterCoord(0, 1)})
+        search = find_write_outside(
+            system, system.initial_configuration(), [0], allowed
+        )
+        assert search.status == CLOSED
+        assert search.configs_explored > 0
+
+    def test_unknown_on_budget(self):
+        system = repeated_system(components=2, instances=6)
+        allowed = frozenset({RegisterCoord(0, 0), RegisterCoord(0, 1)})
+        search = find_write_outside(
+            system, system.initial_configuration(), [0, 1], allowed,
+            max_configs=3,
+        )
+        assert search.status == UNKNOWN
+
+
+class TestFindDistinctDecisions:
+    def test_solo_group(self):
+        system = repeated_system(components=4, instances=2)
+        schedule = find_distinct_decisions(
+            system, system.initial_configuration(), [1], instance=2
+        )
+        assert schedule is not None
+        execution = replay(system, schedule)
+        assert len(execution.config.procs[1].outputs) >= 2
+
+    def test_two_member_group_distinct_outputs(self):
+        protocol = RepeatedSetAgreement(n=4, m=2, k=2)
+        system = System(
+            protocol, workloads=[[f"p{i}"] for i in range(4)]
+        )
+        schedule = find_distinct_decisions(
+            system, system.initial_configuration(), [0, 1], instance=1
+        )
+        assert schedule is not None
+        execution = replay(system, schedule)
+        outputs = {execution.config.procs[0].outputs[0],
+                   execution.config.procs[1].outputs[0]}
+        assert len(outputs) == 2
+
+    def test_impossible_request_returns_none(self):
+        """Consensus (k=1, n=2... actually m=1) cannot give two distinct
+        outputs to a group running in isolation if the algorithm is correct
+        — the search must exhaust and return None on a SAFE algorithm."""
+        protocol = OneShotSetAgreement(n=2, m=1, k=1)  # nominal r=3, safe
+        system = System(protocol, workloads=[["a"], ["b"]])
+        schedule = find_distinct_decisions(
+            system, system.initial_configuration(), [0, 1], instance=1,
+            max_configs=100_000,
+        )
+        assert schedule is None

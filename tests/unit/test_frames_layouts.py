@@ -1,0 +1,138 @@
+"""Unit tests for frame execution and substrate layout builders."""
+
+import pytest
+
+from repro import OneShotSetAgreement, AnonymousRepeatedSetAgreement, System, run, SoloScheduler
+from repro._types import Params
+from repro.errors import ConfigurationError, ProtocolViolation
+from repro.memory.layout import ImplementedBinding, MemoryLayout, PrimitiveBinding
+from repro.memory.ops import ReadOp, ScanOp, UpdateOp, WriteOp
+from repro.objects import DoubleCollectSnapshot, implemented_snapshot_layout
+from repro.objects.layouts import substrate_register_count
+from repro.runtime.frames import ImplContext, ObjectImplementation, Return
+from repro.memory.layout import BankSpec
+
+
+class TestImplementedLayoutBuilder:
+    def test_atomic_passthrough(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=2)
+        layout = implemented_snapshot_layout(protocol, "atomic")
+        assert layout.register_count() == protocol.components
+
+    @pytest.mark.parametrize("kind,expected", [
+        ("double-collect", 6),  # r registers
+        ("wait-free", 6),
+        ("swmr", 4),            # n registers
+    ])
+    def test_register_counts(self, kind, expected):
+        protocol = OneShotSetAgreement(n=4, m=2, k=2)  # r = 6
+        assert substrate_register_count(protocol, kind) == expected
+
+    def test_unknown_kind_rejected(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=2)
+        with pytest.raises(ConfigurationError):
+            implemented_snapshot_layout(protocol, "quantum")
+
+    def test_extra_objects_preserved(self):
+        """Figure 5's register H survives the substrate swap."""
+        protocol = AnonymousRepeatedSetAgreement(n=3, m=1, k=2)
+        layout = implemented_snapshot_layout(protocol, "anonymous-double-collect")
+        assert "H" in layout.object_names
+        # components registers + H
+        assert layout.register_count() == protocol.components + 1
+
+
+class TestFrameExecution:
+    def test_protocol_oblivious_to_substrate(self):
+        """Identical solo schedule shape: the protocol sees the same
+        responses whether the snapshot is atomic or implemented."""
+        protocol = OneShotSetAgreement(n=3, m=1, k=1)
+        atomic = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        framed = System(
+            protocol,
+            workloads=[["a"], ["b"], ["c"]],
+            layout=implemented_snapshot_layout(protocol, "double-collect"),
+        )
+        out_a = run(atomic, SoloScheduler(0), max_steps=10_000)
+        out_f = run(framed, SoloScheduler(0), max_steps=10_000)
+        assert out_a.config.procs[0].outputs == out_f.config.procs[0].outputs
+
+    def test_frame_events_marked(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=1)
+        framed = System(
+            protocol,
+            workloads=[["a"], ["b"], ["c"]],
+            layout=implemented_snapshot_layout(protocol, "double-collect"),
+        )
+        execution = run(framed, SoloScheduler(0), max_steps=10_000)
+        assert all(e.in_frame for e in execution.memory_events)
+
+    def test_frame_bank_discipline_enforced(self):
+        """An implementation touching a bank it does not own is rejected."""
+
+        class RogueImpl(ObjectImplementation):
+            name = "rogue"
+
+            def bank_specs(self, prefix):
+                return (BankSpec(name=f"{prefix}__own", size=1),)
+
+            def begin(self, ictx, persistent, op):
+                return "started"
+
+            def pending(self, ictx, state):
+                return ReadOp("elsewhere__bank", 0)
+
+            def apply(self, ictx, state, response):
+                return state
+
+        from repro.memory.layout import merge_layouts, register_layout
+
+        impl = RogueImpl(Params())
+        own = MemoryLayout(
+            impl.bank_specs("A"),
+            {"A": ImplementedBinding(impl, ("A__own",))},
+        )
+        layout = merge_layouts(own, register_layout("elsewhere", 1))
+        protocol = OneShotSetAgreement(n=2, m=1, k=1)
+        system = System(protocol, workloads=[["a"], ["b"]], layout=layout)
+        with pytest.raises(ProtocolViolation, match="outside its"):
+            run(system, SoloScheduler(0), max_steps=100)
+
+    def test_frame_must_issue_register_ops_only(self):
+        class ScanningImpl(ObjectImplementation):
+            name = "scanning"
+
+            def bank_specs(self, prefix):
+                return (BankSpec(name=f"{prefix}__own", size=1),)
+
+            def begin(self, ictx, persistent, op):
+                return "started"
+
+            def pending(self, ictx, state):
+                return ScanOp("A__own")
+
+            def apply(self, ictx, state, response):
+                return state
+
+        impl = ScanningImpl(Params())
+        layout = MemoryLayout(
+            impl.bank_specs("A"),
+            {"A": ImplementedBinding(impl, ("A__own",))},
+        )
+        protocol = OneShotSetAgreement(n=2, m=1, k=1)
+        system = System(protocol, workloads=[["a"], ["b"]], layout=layout)
+        with pytest.raises(ProtocolViolation, match="register reads/writes"):
+            run(system, SoloScheduler(0), max_steps=100)
+
+    def test_object_persistent_state_threads_through(self):
+        """Sequence numbers advance across operations of one process."""
+        impl = DoubleCollectSnapshot(Params(components=2, n=2))
+        ictx = ImplContext(pid=0, n=2, params=impl.params, banks=("b",))
+        persistent = impl.initial_persistent(ictx)
+        for expected_seq in (1, 2, 3):
+            frame = impl.begin(ictx, persistent, UpdateOp("A", 0, "v"))
+            frame = impl.apply(ictx, frame, None)
+            result = impl.pending(ictx, frame)
+            assert isinstance(result, Return)
+            persistent = result.persistent
+            assert persistent == expected_seq

@@ -1,0 +1,122 @@
+"""Unit tests for the runtime invariant monitors."""
+
+import pytest
+
+from repro import (
+    OneShotSetAgreement,
+    RandomScheduler,
+    RepeatedSetAgreement,
+    System,
+    run,
+)
+from repro.agreement.commit_adopt import CommitAdoptConsensus
+from repro.bench.workloads import distinct_inputs
+from repro.errors import SpecificationViolation
+from repro.runtime.events import InvokeEvent
+from repro.runtime.system import Configuration
+from repro.spec.invariants import (
+    commit_adopt_round_monitor,
+    consensus_history_monitor,
+    lemma3_monitor,
+    lemma12_monitor,
+)
+
+
+def fake_config(bank):
+    return Configuration(procs=(), memory=(tuple(bank),))
+
+
+EVENT = InvokeEvent(0, 1, "x")
+
+
+class TestLemma3:
+    def test_accepts_consistent_bank(self):
+        monitor = lemma3_monitor()
+        monitor(fake_config([("v", 0), ("v", 0), ("w", 1)]), EVENT)
+
+    def test_rejects_two_values_per_id(self):
+        monitor = lemma3_monitor()
+        with pytest.raises(SpecificationViolation, match="Lemma 3"):
+            monitor(fake_config([("v", 0), ("w", 0)]), EVENT)
+
+    def test_holds_along_real_runs(self):
+        system = System(OneShotSetAgreement(n=3, m=1, k=2),
+                        workloads=distinct_inputs(3))
+        for seed in (1, 2, 3):
+            run(system, RandomScheduler(seed=seed), max_steps=800,
+                on_limit="return", monitors=[lemma3_monitor()])
+
+
+class TestLemma12:
+    def test_accepts_different_instances_same_id(self):
+        monitor = lemma12_monitor()
+        monitor(
+            fake_config([("v", 0, 1, ()), ("w", 0, 2, ("v",))]), EVENT
+        )
+
+    def test_rejects_conflicting_t_tuples(self):
+        monitor = lemma12_monitor()
+        with pytest.raises(SpecificationViolation, match="Lemma 12"):
+            monitor(
+                fake_config([("v", 0, 1, ()), ("w", 0, 1, ())]), EVENT
+            )
+
+    def test_holds_along_real_repeated_runs(self):
+        system = System(
+            RepeatedSetAgreement(n=3, m=1, k=1),
+            workloads=distinct_inputs(3, instances=2),
+        )
+        for seed in (4, 5):
+            run(system, RandomScheduler(seed=seed), max_steps=800,
+                on_limit="return", monitors=[lemma12_monitor()])
+
+
+class TestCommitAdoptRound:
+    def test_rejects_two_values_one_round(self):
+        monitor = commit_adopt_round_monitor(b_bank_index=0)
+        with pytest.raises(SpecificationViolation, match="B-unique"):
+            monitor(fake_config([(3, "v"), (3, "w")]), EVENT)
+
+    def test_holds_along_real_runs(self):
+        system = System(CommitAdoptConsensus(3), workloads=distinct_inputs(3))
+        for seed in (1, 2, 3, 4):
+            run(system, RandomScheduler(seed=seed), max_steps=1_500,
+                on_limit="return",
+                monitors=[commit_adopt_round_monitor()])
+
+
+class TestConsensusHistory:
+    def test_rejects_divergent_histories(self):
+        monitor = consensus_history_monitor()
+        bank = [("v", 0, 2, ("a",)), ("w", 1, 2, ("b",))]
+        with pytest.raises(SpecificationViolation, match="history"):
+            monitor(fake_config(bank), EVENT)
+
+    def test_accepts_prefix_compatible(self):
+        monitor = consensus_history_monitor()
+        bank = [("v", 0, 3, ("a", "b")), ("w", 1, 2, ("a",))]
+        monitor(fake_config(bank), EVENT)
+
+    def test_holds_along_real_consensus_runs(self):
+        system = System(
+            RepeatedSetAgreement(n=3, m=1, k=1),
+            workloads=distinct_inputs(3, instances=3),
+        )
+        for seed in (7, 8):
+            run(system, RandomScheduler(seed=seed), max_steps=1_200,
+                on_limit="return",
+                monitors=[consensus_history_monitor()])
+
+
+class TestMonitorIntegrationWithRunner:
+    def test_monitor_sees_every_step(self):
+        calls = []
+
+        def counting_monitor(config, event):
+            calls.append(event)
+
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        execution = run(system, RandomScheduler(seed=1), max_steps=50_000,
+                        monitors=[counting_monitor])
+        assert len(calls) == execution.steps

@@ -1,0 +1,144 @@
+"""Unit tests for the linearizability checker itself.
+
+The checker is a test oracle, so it gets its own adversarial tests: known
+linearizable histories must pass, and known non-linearizable ones must be
+rejected (a checker that accepts everything would green-light a broken
+snapshot implementation).
+"""
+
+import pytest
+
+from repro import System, RoundRobinScheduler, run
+from repro._types import BOT
+from repro.errors import ConfigurationError
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.spec.linearizability import (
+    OpRecord,
+    SnapshotScript,
+    check_linearizable,
+    extract_history,
+)
+
+
+def rec(pid, op, response, start, end):
+    return OpRecord(pid=pid, op=op, response=response, start=start, end=end)
+
+
+class TestChecker:
+    def test_empty_history(self):
+        assert check_linearizable([], components=2) == ()
+
+    def test_sequential_history_accepted(self):
+        history = [
+            rec(0, UpdateOp("A", 0, "x"), None, 0, 0),
+            rec(1, ScanOp("A"), ("x", BOT), 1, 1),
+        ]
+        assert check_linearizable(history, components=2) is not None
+
+    def test_stale_scan_rejected(self):
+        """A scan strictly after an update must observe it."""
+        history = [
+            rec(0, UpdateOp("A", 0, "x"), None, 0, 0),
+            rec(1, ScanOp("A"), (BOT, BOT), 1, 1),
+        ]
+        assert check_linearizable(history, components=2) is None
+
+    def test_concurrent_scan_may_or_may_not_observe(self):
+        update = rec(0, UpdateOp("A", 0, "x"), None, 0, 5)
+        missed = rec(1, ScanOp("A"), (BOT, BOT), 1, 2)
+        saw = rec(1, ScanOp("A"), ("x", BOT), 1, 2)
+        assert check_linearizable([update, missed], components=2) is not None
+        assert check_linearizable([update, saw], components=2) is not None
+
+    def test_new_old_inversion_rejected(self):
+        """Two sequential scans cannot un-observe an update."""
+        history = [
+            rec(0, UpdateOp("A", 0, "x"), None, 0, 0),
+            rec(1, ScanOp("A"), ("x", BOT), 1, 1),
+            rec(1, ScanOp("A"), (BOT, BOT), 2, 2),
+        ]
+        assert check_linearizable(history, components=2) is None
+
+    def test_real_time_order_respected(self):
+        """An op cannot be linearized before one that ended before it began."""
+        history = [
+            rec(0, UpdateOp("A", 0, "x"), None, 0, 0),
+            rec(1, UpdateOp("A", 0, "y"), None, 1, 1),
+            rec(2, ScanOp("A"), ("x",), 2, 2),  # must see y, not x
+        ]
+        assert check_linearizable(history, components=1) is None
+
+    def test_witness_is_a_permutation(self):
+        history = [
+            rec(0, UpdateOp("A", 0, "x"), None, 0, 3),
+            rec(1, UpdateOp("A", 1, "y"), None, 1, 2),
+            rec(0, ScanOp("A"), ("x", "y"), 4, 5),
+        ]
+        witness = check_linearizable(history, components=2)
+        assert witness is not None
+        assert sorted(id(r) for r in witness) == sorted(id(r) for r in history)
+
+
+class TestHarness:
+    def test_script_validation(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotScript([[UpdateOp("B", 0, 1)]], components=2)
+
+    def test_extract_history_on_primitive(self):
+        scripts = [[UpdateOp("A", 0, "u")], [ScanOp("A")]]
+        system = System(SnapshotScript(scripts, components=2),
+                        workloads=[[0], [0]])
+        execution = run(system, RoundRobinScheduler(), max_steps=100)
+        history = extract_history(execution, scripts)
+        assert len(history) == 2
+        for record in history:
+            assert record.start == record.end  # primitive ops are one step
+
+    def test_broken_substrate_is_caught(self):
+        """A single-collect 'snapshot' (no double collect) must produce a
+        non-linearizable history under the right interleaving."""
+        from repro._types import Params
+        from repro.memory.layout import ImplementedBinding, MemoryLayout
+        from repro.objects.doublecollect import DoubleCollectSnapshot, _ScanFrame
+
+        class BrokenSnapshot(DoubleCollectSnapshot):
+            """Returns after the FIRST collect: not atomic."""
+
+            name = "broken-single-collect"
+
+            def apply(self, ictx, state, response):
+                if isinstance(state, _ScanFrame):
+                    current = state.current + (response,)
+                    if len(current) < self.components:
+                        from dataclasses import replace
+                        return replace(state, cursor=state.cursor + 1,
+                                       current=current)
+                    # pretend the first collect is already stable
+                    from dataclasses import replace
+                    return replace(state, cursor=self.components,
+                                   current=current, previous=current)
+                return super().apply(ictx, state, response)
+
+        impl = BrokenSnapshot(Params(components=2, n=2))
+        banks = impl.bank_specs(prefix="A")
+        layout = MemoryLayout(
+            tuple(banks),
+            {"A": ImplementedBinding(impl, tuple(b.name for b in banks))},
+        )
+        scripts = [
+            [ScanOp("A")],
+            [UpdateOp("A", 0, "x"), UpdateOp("A", 1, "y")],
+        ]
+        system = System(SnapshotScript(scripts, components=2),
+                        workloads=[[0], [0]], layout=layout)
+        # p0 reads register 0 (sees BOT), p1 writes both, p0 reads register
+        # 1 (sees y): the scan returns (BOT, y), which no atomic snapshot
+        # can produce "after" x was written... precisely: scan response
+        # (BOT, 'y') requires update(1,y) before it but update(0,x) after —
+        # yet x was written before y by the same process. Not linearizable.
+        from repro.sched import FixedSchedule
+
+        execution = run(system, FixedSchedule([0, 0, 1, 1, 1, 0, 0, 1]),
+                        max_steps=100)
+        history = extract_history(execution, scripts)
+        assert check_linearizable(history, components=2) is None

@@ -1,0 +1,159 @@
+"""Unit tests for the memory model: ops, register/snapshot semantics, layouts."""
+
+import pytest
+
+from repro._types import BOT
+from repro.errors import ConfigurationError, MemoryError_, ProtocolViolation
+from repro.memory import register, snapshot
+from repro.memory.layout import (
+    BankSpec,
+    MemoryLayout,
+    PrimitiveBinding,
+    RegisterCoord,
+    merge_layouts,
+    register_layout,
+    snapshot_layout,
+)
+from repro.memory.ops import (
+    ReadOp,
+    ScanOp,
+    UpdateOp,
+    WriteOp,
+    is_write_access,
+    written_register,
+)
+
+
+class TestOps:
+    def test_write_access_classification(self):
+        assert is_write_access(WriteOp("A", 0, 1))
+        assert is_write_access(UpdateOp("A", 0, 1))
+        assert not is_write_access(ReadOp("A", 0))
+        assert not is_write_access(ScanOp("A"))
+
+    def test_written_register(self):
+        assert written_register(WriteOp("A", 3, "x")) == ("A", 3)
+        assert written_register(UpdateOp("S", 1, "y")) == ("S", 1)
+        assert written_register(ReadOp("A", 0)) is None
+        assert written_register(ScanOp("S")) is None
+
+    def test_ops_hashable(self):
+        assert len({ReadOp("A", 0), ReadOp("A", 0), ReadOp("A", 1)}) == 2
+
+    def test_reprs(self):
+        assert "A[0]" in repr(ReadOp("A", 0))
+        assert ":=" in repr(WriteOp("A", 0, 5))
+        assert ":=" in repr(UpdateOp("A", 0, 5))
+        assert "scan" in repr(ScanOp("A"))
+
+
+class TestRegisterSemantics:
+    def test_read_write_roundtrip(self):
+        bank = (BOT, BOT, BOT)
+        bank = register.write(bank, 1, "x")
+        assert register.read(bank, 1) == "x"
+        assert register.read(bank, 0) is BOT
+
+    def test_write_is_pure(self):
+        bank = (BOT, BOT)
+        new = register.write(bank, 0, 1)
+        assert bank == (BOT, BOT)
+        assert new == (1, BOT)
+
+    @pytest.mark.parametrize("index", [-1, 2, 100])
+    def test_out_of_range_read(self, index):
+        with pytest.raises(MemoryError_):
+            register.read((BOT, BOT), index)
+
+    @pytest.mark.parametrize("index", [-1, 2])
+    def test_out_of_range_write(self, index):
+        with pytest.raises(MemoryError_):
+            register.write((BOT, BOT), index, 1)
+
+    def test_non_integer_index_rejected(self):
+        with pytest.raises(MemoryError_):
+            register.read((BOT,), "0")
+
+
+class TestSnapshotSemantics:
+    def test_update_then_scan(self):
+        comps = (BOT,) * 3
+        comps = snapshot.update(comps, 2, "z")
+        assert snapshot.scan(comps) == (BOT, BOT, "z")
+
+
+class TestBankSpec:
+    def test_initial_bank(self):
+        assert BankSpec("b", 3).initial_bank() == (BOT, BOT, BOT)
+        assert BankSpec("b", 2, initial=0).initial_bank() == (0, 0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankSpec("b", 0)
+
+
+class TestMemoryLayout:
+    def test_snapshot_layout_roundtrip(self):
+        layout = snapshot_layout("A", 4)
+        memory = layout.initial_memory()
+        memory, _ = layout.apply_primitive(memory, UpdateOp("A", 2, "v"))
+        memory, scan_result = layout.apply_primitive(memory, ScanOp("A"))
+        assert scan_result == (BOT, BOT, "v", BOT)
+
+    def test_register_layout_roundtrip(self):
+        layout = register_layout("H", 2, initial=())
+        memory = layout.initial_memory()
+        memory, _ = layout.apply_primitive(memory, WriteOp("H", 0, (1,)))
+        memory, value = layout.apply_primitive(memory, ReadOp("H", 0))
+        assert value == (1,)
+
+    def test_register_count(self):
+        layout = merge_layouts(snapshot_layout("A", 5), register_layout("H", 1))
+        assert layout.register_count() == 6
+
+    def test_wrong_op_kind_rejected(self):
+        layout = snapshot_layout("A", 2)
+        with pytest.raises(ProtocolViolation):
+            layout.apply_primitive(layout.initial_memory(), ReadOp("A", 0))
+
+    def test_unknown_object_rejected(self):
+        layout = snapshot_layout("A", 2)
+        with pytest.raises(ProtocolViolation):
+            layout.apply_primitive(layout.initial_memory(), ScanOp("B"))
+
+    def test_duplicate_bank_names_rejected(self):
+        bank = BankSpec("b", 1)
+        with pytest.raises(ConfigurationError):
+            MemoryLayout((bank, bank), {})
+
+    def test_binding_to_unknown_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout((), {"A": PrimitiveBinding("registers", "nope")})
+
+    def test_merge_rejects_duplicate_objects(self):
+        with pytest.raises(ConfigurationError):
+            merge_layouts(snapshot_layout("A", 2), snapshot_layout("A", 2))
+
+    def test_coord_and_op_coord(self):
+        layout = merge_layouts(snapshot_layout("A", 3), register_layout("H", 1))
+        assert layout.op_coord(UpdateOp("A", 2, "x")) == RegisterCoord(0, 2)
+        assert layout.op_coord(WriteOp("H", 0, "y")) == RegisterCoord(1, 0)
+        assert layout.op_coord(ScanOp("A")) is None
+
+    def test_coord_out_of_range(self):
+        layout = snapshot_layout("A", 3)
+        with pytest.raises(MemoryError_):
+            layout.op_coord(UpdateOp("A", 3, "x"))
+
+    def test_banks_implicitly_addressable_as_register_objects(self):
+        layout = snapshot_layout("A", 2)
+        bank_name = layout.banks[0].name
+        memory = layout.initial_memory()
+        memory, _ = layout.apply_primitive(memory, WriteOp(bank_name, 0, "w"))
+        _, value = layout.apply_primitive(memory, ReadOp(bank_name, 0))
+        assert value == "w"
+
+    def test_empty_layout_allowed(self):
+        layout = MemoryLayout((), {})
+        assert layout.register_count() == 0
+        assert layout.initial_memory() == ()

@@ -1,0 +1,122 @@
+"""Edge-case tests sweeping the corners the main suites skip."""
+
+import pytest
+
+from repro import (
+    OneShotSetAgreement,
+    RoundRobinScheduler,
+    System,
+    TrivialSetAgreement,
+    run,
+)
+from repro.bench.workloads import distinct_inputs
+from repro.errors import ConfigurationError, SpecificationViolation
+from repro.runtime.runner import run_until_quiescent
+
+
+class TestRunnerEdges:
+    def test_run_until_quiescent_alias(self):
+        system = System(TrivialSetAgreement(n=2, k=2),
+                        workloads=[["a"], ["b"]])
+        execution = run_until_quiescent(system, RoundRobinScheduler())
+        assert system.all_halted(execution.config)
+
+    def test_monitor_exception_aborts_run(self):
+        calls = []
+
+        def bomb(config, event):
+            calls.append(event)
+            if len(calls) == 3:
+                raise SpecificationViolation("TestInvariant", "boom")
+
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        with pytest.raises(SpecificationViolation, match="TestInvariant"):
+            run(system, RoundRobinScheduler(), monitors=[bomb])
+        assert len(calls) == 3
+
+    def test_zero_max_steps_returns_empty(self):
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        execution = run(system, RoundRobinScheduler(), max_steps=0,
+                        on_limit="return")
+        assert execution.steps == 0
+        assert execution.hit_step_limit
+
+    def test_stop_checked_before_first_step(self):
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        execution = run(system, RoundRobinScheduler(),
+                        stop=lambda config, events: True)
+        assert execution.steps == 0
+
+
+class TestDynamicWorkloadGuards:
+    def make_dynamic(self):
+        protocol = OneShotSetAgreement(n=2, m=1, k=1)
+        return System(
+            protocol, n=2,
+            workload_fn=lambda pid, inv, outs: "v" if inv == 1 else None,
+        )
+
+    def test_schedule_export_rejected(self, tmp_path):
+        from repro.trace import save_schedule
+
+        system = self.make_dynamic()
+        execution = run(system, RoundRobinScheduler(), max_steps=100_000)
+        with pytest.raises(ConfigurationError, match="dynamic"):
+            save_schedule(execution, tmp_path / "x.json")
+
+    def test_certificates_rejected(self):
+        from repro.lowerbounds.certificates import certificate_for_system
+
+        system = self.make_dynamic()
+        with pytest.raises(ConfigurationError, match="static"):
+            certificate_for_system(system, [0, 1], claim="nope")
+
+    def test_covering_rejected(self):
+        from repro import RepeatedSetAgreement
+        from repro.lowerbounds.covering import (
+            CoveringFailure,
+            covering_construction,
+        )
+
+        protocol = RepeatedSetAgreement(n=3, m=1, k=1, components=2)
+        system = System(
+            protocol, n=3,
+            workload_fn=lambda pid, inv, outs: (
+                f"p{pid}.{inv}" if inv <= 12 else None
+            ),
+        )
+        with pytest.raises(CoveringFailure, match="static"):
+            covering_construction(system, m=1, k=1)
+
+
+class TestSweepLayoutFactory:
+    def test_sweep_with_substrate_layouts(self):
+        from repro.bench.sweep import sweep_protocol
+        from repro.objects import implemented_snapshot_layout
+
+        rows = sweep_protocol(
+            lambda n, m, k: OneShotSetAgreement(n=n, m=m, k=k),
+            [(3, 1, 1)],
+            seeds=(1,),
+            layout_factory=lambda protocol: implemented_snapshot_layout(
+                protocol, "swmr"
+            ),
+            max_steps=1_000_000,
+        )
+        assert rows[0].registers == 3  # n SWMR registers
+
+
+class TestProgressClosureSurvivorSets:
+    def test_explicit_survivor_sets(self):
+        from repro.explore import explore_progress_closure
+
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        result = explore_progress_closure(
+            system, m=1, max_configs=300, solo_budget=3_000,
+            survivor_sets=[(0,)],
+        )
+        assert result.ok

@@ -1,0 +1,189 @@
+"""Unit tests for the Figure 3 one-shot algorithm: per-rule behaviour.
+
+These tests drive the automaton's scan-processing logic directly through
+its (pure) transition function, pinning each line of the pseudocode, plus
+whole-system checks of Lemma 3's invariant and the deciding rules.
+"""
+
+import pytest
+
+from repro import OneShotSetAgreement, System, RoundRobinScheduler, run, run_solo
+from repro._types import BOT
+from repro.agreement.oneshot import (
+    DECIDED,
+    SCAN,
+    UPDATE,
+    OneShotState,
+    first_duplicate_index,
+)
+from repro.errors import ConfigurationError
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.runtime.automaton import Context, Decide
+
+
+def make(n=4, m=1, k=2, components=None):
+    return OneShotSetAgreement(n=n, m=m, k=k, components=components)
+
+
+def ctx_for(protocol, pid=0):
+    return Context(pid=pid, n=protocol.n, params=protocol.params)
+
+
+class TestParameters:
+    def test_nominal_components(self):
+        assert make(4, 1, 2).components == 4  # n + 2m - k
+        assert make(6, 2, 3).components == 7
+
+    def test_component_override(self):
+        assert make(4, 1, 2, components=2).components == 2
+
+    @pytest.mark.parametrize("n,m,k", [(4, 0, 1), (4, 2, 1), (4, 1, 4), (1, 1, 1)])
+    def test_invalid_parameters(self, n, m, k):
+        with pytest.raises(ConfigurationError):
+            make(n, m, k)
+
+
+class TestFirstDuplicateIndex:
+    def test_none_without_duplicates(self):
+        assert first_duplicate_index((("a", 1), ("b", 2), BOT)) is None
+
+    def test_bot_never_duplicates(self):
+        assert first_duplicate_index((BOT, BOT, BOT)) is None
+
+    def test_minimal_index(self):
+        scan = (("x", 1), ("y", 2), ("x", 1), ("y", 2))
+        assert first_duplicate_index(scan) == 0
+
+    def test_duplicate_later(self):
+        scan = (("x", 1), ("y", 2), ("y", 2))
+        assert first_duplicate_index(scan) == 1
+
+
+class TestStateMachine:
+    def test_begin_starts_at_location_zero(self):
+        protocol = make()
+        (state,) = protocol.begin(ctx_for(protocol), None, "v", 1)
+        assert state == OneShotState(pref="v", i=0, phase=UPDATE)
+
+    def test_pending_update_carries_pair(self):
+        protocol = make()
+        state = OneShotState(pref="v", i=3, phase=UPDATE)
+        op = protocol.pending(ctx_for(protocol, pid=2), 0, state)
+        assert op == UpdateOp("A", 3, ("v", 2))
+
+    def test_update_then_scan(self):
+        protocol = make()
+        state = OneShotState(pref="v", i=0, phase=UPDATE)
+        state = protocol.apply(ctx_for(protocol), 0, state, None)
+        assert state.phase == SCAN
+        assert isinstance(protocol.pending(ctx_for(protocol), 0, state), ScanOp)
+
+    def test_decide_rule_line9(self):
+        """<= m distinct pairs, no ⊥ -> output the first duplicate's value."""
+        protocol = make(n=5, m=1, k=2)  # r = 5
+        state = OneShotState(pref="v", i=0, phase=SCAN)
+        scan = (("w", 7),) * 5
+        state = protocol.apply(ctx_for(protocol), 0, state, scan)
+        assert state.phase == DECIDED
+        action = protocol.pending(ctx_for(protocol), 0, state)
+        assert isinstance(action, Decide) and action.output == "w"
+
+    def test_no_decide_with_bot_present(self):
+        protocol = make(n=5, m=1, k=2)
+        state = OneShotState(pref="v", i=0, phase=SCAN)
+        scan = (("w", 7), ("w", 7), ("w", 7), ("w", 7), BOT)
+        state = protocol.apply(ctx_for(protocol), 0, state, scan)
+        assert state.phase != DECIDED
+
+    def test_no_decide_with_too_many_distinct(self):
+        protocol = make(n=5, m=1, k=2)
+        state = OneShotState(pref="v", i=0, phase=SCAN)
+        scan = (("w", 7), ("x", 8), ("w", 7), ("w", 7), ("w", 7))
+        state = protocol.apply(ctx_for(protocol), 0, state, scan)
+        assert state.phase != DECIDED
+
+    def test_adopt_rule_line11(self):
+        """Foreign duplicated pair + own pair only at i -> adopt, stay."""
+        protocol = make(n=5, m=1, k=2)
+        ctx = ctx_for(protocol, pid=0)
+        state = OneShotState(pref="v", i=2, phase=SCAN)
+        scan = (("w", 7), ("w", 7), ("v", 0), ("x", 8), ("y", 9))
+        new = protocol.apply(ctx, 0, state, scan)
+        assert new.pref == "w"
+        assert new.i == 2  # location unchanged on adoption
+
+    def test_adoption_requires_change_of_preference(self):
+        """A duplicate carrying the scanner's own preference counts as
+        'keep' -> the location advances (the Lemma 5 dichotomy)."""
+        protocol = make(n=5, m=1, k=2)
+        ctx = ctx_for(protocol, pid=0)
+        state = OneShotState(pref="v", i=2, phase=SCAN)
+        scan = (("v", 7), ("v", 7), ("v", 0), ("x", 8), ("y", 9))
+        new = protocol.apply(ctx, 0, state, scan)
+        assert new.pref == "v"
+        assert new.i == 3
+
+    def test_advance_rule_line14_on_bot(self):
+        protocol = make(n=5, m=1, k=2)
+        ctx = ctx_for(protocol, pid=0)
+        state = OneShotState(pref="v", i=1, phase=SCAN)
+        scan = (("w", 7), ("v", 0), BOT, ("w", 7), ("x", 8))
+        new = protocol.apply(ctx, 0, state, scan)
+        assert new.pref == "v"
+        assert new.i == 2
+
+    def test_advance_wraps_modulo_r(self):
+        protocol = make(n=5, m=1, k=2)
+        ctx = ctx_for(protocol, pid=0)
+        state = OneShotState(pref="v", i=4, phase=SCAN)
+        scan = (BOT,) * 5
+        new = protocol.apply(ctx, 0, state, scan)
+        assert new.i == 0
+
+    def test_own_pair_elsewhere_blocks_adoption(self):
+        """Seeing one's own pair outside position i forces advancement."""
+        protocol = make(n=5, m=1, k=2)
+        ctx = ctx_for(protocol, pid=0)
+        state = OneShotState(pref="v", i=1, phase=SCAN)
+        scan = (("v", 0), ("v", 0), ("w", 7), ("w", 7), ("x", 8))
+        new = protocol.apply(ctx, 0, state, scan)
+        assert new.pref == "v"
+        assert new.i == 2
+
+
+class TestLemma3Invariant:
+    def test_all_pairs_with_same_id_have_same_value(self):
+        """Lemma 3: the snapshot never holds two different values under the
+        same identifier — checked on every configuration of a real run."""
+        protocol = make(n=3, m=1, k=2)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        config = system.initial_configuration()
+        from repro.sched import RandomScheduler
+
+        scheduler = RandomScheduler(seed=11)
+        scheduler.reset()
+        for step in range(400):
+            enabled = system.enabled_pids(config)
+            if not enabled:
+                break
+            pid = scheduler.choose(config, system, enabled, step)
+            config = system.step(config, pid).config
+            per_id = {}
+            for entry in config.memory[0]:
+                if entry is not BOT:
+                    value, pid_ = entry
+                    per_id.setdefault(pid_, set()).add(value)
+            assert all(len(vals) == 1 for vals in per_id.values())
+
+
+class TestEndToEnd:
+    def test_solo_decides_own_input(self):
+        system = System(make(n=3, m=1, k=1), workloads=[["a"], ["b"], ["c"]])
+        execution = run_solo(system, 2)
+        assert execution.config.procs[2].outputs == ("c",)
+
+    def test_all_processes_decide_round_robin(self):
+        system = System(make(n=4, m=2, k=3), workloads=[[f"v{i}"] for i in range(4)])
+        execution = run(system, RoundRobinScheduler(), max_steps=50_000)
+        outputs = {p.outputs[0] for p in execution.config.procs}
+        assert len(outputs) <= 3

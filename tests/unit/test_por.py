@@ -1,0 +1,66 @@
+"""Unit tests for the explorer's partial-order reduction."""
+
+import pytest
+
+from repro import OneShotSetAgreement, System, TrivialSetAgreement
+from repro.bench.workloads import distinct_inputs
+from repro.explore import explore_safety
+
+
+class TestLocalFirstReduction:
+    def test_unknown_reduction_rejected(self):
+        system = System(TrivialSetAgreement(n=2, k=2),
+                        workloads=distinct_inputs(2))
+        with pytest.raises(ValueError):
+            explore_safety(system, k=2, reduction="magic")
+
+    def test_shrinks_trivial_system_dramatically(self):
+        system = System(TrivialSetAgreement(n=3, k=3),
+                        workloads=distinct_inputs(3))
+        full = explore_safety(system, k=3, reduction="none")
+        reduced = explore_safety(system, k=3, reduction="local-first")
+        assert reduced.complete and reduced.ok
+        # Every step of the trivial protocol is local: the reduced graph
+        # is a single line of configurations.
+        assert reduced.configs_explored == 2 * 3 + 1
+        assert reduced.configs_explored < full.configs_explored
+
+    @pytest.mark.parametrize("components,expect_violation", [
+        (3, False),   # nominal for n=2: safe
+        (2, True),    # under-provisioned: unsafe
+    ])
+    def test_verdict_agrees_with_full_exploration(self, components,
+                                                  expect_violation):
+        def explore(reduction):
+            system = System(
+                OneShotSetAgreement(n=2, m=1, k=1, components=components),
+                workloads=distinct_inputs(2),
+            )
+            return explore_safety(system, k=1, max_configs=300_000,
+                                  reduction=reduction)
+
+        full = explore(reduction="none")
+        reduced = explore(reduction="local-first")
+        assert bool(full.safety_violations) == expect_violation
+        assert bool(reduced.safety_violations) == expect_violation
+        assert reduced.configs_explored <= full.configs_explored
+
+    def test_reduced_witness_still_replays(self):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1, components=2),
+            workloads=distinct_inputs(2),
+        )
+        result = explore_safety(system, k=1, reduction="local-first")
+        assert result.safety_violations
+        from repro.runtime.runner import replay
+        from repro.spec.properties import check_k_agreement
+
+        witness = result.safety_violations[0]
+        execution = replay(system, witness.schedule)
+        assert check_k_agreement(execution, k=1)
+
+    def test_reduction_preserves_complete_flag_semantics(self):
+        system = System(OneShotSetAgreement(n=2, m=1, k=1),
+                        workloads=distinct_inputs(2))
+        reduced = explore_safety(system, k=1, reduction="local-first")
+        assert reduced.complete and reduced.ok

@@ -1,0 +1,70 @@
+"""Unit tests for the generator-based procedural adapter."""
+
+import pytest
+
+from repro import RoundRobinScheduler, System, replay, run
+from repro.errors import ProtocolViolation
+from repro.memory.layout import snapshot_layout
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.runtime.procedural import ProceduralProtocol
+
+
+def publisher(ctx, value):
+    yield UpdateOp("A", ctx.pid, value)
+    scan = yield ScanOp("A")
+    return tuple(scan)
+
+
+def make_system(n=2):
+    protocol = ProceduralProtocol(
+        publisher, layout=snapshot_layout("A", n), name="publisher"
+    )
+    return System(protocol, workloads=[[f"v{i}"] for i in range(n)])
+
+
+class TestBasicRuns:
+    def test_runs_and_decides(self):
+        system = make_system()
+        execution = run(system, RoundRobinScheduler(), max_steps=100)
+        assert execution.config.procs[0].outputs[0] == ("v0", "v1")
+
+    def test_deterministic_replay_from_initial(self):
+        first = run(make_system(), RoundRobinScheduler(), max_steps=100)
+        again = replay(make_system(), first.schedule)
+        assert again.outputs() == first.outputs()
+
+    def test_decision_is_return_value(self):
+        def const(ctx, value):
+            return "fixed"
+            yield  # pragma: no cover - makes it a generator
+
+        protocol = ProceduralProtocol(const, layout=snapshot_layout("A", 1))
+        system = System(protocol, workloads=[["x"]])
+        execution = run(system, RoundRobinScheduler(), max_steps=10)
+        assert execution.config.procs[0].outputs == ("fixed",)
+
+
+class TestGuards:
+    def test_peek_rejected(self):
+        system = make_system()
+        config = system.step(system.initial_configuration(), 0).config
+        with pytest.raises(ProtocolViolation, match="peek"):
+            system.peek(config, 0)
+
+    def test_fork_detected(self):
+        system = make_system()
+        config = system.step(system.initial_configuration(), 0).config
+        system.step(config, 0)  # advances the generator once
+        # Stepping the *same* configuration again would replay the
+        # generator advance; the version guard catches it.
+        with pytest.raises(ProtocolViolation, match="forked"):
+            system.step(config, 0)
+
+    def test_yielding_garbage_rejected(self):
+        def bad(ctx, value):
+            yield "not-an-op"
+
+        protocol = ProceduralProtocol(bad, layout=snapshot_layout("A", 1))
+        system = System(protocol, workloads=[["x"]])
+        with pytest.raises(ProtocolViolation, match="yielded"):
+            run(system, RoundRobinScheduler(), max_steps=10)

@@ -1,0 +1,121 @@
+"""Unit tests for run/replay/run_solo and the Execution record."""
+
+import pytest
+
+from repro import (
+    FixedSchedule,
+    OneShotSetAgreement,
+    RoundRobinScheduler,
+    SoloScheduler,
+    System,
+    TrivialSetAgreement,
+    replay,
+    run,
+)
+from repro.errors import NotEnabledError, StepLimitExceeded
+from repro.runtime.runner import run_solo, schedule_of
+
+
+def trivial_system(n=2, per_proc=1):
+    protocol = TrivialSetAgreement(n=n, k=n)
+    return System(
+        protocol, workloads=[[f"v{p}.{j}" for j in range(per_proc)] for p in range(n)]
+    )
+
+
+def oneshot_system(n=3, m=1, k=2):
+    protocol = OneShotSetAgreement(n=n, m=m, k=k)
+    return System(protocol, workloads=[[f"v{p}"] for p in range(n)])
+
+
+class TestRun:
+    def test_runs_to_quiescence(self):
+        system = trivial_system(n=3, per_proc=2)
+        execution = run(system, RoundRobinScheduler())
+        assert system.all_halted(execution.config)
+        assert len(execution.decisions) == 6
+
+    def test_schedule_and_events_aligned(self):
+        system = trivial_system()
+        execution = run(system, RoundRobinScheduler())
+        assert len(execution.schedule) == len(execution.events)
+        assert all(e.pid == pid for e, pid in zip(execution.events, execution.schedule))
+
+    def test_step_limit_raises(self):
+        system = oneshot_system()
+        with pytest.raises(StepLimitExceeded):
+            run(system, RoundRobinScheduler(), max_steps=3)
+
+    def test_step_limit_return_mode(self):
+        system = oneshot_system()
+        execution = run(
+            system, RoundRobinScheduler(), max_steps=3, on_limit="return"
+        )
+        assert execution.hit_step_limit
+        assert execution.steps == 3
+
+    def test_bad_on_limit_value(self):
+        with pytest.raises(ValueError):
+            run(trivial_system(), RoundRobinScheduler(), on_limit="bogus")
+
+    def test_stop_condition(self):
+        system = trivial_system(n=3, per_proc=1)
+        execution = run(
+            system,
+            RoundRobinScheduler(),
+            stop=lambda config, events: len(events) >= 2,
+        )
+        assert execution.steps == 2
+
+    def test_scheduler_choosing_disabled_pid_raises(self):
+        system = trivial_system(n=2, per_proc=1)
+        with pytest.raises(NotEnabledError):
+            run(system, FixedSchedule([0, 0, 0, 0, 0]))
+
+
+class TestReplay:
+    def test_replay_reproduces_run_exactly(self):
+        system = oneshot_system()
+        execution = run(system, RoundRobinScheduler(), max_steps=50_000)
+        again = replay(system, execution.schedule)
+        assert again.events == execution.events
+        assert again.config == execution.config
+
+    def test_replay_from_intermediate_config(self):
+        system = oneshot_system()
+        execution = run(system, SoloScheduler(0))
+        midpoint = replay(system, execution.schedule[:5])
+        rest = replay(system, execution.schedule[5:], initial=midpoint.config)
+        assert rest.config == execution.config
+
+
+class TestRunSolo:
+    def test_solo_decides_own_value_consensus(self):
+        """A solo run of obstruction-free consensus must decide its input
+        (validity with a single participant)."""
+        system = oneshot_system(n=3, m=1, k=1)
+        execution = run_solo(system, 1)
+        assert system.outputs(execution.config)[1] == ("v1",)
+
+    def test_solo_until_decisions(self):
+        protocol = TrivialSetAgreement(n=2, k=2)
+        system = System(protocol, workloads=[["a", "b", "c"], ["x"]])
+        execution = run_solo(system, 0, until_decisions=2)
+        assert system.outputs(execution.config)[0] == ("a", "b")
+
+    def test_solo_budget(self):
+        system = oneshot_system()
+        with pytest.raises(StepLimitExceeded):
+            run_solo(system, 0, max_steps=2)
+
+
+class TestScheduleOf:
+    def test_from_execution(self):
+        system = trivial_system()
+        execution = run(system, RoundRobinScheduler())
+        assert schedule_of(execution) == execution.schedule
+
+    def test_from_events(self):
+        system = trivial_system()
+        execution = run(system, RoundRobinScheduler())
+        assert schedule_of(execution.events) == execution.schedule

@@ -1,0 +1,147 @@
+"""Unit tests for the runtime core: invocation, steps, purity, peek."""
+
+import pytest
+
+from repro import (
+    OneShotSetAgreement,
+    System,
+    TrivialSetAgreement,
+)
+from repro.errors import NotEnabledError, ProtocolViolation
+from repro.memory.ops import ScanOp, UpdateOp
+from repro.runtime.events import DecideEvent, InvokeEvent, MemoryEvent
+
+
+def make_trivial(n=3, k=3, per_proc=2):
+    protocol = TrivialSetAgreement(n=n, k=k)
+    workloads = [[f"v{p}.{j}" for j in range(per_proc)] for p in range(n)]
+    return System(protocol, workloads=workloads)
+
+
+def make_oneshot(n=3, m=1, k=2):
+    protocol = OneShotSetAgreement(n=n, m=m, k=k)
+    return System(protocol, workloads=[[f"v{p}"] for p in range(n)])
+
+
+class TestLifecycle:
+    def test_invoke_then_decide_for_trivial(self):
+        system = make_trivial(per_proc=1)
+        config = system.initial_configuration()
+        result = system.step(config, 0)
+        assert isinstance(result.event, InvokeEvent)
+        assert result.event.value == "v0.0"
+        result = system.step(result.config, 0)
+        assert isinstance(result.event, DecideEvent)
+        assert result.event.output == "v0.0"
+
+    def test_workload_exhaustion_disables(self):
+        system = make_trivial(n=2, k=2, per_proc=1)
+        config = system.initial_configuration()
+        for _ in range(2):  # invoke + decide
+            config = system.step(config, 0).config
+        assert not system.enabled(config, 0)
+        with pytest.raises(NotEnabledError):
+            system.step(config, 0)
+
+    def test_enabled_pids_and_all_halted(self):
+        system = make_trivial(n=2, k=2, per_proc=1)
+        config = system.initial_configuration()
+        assert system.enabled_pids(config) == (0, 1)
+        for pid in (0, 1):
+            for _ in range(2):
+                config = system.step(config, pid).config
+        assert system.all_halted(config)
+
+    def test_invalid_pid(self):
+        system = make_trivial()
+        config = system.initial_configuration()
+        with pytest.raises(NotEnabledError):
+            system.step(config, 99)
+
+    def test_outputs_accumulate_per_invocation(self):
+        system = make_trivial(n=1, k=1, per_proc=3)
+        config = system.initial_configuration()
+        while system.enabled(config, 0):
+            config = system.step(config, 0).config
+        assert config.procs[0].outputs == ("v0.0", "v0.1", "v0.2")
+
+    def test_instance_outputs(self):
+        system = make_trivial(n=2, k=2, per_proc=2)
+        config = system.initial_configuration()
+        for pid in (0, 1):
+            while system.enabled(config, pid):
+                config = system.step(config, pid).config
+        assert set(system.instance_outputs(config, 1)) == {"v0.0", "v1.0"}
+        assert set(system.instance_outputs(config, 2)) == {"v0.1", "v1.1"}
+
+
+class TestPurityAndDeterminism:
+    def test_step_is_pure(self):
+        system = make_oneshot()
+        config = system.initial_configuration()
+        first = system.step(config, 0)
+        second = system.step(config, 0)
+        assert first.config == second.config
+        assert first.event == second.event
+        # original configuration untouched
+        assert config == system.initial_configuration()
+
+    def test_configurations_hashable(self):
+        system = make_oneshot()
+        c0 = system.initial_configuration()
+        c1 = system.step(c0, 0).config
+        assert len({c0, c1, c0}) == 2
+
+    def test_peek_matches_step_without_commit(self):
+        system = make_oneshot()
+        config = system.step(system.initial_configuration(), 0).config
+        peeked = system.peek(config, 0)
+        stepped = system.step(config, 0)
+        assert peeked == stepped.event
+
+
+class TestMemorySteps:
+    def test_oneshot_first_memory_step_is_update(self):
+        system = make_oneshot()
+        config = system.step(system.initial_configuration(), 0).config
+        event = system.peek(config, 0)
+        assert isinstance(event, MemoryEvent)
+        assert isinstance(event.op, UpdateOp)
+        assert event.op.component == 0
+
+    def test_update_then_scan_alternation(self):
+        system = make_oneshot()
+        config = system.step(system.initial_configuration(), 0).config
+        kinds = []
+        for _ in range(4):
+            result = system.step(config, 0)
+            config = result.config
+            kinds.append(type(result.event.op))
+        assert kinds == [UpdateOp, ScanOp, UpdateOp, ScanOp]
+
+    def test_one_memory_access_per_step(self):
+        """Each step's event mentions exactly one op (the granularity the
+        paper's proofs count)."""
+        system = make_oneshot()
+        config = system.initial_configuration()
+        for _ in range(20):
+            if not system.enabled(config, 0):
+                break
+            result = system.step(config, 0)
+            config = result.config
+            assert result.event.kind in ("invoke", "memory", "decide")
+
+
+class TestOneShotGuards:
+    def test_second_invocation_rejected(self):
+        protocol = OneShotSetAgreement(n=2, m=1, k=1)
+        system = System(protocol, workloads=[["a", "again"], ["b"]])
+        config = system.initial_configuration()
+        # Run p0 to its first decision (solo run decides under OF).
+        while config.procs[0].active is None or True:
+            config = system.step(config, 0).config
+            if config.procs[0].outputs:
+                break
+        with pytest.raises(ProtocolViolation):
+            # Next step would begin a second Propose.
+            system.step(config, 0)

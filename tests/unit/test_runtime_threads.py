@@ -1,0 +1,101 @@
+"""Unit tests for multi-threaded operation semantics (Figure 5's regime)."""
+
+from repro import AnonymousRepeatedSetAgreement, System
+from repro.agreement.base import HISTORY_REGISTER, SNAPSHOT
+from repro.memory.ops import ReadOp, ScanOp, UpdateOp, WriteOp
+from repro.objects import implemented_snapshot_layout
+from repro.runtime.events import DecideEvent, MemoryEvent
+
+
+def make_system(n=2, m=1, k=1, layout_kind=None, workloads=None):
+    protocol = AnonymousRepeatedSetAgreement(n=n, m=m, k=k)
+    layout = (
+        implemented_snapshot_layout(protocol, layout_kind)
+        if layout_kind
+        else None
+    )
+    if workloads is None:
+        workloads = [[f"v{i}"] for i in range(n)]
+    return System(protocol, workloads=workloads, layout=layout)
+
+
+def solo_steps(system, pid, count):
+    config = system.initial_configuration()
+    events = []
+    for _ in range(count):
+        if not system.enabled(config, pid):
+            break
+        result = system.step(config, pid)
+        config = result.config
+        events.append(result.event)
+    return config, events
+
+
+class TestThreadAlternation:
+    def test_threads_alternate_per_step(self):
+        """After the invoke, slot turns alternate 0,1,0,1,… so thread 2's
+        H-poll interleaves the loop at single-access granularity."""
+        system = make_system()
+        config, events = solo_steps(system, 0, 7)
+        threads = [e.thread for e in events if isinstance(e, MemoryEvent)]
+        assert threads[:6] == [0, 1, 0, 1, 0, 1]
+
+    def test_thread_op_kinds(self):
+        """Thread 0 does H-write/updates/scans; thread 1 only reads H."""
+        system = make_system()
+        config, events = solo_steps(system, 0, 9)
+        for event in events:
+            if not isinstance(event, MemoryEvent):
+                continue
+            if event.thread == 1:
+                assert isinstance(event.op, ReadOp)
+                assert event.op.obj == HISTORY_REGISTER
+            else:
+                assert isinstance(event.op, (WriteOp, UpdateOp, ScanOp))
+
+    def test_decide_ends_whole_operation(self):
+        """Whichever thread decides, the operation completes and the other
+        thread takes no further steps for it."""
+        system = make_system()
+        config, events = solo_steps(system, 0, 200)
+        decides = [e for e in events if isinstance(e, DecideEvent)]
+        assert len(decides) == 1
+        decide_index = events.index(decides[0])
+        assert all(
+            not isinstance(e, MemoryEvent) for e in events[decide_index + 1:]
+        )
+
+
+class TestThreadsWithFrames:
+    def test_poll_thread_interleaves_inside_scan_frames(self):
+        """On the register-level substrate, thread 1's H reads occur between
+        individual register reads of thread 0's scan frame — the granularity
+        the starvation-rescue mechanism needs."""
+        system = make_system(layout_kind="anonymous-double-collect")
+        config, events = solo_steps(system, 0, 30)
+        memory = [e for e in events if isinstance(e, MemoryEvent)]
+        # Find a maximal run of thread-0 frame events; thread-1 events must
+        # appear within 2 steps of any of them (strict alternation).
+        for first, second in zip(memory, memory[1:]):
+            if first.thread == 0:
+                assert second.thread == 1
+            else:
+                assert second.thread == 0
+
+    def test_frames_are_per_thread(self):
+        """Thread 1 operates on a primitive register while thread 0 holds an
+        open frame: its events are never marked in_frame."""
+        system = make_system(layout_kind="anonymous-double-collect")
+        config, events = solo_steps(system, 0, 40)
+        for event in events:
+            if isinstance(event, MemoryEvent) and event.thread == 1:
+                assert not event.in_frame
+                assert event.op.obj == HISTORY_REGISTER
+
+    def test_snapshot_accesses_are_frames(self):
+        system = make_system(layout_kind="anonymous-double-collect")
+        config, events = solo_steps(system, 0, 40)
+        for event in events:
+            if isinstance(event, MemoryEvent) and event.thread == 0:
+                if event.op.obj != HISTORY_REGISTER:
+                    assert event.in_frame

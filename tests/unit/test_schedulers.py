@@ -1,0 +1,174 @@
+"""Unit tests for the scheduler/adversary family."""
+
+import pytest
+
+from repro import (
+    CrashScheduler,
+    FixedSchedule,
+    OneShotSetAgreement,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    System,
+    TrivialSetAgreement,
+    WriterPriorityScheduler,
+    run,
+)
+from repro.sched import CyclicScheduler, EventuallyBoundedScheduler, phases
+from repro.runtime.events import MemoryEvent
+from repro.memory.ops import is_write_access
+
+
+def trivial_system(n=3, per_proc=2):
+    protocol = TrivialSetAgreement(n=n, k=n)
+    return System(
+        protocol,
+        workloads=[[f"v{p}.{j}" for j in range(per_proc)] for p in range(n)],
+    )
+
+
+class TestFixedSchedule:
+    def test_replays_exactly_then_stops(self):
+        system = trivial_system()
+        execution = run(system, FixedSchedule([0, 1, 2, 0]))
+        assert execution.schedule == [0, 1, 2, 0]
+
+    def test_reset_restores_position(self):
+        scheduler = FixedSchedule([1, 0])
+        system = trivial_system(n=2)
+        run(system, scheduler)
+        execution = run(system, scheduler)  # run() calls reset
+        assert execution.schedule == [1, 0]
+
+
+class TestRoundRobin:
+    def test_cycles_fairly(self):
+        system = trivial_system(n=3, per_proc=1)
+        execution = run(system, RoundRobinScheduler())
+        assert execution.schedule[:6] == [0, 1, 2, 0, 1, 2]
+
+    def test_subset_restriction(self):
+        system = trivial_system(n=4)
+        execution = run(system, RoundRobinScheduler(subset=[1, 3]))
+        assert set(execution.schedule) == {1, 3}
+
+    def test_skips_halted_processes(self):
+        system = trivial_system(n=2, per_proc=1)
+        execution = run(system, RoundRobinScheduler())
+        # After p0 halts (2 steps), only p1 is scheduled.
+        assert execution.schedule.count(0) == 2
+        assert execution.schedule.count(1) == 2
+
+
+class TestSolo:
+    def test_schedules_only_target(self):
+        system = trivial_system(n=3)
+        execution = run(system, SoloScheduler(2))
+        assert set(execution.schedule) == {2}
+
+    def test_stops_when_target_halts(self):
+        system = trivial_system(n=3, per_proc=1)
+        execution = run(system, SoloScheduler(0))
+        assert execution.steps == 2  # invoke + decide
+        assert not system.enabled(execution.config, 0)
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = run(trivial_system(), RandomScheduler(seed=5)).schedule
+        b = run(trivial_system(), RandomScheduler(seed=5)).schedule
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = run(trivial_system(n=4, per_proc=4), RandomScheduler(seed=1)).schedule
+        b = run(trivial_system(n=4, per_proc=4), RandomScheduler(seed=2)).schedule
+        assert a != b
+
+    def test_subset(self):
+        execution = run(
+            trivial_system(n=4), RandomScheduler(seed=3, subset=[0, 2])
+        )
+        assert set(execution.schedule) <= {0, 2}
+
+    def test_weights_bias(self):
+        execution = run(
+            trivial_system(n=2, per_proc=8),
+            RandomScheduler(seed=4, weights=[100.0, 1.0]),
+        )
+        # p0 should dominate the early schedule.
+        early = execution.schedule[:8]
+        assert early.count(0) > early.count(1)
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        execution = run(
+            trivial_system(n=2), RandomScheduler(seed=4, weights=[0.0, 0.0])
+        )
+        assert set(execution.schedule) == {0, 1}
+
+
+class TestEventuallyBounded:
+    def test_tail_schedules_only_survivors(self):
+        system = trivial_system(n=4, per_proc=3)
+        scheduler = EventuallyBoundedScheduler(survivors=[3], prelude_steps=5)
+        execution = run(system, scheduler)
+        assert set(execution.schedule[5:]) == {3}
+
+    def test_empty_survivors_rejected(self):
+        with pytest.raises(ValueError):
+            EventuallyBoundedScheduler(survivors=[], prelude_steps=1)
+
+    def test_survivor_completes_under_contention_prelude(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=1)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        scheduler = EventuallyBoundedScheduler(
+            survivors=[1], prelude_steps=30, prelude=RandomScheduler(seed=9)
+        )
+        execution = run(system, scheduler, max_steps=50_000)
+        assert execution.config.procs[1].outputs
+
+
+class TestCrash:
+    def test_crashed_pid_takes_no_steps_after_crash(self):
+        system = trivial_system(n=3, per_proc=5)
+        execution = run(system, CrashScheduler(crashes={0: 4}))
+        for index, pid in enumerate(execution.schedule):
+            if pid == 0:
+                assert index < 4
+
+    def test_all_crashed_ends_run(self):
+        system = trivial_system(n=2, per_proc=5)
+        execution = run(system, CrashScheduler(crashes={0: 0, 1: 0}))
+        assert execution.steps == 0
+
+
+class TestWriterPriority:
+    def test_prefers_writers(self):
+        protocol = OneShotSetAgreement(n=3, m=1, k=2)
+        system = System(protocol, workloads=[["a"], ["b"], ["c"]])
+        execution = run(
+            system, WriterPriorityScheduler(), max_steps=60, on_limit="return"
+        )
+        # Skip invocations; among memory steps, writes should be frequent
+        # early because the scheduler chases poised writers.
+        memory = [e for e in execution.events if isinstance(e, MemoryEvent)]
+        writes = [e for e in memory if is_write_access(e.op)]
+        assert len(writes) >= len(memory) // 2
+
+
+class TestCyclic:
+    def test_pattern_repeats(self):
+        system = trivial_system(n=2, per_proc=4)
+        execution = run(system, CyclicScheduler([0, 0, 1]))
+        assert execution.schedule[:6] == [0, 0, 1, 0, 0, 1]
+
+    def test_skips_disabled_entries(self):
+        system = trivial_system(n=2, per_proc=1)
+        execution = run(system, CyclicScheduler([0, 1]))
+        assert execution.schedule == [0, 1, 0, 1]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicScheduler([])
+
+    def test_phases_helper(self):
+        assert phases([0] * 2, [1]) == (0, 0, 1)

@@ -1,0 +1,135 @@
+"""Unit tests for the Validity / k-Agreement checkers."""
+
+import pytest
+
+from repro.errors import SpecificationViolation
+from repro.runtime.events import DecideEvent, InvokeEvent
+from repro.runtime.runner import Execution
+from repro.spec.properties import (
+    assert_execution_safe,
+    check_k_agreement,
+    check_safety,
+    check_validity,
+    instance_inputs,
+    instance_outputs,
+)
+
+
+class FakeExecution(Execution):
+    """Execution stub carrying only events (checkers read nothing else)."""
+
+    def __init__(self, events):
+        self.events = events
+
+
+def make(events):
+    return FakeExecution(events)
+
+
+class TestAccounting:
+    def test_instance_inputs_grouping(self):
+        events = [
+            InvokeEvent(0, 1, "a"),
+            InvokeEvent(1, 1, "b"),
+            InvokeEvent(0, 2, "c"),
+        ]
+        assert instance_inputs(events) == {1: {"a", "b"}, 2: {"c"}}
+
+    def test_instance_outputs_grouping(self):
+        events = [
+            DecideEvent(0, 1, "a"),
+            DecideEvent(1, 1, "a"),
+            DecideEvent(0, 2, "z"),
+        ]
+        assert instance_outputs(events) == {1: {"a"}, 2: {"z"}}
+
+
+class TestValidity:
+    def test_clean(self):
+        execution = make([InvokeEvent(0, 1, "a"), DecideEvent(0, 1, "a")])
+        assert check_validity(execution) == []
+
+    def test_stray_output_flagged(self):
+        execution = make([InvokeEvent(0, 1, "a"), DecideEvent(0, 1, "GHOST")])
+        violations = check_validity(execution)
+        assert len(violations) == 1
+        assert violations[0].property_name == "Validity"
+        assert "GHOST" in violations[0].detail
+
+    def test_per_instance_isolation(self):
+        """A value proposed in instance 1 is not a valid output of 2."""
+        execution = make(
+            [
+                InvokeEvent(0, 1, "a"),
+                DecideEvent(0, 1, "a"),
+                InvokeEvent(0, 2, "b"),
+                DecideEvent(0, 2, "a"),  # "a" was never proposed in inst 2
+            ]
+        )
+        violations = check_validity(execution)
+        assert [v.instance for v in violations] == [2]
+
+
+class TestKAgreement:
+    def test_within_k(self):
+        execution = make(
+            [DecideEvent(0, 1, "a"), DecideEvent(1, 1, "b")]
+        )
+        assert check_k_agreement(execution, k=2) == []
+
+    def test_exceeding_k_flagged(self):
+        execution = make(
+            [DecideEvent(0, 1, "a"), DecideEvent(1, 1, "b"),
+             DecideEvent(2, 1, "c")]
+        )
+        violations = check_k_agreement(execution, k=2)
+        assert len(violations) == 1
+        assert violations[0].instance == 1
+        assert "exceed k=2" in violations[0].detail
+
+    def test_instances_checked_independently(self):
+        execution = make(
+            [
+                DecideEvent(0, 1, "a"),
+                DecideEvent(1, 1, "b"),  # instance 1: 2 outputs
+                DecideEvent(0, 2, "x"),  # instance 2: 1 output
+            ]
+        )
+        assert check_k_agreement(execution, k=1) != []
+        assert all(v.instance == 1 for v in check_k_agreement(execution, k=1))
+
+    def test_duplicate_outputs_counted_once(self):
+        execution = make(
+            [DecideEvent(0, 1, "a"), DecideEvent(1, 1, "a"),
+             DecideEvent(2, 1, "a")]
+        )
+        assert check_k_agreement(execution, k=1) == []
+
+
+class TestCombined:
+    def test_check_safety_combines(self):
+        execution = make(
+            [
+                InvokeEvent(0, 1, "a"),
+                DecideEvent(0, 1, "GHOST"),
+                DecideEvent(1, 1, "a"),
+            ]
+        )
+        violations = check_safety(execution, k=1)
+        names = {v.property_name for v in violations}
+        assert names == {"Validity", "k-Agreement"}
+
+    def test_assert_raises_with_all_details(self):
+        execution = make([InvokeEvent(0, 1, "a"), DecideEvent(0, 1, "x")])
+        with pytest.raises(SpecificationViolation) as info:
+            assert_execution_safe(execution, k=1)
+        assert "Validity" in str(info.value)
+
+    def test_assert_passes_silently(self):
+        execution = make([InvokeEvent(0, 1, "a"), DecideEvent(0, 1, "a")])
+        assert_execution_safe(execution, k=1)
+
+    def test_violation_str(self):
+        execution = make([DecideEvent(0, 3, "a"), DecideEvent(1, 3, "b")])
+        violation = check_k_agreement(execution, k=1)[0]
+        assert "instance 3" in str(violation)

@@ -1,0 +1,130 @@
+"""Unit tests for execution statistics and the progress checkers."""
+
+import pytest
+
+from repro import (
+    OneShotSetAgreement,
+    RepeatedSetAgreement,
+    RoundRobinScheduler,
+    SoloScheduler,
+    System,
+    run,
+)
+from repro.bench.workloads import distinct_inputs
+from repro.errors import StepLimitExceeded
+from repro.memory.layout import RegisterCoord
+from repro.spec.progress import (
+    check_bounded_progress,
+    progress_matrix,
+)
+from repro.spec.stats import (
+    execution_stats,
+    per_process_decision_latency,
+    registers_written,
+)
+
+
+def oneshot_execution(n=3, m=1, k=2):
+    system = System(OneShotSetAgreement(n=n, m=m, k=k),
+                    workloads=distinct_inputs(n))
+    return run(system, RoundRobinScheduler(), max_steps=50_000)
+
+
+class TestStats:
+    def test_counts_are_consistent(self):
+        execution = oneshot_execution()
+        stats = execution_stats(execution)
+        assert stats.total_steps == execution.steps
+        assert stats.memory_steps == stats.write_steps + stats.scan_steps
+        assert stats.invocations == 3
+        assert stats.decisions == 3
+        assert stats.total_steps == (
+            stats.memory_steps + stats.invocations + stats.decisions
+        )
+
+    def test_registers_written_subset_of_provision(self):
+        execution = oneshot_execution()
+        written = registers_written(execution)
+        r = execution.system.layout.register_count()
+        assert written <= {RegisterCoord(0, i) for i in range(r)}
+        assert stats_written_positive(written)
+
+    def test_steps_per_decision(self):
+        execution = oneshot_execution()
+        stats = execution_stats(execution)
+        assert stats.steps_per_decision == pytest.approx(
+            stats.total_steps / stats.decisions
+        )
+
+    def test_no_decisions_infinite_ratio(self):
+        system = System(OneShotSetAgreement(n=3, m=1, k=2),
+                        workloads=distinct_inputs(3))
+        execution = run(system, RoundRobinScheduler(), max_steps=4,
+                        on_limit="return")
+        assert execution_stats(execution).steps_per_decision == float("inf")
+
+    def test_decision_latency_per_process(self):
+        execution = oneshot_execution()
+        latency = per_process_decision_latency(execution)
+        assert set(latency) == {0, 1, 2}
+        assert all(v >= 3 for v in latency.values())  # invoke+update+scan min
+
+    def test_stats_row_shape(self):
+        stats = execution_stats(oneshot_execution())
+        assert len(stats.row()) == 8
+
+
+def stats_written_positive(written):
+    return len(written) > 0
+
+
+class TestBoundedProgress:
+    def test_survivor_finishes(self):
+        system = System(OneShotSetAgreement(n=3, m=1, k=1),
+                        workloads=distinct_inputs(3))
+        execution = check_bounded_progress(system, survivors=[2],
+                                           prelude_steps=20)
+        assert system.decided_all(execution.config, [2])
+
+    def test_underprovisioned_repeated_stalls(self):
+        """Figure 4 squeezed below its nominal size can livelock two
+        survivors — bounded progress detects it as a budget violation."""
+        found_stall = False
+        for seed in range(8):
+            system = System(
+                RepeatedSetAgreement(n=3, m=1, k=1, components=2),
+                workloads=distinct_inputs(3, instances=2),
+            )
+            from repro.sched import RandomScheduler
+
+            try:
+                check_bounded_progress(
+                    system, survivors=[0, 1], prelude_steps=40,
+                    prelude=RandomScheduler(seed=seed), budget=4_000,
+                )
+            except StepLimitExceeded:
+                found_stall = True
+                break
+        assert found_stall, (
+            "expected at least one 2-survivor stall for the 1-obstruction-"
+            "free algorithm (the guarantee stops at m=1)"
+        )
+
+
+class TestProgressMatrix:
+    def test_all_singletons_pass_for_oneshot(self):
+        report = progress_matrix(
+            lambda: System(OneShotSetAgreement(n=3, m=1, k=1),
+                           workloads=distinct_inputs(3)),
+            n=3, m=1, seeds=(1, 2), prelude_steps=30, budget=20_000,
+        )
+        assert report.ok, report.summary()
+        assert report.attempted == 6  # 3 singletons x 2 seeds
+
+    def test_report_summary_strings(self):
+        report = progress_matrix(
+            lambda: System(OneShotSetAgreement(n=2, m=1, k=1),
+                           workloads=distinct_inputs(2)),
+            n=2, m=1, seeds=(1,), prelude_steps=10, budget=20_000,
+        )
+        assert "OK" in report.summary()

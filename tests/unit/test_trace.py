@@ -1,0 +1,101 @@
+"""Unit tests for trace diagrams and export."""
+
+import json
+
+from repro import OneShotSetAgreement, RoundRobinScheduler, System, replay, run
+from repro.trace import (
+    execution_to_jsonl,
+    load_schedule,
+    register_timeline,
+    save_schedule,
+    space_time_diagram,
+)
+
+
+def small_execution():
+    protocol = OneShotSetAgreement(n=2, m=1, k=1)
+    system = System(protocol, workloads=[["a"], ["b"]])
+    return run(system, RoundRobinScheduler(), max_steps=10_000)
+
+
+class TestDiagram:
+    def test_one_lane_per_process(self):
+        execution = small_execution()
+        diagram = space_time_diagram(execution)
+        lines = diagram.splitlines()
+        assert any(line.startswith("p0") for line in lines)
+        assert any(line.startswith("p1") for line in lines)
+
+    def test_glyph_counts_match_events(self):
+        execution = small_execution()
+        diagram = space_time_diagram(execution)
+        body = "\n".join(
+            line for line in diagram.splitlines() if line.startswith("p")
+        )
+        assert body.count("I") == 2  # two invocations
+        assert body.count("D") == 2  # two decisions
+
+    def test_windowing(self):
+        execution = small_execution()
+        diagram = space_time_diagram(execution, start=2, length=3)
+        lane = next(l for l in diagram.splitlines() if l.startswith("p0"))
+        # 3 columns only (after the "p0    " prefix)
+        assert len(lane.split()[-1]) == 3
+
+    def test_lane_restriction(self):
+        execution = small_execution()
+        diagram = space_time_diagram(execution, pids=[1])
+        assert "p0" not in diagram
+
+    def test_register_timeline_lists_writes(self):
+        execution = small_execution()
+        timeline = register_timeline(execution)
+        assert "r[0.0]" in timeline
+        assert "@p" in timeline
+
+    def test_register_timeline_empty(self):
+        from repro import TrivialSetAgreement
+
+        system = System(TrivialSetAgreement(n=2, k=2), workloads=[["a"], ["b"]])
+        execution = run(system, RoundRobinScheduler())
+        assert register_timeline(execution) == "(no writes)"
+
+
+class TestExport:
+    def test_schedule_roundtrip(self, tmp_path):
+        execution = small_execution()
+        path = tmp_path / "schedule.json"
+        save_schedule(execution, path, note="unit test")
+        loaded = load_schedule(path)
+        assert loaded == execution.schedule
+        # And the loaded schedule replays to the same outputs.
+        protocol = OneShotSetAgreement(n=2, m=1, k=1)
+        system = System(protocol, workloads=[["a"], ["b"]])
+        again = replay(system, loaded)
+        assert again.outputs() == execution.outputs()
+
+    def test_metadata_recorded(self, tmp_path):
+        execution = small_execution()
+        path = tmp_path / "schedule.json"
+        save_schedule(execution, path, note="hello")
+        payload = json.loads(path.read_text())
+        assert payload["protocol"] == "oneshot-figure3"
+        assert payload["note"] == "hello"
+        assert payload["n"] == 2
+
+    def test_jsonl_one_record_per_event(self):
+        execution = small_execution()
+        lines = execution_to_jsonl(execution).splitlines()
+        assert len(lines) == len(execution.events)
+        first = json.loads(lines[0])
+        assert first["kind"] == "invoke"
+        assert first["step"] == 0
+
+    def test_format_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "schedule": []}))
+        import pytest
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            load_schedule(path)
