@@ -88,6 +88,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_nmk(explorer)
     explorer.add_argument("--components", type=int, default=None)
     explorer.add_argument("--max-configs", type=int, default=200_000)
+    explorer.add_argument("--workers", type=int, default=1,
+                          help="shard frontier expansion across this many "
+                               "processes (verdicts are identical for every "
+                               "worker count)")
+    explorer.add_argument("--canonicalize", action="store_true",
+                          help="quotient the visited set by process-identity "
+                               "orbits (anonymous protocols with symmetric "
+                               "workloads only; inert otherwise)")
+    explorer.add_argument("--resume", action="store_true",
+                          help="persist/resume exploration state under the "
+                               "cache directory instead of restarting")
+    explorer.add_argument("--cache-dir", default=".repro-cache",
+                          help="cache directory used by --resume")
+    explorer.add_argument("--reduction", choices=["none", "local-first"],
+                          default="none",
+                          help="sound partial-order reduction to apply")
+    explorer.add_argument("--cluster-inputs", type=int, default=None,
+                          metavar="CLUSTERS",
+                          help="propose only CLUSTERS distinct values "
+                               "(round-robin) instead of globally distinct "
+                               "inputs — this is what gives --canonicalize "
+                               "orbits to quotient")
 
     covering = sub.add_parser(
         "covering", help="Theorem 2 construction vs under-provisioned Fig. 4"
@@ -180,15 +202,53 @@ def cmd_run(args) -> int:
 
 
 def cmd_explore(args) -> int:
-    """Exhaustively model-check a small instance; exit 1 on violations."""
+    """Exhaustively model-check a small instance.
+
+    Exit codes: 0 — explored without violations; 1 — a violation was found
+    (witness schedule printed); 2 — invalid arguments, or an exploration
+    worker failed (the structured failure is printed and the pool is torn
+    down, never hung).  Exit 1 always means a refutation, never an error.
+    """
+    from repro.errors import ExplorationEngineError
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.cluster_inputs is not None and args.cluster_inputs < 1:
+        print(f"error: --cluster-inputs must be >= 1, got "
+              f"{args.cluster_inputs}", file=sys.stderr)
+        return 2
     protocol_cls = PROTOCOLS[args.protocol]
     kwargs = dict(n=args.n, m=args.m, k=args.k)
     if args.components is not None:
         kwargs["components"] = args.components
     protocol = protocol_cls(**kwargs)
-    system = System(protocol, workloads=distinct_inputs(args.n))
-    result = explore_safety(system, k=args.k, max_configs=args.max_configs)
+    if args.cluster_inputs is not None:
+        from repro.bench.workloads import clustered_inputs
+
+        workloads = clustered_inputs(args.n, args.cluster_inputs)
+    else:
+        workloads = distinct_inputs(args.n)
+    system = System(protocol, workloads=workloads)
+    try:
+        result = explore_safety(
+            system,
+            k=args.k,
+            max_configs=args.max_configs,
+            reduction=args.reduction,
+            workers=args.workers,
+            canonicalize=args.canonicalize,
+            cache_dir=args.cache_dir if args.resume else None,
+        )
+    except ExplorationEngineError as exc:
+        print(f"ENGINE FAILURE: {exc}")
+        print(exc.failure.traceback, end="")
+        return 2
     print(result.summary())
+    if args.canonicalize:
+        print(f"  distinct states visited: {result.configs_discovered} "
+              "(orbit representatives)")
     for violation in result.safety_violations:
         print(f"  witness schedule ({len(violation.schedule)} steps): "
               f"{list(violation.schedule)}")

@@ -57,5 +57,22 @@ class SearchInconclusive(ReproError):
     """A bounded exploration was cut by its budget without reaching closure."""
 
 
+class ExplorationEngineError(ReproError):
+    """An exploration worker failed while expanding a configuration.
+
+    Raised by the parallel exploration engine when a worker-side oracle or
+    step raises: the failure crosses the process boundary as a structured
+    record (kind, detail, traceback, config fingerprint) rather than
+    hanging the pool.  The record is available as :attr:`failure`.
+    """
+
+    def __init__(self, failure) -> None:
+        super().__init__(
+            f"exploration worker failed on configuration "
+            f"{failure.config_fingerprint[:12]}: {failure.kind}: {failure.detail}"
+        )
+        self.failure = failure
+
+
 class AnonymityViolation(ReproError):
     """An automaton declared anonymous consulted its process identifier."""

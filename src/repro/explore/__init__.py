@@ -9,12 +9,39 @@ It is also the engine behind the §7-conjecture probe (benchmark E9) and the
 cross-validation of the Theorem 2 covering construction: both ask "does an
 under-provisioned algorithm have *any* unsafe execution?", which exploration
 answers definitively on tiny instances.
+
+The package splits three ways (see ``docs/explorer.md`` for the operator's
+guide):
+
+* :mod:`repro.explore.checker` — the oracles and the public API
+  (:func:`explore_safety`, :func:`explore_progress_closure`);
+* :mod:`repro.explore.frontier` — the engine: batched deterministic BFS,
+  a shared-nothing ``multiprocessing`` worker pool, structured failure
+  propagation;
+* :mod:`repro.explore.canonical` — symmetry reduction for anonymous
+  protocols (visited-set quotient by process-identity orbits);
+* :mod:`repro.explore.cache` — the ``.repro-cache/`` persistence layer
+  that lets truncated runs resume and finished runs return instantly.
 """
 
+from repro.explore.canonical import canonical_fingerprint, canonicalize, symmetry_classes
 from repro.explore.checker import (
     ExplorationResult,
+    ProgressCounterexample,
+    SafetyCounterexample,
     explore_progress_closure,
     explore_safety,
 )
+from repro.explore.frontier import EngineFailure
 
-__all__ = ["ExplorationResult", "explore_safety", "explore_progress_closure"]
+__all__ = [
+    "EngineFailure",
+    "ExplorationResult",
+    "ProgressCounterexample",
+    "SafetyCounterexample",
+    "canonical_fingerprint",
+    "canonicalize",
+    "explore_progress_closure",
+    "explore_safety",
+    "symmetry_classes",
+]

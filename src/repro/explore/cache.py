@@ -1,0 +1,142 @@
+"""Persistent exploration cache: resume runs instead of restarting them.
+
+Exploration over the same ``(protocol, n, m, k, workload, layout, oracle)``
+is deterministic, so its outcome — or, for budget-truncated runs, its
+visited set and pending frontier — can be persisted and reused.  The cache
+lives under ``.repro-cache/`` (one pickle per run key) and is keyed by a
+:func:`~repro.runtime.system.stable_fingerprint` over everything that
+determines the run's semantics: the automaton class and parameters, the
+workloads, the memory-layout shape, the oracle and its knobs, the
+reduction, and whether canonicalization was in effect.  The exploration
+*budget* (``max_configs``) is deliberately **not** part of the key: a rerun
+with a larger budget picks up the saved frontier and keeps going, which is
+the whole point of ``--resume``.
+
+Entries are written atomically (temp file + ``os.replace``) and any
+unreadable or version-skewed entry is treated as a miss — the cache can
+only ever save work, never change a verdict, because resumed state is the
+exact coordinator state the interrupted run would have carried forward.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.layout import ImplementedBinding, MemoryLayout, PrimitiveBinding
+from repro.runtime.system import Configuration, System, stable_fingerprint
+
+#: Bumped whenever the pickled entry layout changes; skew reads as a miss.
+CACHE_VERSION = 1
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CacheEntry:
+    """One persisted exploration: either a finished result or a frontier.
+
+    ``finished`` entries carry the final
+    :class:`~repro.explore.checker.ExplorationResult`; unfinished
+    (budget-truncated) entries instead carry the coordinator state needed
+    to continue — the parent map and the pending frontier.
+    """
+
+    version: int
+    key: str
+    finished: bool
+    result: Optional[object]
+    parents: Optional[Dict[str, Tuple[Optional[str], Optional[int]]]]
+    frontier: Optional[List[Tuple[str, Configuration]]]
+    explored: int
+
+
+def _layout_signature(layout: MemoryLayout) -> Tuple:
+    """A structural digest of a layout: banks, bindings, implementations."""
+    banks = tuple(
+        (bank.name, bank.size, stable_fingerprint(bank.initial))
+        for bank in layout.banks
+    )
+    objects = []
+    for name in sorted(layout.object_names):
+        binding = layout.binding(name)
+        if isinstance(binding, PrimitiveBinding):
+            objects.append((name, "primitive", binding.kind, binding.bank))
+        elif isinstance(binding, ImplementedBinding):
+            objects.append(
+                (name, "implemented", binding.impl.name,
+                 stable_fingerprint(binding.impl.params), binding.banks)
+            )
+        else:  # pragma: no cover — layouts validate bindings at build time
+            objects.append((name, "unknown", repr(binding)))
+    return (banks, tuple(objects))
+
+
+def exploration_key(
+    system: System,
+    *,
+    oracle: str,
+    k: Optional[int],
+    survivor_sets: Tuple[Tuple[int, ...], ...],
+    solo_budget: int,
+    reduction: str,
+    canonicalized: bool,
+    stop_at_first: bool,
+) -> str:
+    """The cache key: a stable fingerprint of the run's full semantics."""
+    automaton = system.automaton
+    descriptor = (
+        "repro-explore", CACHE_VERSION, oracle,
+        type(automaton).__qualname__, automaton.name,
+        stable_fingerprint(dict(automaton.params)),
+        system.n, system.workloads,
+        _layout_signature(system.layout),
+        k, survivor_sets, solo_budget, reduction, canonicalized, stop_at_first,
+    )
+    return stable_fingerprint(descriptor)
+
+
+def entry_path(cache_dir: str, key: str) -> Path:
+    """Filesystem location of the entry for *key* under *cache_dir*."""
+    return Path(cache_dir) / f"{key}.pkl"
+
+
+def load_entry(cache_dir: str, key: str) -> Optional[CacheEntry]:
+    """Load the entry for *key*, or ``None`` on miss/corruption/skew."""
+    path = entry_path(cache_dir, key)
+    try:
+        with path.open("rb") as handle:
+            entry = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    if not isinstance(entry, CacheEntry) or entry.version != CACHE_VERSION:
+        return None
+    if entry.key != key:
+        return None
+    return entry
+
+
+def save_entry(cache_dir: str, key: str, entry: CacheEntry) -> Path:
+    """Atomically persist *entry*; returns the final path."""
+    path = entry_path(cache_dir, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{key}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

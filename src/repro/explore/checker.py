@@ -1,11 +1,11 @@
-"""Breadth-first exhaustive exploration with safety and progress oracles.
+"""Exhaustive exploration: oracles, result types, and the public API.
 
 Configurations are immutable and hashable (see :mod:`repro.runtime.system`),
-so the reachable configuration graph is explored with a plain BFS and a
-visited set.  Parent pointers reconstruct a witness schedule for any
-violation found.
-
-Two oracles:
+so the reachable configuration graph is explored with a frontier BFS and a
+fingerprint-keyed visited set.  Parent pointers reconstruct a witness
+schedule for any violation found.  The BFS itself — including its
+multiprocessing fan-out, symmetry reduction, and persistent cache — lives
+in :mod:`repro.explore.frontier`; this module defines *what* is checked:
 
 * :func:`explore_safety` — checks Validity and k-Agreement in every reached
   configuration (both are state-predicates here because process outputs are
@@ -23,7 +23,6 @@ exploration is bounded by ``max_configs``; results carry an explicit
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -55,15 +54,25 @@ class ProgressCounterexample:
 
 @dataclass
 class ExplorationResult:
-    """Outcome of one exploration run."""
+    """Outcome of one exploration run.
+
+    ``complete`` is the engine's closure claim: ``True`` only when the whole
+    reachable graph (up to the configured reduction) was expanded within
+    budget with no early stop.  ``configs_explored`` counts expanded
+    configurations; ``configs_discovered`` counts distinct visited-set
+    entries (under canonicalization these are orbit representatives, so
+    ``discovered < explored``-free dedup shows up here).
+    """
 
     configs_explored: int
     complete: bool
     safety_violations: List[SafetyCounterexample] = field(default_factory=list)
     progress_violations: List[ProgressCounterexample] = field(default_factory=list)
+    configs_discovered: int = 0
 
     @property
     def ok(self) -> bool:
+        """True iff no safety or progress violation was found."""
         return not self.safety_violations and not self.progress_violations
 
     def summary(self) -> str:
@@ -74,21 +83,6 @@ class ExplorationResult:
             f"{len(self.progress_violations)} progress violations"
         )
         return f"explored {self.configs_explored} configurations ({closure}): {verdict}"
-
-
-def _witness_schedule(
-    parents: Dict[Configuration, Tuple[Optional[Configuration], Optional[int]]],
-    config: Configuration,
-) -> Tuple[int, ...]:
-    schedule: List[int] = []
-    cursor: Optional[Configuration] = config
-    while cursor is not None:
-        parent, pid = parents[cursor]
-        if pid is not None:
-            schedule.append(pid)
-        cursor = parent
-    schedule.reverse()
-    return tuple(schedule)
 
 
 def _instance_input_sets(system: System) -> Dict[int, Set[Value]]:
@@ -160,6 +154,45 @@ def _expansion_pids(system: System, config: Configuration, reduction: str):
     return enabled
 
 
+def _check_config_progress(
+    system: System,
+    config: Configuration,
+    survivor_sets: Sequence[Tuple[int, ...]],
+    solo_budget: int,
+) -> Optional[Tuple[Tuple[int, ...], str]]:
+    """First survivor set that cannot finish from *config*, or ``None``."""
+    from repro.runtime.runner import run
+    from repro.sched.round_robin import RoundRobinScheduler
+
+    for survivors in survivor_sets:
+        pending = [pid for pid in survivors if system.enabled(config, pid)]
+        if not pending:
+            continue
+        try:
+            tail = run(
+                system,
+                RoundRobinScheduler(subset=survivors),
+                initial=config,
+                max_steps=solo_budget,
+            )
+        except StepLimitExceeded:
+            return (
+                survivors,
+                f"survivors {survivors} exceeded {solo_budget} "
+                "steps running in isolation",
+            )
+        if not system.decided_all(tail.config, survivors):
+            return (survivors, f"survivors {survivors} stalled before finishing")
+    return None
+
+
+def default_survivor_sets(n: int, m: int) -> List[Tuple[int, ...]]:
+    """Every candidate survivor set of size ≤ m among ``n`` processes."""
+    return [
+        tuple(c) for size in range(1, m + 1) for c in combinations(range(n), size)
+    ]
+
+
 def explore_safety(
     system: System,
     k: int,
@@ -167,6 +200,10 @@ def explore_safety(
     max_configs: int = 200_000,
     stop_at_first: bool = True,
     reduction: str = "none",
+    workers: int = 1,
+    batch_size: int = 64,
+    canonicalize: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> ExplorationResult:
     """BFS the reachable configuration space, checking safety everywhere.
 
@@ -174,47 +211,33 @@ def explore_safety(
     (see :func:`_expansion_pids`) that typically shrinks the explored space
     severalfold without affecting verdicts; ``tests`` verify agreement with
     full exploration on small systems.
+
+    ``workers > 1`` shards frontier expansion across that many OS processes
+    (shared-nothing; the coordinator owns the visited set) with results
+    merged in deterministic BFS order, so verdicts, counts, and witness
+    schedules are identical for every worker count.  ``canonicalize=True``
+    quotients the visited set by process-identity orbits — applied only
+    when sound (anonymous automaton, static workloads, primitive layout;
+    see :mod:`repro.explore.canonical`), silently inert otherwise.
+    ``cache_dir`` persists finished runs and truncated frontiers so a rerun
+    of the same system resumes instead of restarting.
     """
     if reduction not in ("none", "local-first"):
         raise ValueError(f"unknown reduction {reduction!r}")
-    inputs = _instance_input_sets(system)
-    initial = system.initial_configuration()
-    parents: Dict[Configuration, Tuple[Optional[Configuration], Optional[int]]] = {
-        initial: (None, None)
-    }
-    queue: deque[Configuration] = deque([initial])
-    result = ExplorationResult(configs_explored=0, complete=True)
+    from repro.explore.frontier import explore
 
-    while queue:
-        if result.configs_explored >= max_configs:
-            result.complete = False
-            break
-        config = queue.popleft()
-        result.configs_explored += 1
-
-        problem = _check_config_safety(system, config, k, inputs)
-        if problem is not None:
-            prop, instance, outs, detail = problem
-            result.safety_violations.append(
-                SafetyCounterexample(
-                    property_name=prop,
-                    instance=instance,
-                    outputs=outs,
-                    schedule=_witness_schedule(parents, config),
-                    detail=detail,
-                )
-            )
-            if stop_at_first:
-                result.complete = False
-                return result
-            continue  # don't expand beyond a violating configuration
-
-        for pid in _expansion_pids(system, config, reduction):
-            successor = system.step(config, pid).config
-            if successor not in parents:
-                parents[successor] = (config, pid)
-                queue.append(successor)
-    return result
+    return explore(
+        system,
+        oracle="safety",
+        k=k,
+        max_configs=max_configs,
+        stop_at_first=stop_at_first,
+        reduction=reduction,
+        workers=workers,
+        batch_size=batch_size,
+        canonicalize=canonicalize,
+        cache_dir=cache_dir,
+    )
 
 
 def explore_progress_closure(
@@ -224,75 +247,30 @@ def explore_progress_closure(
     max_configs: int = 20_000,
     solo_budget: int = 20_000,
     survivor_sets: Optional[Sequence[Tuple[int, ...]]] = None,
+    workers: int = 1,
+    batch_size: int = 16,
+    canonicalize: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> ExplorationResult:
     """From every reachable configuration, every ≤m survivor set must finish.
 
     This is the strongest finite rendition of m-obstruction-freedom the
     library offers: the adversarial prelude ranges over *all* reachable
-    pasts, not a sampled family.  Exponential — reserve for tiny systems.
+    pasts, not a sampled family.  Exponential — reserve for tiny systems,
+    and shard it with ``workers`` (the per-configuration survivor-closure
+    checks dominate, so this oracle parallelizes well).
     """
-    from repro.sched.round_robin import RoundRobinScheduler
-    from repro.runtime.runner import run
+    from repro.explore.frontier import explore
 
-    if survivor_sets is None:
-        survivor_sets = [
-            tuple(c)
-            for size in range(1, m + 1)
-            for c in combinations(range(system.n), size)
-        ]
-
-    initial = system.initial_configuration()
-    parents: Dict[Configuration, Tuple[Optional[Configuration], Optional[int]]] = {
-        initial: (None, None)
-    }
-    queue: deque[Configuration] = deque([initial])
-    result = ExplorationResult(configs_explored=0, complete=True)
-
-    while queue:
-        if result.configs_explored >= max_configs:
-            result.complete = False
-            break
-        config = queue.popleft()
-        result.configs_explored += 1
-
-        for survivors in survivor_sets:
-            pending = [pid for pid in survivors if system.enabled(config, pid)]
-            if not pending:
-                continue
-            try:
-                tail = run(
-                    system,
-                    RoundRobinScheduler(subset=survivors),
-                    initial=config,
-                    max_steps=solo_budget,
-                )
-            except StepLimitExceeded:
-                result.progress_violations.append(
-                    ProgressCounterexample(
-                        survivors=survivors,
-                        schedule_to_config=_witness_schedule(parents, config),
-                        detail=(
-                            f"survivors {survivors} exceeded {solo_budget} "
-                            "steps running in isolation"
-                        ),
-                    )
-                )
-                result.complete = False
-                return result
-            if not system.decided_all(tail.config, survivors):
-                result.progress_violations.append(
-                    ProgressCounterexample(
-                        survivors=survivors,
-                        schedule_to_config=_witness_schedule(parents, config),
-                        detail=f"survivors {survivors} stalled before finishing",
-                    )
-                )
-                result.complete = False
-                return result
-
-        for pid in system.enabled_pids(config):
-            successor = system.step(config, pid).config
-            if successor not in parents:
-                parents[successor] = (config, pid)
-                queue.append(successor)
-    return result
+    return explore(
+        system,
+        oracle="progress",
+        m=m,
+        max_configs=max_configs,
+        solo_budget=solo_budget,
+        survivor_sets=survivor_sets,
+        workers=workers,
+        batch_size=batch_size,
+        canonicalize=canonicalize,
+        cache_dir=cache_dir,
+    )

@@ -1,0 +1,361 @@
+"""The exploration engine: batched BFS, worker pool, symmetry, resume.
+
+This module owns *how* the reachable configuration graph is walked; the
+oracles that decide what counts as a violation live in
+:mod:`repro.explore.checker`.  The design is shared-nothing:
+
+* the **coordinator** (the calling process) owns the fingerprint-keyed
+  visited set, the parent map used for witness reconstruction, and the
+  frontier deque;
+* **workers** (a ``multiprocessing`` pool, sidestepping the GIL) receive
+  batches of configurations, run the oracle on each, compute successors,
+  and ship back ``(successor, fingerprint, parent, pid)`` records plus any
+  violation or failure — they never see the visited set.
+
+Determinism is load-bearing: batches are contiguous slices of the frontier
+in BFS order and worker results are merged in submission order, so the
+visited set, ``configs_explored``, verdicts and witness schedules are
+bit-identical for every ``workers`` value.  That is what lets the test
+suite assert ``--workers 4`` certifies exactly what ``--workers 1`` does.
+
+Fingerprints come from :func:`repro.runtime.system.stable_fingerprint`
+(``hash()`` is salted per process and cannot cross the pool boundary).
+With ``canonicalize=True`` and a symmetric system (see
+:mod:`repro.explore.canonical`) fingerprints are taken of the orbit
+representative instead, deduplicating identity-permuted configurations;
+the *actual* first-reached configuration of each orbit is the one
+expanded, which keeps every parent chain a literal replayable schedule.
+
+Worker-side exceptions never hang the pool: they are caught in the worker,
+wrapped as :class:`EngineFailure` records, and re-raised by the
+coordinator as :class:`~repro.errors.ExplorationEngineError`.
+``KeyboardInterrupt`` tears the pool down (terminate + join) before
+propagating.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExplorationEngineError
+from repro.explore import checker
+from repro.explore.canonical import (
+    SymmetryClasses,
+    canonicalize as canonical_form,
+    symmetry_classes,
+)
+from repro.runtime.system import Configuration, System, stable_fingerprint
+
+
+@dataclass(frozen=True)
+class EngineFailure:
+    """A worker-side exception, serialized across the pool boundary."""
+
+    kind: str
+    detail: str
+    config_fingerprint: str
+    traceback: str
+
+
+@dataclass(frozen=True)
+class _Expansion:
+    """Everything a worker learned about one frontier configuration."""
+
+    fingerprint: str
+    safety_problem: Optional[Tuple[str, int, Tuple, str]]
+    progress_problem: Optional[Tuple[Tuple[int, ...], str]]
+    successors: Tuple[Tuple[int, Configuration, str], ...]
+    failure: Optional[EngineFailure]
+
+
+@dataclass
+class _WorkerContext:
+    """Immutable per-run inputs every worker needs (sent once, pre-fork)."""
+
+    system: System
+    oracle: str
+    k: Optional[int]
+    inputs: Optional[Dict]
+    reduction: str
+    classes: Optional[SymmetryClasses]
+    survivor_sets: Tuple[Tuple[int, ...], ...]
+    solo_budget: int
+
+
+#: Worker-process slot for the run context (set pre-fork / by initializer).
+_WORKER: Optional[_WorkerContext] = None
+
+
+def _set_worker(ctx: _WorkerContext) -> None:
+    """Pool initializer: install the run context in this worker process."""
+    global _WORKER
+    _WORKER = ctx
+
+
+def _fingerprint(config: Configuration, classes: Optional[SymmetryClasses]) -> str:
+    if classes is None:
+        return stable_fingerprint(config)
+    return stable_fingerprint(canonical_form(config, classes))
+
+
+def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansion:
+    """Oracle-check one configuration and compute its successors."""
+    try:
+        if ctx.oracle == "safety":
+            problem = checker._check_config_safety(
+                ctx.system, config, ctx.k, ctx.inputs
+            )
+            if problem is not None:
+                return _Expansion(fp, problem, None, (), None)
+            pids = checker._expansion_pids(ctx.system, config, ctx.reduction)
+        else:
+            stall = checker._check_config_progress(
+                ctx.system, config, ctx.survivor_sets, ctx.solo_budget
+            )
+            if stall is not None:
+                return _Expansion(fp, None, stall, (), None)
+            pids = ctx.system.enabled_pids(config)
+        successors = tuple(
+            (pid, succ, _fingerprint(succ, ctx.classes))
+            for pid in pids
+            for succ in (ctx.system.step(config, pid).config,)
+        )
+        return _Expansion(fp, None, None, successors, None)
+    except Exception as exc:  # noqa: BLE001 — everything must cross the pool
+        failure = EngineFailure(
+            kind=type(exc).__name__,
+            detail=str(exc),
+            config_fingerprint=fp,
+            traceback=traceback.format_exc(),
+        )
+        return _Expansion(fp, None, None, (), failure)
+
+
+def _expand_chunk(items: List[Tuple[str, Configuration]]) -> List[_Expansion]:
+    """Worker entry point: expand a contiguous frontier slice, in order."""
+    assert _WORKER is not None, "worker context not initialized"
+    return [_expand_one(_WORKER, fp, config) for fp, config in items]
+
+
+def _split(batch: List, parts: int) -> List[List]:
+    """Split *batch* into ≤ *parts* contiguous, order-preserving chunks."""
+    parts = min(parts, len(batch))
+    size, rem = divmod(len(batch), parts)
+    chunks, start = [], 0
+    for i in range(parts):
+        end = start + size + (1 if i < rem else 0)
+        chunks.append(batch[start:end])
+        start = end
+    return chunks
+
+
+def _make_pool(workers: int, ctx: _WorkerContext):
+    """Create the worker pool, preferring ``fork`` (no System pickling)."""
+    global _WORKER
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        mp_ctx = multiprocessing.get_context("fork")
+        _WORKER = ctx  # inherited by forked workers; cleared in _teardown
+        return mp_ctx.Pool(processes=workers)
+    mp_ctx = multiprocessing.get_context("spawn")
+    return mp_ctx.Pool(processes=workers, initializer=_set_worker, initargs=(ctx,))
+
+
+def _teardown(pool) -> None:
+    global _WORKER
+    _WORKER = None
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def _witness_schedule(
+    parents: Dict[str, Tuple[Optional[str], Optional[int]]], fp: str
+) -> Tuple[int, ...]:
+    schedule: List[int] = []
+    cursor: Optional[str] = fp
+    while cursor is not None:
+        parent, pid = parents[cursor]
+        if pid is not None:
+            schedule.append(pid)
+        cursor = parent
+    schedule.reverse()
+    return tuple(schedule)
+
+
+def explore(
+    system: System,
+    *,
+    oracle: str,
+    k: Optional[int] = None,
+    m: Optional[int] = None,
+    max_configs: int,
+    stop_at_first: bool = True,
+    reduction: str = "none",
+    solo_budget: int = 20_000,
+    survivor_sets: Optional[Sequence[Tuple[int, ...]]] = None,
+    workers: int = 1,
+    batch_size: int = 64,
+    canonicalize: bool = False,
+    cache_dir: Optional[str] = None,
+) -> checker.ExplorationResult:
+    """Run one exploration with the chosen oracle; the library's one engine.
+
+    Public entry points are :func:`repro.explore.explore_safety` and
+    :func:`repro.explore.explore_progress_closure`, which document the
+    oracle-specific semantics; every keyword here mirrors theirs.
+    """
+    if oracle not in ("safety", "progress"):
+        raise ValueError(f"unknown oracle {oracle!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if oracle == "safety":
+        if k is None:
+            raise ValueError("safety oracle requires k")
+        inputs = checker._instance_input_sets(system)
+        sets: Tuple[Tuple[int, ...], ...] = ()
+    else:
+        if m is None and survivor_sets is None:
+            raise ValueError("progress oracle requires m or survivor_sets")
+        inputs = None
+        if survivor_sets is None:
+            survivor_sets = checker.default_survivor_sets(system.n, m)
+        sets = tuple(tuple(s) for s in survivor_sets)
+
+    classes = symmetry_classes(system) if canonicalize else None
+    ctx = _WorkerContext(
+        system=system,
+        oracle=oracle,
+        k=k,
+        inputs=inputs,
+        reduction=reduction,
+        classes=classes,
+        survivor_sets=sets,
+        solo_budget=solo_budget,
+    )
+
+    cache = None
+    key = None
+    if cache_dir is not None:
+        from repro.explore import cache as cache_mod
+
+        cache = cache_mod
+        key = cache_mod.exploration_key(
+            system,
+            oracle=oracle,
+            k=k,
+            survivor_sets=sets,
+            solo_budget=solo_budget,
+            reduction=reduction,
+            canonicalized=classes is not None,
+            stop_at_first=stop_at_first,
+        )
+        entry = cache_mod.load_entry(cache_dir, key)
+        if entry is not None and entry.finished:
+            return entry.result
+    else:
+        entry = None
+
+    if entry is not None:
+        parents = entry.parents
+        frontier: Deque[Tuple[str, Configuration]] = deque(entry.frontier)
+        explored = entry.explored
+    else:
+        initial = system.initial_configuration()
+        initial_fp = _fingerprint(initial, classes)
+        parents = {initial_fp: (None, None)}
+        frontier = deque([(initial_fp, initial)])
+        explored = 0
+
+    result = checker.ExplorationResult(configs_explored=explored, complete=True)
+    pool = None
+    done = False
+    try:
+        if workers > 1:
+            pool = _make_pool(workers, ctx)
+        while frontier and not done:
+            budget = max_configs - result.configs_explored
+            if budget <= 0:
+                result.complete = False
+                break
+            count = min(len(frontier), budget, batch_size * workers)
+            batch = [frontier.popleft() for _ in range(count)]
+            if pool is None:
+                expansions = _expand_chunk_local(ctx, batch)
+            else:
+                expansions = [
+                    expansion
+                    for chunk in pool.map(_expand_chunk, _split(batch, workers))
+                    for expansion in chunk
+                ]
+            for expansion in expansions:
+                result.configs_explored += 1
+                if expansion.failure is not None:
+                    raise ExplorationEngineError(expansion.failure)
+                if expansion.safety_problem is not None:
+                    prop, instance, outs, detail = expansion.safety_problem
+                    result.safety_violations.append(
+                        checker.SafetyCounterexample(
+                            property_name=prop,
+                            instance=instance,
+                            outputs=outs,
+                            schedule=_witness_schedule(
+                                parents, expansion.fingerprint
+                            ),
+                            detail=detail,
+                        )
+                    )
+                    if stop_at_first:
+                        result.complete = False
+                        done = True
+                        break
+                    continue  # never expand beyond a violating configuration
+                if expansion.progress_problem is not None:
+                    survivors, detail = expansion.progress_problem
+                    result.progress_violations.append(
+                        checker.ProgressCounterexample(
+                            survivors=survivors,
+                            schedule_to_config=_witness_schedule(
+                                parents, expansion.fingerprint
+                            ),
+                            detail=detail,
+                        )
+                    )
+                    result.complete = False
+                    done = True
+                    break
+                for pid, successor, succ_fp in expansion.successors:
+                    if succ_fp not in parents:
+                        parents[succ_fp] = (expansion.fingerprint, pid)
+                        frontier.append((succ_fp, successor))
+    finally:
+        _teardown(pool)
+
+    result.configs_discovered = len(parents)
+    if cache is not None:
+        finished = result.complete or not result.ok
+        cache.save_entry(
+            cache_dir,
+            key,
+            cache.CacheEntry(
+                version=cache.CACHE_VERSION,
+                key=key,
+                finished=finished,
+                result=result if finished else None,
+                parents=None if finished else parents,
+                frontier=None if finished else list(frontier),
+                explored=result.configs_explored,
+            ),
+        )
+    return result
+
+
+def _expand_chunk_local(
+    ctx: _WorkerContext, batch: List[Tuple[str, Configuration]]
+) -> List[_Expansion]:
+    """In-process expansion path used when ``workers == 1``."""
+    return [_expand_one(ctx, fp, config) for fp, config in batch]

@@ -26,10 +26,12 @@ non-productive automata.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Optional, Sequence, Tuple
 
-from repro._types import Value
+from repro._types import BOT, Value
 from repro.errors import (
     ConfigurationError,
     NotEnabledError,
@@ -456,3 +458,94 @@ def _replace_proc(
 
 def _replace_in_tuple(items: Tuple[Any, ...], index: int, item: Any) -> Tuple[Any, ...]:
     return items[:index] + (item,) + items[index + 1 :]
+
+
+# ---------------------------------------------------------------------- #
+# Stable fingerprints
+# ---------------------------------------------------------------------- #
+
+def _feed_fingerprint(h, value: Any) -> None:
+    """Feed a canonical, type-tagged encoding of *value* into hash *h*.
+
+    The encoding must be identical across interpreter processes — Python's
+    built-in ``hash`` is salted per process (``PYTHONHASHSEED``), so it
+    cannot key a visited set that is shared between exploration workers or
+    persisted to disk.  Every composite is length- and type-tagged so that
+    distinct structures cannot collide by concatenation.
+    """
+    if value is None:
+        h.update(b"N;")
+    elif value is BOT:
+        h.update(b"B;")
+    elif isinstance(value, bool):
+        h.update(b"b1;" if value else b"b0;")
+    elif isinstance(value, int):
+        data = str(value).encode()
+        h.update(b"i%d:" % len(data) + data)
+    elif isinstance(value, float):
+        data = value.hex().encode()
+        h.update(b"f%d:" % len(data) + data)
+    elif isinstance(value, str):
+        data = value.encode()
+        h.update(b"s%d:" % len(data) + data)
+    elif isinstance(value, bytes):
+        h.update(b"y%d:" % len(value) + value)
+    elif isinstance(value, (tuple, list)):
+        h.update(b"t%d:" % len(value))
+        for item in value:
+            _feed_fingerprint(h, item)
+    elif isinstance(value, (set, frozenset)):
+        # Hash elements independently and combine order-insensitively.
+        digests = sorted(
+            hashlib.blake2b(_encode_once(item), digest_size=16).digest()
+            for item in value
+        )
+        h.update(b"e%d:" % len(digests))
+        for digest in digests:
+            h.update(digest)
+    elif isinstance(value, dict):
+        items = sorted(
+            (hashlib.blake2b(_encode_once(key), digest_size=16).digest(), key, val)
+            for key, val in value.items()
+        )
+        h.update(b"d%d:" % len(items))
+        for _, key, val in items:
+            _feed_fingerprint(h, key)
+            _feed_fingerprint(h, val)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__qualname__.encode()
+        fields = dataclasses.fields(value)
+        h.update(b"D%d:" % len(name) + name + b"%d:" % len(fields))
+        for field_ in fields:
+            _feed_fingerprint(h, field_.name)
+            _feed_fingerprint(h, getattr(value, field_.name))
+    else:
+        # Fallback for exotic hashable values: require a stable repr.
+        data = repr(value).encode()
+        h.update(b"r%d:" % len(data) + data)
+
+
+def _encode_once(value: Any) -> bytes:
+    buffer = hashlib.blake2b(digest_size=16)
+    _feed_fingerprint(buffer, value)
+    return buffer.digest()
+
+
+def stable_fingerprint(value: Any) -> str:
+    """A process- and run-stable hex fingerprint of an immutable value.
+
+    Unlike ``hash()``, the result does not depend on ``PYTHONHASHSEED`` or
+    object identity, so fingerprints computed by different worker processes
+    (or in a previous run, for the persistent exploration cache) agree.
+    Covers the value vocabulary of the runtime: primitives, ⊥, tuples,
+    frozen dataclasses, and the occasional dict/set; anything else must
+    have a deterministic ``repr``.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    _feed_fingerprint(h, value)
+    return h.hexdigest()
+
+
+def configuration_fingerprint(config: Configuration) -> str:
+    """Stable fingerprint of a :class:`Configuration` (see :func:`stable_fingerprint`)."""
+    return stable_fingerprint(config)

@@ -1,0 +1,115 @@
+"""Stable configuration fingerprints: cross-process and cross-seed identity.
+
+The parallel exploration engine keys its visited set by
+``stable_fingerprint``, so fingerprints computed in different worker
+processes (each with its own ``PYTHONHASHSEED`` salt) must agree exactly.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import repro
+from repro import OneShotSetAgreement, System
+from repro._types import BOT, Params
+from repro.runtime.system import configuration_fingerprint, stable_fingerprint
+
+SRC_DIR = str(pathlib.Path(repro.__file__).parents[1])
+
+FINGERPRINT_SCRIPT = """
+from repro import OneShotSetAgreement, System
+from repro.runtime.system import configuration_fingerprint
+
+system = System(OneShotSetAgreement(n=2, m=1, k=1), workloads=[["a"], ["b"]])
+config = system.initial_configuration()
+config = system.step(config, 0).config
+config = system.step(config, 1).config
+print(configuration_fingerprint(config))
+"""
+
+
+def _fingerprint_in_subprocess(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        [sys.executable, "-c", FINGERPRINT_SCRIPT],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return output.stdout.strip()
+
+
+class TestCrossProcessStability:
+    def test_identical_across_hash_seeds(self):
+        """Two interpreters with different hash salts agree exactly."""
+        assert _fingerprint_in_subprocess("1") == _fingerprint_in_subprocess("2")
+
+    def test_subprocess_matches_in_process(self):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1), workloads=[["a"], ["b"]]
+        )
+        config = system.step(
+            system.step(system.initial_configuration(), 0).config, 1
+        ).config
+        assert configuration_fingerprint(config) == _fingerprint_in_subprocess("7")
+
+
+class TestFingerprintSemantics:
+    def test_equal_configurations_equal_fingerprints(self):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1), workloads=[["a"], ["b"]]
+        )
+        a = system.step(system.initial_configuration(), 0).config
+        b = system.step(system.initial_configuration(), 0).config
+        assert a == b
+        assert configuration_fingerprint(a) == configuration_fingerprint(b)
+
+    def test_distinct_configurations_distinct_fingerprints(self):
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1), workloads=[["a"], ["b"]]
+        )
+        initial = system.initial_configuration()
+        seen = {configuration_fingerprint(initial)}
+        frontier = [initial]
+        for _ in range(3):  # three BFS layers, all pairwise-distinct configs
+            nxt = []
+            for config in frontier:
+                for pid in system.enabled_pids(config):
+                    succ = system.step(config, pid).config
+                    nxt.append(succ)
+            distinct = {c for c in nxt}
+            fps = {configuration_fingerprint(c) for c in distinct}
+            assert len(fps) == len(distinct)
+            seen |= fps
+            frontier = list(distinct)
+        assert len(seen) > 3
+
+    def test_bot_is_not_confused_with_none_or_string(self):
+        assert len({
+            stable_fingerprint(BOT),
+            stable_fingerprint(None),
+            stable_fingerprint("⊥"),
+            stable_fingerprint(()),
+        }) == 4
+
+    def test_value_vocabulary_is_type_tagged(self):
+        """Same surface, different types/structure → different fingerprints."""
+        pairs = [
+            (1, "1"),
+            (True, 1),
+            ((1, 2), (1, (2,))),
+            (("ab",), ("a", "b")),
+            ({"a": 1}, (("a", 1),)),
+            (frozenset({1, 2}), (1, 2)),
+        ]
+        for left, right in pairs:
+            assert stable_fingerprint(left) != stable_fingerprint(right), (
+                left, right
+            )
+
+    def test_params_and_dicts_are_order_insensitive(self):
+        assert stable_fingerprint(Params(n=4, k=2, m=1)) == \
+            stable_fingerprint(Params(m=1, n=4, k=2))
+        assert stable_fingerprint({"x": 1, "y": 2}) == \
+            stable_fingerprint({"y": 2, "x": 1})
