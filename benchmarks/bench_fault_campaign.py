@@ -1,0 +1,133 @@
+"""E14 — chaos campaign throughput and engine self-healing overhead.
+
+Two tables:
+
+* **Campaign throughput**: trials/second for the seeded crash and
+  corruption families against each algorithm, with the retry and
+  violation counts — the controls of `docs/verification.md` §6 run at
+  benchmark scale (crash family: zero violations; corruption family: at
+  least one certified violation per algorithm).
+* **Self-healing overhead**: the same exploration run healthy, with one
+  injected worker death (pool rebuild + batch resubmission), and under
+  persistent death (degradation to serial), recording wall-clock, retry
+  count, and the degradation flag — with verdicts asserted bit-identical
+  across all three.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro import (
+    AnonymousRepeatedSetAgreement,
+    OneShotSetAgreement,
+    RepeatedSetAgreement,
+    System,
+)
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.bench.tables import format_table
+from repro.bench.workloads import distinct_inputs
+from repro.explore import explore_safety
+from repro.faults import build_family, run_campaign
+from repro.faults.chaos import arm_worker_kills
+
+ALGORITHMS = [
+    ("oneshot", lambda: System(
+        OneShotSetAgreement(n=4, m=2, k=2), workloads=distinct_inputs(4))),
+    ("repeated", lambda: System(
+        RepeatedSetAgreement(n=4, m=2, k=2),
+        workloads=distinct_inputs(4, instances=2))),
+    ("anonymous", lambda: System(
+        AnonymousRepeatedSetAgreement(n=4, m=2, k=2),
+        workloads=distinct_inputs(4, instances=2))),
+    ("anonymous-oneshot", lambda: System(
+        AnonymousOneShotSetAgreement(n=4, m=2, k=2),
+        workloads=distinct_inputs(4))),
+]
+
+TRIALS = 12
+SEED = 2026
+
+
+def test_campaign_throughput(emit):
+    """Trials/s per (algorithm, family); controls hold at benchmark scale."""
+    rows = []
+    for name, factory in ALGORITHMS:
+        for family in ("crashes", "corruption"):
+            system = factory()
+            plans = build_family(family, system, trials=TRIALS, seed=SEED)
+            report = run_campaign(
+                system, plans, family=family, k=2, budget=4_000,
+                max_retries=2,
+            )
+            if family == "crashes":
+                assert report.crash_safety_holds()
+                assert not report.certified_violations
+            else:
+                assert report.certified_violations
+            rows.append((
+                name,
+                family,
+                len(report.trials),
+                f"{len(report.trials) / report.elapsed_seconds:.1f}",
+                report.retries,
+                len(report.certified_violations),
+                len(report.outcomes("inconclusive")),
+            ))
+    emit("fault_campaign_throughput", format_table(
+        ["algorithm", "family", "trials", "trials/s", "retries",
+         "certified", "inconclusive"],
+        rows,
+        title=f"E14: campaign throughput ({TRIALS} trials, seed {SEED})",
+    ))
+
+
+def _verdict(result):
+    record = dataclasses.asdict(result)
+    record.pop("worker_retries")
+    record.pop("degraded")
+    return record
+
+
+def test_self_healing_overhead(emit, tmp_path):
+    """Healthy vs healed vs degraded exploration: cost, same verdicts."""
+    def explore(chaos=None, timeout=None, retries=2):
+        system = System(
+            OneShotSetAgreement(n=3, m=1, k=1),
+            workloads=[["a"], ["b"], ["c"]],
+        )
+        t0 = time.perf_counter()
+        result = explore_safety(
+            system, 1, max_configs=3_000, workers=2, batch_size=16,
+            batch_timeout=timeout, max_retries=retries, chaos=chaos,
+        )
+        return result, time.perf_counter() - t0
+
+    healthy, t_healthy = explore(timeout=60.0)
+    one_kill, t_one = explore(
+        chaos=arm_worker_kills(str(tmp_path / "one"), 1), timeout=10.0,
+        retries=3,
+    )
+    degraded, t_degraded = explore(
+        chaos=arm_worker_kills(str(tmp_path / "many"), 64), timeout=2.0,
+    )
+
+    assert one_kill.worker_retries >= 1 and not one_kill.degraded
+    assert degraded.degraded
+    assert _verdict(one_kill) == _verdict(healthy)
+    assert _verdict(degraded) == _verdict(healthy)
+
+    rows = [
+        ("healthy", f"{t_healthy:.2f}", healthy.worker_retries,
+         healthy.degraded, healthy.configs_explored),
+        ("1 worker death", f"{t_one:.2f}", one_kill.worker_retries,
+         one_kill.degraded, one_kill.configs_explored),
+        ("persistent death", f"{t_degraded:.2f}", degraded.worker_retries,
+         degraded.degraded, degraded.configs_explored),
+    ]
+    emit("fault_self_healing", format_table(
+        ["condition", "seconds", "retries", "degraded", "explored"],
+        rows,
+        title="E14: self-healing overhead (verdicts bit-identical)",
+    ))

@@ -10,10 +10,18 @@ entry points:
 * ``covering``  — run the Theorem 2 covering construction against an
   under-provisioned Figure 4 and print the certified violation;
 * ``glue``      — run the Lemma 9 clone construction against the anonymous
-  one-shot algorithm.
+  one-shot algorithm;
+* ``faults``    — run a seeded chaos campaign (process crashes, register
+  corruption) and report replay-certified outcomes.
 
 Every command prints plain text and exits non-zero on failure, so the CLI
-can anchor shell-based regression checks.
+can anchor shell-based regression checks.  The exit-code discipline is
+uniform across commands (enforced by one dispatch wrapper): **0** — the
+command ran and the checked claim held; **1** — a genuine, certified
+refutation (violation witness, failed construction) — never an error;
+**2** — configuration or engine error (bad arguments, a crashed worker,
+any :class:`~repro.errors.ReproError`), reported on stderr; **130** —
+interrupted by Ctrl-C, with worker pools torn down, never hung.
 """
 
 from __future__ import annotations
@@ -110,6 +118,40 @@ def build_parser() -> argparse.ArgumentParser:
                                "(round-robin) instead of globally distinct "
                                "inputs — this is what gives --canonicalize "
                                "orbits to quotient")
+    explorer.add_argument("--batch-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="bound the wait for any one worker batch; on "
+                               "timeout the pool is rebuilt and the batch "
+                               "resubmitted (verdicts unchanged); default "
+                               "waits forever")
+    explorer.add_argument("--max-retries", type=int, default=2,
+                          help="pool rebuilds to attempt before degrading "
+                               "to serial in-process expansion")
+
+    faults = sub.add_parser(
+        "faults", help="seeded chaos campaign with replay-certified verdicts"
+    )
+    faults.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                        default="oneshot")
+    _add_nmk(faults)
+    faults.add_argument("--instances", type=int, default=1)
+    faults.add_argument("--plan-family", choices=("crashes", "corruption"),
+                        default="crashes",
+                        help="'crashes' stays inside the paper's fault model "
+                             "(must stay safe); 'corruption' leaves it "
+                             "(expected to yield certified violations)")
+    faults.add_argument("--trials", type=int, default=12,
+                        help="number of seeded plans to run")
+    faults.add_argument("--seed", type=int, default=1,
+                        help="seed for the plan family (same seed, same "
+                             "plans, same verdicts)")
+    faults.add_argument("--budget", type=int, default=20_000,
+                        help="step budget for the first attempt of each "
+                             "trial")
+    faults.add_argument("--retry-budget", type=int, default=3,
+                        help="extra attempts (with exponentially doubled "
+                             "step budgets) before a trial is declared "
+                             "inconclusive")
 
     covering = sub.add_parser(
         "covering", help="Theorem 2 construction vs under-provisioned Fig. 4"
@@ -240,6 +282,8 @@ def cmd_explore(args) -> int:
             workers=args.workers,
             canonicalize=args.canonicalize,
             cache_dir=args.cache_dir if args.resume else None,
+            batch_timeout=args.batch_timeout,
+            max_retries=args.max_retries,
         )
     except ExplorationEngineError as exc:
         print(f"ENGINE FAILURE: {exc}")
@@ -254,6 +298,39 @@ def cmd_explore(args) -> int:
               f"{list(violation.schedule)}")
         print(f"  {violation.detail}")
     return 1 if result.safety_violations else 0
+
+
+def cmd_faults(args) -> int:
+    """Run a seeded fault-injection campaign and print certified verdicts.
+
+    Exit codes follow the shared discipline: 0 — every trial safe (or
+    inconclusive, which is a budget statement, not a verdict); 1 — at least
+    one replay-certified violation (expected for ``--plan-family
+    corruption``, a refutation of the fault model's boundary for
+    ``crashes``); 2 — configuration or engine error.
+    """
+    from repro.faults import build_family, run_campaign
+
+    protocol_cls = PROTOCOLS[args.protocol]
+    protocol = protocol_cls(n=args.n, m=args.m, k=args.k)
+    system = System(
+        protocol,
+        workloads=distinct_inputs(args.n, instances=args.instances),
+    )
+    plans = build_family(
+        args.plan_family, system, trials=args.trials, seed=args.seed
+    )
+    report = run_campaign(
+        system, plans, family=args.plan_family, k=args.k,
+        budget=args.budget, max_retries=args.retry_budget,
+    )
+    print(f"protocol: {protocol.describe()}")
+    for trial in report.trials:
+        print(f"  {trial.describe()}")
+    print(report.summary())
+    if args.plan_family == "crashes" and not report.crash_safety_holds():
+        print("POSITIVE CONTROL FAILED: a crash-only plan violated safety")
+    return 1 if report.certified_violations else 0
 
 
 def cmd_covering(args) -> int:
@@ -328,17 +405,41 @@ COMMANDS = {
     "bounds": cmd_bounds,
     "run": cmd_run,
     "explore": cmd_explore,
+    "faults": cmd_faults,
     "covering": cmd_covering,
     "glue": cmd_glue,
     "verify": cmd_verify,
 }
 
 
+def _dispatch(handler, args) -> int:
+    """Run one command under the shared exit-code discipline.
+
+    Historically only ``explore`` translated engine errors to exit 2 and
+    survived Ctrl-C cleanly; every command now goes through this wrapper,
+    so a :class:`~repro.errors.ReproError` from any of them lands on
+    stderr with exit 2 (command handlers may still catch specific errors
+    first to print richer context), and ``KeyboardInterrupt`` exits 130 —
+    after running ``finally`` blocks, which is what tears worker pools
+    down instead of leaving them hung.
+    """
+    from repro.errors import ReproError
+
+    try:
+        return handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return COMMANDS[args.command](args)
+    return _dispatch(COMMANDS[args.command], args)
 
 
 if __name__ == "__main__":  # pragma: no cover

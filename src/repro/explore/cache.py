@@ -31,7 +31,9 @@ from repro.memory.layout import ImplementedBinding, MemoryLayout, PrimitiveBindi
 from repro.runtime.system import Configuration, System, stable_fingerprint
 
 #: Bumped whenever the pickled entry layout changes; skew reads as a miss.
-CACHE_VERSION = 1
+# v2: ExplorationResult grew worker_retries/degraded (self-healing history);
+# entries pickled under v1 would deserialize without the new fields.
+CACHE_VERSION = 2
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -62,6 +62,13 @@ class ExplorationResult:
     configurations; ``configs_discovered`` counts distinct visited-set
     entries (under canonicalization these are orbit representatives, so
     ``discovered < explored``-free dedup shows up here).
+
+    ``worker_retries`` and ``degraded`` record the self-healing history of
+    the run: how many batches had to be resubmitted after a pool timeout or
+    worker death, and whether the engine gave up on the pool entirely and
+    fell back to serial expansion.  Neither affects the verdict — batches
+    are recomputed whole, so a degraded run's violations, counts and
+    witness schedules are bit-identical to a healthy one's.
     """
 
     configs_explored: int
@@ -69,6 +76,8 @@ class ExplorationResult:
     safety_violations: List[SafetyCounterexample] = field(default_factory=list)
     progress_violations: List[ProgressCounterexample] = field(default_factory=list)
     configs_discovered: int = 0
+    worker_retries: int = 0
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -82,7 +91,16 @@ class ExplorationResult:
             f"{len(self.safety_violations)} safety, "
             f"{len(self.progress_violations)} progress violations"
         )
-        return f"explored {self.configs_explored} configurations ({closure}): {verdict}"
+        health = ""
+        if self.worker_retries or self.degraded:
+            health = (
+                f" [self-healed: {self.worker_retries} retries"
+                f"{', degraded to serial' if self.degraded else ''}]"
+            )
+        return (
+            f"explored {self.configs_explored} configurations "
+            f"({closure}): {verdict}{health}"
+        )
 
 
 def _instance_input_sets(system: System) -> Dict[int, Set[Value]]:
@@ -204,6 +222,9 @@ def explore_safety(
     batch_size: int = 64,
     canonicalize: bool = False,
     cache_dir: Optional[str] = None,
+    batch_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    chaos=None,
 ) -> ExplorationResult:
     """BFS the reachable configuration space, checking safety everywhere.
 
@@ -221,6 +242,14 @@ def explore_safety(
     see :mod:`repro.explore.canonical`), silently inert otherwise.
     ``cache_dir`` persists finished runs and truncated frontiers so a rerun
     of the same system resumes instead of restarting.
+
+    ``batch_timeout`` (seconds) bounds how long the coordinator waits for
+    any one batch; on timeout or pool failure it rebuilds the pool and
+    resubmits the whole batch, up to ``max_retries`` times with exponential
+    backoff, before degrading to serial in-process expansion for the rest
+    of the run.  The default ``None`` waits forever, the pre-self-healing
+    behavior.  ``chaos`` is a test hook (see :mod:`repro.faults.chaos`)
+    invoked by each worker before expanding a chunk.
     """
     if reduction not in ("none", "local-first"):
         raise ValueError(f"unknown reduction {reduction!r}")
@@ -237,6 +266,9 @@ def explore_safety(
         batch_size=batch_size,
         canonicalize=canonicalize,
         cache_dir=cache_dir,
+        batch_timeout=batch_timeout,
+        max_retries=max_retries,
+        chaos=chaos,
     )
 
 
@@ -251,6 +283,9 @@ def explore_progress_closure(
     batch_size: int = 16,
     canonicalize: bool = False,
     cache_dir: Optional[str] = None,
+    batch_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    chaos=None,
 ) -> ExplorationResult:
     """From every reachable configuration, every ≤m survivor set must finish.
 
@@ -273,4 +308,7 @@ def explore_progress_closure(
         batch_size=batch_size,
         canonicalize=canonicalize,
         cache_dir=cache_dir,
+        batch_timeout=batch_timeout,
+        max_retries=max_retries,
+        chaos=chaos,
     )

@@ -31,11 +31,25 @@ wrapped as :class:`EngineFailure` records, and re-raised by the
 coordinator as :class:`~repro.errors.ExplorationEngineError`.
 ``KeyboardInterrupt`` tears the pool down (terminate + join) before
 propagating.
+
+What worker-side catching *cannot* cover is the worker dying outright
+(OOM-kill, segfault, a chaos hook): ``multiprocessing.Pool`` repopulates
+the process but the in-flight task is lost and a bare ``map`` would hang
+forever.  With ``batch_timeout`` set, the coordinator instead waits a
+bounded time per batch; on timeout (or any pool-infrastructure failure) it
+discards the partial batch, rebuilds the pool, backs off exponentially and
+resubmits — up to ``max_retries`` times, after which it *degrades*: the
+pool is abandoned and the rest of the run expands serially in-process.
+Batches are merged all-or-nothing, so retried and degraded runs produce
+verdicts bit-identical to healthy ones; the history is recorded in
+``ExplorationResult.worker_retries`` / ``.degraded``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
@@ -84,16 +98,31 @@ class _WorkerContext:
     classes: Optional[SymmetryClasses]
     survivor_sets: Tuple[Tuple[int, ...], ...]
     solo_budget: int
+    #: Chaos hook (duck-typed ``maybe_kill()``); workers call it per chunk.
+    chaos: Optional[object] = None
 
 
 #: Worker-process slot for the run context (set pre-fork / by initializer).
 _WORKER: Optional[_WorkerContext] = None
 
 
+def _init_worker() -> None:
+    """Pool initializer: shield the worker from the terminal's Ctrl-C.
+
+    A SIGINT reaches every process in the foreground group.  A worker
+    killed mid-``get()`` dies holding the pool's task-queue lock, and the
+    coordinator's teardown then deadlocks acquiring it — so workers ignore
+    SIGINT and only the coordinator turns Ctrl-C into a clean exit
+    (teardown stops workers via SIGTERM, which stays deliverable).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _set_worker(ctx: _WorkerContext) -> None:
     """Pool initializer: install the run context in this worker process."""
     global _WORKER
     _WORKER = ctx
+    _init_worker()
 
 
 def _fingerprint(config: Configuration, classes: Optional[SymmetryClasses]) -> str:
@@ -138,6 +167,8 @@ def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansi
 def _expand_chunk(items: List[Tuple[str, Configuration]]) -> List[_Expansion]:
     """Worker entry point: expand a contiguous frontier slice, in order."""
     assert _WORKER is not None, "worker context not initialized"
+    if _WORKER.chaos is not None:
+        _WORKER.chaos.maybe_kill()
     return [_expand_one(_WORKER, fp, config) for fp, config in items]
 
 
@@ -160,7 +191,7 @@ def _make_pool(workers: int, ctx: _WorkerContext):
     if "fork" in methods:
         mp_ctx = multiprocessing.get_context("fork")
         _WORKER = ctx  # inherited by forked workers; cleared in _teardown
-        return mp_ctx.Pool(processes=workers)
+        return mp_ctx.Pool(processes=workers, initializer=_init_worker)
     mp_ctx = multiprocessing.get_context("spawn")
     return mp_ctx.Pool(processes=workers, initializer=_set_worker, initargs=(ctx,))
 
@@ -202,6 +233,9 @@ def explore(
     batch_size: int = 64,
     canonicalize: bool = False,
     cache_dir: Optional[str] = None,
+    batch_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    chaos: Optional[object] = None,
 ) -> checker.ExplorationResult:
     """Run one exploration with the chosen oracle; the library's one engine.
 
@@ -213,6 +247,10 @@ def explore(
         raise ValueError(f"unknown oracle {oracle!r}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_timeout is not None and batch_timeout <= 0:
+        raise ValueError(f"batch_timeout must be positive, got {batch_timeout}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     if oracle == "safety":
         if k is None:
             raise ValueError("safety oracle requires k")
@@ -236,6 +274,7 @@ def explore(
         classes=classes,
         survivor_sets=sets,
         solo_budget=solo_budget,
+        chaos=chaos,
     )
 
     cache = None
@@ -287,11 +326,12 @@ def explore(
             if pool is None:
                 expansions = _expand_chunk_local(ctx, batch)
             else:
-                expansions = [
-                    expansion
-                    for chunk in pool.map(_expand_chunk, _split(batch, workers))
-                    for expansion in chunk
-                ]
+                expansions, pool = _expand_batch(
+                    pool, ctx, batch, workers,
+                    batch_timeout=batch_timeout,
+                    max_retries=max_retries,
+                    result=result,
+                )
             for expansion in expansions:
                 result.configs_explored += 1
                 if expansion.failure is not None:
@@ -357,5 +397,50 @@ def explore(
 def _expand_chunk_local(
     ctx: _WorkerContext, batch: List[Tuple[str, Configuration]]
 ) -> List[_Expansion]:
-    """In-process expansion path used when ``workers == 1``."""
+    """In-process expansion path: ``workers == 1`` and the degraded mode."""
     return [_expand_one(ctx, fp, config) for fp, config in batch]
+
+
+def _expand_batch(
+    pool,
+    ctx: _WorkerContext,
+    batch: List[Tuple[str, Configuration]],
+    workers: int,
+    *,
+    batch_timeout: Optional[float],
+    max_retries: int,
+    result: checker.ExplorationResult,
+) -> Tuple[List[_Expansion], Optional[object]]:
+    """Expand one batch through the pool, healing it when it fails.
+
+    Returns ``(expansions, pool)`` — the pool may be a *new* pool (rebuilt
+    after a failure) or ``None`` (the engine degraded; the caller must
+    expand serially from now on).  The batch is merged all-or-nothing:
+    results of a failed submission are discarded entirely and the whole
+    batch is recomputed, which is what keeps retried and degraded runs
+    bit-identical to healthy ones.
+
+    With ``batch_timeout=None`` the wait is unbounded — identical to the
+    pre-self-healing engine — so a lost worker can only be detected when a
+    timeout is configured.  Pool-infrastructure exceptions (broken pipes,
+    unpicklable results) take the same heal path regardless.
+    """
+    chunks = _split(batch, workers)
+    for attempt in range(max_retries + 1):
+        try:
+            if batch_timeout is None:
+                mapped = pool.map(_expand_chunk, chunks)
+            else:
+                mapped = pool.map_async(_expand_chunk, chunks).get(
+                    timeout=batch_timeout
+                )
+            return [e for chunk in mapped for e in chunk], pool
+        except Exception:  # noqa: BLE001 — any pool failure takes the heal path
+            result.worker_retries += 1
+            _teardown(pool)
+            pool = None
+            if attempt < max_retries:
+                time.sleep(min(0.05 * 2**attempt, 2.0))
+                pool = _make_pool(workers, ctx)
+    result.degraded = True
+    return _expand_chunk_local(ctx, batch), None

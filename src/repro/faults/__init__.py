@@ -1,0 +1,66 @@
+"""Fault injection: chaos campaigns for registers, processes, and the engine.
+
+The paper proves its algorithms correct under *m-obstruction-freedom*
+(§2.1): arbitrary process crashes are inside the model, register
+corruption is not.  This package makes that boundary executable:
+
+* :mod:`repro.faults.plans` — pure, hashable fault plans and seeded plan
+  families (crash-only and register-corruption);
+* :mod:`repro.faults.layout` — a fault-aware memory layout that applies
+  register faults as pure state transitions;
+* :mod:`repro.faults.inject` — rebuild a faulty system and its adversary
+  from a plan;
+* :mod:`repro.faults.campaign` — sweep plan families, retry inconclusive
+  trials under backed-off budgets, certify every violation by replay;
+* :mod:`repro.faults.chaos` — deterministic worker-death injection for
+  the explore engine's self-healing path.
+
+Run campaigns from the CLI: ``repro faults --protocol oneshot -n 4 -m 2
+-k 2 --plan-family crashes``.
+"""
+
+from repro.faults.campaign import (
+    FaultReport,
+    FaultTrial,
+    run_campaign,
+    run_trial,
+)
+from repro.faults.chaos import WorkerKill, arm_worker_kills
+from repro.faults.inject import faulty_system, plan_scheduler
+from repro.faults.layout import FaultyMemoryLayout
+from repro.faults.plans import (
+    CORRUPT_VALUE,
+    PLAN_FAMILIES,
+    FaultPlan,
+    LostWrite,
+    ProcessCrash,
+    ProcessRestart,
+    SpuriousReset,
+    StuckAt,
+    build_family,
+    corruption_plan_family,
+    crash_plan_family,
+)
+
+__all__ = [
+    "CORRUPT_VALUE",
+    "PLAN_FAMILIES",
+    "FaultPlan",
+    "FaultReport",
+    "FaultTrial",
+    "FaultyMemoryLayout",
+    "LostWrite",
+    "ProcessCrash",
+    "ProcessRestart",
+    "SpuriousReset",
+    "StuckAt",
+    "WorkerKill",
+    "arm_worker_kills",
+    "build_family",
+    "corruption_plan_family",
+    "crash_plan_family",
+    "faulty_system",
+    "plan_scheduler",
+    "run_campaign",
+    "run_trial",
+]

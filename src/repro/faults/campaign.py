@@ -1,0 +1,195 @@
+"""Campaign runner: sweep fault plans, retry, certify every violation.
+
+A *campaign* runs a family of :class:`~repro.faults.plans.FaultPlan`s
+against one system and aggregates the outcomes:
+
+* ``safe`` — the trial ran to quiescence of the live processes with no
+  safety violation;
+* ``violation`` — Validity or k-Agreement broke, and the witness schedule
+  was **certified by replay**: a fresh faulty system is rebuilt from the
+  plan, the recorded schedule is folded through the pure step function,
+  and the independent checker (:mod:`repro.spec.properties`) re-establishes
+  the violation — the same discipline as
+  :mod:`repro.lowerbounds.covering`.  An uncertifiable violation (never
+  observed; it would indicate an engine bug) is downgraded to
+  ``inconclusive`` rather than reported as evidence;
+* ``inconclusive`` — the step budget ran out before the live processes
+  finished (corrupted registers can livelock the paper's algorithms —
+  that is a *progress* casualty, not a safety verdict).  Inconclusive
+  trials are retried under exponentially growing budgets before the label
+  sticks.
+
+The two controls the subsystem exists for (paper §2.1):
+
+* **positive** — crash-only plans stay inside the model m-obstruction-
+  freedom quantifies over, so a campaign over them must report zero
+  violations (:meth:`FaultReport.crash_safety_holds`);
+* **negative** — register corruption leaves the model, and
+  :func:`~repro.faults.plans.corruption_plan_family` includes plans
+  guaranteed to make each algorithm decide a never-proposed value, so a
+  corruption campaign must produce at least one certified violation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.inject import faulty_system, plan_scheduler
+from repro.faults.plans import FaultPlan
+from repro.runtime.runner import replay, run
+from repro.runtime.system import System
+from repro.spec.properties import Violation, check_safety
+
+SAFE, VIOLATION, INCONCLUSIVE = "safe", "violation", "inconclusive"
+
+
+@dataclass(frozen=True)
+class FaultTrial:
+    """Outcome of one plan: verdict, witness, and certification status."""
+
+    plan: FaultPlan
+    outcome: str
+    steps: int
+    attempts: int
+    violations: Tuple[Violation, ...] = ()
+    schedule: Tuple[int, ...] = ()
+    certified: bool = False
+
+    def describe(self) -> str:
+        """One row of the campaign report."""
+        tail = ""
+        if self.outcome == VIOLATION:
+            tail = f" — certified: {self.violations[0]}"
+        return (
+            f"{self.plan.describe()} -> {self.outcome} "
+            f"({self.steps} steps, {self.attempts} attempt"
+            f"{'s' if self.attempts != 1 else ''}){tail}"
+        )
+
+
+@dataclass
+class FaultReport:
+    """Aggregate of one campaign, with wall-clock for throughput numbers."""
+
+    family: str
+    trials: List[FaultTrial] = field(default_factory=list)
+    retries: int = 0
+    elapsed_seconds: float = 0.0
+
+    def outcomes(self, outcome: str) -> List[FaultTrial]:
+        """Trials whose verdict is *outcome* (safe/violation/inconclusive)."""
+        return [t for t in self.trials if t.outcome == outcome]
+
+    @property
+    def certified_violations(self) -> List[FaultTrial]:
+        return [t for t in self.trials if t.certified]
+
+    def crash_safety_holds(self) -> bool:
+        """Positive control: no crash-only plan produced a violation."""
+        return not any(
+            t.outcome == VIOLATION for t in self.trials if t.plan.crash_only
+        )
+
+    def summary(self) -> str:
+        """One-line account of the campaign."""
+        return (
+            f"fault campaign [{self.family}]: {len(self.trials)} trials — "
+            f"{len(self.outcomes(SAFE))} safe, "
+            f"{len(self.certified_violations)} certified violations, "
+            f"{len(self.outcomes(INCONCLUSIVE))} inconclusive "
+            f"({self.retries} retries, {self.elapsed_seconds:.2f}s)"
+        )
+
+
+def _certify(system: System, plan: FaultPlan, schedule: Sequence[int],
+             k: int) -> Tuple[Violation, ...]:
+    """Re-establish a violation by replay through a *fresh* faulty system."""
+    fresh = faulty_system(system, plan)
+    execution = replay(fresh, schedule)
+    return tuple(check_safety(execution, k))
+
+
+def run_trial(
+    system: System,
+    plan: FaultPlan,
+    *,
+    k: Optional[int] = None,
+    budget: int = 20_000,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+) -> FaultTrial:
+    """Run one plan; retry inconclusive runs under exponential budgets.
+
+    ``k`` defaults to the automaton's own parameter.  The returned trial's
+    ``violations`` are always the *replay-certified* ones.
+    """
+    if k is None:
+        k = getattr(system.automaton, "k", None)
+        if k is None:
+            raise ConfigurationError(
+                "run_trial needs k (the automaton carries none)"
+            )
+    attempts = 0
+    execution = None
+    for attempt in range(max_retries + 1):
+        attempts = attempt + 1
+        attempt_budget = int(budget * backoff**attempt)
+        faulty = faulty_system(system, plan)
+        execution = run(
+            faulty,
+            plan_scheduler(plan),
+            max_steps=attempt_budget,
+            on_limit="return",
+        )
+        observed = check_safety(execution, k)
+        if observed:
+            certified = _certify(system, plan, execution.schedule, k)
+            if certified:
+                return FaultTrial(
+                    plan=plan,
+                    outcome=VIOLATION,
+                    steps=execution.steps,
+                    attempts=attempts,
+                    violations=certified,
+                    schedule=tuple(execution.schedule),
+                    certified=True,
+                )
+            break  # uncertifiable: engine bug territory; label inconclusive
+        if not execution.hit_step_limit:
+            return FaultTrial(
+                plan=plan, outcome=SAFE, steps=execution.steps,
+                attempts=attempts,
+            )
+    return FaultTrial(
+        plan=plan,
+        outcome=INCONCLUSIVE,
+        steps=execution.steps if execution is not None else 0,
+        attempts=attempts,
+    )
+
+
+def run_campaign(
+    system: System,
+    plans: Sequence[FaultPlan],
+    *,
+    family: str = "custom",
+    k: Optional[int] = None,
+    budget: int = 20_000,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+) -> FaultReport:
+    """Sweep *plans* against *system*, aggregating certified outcomes."""
+    report = FaultReport(family=family)
+    started = time.perf_counter()
+    for plan in plans:
+        trial = run_trial(
+            system, plan, k=k, budget=budget, max_retries=max_retries,
+            backoff=backoff,
+        )
+        report.trials.append(trial)
+        report.retries += trial.attempts - 1
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

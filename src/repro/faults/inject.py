@@ -1,0 +1,58 @@
+"""Build a faulty system and its adversary from a fault plan.
+
+The whole subsystem hinges on one property: ``(system parameters, plan)``
+fully determines a trial.  :func:`faulty_system` rebuilds the system with
+the plan's register faults woven into the layout;
+:func:`plan_scheduler` rebuilds the adversary (crashes and restarts over a
+seeded random base).  Both are pure constructions, so a schedule recorded
+during a trial replays bit-identically through a *fresh* faulty system —
+which is how :mod:`repro.faults.campaign` certifies violations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.faults.layout import FaultyMemoryLayout
+from repro.faults.plans import FaultPlan
+from repro.runtime.system import System
+from repro.sched.base import Scheduler
+from repro.sched.crash import CrashScheduler
+from repro.sched.random_walk import RandomScheduler
+
+
+def faulty_system(system: System, plan: FaultPlan) -> System:
+    """A copy of *system* whose registers misbehave per *plan*.
+
+    The automaton and workloads are shared (both are immutable); only the
+    layout is replaced.  Crash faults live in the scheduler, not here — a
+    crash is a scheduling pattern, not a memory defect.
+    """
+    layout = FaultyMemoryLayout(system.layout, plan.register_faults)
+    if system.workloads is not None:
+        return System(system.automaton, workloads=system.workloads,
+                      layout=layout)
+    return System(system.automaton, layout=layout, n=system.n,
+                  workload_fn=system.workload_fn)
+
+
+def plan_scheduler(plan: FaultPlan) -> Scheduler:
+    """The plan's adversary: crashes/restarts over a seeded random base."""
+    crashes = {}
+    for crash in plan.crashes:
+        if crash.pid in crashes:
+            raise ConfigurationError(
+                f"plan {plan.name!r} crashes pid {crash.pid} twice"
+            )
+        crashes[crash.pid] = crash.at_step
+    restarts = {}
+    for restart in plan.restarts:
+        if restart.pid in restarts:
+            raise ConfigurationError(
+                f"plan {plan.name!r} restarts pid {restart.pid} twice"
+            )
+        restarts[restart.pid] = restart.at_step
+    return CrashScheduler(
+        crashes,
+        base=RandomScheduler(seed=plan.scheduler_seed),
+        restarts=restarts,
+    )

@@ -1,0 +1,181 @@
+"""Fault-aware memory layouts: register faults as pure state transitions.
+
+:class:`FaultyMemoryLayout` wraps a healthy
+:class:`~repro.memory.layout.MemoryLayout` and applies a plan's register
+faults inside :meth:`apply_primitive`, using the fault-aware register
+semantics of :mod:`repro.memory.register`.  The wrapper preserves the two
+properties the whole library leans on:
+
+* **purity** — occurrence-counted faults (the *n*-th write is lost, the
+  register resets before its *n*-th read) need a clock, and that clock
+  lives *inside* the memory state: the faulty layout's
+  :meth:`initial_memory` appends one trailing tuple of per-faulted-register
+  access counters to the healthy bank tuple.  Configurations stay
+  immutable, hashable, and fingerprintable, and replaying a schedule
+  through a freshly built faulty system reproduces a corrupted execution
+  *exactly* — which is how the campaign runner certifies violations;
+* **space accounting** — :meth:`register_count` is inherited unchanged;
+  the fault clock is bookkeeping, not registers the algorithms can use.
+
+Faults target single registers by ``(bank, index)``; a snapshot scan
+observes the faults of every component it covers (a scan counts as one
+read of each faulted component for occurrence counting).  At most one
+fault per register: stacking fault semantics on one cell has no clear
+meaning and is rejected at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro._types import Value
+from repro.errors import ConfigurationError
+from repro.faults.plans import LostWrite, RegisterFault, SpuriousReset, StuckAt
+from repro.memory import register as register_sem
+from repro.memory.layout import (
+    MemoryLayout,
+    MemoryState,
+    _primitive_bank,
+    _replace_bank,
+    _require_kind,
+)
+from repro.memory.ops import Op, ReadOp, ScanOp, UpdateOp, WriteOp
+
+#: A register address inside a memory state: (bank position, index in bank).
+Coord = Tuple[int, int]
+
+
+class FaultyMemoryLayout(MemoryLayout):
+    """A layout that injects a fixed set of register faults.  Pure."""
+
+    def __init__(
+        self, base: MemoryLayout, faults: Sequence[RegisterFault]
+    ) -> None:
+        super().__init__(
+            base.banks,
+            {name: base.binding(name) for name in base.object_names},
+        )
+        self._fault_at: Dict[Coord, RegisterFault] = {}
+        for fault in faults:
+            coord = (self.bank_index(fault.bank), fault.index)
+            if fault.index < 0 or fault.index >= self.banks[coord[0]].size:
+                raise ConfigurationError(
+                    f"fault targets register {fault.bank}[{fault.index}] "
+                    f"outside the bank (size "
+                    f"{self.banks[coord[0]].size})"
+                )
+            if coord in self._fault_at:
+                raise ConfigurationError(
+                    f"two faults target register {fault.bank}[{fault.index}]; "
+                    "at most one fault per register"
+                )
+            self._fault_at[coord] = fault
+        # Occurrence-counted faults get a clock slot; stuck-at is stateless.
+        self._clock_coords: Tuple[Coord, ...] = tuple(
+            sorted(
+                coord
+                for coord, fault in self._fault_at.items()
+                if isinstance(fault, (LostWrite, SpuriousReset))
+            )
+        )
+        self._clock_slot: Dict[Coord, int] = {
+            coord: slot for slot, coord in enumerate(self._clock_coords)
+        }
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def initial_memory(self) -> MemoryState:
+        """Healthy banks plus the trailing fault-clock tuple."""
+        return super().initial_memory() + (
+            (0,) * len(self._clock_coords),
+        )
+
+    def _tick(self, memory: MemoryState, coord: Coord) -> Tuple[MemoryState, int]:
+        """Advance *coord*'s access counter; returns the 1-based occurrence."""
+        clock = memory[-1]
+        slot = self._clock_slot[coord]
+        occurrence = clock[slot] + 1
+        new_clock = clock[:slot] + (occurrence,) + clock[slot + 1 :]
+        return memory[:-1] + (new_clock,), occurrence
+
+    # ------------------------------------------------------------------ #
+    # Faulted operations
+    # ------------------------------------------------------------------ #
+
+    def apply_primitive(
+        self, memory: MemoryState, op: Op
+    ) -> Tuple[MemoryState, Value]:
+        binding = self.binding(op.obj)
+        bank_name = _primitive_bank(binding, op)
+        bank_pos = self.bank_index(bank_name)
+        if isinstance(op, ReadOp):
+            _require_kind(binding, "registers", op)
+            return self._faulty_read(memory, bank_pos, op.index)
+        if isinstance(op, WriteOp):
+            _require_kind(binding, "registers", op)
+            return self._faulty_write(memory, bank_pos, op.index, op.value)
+        if isinstance(op, ScanOp):
+            _require_kind(binding, "snapshot", op)
+            return self._faulty_scan(memory, bank_pos)
+        if isinstance(op, UpdateOp):
+            _require_kind(binding, "snapshot", op)
+            return self._faulty_write(memory, bank_pos, op.component, op.value)
+        return super().apply_primitive(memory, op)
+
+    def _faulty_read(
+        self, memory: MemoryState, bank_pos: int, index: int
+    ) -> Tuple[MemoryState, Value]:
+        bank = memory[bank_pos]
+        fault = self._fault_at.get((bank_pos, index))
+        if isinstance(fault, StuckAt):
+            return memory, register_sem.stuck_read(bank, index, fault.value)
+        if isinstance(fault, SpuriousReset):
+            memory, occurrence = self._tick(memory, (bank_pos, index))
+            if occurrence == fault.occurrence:
+                initial = self.banks[bank_pos].initial
+                new_bank = register_sem.spurious_reset(bank, index, initial)
+                return _replace_bank(memory, bank_pos, new_bank), initial
+            return memory, register_sem.read(memory[bank_pos], index)
+        return memory, register_sem.read(bank, index)
+
+    def _faulty_write(
+        self, memory: MemoryState, bank_pos: int, index: int, value: Value
+    ) -> Tuple[MemoryState, Value]:
+        bank = memory[bank_pos]
+        fault = self._fault_at.get((bank_pos, index))
+        if isinstance(fault, StuckAt):
+            # A stuck register drops every write (the stuck value is what
+            # reads observe; keep the stored cell untouched).
+            return memory, None
+        if isinstance(fault, LostWrite):
+            memory, occurrence = self._tick(memory, (bank_pos, index))
+            if occurrence == fault.occurrence:
+                new_bank = register_sem.lost_write(bank, index, value)
+            else:
+                new_bank = register_sem.write(bank, index, value)
+            return _replace_bank(memory, bank_pos, new_bank), None
+        new_bank = register_sem.write(bank, index, value)
+        return _replace_bank(memory, bank_pos, new_bank), None
+
+    def _faulty_scan(
+        self, memory: MemoryState, bank_pos: int
+    ) -> Tuple[MemoryState, Value]:
+        observed: List[Value] = list(memory[bank_pos])
+        for index in range(len(observed)):
+            fault = self._fault_at.get((bank_pos, index))
+            if fault is None:
+                continue
+            if isinstance(fault, StuckAt):
+                observed[index] = fault.value
+            elif isinstance(fault, SpuriousReset):
+                memory, occurrence = self._tick(memory, (bank_pos, index))
+                if occurrence == fault.occurrence:
+                    initial = self.banks[bank_pos].initial
+                    new_bank = register_sem.spurious_reset(
+                        memory[bank_pos], index, initial
+                    )
+                    memory = _replace_bank(memory, bank_pos, new_bank)
+                observed[index] = memory[bank_pos][index]
+        return memory, tuple(observed)

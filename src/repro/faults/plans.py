@@ -1,0 +1,324 @@
+"""Fault plans: pure, hashable descriptions of injected faults.
+
+A :class:`FaultPlan` is a *value* — frozen dataclasses all the way down —
+describing exactly which faults a trial injects: process crashes (with
+optional crash-recovery restarts) and register faults.  Because plans are
+values, a trial is reproducible from nothing but ``(system parameters,
+plan)``: the campaign runner rebuilds the faulty system from the plan and
+replays recorded schedules through it to certify violations, exactly like
+:mod:`repro.lowerbounds.covering` certifies its constructions.
+
+The paper's fault model (§2) draws a sharp line that the plan vocabulary
+mirrors:
+
+* **process crashes** are *inside* the model — m-obstruction-freedom is a
+  promise about executions with arbitrary crash patterns, so crash-only
+  plans must preserve Validity and k-Agreement (the campaign's positive
+  control);
+* **register faults** are *outside* the model — registers are assumed
+  reliable, and the algorithms provably cannot survive their corruption,
+  so corruption plans are expected to produce certified violations (the
+  negative control).
+
+Plan *families* are seeded generators: the same ``(system, seed, trials)``
+always yields the same tuple of plans, so campaign results are replayable
+end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro._types import Value
+from repro.errors import ConfigurationError
+from repro.memory.layout import PrimitiveBinding
+from repro.runtime.system import System
+
+#: Value injected by corruption families; never a legal input, so deciding
+#: it is a Validity violation by construction.
+CORRUPT_VALUE = "<corrupt>"
+
+#: Identifier carried by corrupt snapshot entries of eponymous algorithms;
+#: no real process ever writes it.
+GHOST_ID = "<ghost>"
+
+
+# --------------------------------------------------------------------- #
+# Fault vocabulary
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ProcessCrash:
+    """Process *pid* takes no step at or after global step *at_step*."""
+
+    pid: int
+    at_step: int
+
+
+@dataclass(frozen=True)
+class ProcessRestart:
+    """A crashed *pid* resumes taking steps at global step *at_step*.
+
+    Crash-recovery in the paper's model: local state and registers both
+    survive, so the process continues exactly where it stopped — including
+    mid-operation, between a collect and its pending write.
+    """
+
+    pid: int
+    at_step: int
+
+
+@dataclass(frozen=True)
+class LostWrite:
+    """The *occurrence*-th write to register (*bank*, *index*) is dropped.
+
+    Occurrences are 1-based and count writes to that register only.  The
+    writer observes a normal completion.
+    """
+
+    bank: str
+    index: int
+    occurrence: int = 1
+
+
+@dataclass(frozen=True)
+class StuckAt:
+    """Register (*bank*, *index*) is stuck at *value* from the start.
+
+    Reads (including through snapshot scans) observe *value*; writes are
+    silently dropped.
+    """
+
+    bank: str
+    index: int
+    value: Value
+
+
+@dataclass(frozen=True)
+class SpuriousReset:
+    """Before its *occurrence*-th read, (*bank*, *index*) reverts to ⊥.
+
+    Occurrences are 1-based and count reads of that register (a snapshot
+    scan counts as one read of each component).  The reverted value is the
+    bank's declared initial value.
+    """
+
+    bank: str
+    index: int
+    occurrence: int = 1
+
+
+RegisterFault = Union[LostWrite, StuckAt, SpuriousReset]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One trial's complete fault description.  Pure, hashable, replayable.
+
+    ``scheduler_seed`` fixes the base interleaving the trial runs under
+    (crashes and restarts are applied on top of it), so the entire trial —
+    including any violation it surfaces — is a deterministic function of
+    the plan.
+    """
+
+    name: str
+    crashes: Tuple[ProcessCrash, ...] = ()
+    restarts: Tuple[ProcessRestart, ...] = ()
+    register_faults: Tuple[RegisterFault, ...] = ()
+    scheduler_seed: int = 1
+
+    @property
+    def crash_only(self) -> bool:
+        """True iff the plan stays inside the paper's fault model."""
+        return not self.register_faults
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and narratives."""
+        parts = []
+        if self.crashes:
+            parts.append(
+                "crash " + ", ".join(
+                    f"p{c.pid}@{c.at_step}" for c in self.crashes
+                )
+            )
+        if self.restarts:
+            parts.append(
+                "restart " + ", ".join(
+                    f"p{r.pid}@{r.at_step}" for r in self.restarts
+                )
+            )
+        for fault in self.register_faults:
+            parts.append(f"{type(fault).__name__}({fault.bank}[{fault.index}])")
+        detail = "; ".join(parts) if parts else "no faults"
+        return f"{self.name}: {detail}"
+
+
+# --------------------------------------------------------------------- #
+# System introspection helpers
+# --------------------------------------------------------------------- #
+
+def primitive_banks(system: System) -> Tuple[Tuple[str, int], ...]:
+    """The (bank name, size) pairs reachable through primitive bindings.
+
+    These are the registers the paper's space bounds count — the ones worth
+    corrupting.  Banks backing implemented objects are included too (they
+    are addressable as register objects under their own names).
+    """
+    return tuple((bank.name, bank.size) for bank in system.layout.banks)
+
+
+def snapshot_bank(system: System) -> Tuple[str, int]:
+    """The bank behind the algorithm's primitive snapshot object ``A``.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the system has no
+    primitive snapshot binding (e.g. implemented substrates).
+    """
+    for name in system.layout.object_names:
+        binding = system.layout.binding(name)
+        if isinstance(binding, PrimitiveBinding) and binding.kind == "snapshot":
+            return binding.bank, system.layout.bank_size(binding.bank)
+    raise ConfigurationError(
+        "system has no primitive snapshot bank to target; corruption "
+        "families currently require the default (primitive) layouts"
+    )
+
+
+def corrupt_entry(system: System) -> Value:
+    """A well-formed but never-proposed snapshot entry for *system*.
+
+    Shaped to parse under the algorithm's decision rule — Figure 3 stores
+    ``(pref, id)`` pairs, Figure 4 ``(pref, id, t, history)`` 4-tuples,
+    Figure 5 ``(pref, t, history)`` triples, and the anonymous one-shot
+    bare values — while carrying :data:`CORRUPT_VALUE`, which no workload
+    proposes, so a decision on it is a Validity violation.
+    """
+    name = system.automaton.name
+    if name.startswith("repeated"):
+        return (CORRUPT_VALUE, GHOST_ID, 1, ())
+    if name.startswith("anonymous-oneshot"):
+        return CORRUPT_VALUE
+    if name.startswith("anonymous"):
+        return (CORRUPT_VALUE, 1, ())
+    return (CORRUPT_VALUE, GHOST_ID)
+
+
+# --------------------------------------------------------------------- #
+# Seeded plan families
+# --------------------------------------------------------------------- #
+
+def crash_plan_family(
+    system: System,
+    *,
+    trials: int,
+    seed: int,
+    max_crashed: Optional[int] = None,
+    crash_window: Tuple[int, int] = (1, 80),
+    restart_probability: float = 0.4,
+) -> Tuple[FaultPlan, ...]:
+    """Seeded crash-only plans: arbitrary crash patterns, some recovering.
+
+    Each plan crashes a random non-empty subset of at most ``max_crashed``
+    processes (default ``n − 1``, so someone always survives to make
+    progress observable) at steps drawn from ``crash_window`` — early
+    enough to land mid-operation — and, with ``restart_probability``,
+    restarts a crashed process later.  These plans stay inside the paper's
+    fault model: every one of them must preserve Validity and k-Agreement.
+    """
+    rng = random.Random(seed)
+    cap = max_crashed if max_crashed is not None else system.n - 1
+    cap = max(1, min(cap, system.n - 1))
+    plans = []
+    for trial in range(trials):
+        count = rng.randint(1, cap)
+        pids = sorted(rng.sample(range(system.n), count))
+        crashes = tuple(
+            ProcessCrash(pid, rng.randint(*crash_window)) for pid in pids
+        )
+        restarts = tuple(
+            ProcessRestart(crash.pid, crash.at_step + rng.randint(5, 60))
+            for crash in crashes
+            if rng.random() < restart_probability
+        )
+        plans.append(
+            FaultPlan(
+                name=f"crash-{seed}-{trial}",
+                crashes=crashes,
+                restarts=restarts,
+                scheduler_seed=rng.randrange(1, 1_000_000),
+            )
+        )
+    return tuple(plans)
+
+
+def corruption_plan_family(
+    system: System,
+    *,
+    trials: int,
+    seed: int,
+    kinds: Sequence[str] = ("stuck-bank", "stuck-at", "lost-write",
+                            "spurious-reset"),
+) -> Tuple[FaultPlan, ...]:
+    """Seeded register-corruption plans against the snapshot bank.
+
+    Cycles through ``kinds``; the ``stuck-bank`` kind (every component of
+    the snapshot bank stuck at one corrupt entry) is the deterministic
+    negative control — the decision rules of Figures 3/4/5 all fire on a
+    scan of at-most-m identical non-⊥ entries, so a decided
+    :data:`CORRUPT_VALUE` is guaranteed, and it is never an input, so the
+    trial certifies a Validity violation.  The single-register kinds probe
+    subtler corruption whose outcome (masked / violation / livelock)
+    depends on the interleaving — exactly what a chaos campaign is for.
+    """
+    rng = random.Random(seed)
+    bank, size = snapshot_bank(system)
+    entry = corrupt_entry(system)
+    plans = []
+    for trial in range(trials):
+        kind = kinds[trial % len(kinds)]
+        if kind == "stuck-bank":
+            faults: Tuple[RegisterFault, ...] = tuple(
+                StuckAt(bank, index, entry) for index in range(size)
+            )
+        elif kind == "stuck-at":
+            faults = (StuckAt(bank, rng.randrange(size), entry),)
+        elif kind == "lost-write":
+            faults = (
+                LostWrite(bank, rng.randrange(size), rng.randint(1, 4)),
+            )
+        elif kind == "spurious-reset":
+            faults = (
+                SpuriousReset(bank, rng.randrange(size), rng.randint(1, 6)),
+            )
+        else:
+            raise ConfigurationError(f"unknown corruption kind {kind!r}")
+        plans.append(
+            FaultPlan(
+                name=f"{kind}-{seed}-{trial}",
+                register_faults=faults,
+                scheduler_seed=rng.randrange(1, 1_000_000),
+            )
+        )
+    return tuple(plans)
+
+
+#: CLI-facing registry of plan families.
+PLAN_FAMILIES = {
+    "crashes": crash_plan_family,
+    "corruption": corruption_plan_family,
+}
+
+
+def build_family(
+    family: str, system: System, *, trials: int, seed: int
+) -> Tuple[FaultPlan, ...]:
+    """Instantiate a named plan family (see :data:`PLAN_FAMILIES`)."""
+    try:
+        generator = PLAN_FAMILIES[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown plan family {family!r}; known: "
+            f"{sorted(PLAN_FAMILIES)}"
+        ) from None
+    return generator(system, trials=trials, seed=seed)

@@ -5,6 +5,17 @@ the two atomic register operations of the paper's model (§2): a read returns
 the current value of one register and a write replaces it.  Both are pure
 functions over tuples so the runtime can keep whole configurations immutable
 and hashable.
+
+The module also provides the *fault-aware* variants of the two operations
+used by the chaos campaigns (:mod:`repro.faults`): a lost write, a read
+against a stuck-at register, and a spurious reset.  The paper's model
+assumes registers are **reliable** — its algorithms tolerate arbitrary
+process crashes but provably cannot tolerate register corruption — so
+these variants exist to *demonstrate* that boundary, never to run under a
+correctness claim.  Each is as pure as its healthy counterpart: which
+occurrence of an access a fault hits is decided by the caller (the fault
+clock lives in the memory state, see :mod:`repro.faults.layout`), keeping
+corrupted executions exactly as replayable as healthy ones.
 """
 
 from __future__ import annotations
@@ -32,6 +43,39 @@ def write(bank: Bank, index: int, value: Value) -> Bank:
     """Return a new bank equal to *bank* with register *index* set to *value*."""
     _check_index(bank, index)
     return bank[:index] + (value,) + bank[index + 1 :]
+
+
+def lost_write(bank: Bank, index: int, value: Value) -> Bank:
+    """A write that the register silently drops (omission fault).
+
+    The writer observes a normal completion; the bank is unchanged.  The
+    *value* and *index* are still validated — a fault injector must not
+    mask genuine protocol bugs such as out-of-range accesses.
+    """
+    _check_index(bank, index)
+    return bank
+
+
+def stuck_read(bank: Bank, index: int, stuck_value: Value) -> Value:
+    """A read against a register stuck at *stuck_value*.
+
+    The stored content is ignored; every read observes the stuck value
+    (writes to a stuck register are dropped by the injector, so the two
+    halves together model a stuck-at register).
+    """
+    _check_index(bank, index)
+    return stuck_value
+
+
+def spurious_reset(bank: Bank, index: int, initial: Value) -> Bank:
+    """Register *index* spontaneously reverts to its initial value.
+
+    Models a transient hardware upset: the register forgets every write it
+    absorbed and reports *initial* (the bank's declared starting value,
+    typically ⊥) until written again.
+    """
+    _check_index(bank, index)
+    return write(bank, index, initial)
 
 
 def _check_index(bank: Bank, index: int) -> None:

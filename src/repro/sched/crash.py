@@ -1,52 +1,97 @@
-"""Crash-failure adversary: processes stop taking steps forever.
+"""Crash-failure adversary: processes stop taking steps — maybe forever.
 
 A crashed process is indistinguishable, to the others, from a very slow one
 — the fundamental fact of asynchrony.  Crashing all but ``m`` processes
 turns any base scheduler into an m-bounded one, so this adversary doubles
-as a failure-injection tool for the progress benchmarks.
+as a failure-injection tool for the progress benchmarks and the fault
+campaigns (:mod:`repro.faults`).
+
+Two failure models are covered:
+
+* **crash-stop** — ``crashes`` alone: a crashed process never steps again;
+* **crash-recovery** — ``restarts`` additionally names the step at which a
+  crashed process resumes.  In the paper's model all state a process needs
+  lives in its local state and the (reliable) registers, both of which
+  survive the crash, so recovery is simply "gets scheduled again": the
+  process continues from the exact point it stopped — including mid-
+  operation, e.g. between a collect and the write it was poised to take.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from repro.errors import ConfigurationError, NotEnabledError
 from repro.sched.base import Scheduler
 from repro.sched.round_robin import RoundRobinScheduler
 
 
 class CrashScheduler(Scheduler):
-    """Wrap *base*, permanently excluding pids once their crash step passes.
+    """Wrap *base*, excluding pids while they are crashed.
 
     ``crashes`` maps pid -> global step index at which the process crashes
-    (it takes no step at or after that index).
+    (it takes no step at or after that index).  ``restarts`` optionally
+    maps pid -> step index at which it recovers; a restart must not precede
+    its crash.  When every live process is done but some crashed process
+    still has a pending restart, the adversary fast-forwards: it schedules
+    the earliest-restarting such process immediately (idling until the
+    nominal restart step would change no one's view, since only steps
+    advance the clock).
     """
 
     def __init__(
-        self, crashes: Mapping[int, int], base: Optional[Scheduler] = None
+        self,
+        crashes: Mapping[int, int],
+        base: Optional[Scheduler] = None,
+        restarts: Optional[Mapping[int, int]] = None,
     ) -> None:
         self.crashes = dict(crashes)
+        self.restarts = dict(restarts or {})
+        for pid, at_step in self.restarts.items():
+            if pid not in self.crashes:
+                raise ConfigurationError(
+                    f"restart for pid {pid} without a matching crash"
+                )
+            if at_step < self.crashes[pid]:
+                raise ConfigurationError(
+                    f"pid {pid} restarts at step {at_step}, before its "
+                    f"crash at step {self.crashes[pid]}"
+                )
         self._base = base if base is not None else RoundRobinScheduler()
+
+    def _is_alive(self, pid: int, step_index: int) -> bool:
+        if pid not in self.crashes or step_index < self.crashes[pid]:
+            return True
+        return pid in self.restarts and step_index >= self.restarts[pid]
 
     def _alive(self, enabled, step_index):
         return tuple(
-            pid
-            for pid in enabled
-            if pid not in self.crashes or step_index < self.crashes[pid]
+            pid for pid in enabled if self._is_alive(pid, step_index)
         )
 
     def choose(self, config, system, enabled, step_index):
         alive = self._alive(enabled, step_index)
         if not alive:
-            return None
-        # Re-ask the base scheduler until it proposes a live process; a base
-        # scheduler that insists on a crashed pid forever ends the run.
-        for _ in range(len(enabled) + 1):
-            pid = self._base.choose(config, system, alive, step_index)
-            if pid is None:
+            # Fast-forward to the earliest pending restart, if any.
+            pending = [
+                pid
+                for pid in enabled
+                if pid in self.restarts and step_index < self.restarts[pid]
+            ]
+            if not pending:
                 return None
-            if pid in alive:
-                return pid
-        return None
+            return min(pending, key=lambda pid: (self.restarts[pid], pid))
+        # The base scheduler only ever sees live processes, so re-asking it
+        # on a bad answer could never help (a deterministic base would just
+        # repeat itself); a pid outside the offered set is a broken base
+        # scheduler and fails loudly instead.
+        pid = self._base.choose(config, system, alive, step_index)
+        if pid is not None and pid not in alive:
+            raise NotEnabledError(
+                f"base scheduler chose pid {pid} outside the offered "
+                f"live set {alive}"
+            )
+        return pid
 
     def reset(self) -> None:
         self._base.reset()

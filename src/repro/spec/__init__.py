@@ -1,5 +1,13 @@
 """Property checkers: the paper's correctness conditions, made executable."""
 
+from repro.spec.progress import (
+    ProgressFailure,
+    ProgressReport,
+    check_bounded_progress,
+    check_crash_progress,
+    crash_progress_matrix,
+    progress_matrix,
+)
 from repro.spec.properties import (
     Violation,
     assert_execution_safe,
@@ -12,13 +20,19 @@ from repro.spec.properties import (
 from repro.spec.stats import ExecutionStats, execution_stats, registers_written
 
 __all__ = [
+    "ProgressFailure",
+    "ProgressReport",
     "Violation",
     "assert_execution_safe",
+    "check_bounded_progress",
+    "check_crash_progress",
     "check_k_agreement",
     "check_safety",
     "check_validity",
+    "crash_progress_matrix",
     "instance_inputs",
     "instance_outputs",
+    "progress_matrix",
     "ExecutionStats",
     "execution_stats",
     "registers_written",

@@ -22,14 +22,16 @@ livelocked preference cycle.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import StepLimitExceeded
 from repro.runtime.runner import Execution, run
 from repro.runtime.system import System
 from repro.sched.base import Scheduler
 from repro.sched.bounded import EventuallyBoundedScheduler
+from repro.sched.crash import CrashScheduler
 from repro.sched.random_walk import RandomScheduler
 
 
@@ -144,6 +146,91 @@ def progress_matrix(
                     ProgressFailure(
                         survivors=tuple(survivors),
                         prelude_steps=prelude_steps,
+                        seed=seed,
+                        schedule=(),
+                        detail=str(exc),
+                    )
+                )
+    return report
+
+
+def check_crash_progress(
+    system: System,
+    crashes: Dict[int, int],
+    *,
+    base: Optional[Scheduler] = None,
+    budget: int = 50_000,
+) -> Execution:
+    """Run a crash-then-m-bounded adversary; survivors must finish.
+
+    The sharper rendition of the same guarantee
+    :func:`check_bounded_progress` checks: instead of the other processes
+    merely *pausing* after a prelude, they **crash mid-run** at the steps
+    given by ``crashes`` — possibly between a collect and its pending
+    write, leaving half-finished operations visible in shared memory
+    forever.  m-obstruction-freedom draws no distinction between the two
+    (a crash is just an adversary that never schedules the process again),
+    so every non-crashed process must still complete its workload within
+    ``budget`` steps; a stall raises
+    :class:`~repro.errors.StepLimitExceeded`.
+    """
+    scheduler = CrashScheduler(crashes, base=base)
+    execution = run(system, scheduler, max_steps=budget)
+    survivors = tuple(pid for pid in range(system.n) if pid not in crashes)
+    if not system.decided_all(execution.config, survivors):
+        raise StepLimitExceeded(
+            f"survivors {survivors} did not complete after crashes "
+            f"{dict(sorted(crashes.items()))} ({execution.steps} steps taken)"
+        )
+    return execution
+
+
+def crash_progress_matrix(
+    system_factory,
+    *,
+    n: int,
+    m: int,
+    seeds: Sequence[int] = (1, 2, 3),
+    crash_window: Tuple[int, int] = (10, 60),
+    budget: int = 50_000,
+) -> ProgressReport:
+    """Sweep survivor sets of size ≤ m, crashing everyone else mid-run.
+
+    The survivor-set family mirrors :func:`progress_matrix` (all
+    singletons plus all sets of size exactly ``m``); for each set, the
+    ``n − |survivors|`` other processes crash at seeded steps drawn from
+    ``crash_window`` — early enough to land mid-operation — under a
+    seeded-random base interleaving.  Failures carry the crash pattern in
+    their detail; the run is reproducible from ``(factory, seed)``.
+    """
+    singletons = [(pid,) for pid in range(n)]
+    full = [tuple(c) for c in itertools.combinations(range(n), m)]
+    survivor_sets = list(dict.fromkeys(singletons + full))
+    report = ProgressReport()
+    for survivors in survivor_sets:
+        crashed = [pid for pid in range(n) if pid not in survivors]
+        for seed in seeds:
+            report.attempted += 1
+            rng = random.Random(f"{seed}:{survivors}")
+            crashes = {
+                pid: rng.randint(*crash_window) for pid in crashed
+            }
+            system = system_factory()
+            try:
+                execution = check_crash_progress(
+                    system,
+                    crashes,
+                    base=RandomScheduler(seed=seed),
+                    budget=budget,
+                )
+                report.max_steps_observed = max(
+                    report.max_steps_observed, execution.steps
+                )
+            except StepLimitExceeded as exc:
+                report.failures.append(
+                    ProgressFailure(
+                        survivors=tuple(survivors),
+                        prelude_steps=0,
                         seed=seed,
                         schedule=(),
                         detail=str(exc),

@@ -5,6 +5,12 @@ crossed with seeded hostile preludes, must finish its workload within a
 budget — and, as the *negative* control, survivor sets of size m+1 must be
 able to stall the 1-obstruction-free baseline (the guarantee genuinely
 stops at m).
+
+The crash matrix sharpens the same sweep: instead of pausing after a
+prelude, the non-survivors *crash mid-run* (up to n − m of them, possibly
+between a collect and its pending write), and the ≤ m survivors must
+still decide within budget — m-obstruction-freedom draws no distinction
+between a paused process and a crashed one.
 """
 
 import pytest
@@ -17,7 +23,7 @@ from repro import (
 )
 from repro.agreement.anonymous import AnonymousOneShotSetAgreement
 from repro.bench.workloads import distinct_inputs
-from repro.spec.progress import progress_matrix
+from repro.spec.progress import crash_progress_matrix, progress_matrix
 
 POINTS = [(4, 1, 2), (4, 2, 2), (5, 2, 3)]
 
@@ -60,6 +66,54 @@ def test_anonymous_oneshot_progress(n, m, k):
         n=n, m=m, seeds=(1, 2), prelude_steps=60, budget=60_000,
     )
     assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_oneshot_crash_progress(n, m, k):
+    report = crash_progress_matrix(
+        lambda: System(OneShotSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n)),
+        n=n, m=m, seeds=(1, 2), budget=60_000,
+    )
+    assert report.ok, report.summary() + "".join(
+        f"\n  {f}" for f in report.failures
+    )
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_repeated_crash_progress(n, m, k):
+    report = crash_progress_matrix(
+        lambda: System(RepeatedSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n, instances=2)),
+        n=n, m=m, seeds=(1, 2), budget=80_000,
+    )
+    assert report.ok, report.summary() + "".join(
+        f"\n  {f}" for f in report.failures
+    )
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_anonymous_repeated_crash_progress(n, m, k):
+    report = crash_progress_matrix(
+        lambda: System(AnonymousRepeatedSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n, instances=2)),
+        n=n, m=m, seeds=(1, 2), budget=80_000,
+    )
+    assert report.ok, report.summary() + "".join(
+        f"\n  {f}" for f in report.failures
+    )
+
+
+@pytest.mark.parametrize("n,m,k", POINTS)
+def test_anonymous_oneshot_crash_progress(n, m, k):
+    report = crash_progress_matrix(
+        lambda: System(AnonymousOneShotSetAgreement(n=n, m=m, k=k),
+                       workloads=distinct_inputs(n)),
+        n=n, m=m, seeds=(1, 2), budget=60_000,
+    )
+    assert report.ok, report.summary() + "".join(
+        f"\n  {f}" for f in report.failures
+    )
 
 
 def test_guarantee_stops_at_m():

@@ -87,6 +87,67 @@ class TestExplore:
         assert "witness schedule" in out
 
 
+class TestFaults:
+    def test_crash_family_exits_zero_all_safe(self, capsys):
+        code = main(["faults", "--protocol", "oneshot", "--n", "4",
+                     "--m", "2", "--k", "2", "--plan-family", "crashes",
+                     "--trials", "5", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 certified violations" in out
+        assert "POSITIVE CONTROL FAILED" not in out
+
+    def test_corruption_family_exits_one_with_certified_witness(self, capsys):
+        code = main(["faults", "--protocol", "oneshot", "--n", "4",
+                     "--m", "2", "--k", "2", "--plan-family", "corruption",
+                     "--trials", "4", "--seed", "3", "--budget", "4000",
+                     "--retry-budget", "1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "certified:" in out
+        assert "Validity" in out or "k-Agreement" in out
+
+    def test_same_seed_same_report(self, capsys):
+        argv = ["faults", "--protocol", "anonymous-oneshot", "--n", "3",
+                "--m", "1", "--k", "1", "--plan-family", "corruption",
+                "--trials", "4", "--seed", "8", "--retry-budget", "1"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        # Strip the wall-clock from the summary line before comparing.
+        strip = lambda s: [l.split(" retries")[0] for l in s.splitlines()]
+        assert strip(first) == strip(second)
+
+
+class TestExitCodeDiscipline:
+    def test_repro_errors_exit_two_on_stderr(self, capsys):
+        # n=0 is a ConfigurationError raised from protocol construction:
+        # the dispatch wrapper must turn it into exit 2 on stderr for any
+        # command, not just explore.
+        code = main(["run", "--protocol", "oneshot", "--n", "0"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+
+    def test_faults_config_error_exits_two(self, capsys):
+        code = main(["faults", "--protocol", "oneshot", "--n", "0",
+                     "--plan-family", "crashes"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro import cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli.COMMANDS, "bounds", interrupted)
+        code = main(["bounds"])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
 class TestCovering:
     def test_default_registers_produce_violation(self, capsys):
         code = main(["covering", "--n", "3", "--m", "1", "--k", "1"])

@@ -1,0 +1,231 @@
+"""Unit tests for the fault-injection vocabulary and faulty layouts."""
+
+import pytest
+
+from repro import OneShotSetAgreement, RepeatedSetAgreement, System, replay, run
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.bench.workloads import distinct_inputs
+from repro.errors import ConfigurationError, MemoryError_
+from repro.faults import (
+    CORRUPT_VALUE,
+    FaultPlan,
+    FaultyMemoryLayout,
+    LostWrite,
+    ProcessCrash,
+    ProcessRestart,
+    SpuriousReset,
+    StuckAt,
+    build_family,
+    corruption_plan_family,
+    crash_plan_family,
+    faulty_system,
+    plan_scheduler,
+)
+from repro.faults.plans import corrupt_entry, snapshot_bank
+from repro.memory import register
+from repro.sched import RoundRobinScheduler
+
+
+def oneshot_system(n=3, m=1, k=1):
+    return System(
+        OneShotSetAgreement(n=n, m=m, k=k), workloads=distinct_inputs(n)
+    )
+
+
+class TestRegisterFaultSemantics:
+    def test_lost_write_leaves_bank_unchanged(self):
+        bank = ("a", "b", "c")
+        assert register.lost_write(bank, 1, "X") == bank
+
+    def test_lost_write_still_validates_index(self):
+        with pytest.raises(MemoryError_):
+            register.lost_write(("a",), 3, "X")
+
+    def test_stuck_read_ignores_stored_value(self):
+        assert register.stuck_read(("a", "b"), 0, "stuck") == "stuck"
+
+    def test_stuck_read_still_validates_index(self):
+        with pytest.raises(MemoryError_):
+            register.stuck_read(("a",), -1, "stuck")
+
+    def test_spurious_reset_reverts_to_initial(self):
+        assert register.spurious_reset(("a", "b"), 1, None) == ("a", None)
+
+
+class TestFaultPlans:
+    def test_plans_are_hashable_values(self):
+        plan = FaultPlan(
+            name="p",
+            crashes=(ProcessCrash(0, 3),),
+            restarts=(ProcessRestart(0, 9),),
+            register_faults=(StuckAt("A__bank", 0, "x"),),
+        )
+        assert plan == FaultPlan(
+            name="p",
+            crashes=(ProcessCrash(0, 3),),
+            restarts=(ProcessRestart(0, 9),),
+            register_faults=(StuckAt("A__bank", 0, "x"),),
+        )
+        assert hash(plan) is not None
+        assert not plan.crash_only
+        assert FaultPlan(name="q", crashes=(ProcessCrash(1, 2),)).crash_only
+
+    def test_families_are_seed_deterministic(self):
+        system = oneshot_system()
+        assert crash_plan_family(system, trials=5, seed=11) == \
+            crash_plan_family(system, trials=5, seed=11)
+        assert corruption_plan_family(system, trials=5, seed=11) == \
+            corruption_plan_family(system, trials=5, seed=11)
+        assert crash_plan_family(system, trials=5, seed=11) != \
+            crash_plan_family(system, trials=5, seed=12)
+
+    def test_crash_family_always_leaves_a_survivor(self):
+        system = oneshot_system(n=4)
+        for plan in crash_plan_family(system, trials=30, seed=5):
+            assert len(plan.crashes) <= system.n - 1
+            assert plan.crash_only
+
+    def test_corruption_family_targets_the_snapshot_bank(self):
+        system = oneshot_system()
+        bank, size = snapshot_bank(system)
+        for plan in corruption_plan_family(system, trials=8, seed=5):
+            assert plan.register_faults
+            for fault in plan.register_faults:
+                assert fault.bank == bank
+                assert 0 <= fault.index < size
+
+    def test_build_family_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_family("meteor-strike", oneshot_system(), trials=1, seed=1)
+
+    def test_corrupt_entry_matches_protocol_shape(self):
+        oneshot = corrupt_entry(oneshot_system())
+        assert oneshot[0] == CORRUPT_VALUE and len(oneshot) == 2
+        repeated = corrupt_entry(
+            System(RepeatedSetAgreement(n=3, m=1, k=1),
+                   workloads=distinct_inputs(3, instances=2))
+        )
+        assert repeated[0] == CORRUPT_VALUE and len(repeated) == 4
+        anon = corrupt_entry(
+            System(AnonymousOneShotSetAgreement(n=3, m=1, k=1),
+                   workloads=distinct_inputs(3))
+        )
+        assert anon == CORRUPT_VALUE
+
+
+class TestFaultyMemoryLayout:
+    def test_register_count_unchanged(self):
+        system = oneshot_system()
+        faulty = FaultyMemoryLayout(
+            system.layout, (StuckAt("A__bank", 0, "x"),)
+        )
+        assert faulty.register_count() == system.layout.register_count()
+
+    def test_out_of_range_fault_rejected(self):
+        system = oneshot_system()
+        with pytest.raises(ConfigurationError):
+            FaultyMemoryLayout(system.layout, (StuckAt("A__bank", 99, "x"),))
+
+    def test_two_faults_on_one_register_rejected(self):
+        system = oneshot_system()
+        with pytest.raises(ConfigurationError):
+            FaultyMemoryLayout(
+                system.layout,
+                (StuckAt("A__bank", 0, "x"), LostWrite("A__bank", 0)),
+            )
+
+    def test_stuck_at_bank_is_observed_by_scans(self):
+        system = oneshot_system()
+        entry = corrupt_entry(system)
+        bank, size = snapshot_bank(system)
+        plan = FaultPlan(
+            name="stuck",
+            register_faults=tuple(
+                StuckAt(bank, i, entry) for i in range(size)
+            ),
+        )
+        faulty = faulty_system(system, plan)
+        execution = run(faulty, RoundRobinScheduler(), max_steps=200,
+                        on_limit="return")
+        # Every process decides the corrupt value: the stuck bank is all any
+        # scan can observe.
+        outputs = {out for proc in execution.config.procs
+                   for out in proc.outputs}
+        assert outputs == {CORRUPT_VALUE}
+
+    def test_occurrence_clock_keeps_executions_replayable(self):
+        system = oneshot_system()
+        bank, _ = snapshot_bank(system)
+        plan = FaultPlan(
+            name="reset",
+            register_faults=(SpuriousReset(bank, 0, occurrence=2),
+                             LostWrite(bank, 1, occurrence=1)),
+        )
+        first = run(faulty_system(system, plan), RoundRobinScheduler(),
+                    max_steps=5_000, on_limit="return")
+        second = replay(faulty_system(system, plan), first.schedule)
+        assert second.config == first.config
+        assert second.events == first.events
+
+    def test_configurations_stay_hashable(self):
+        system = oneshot_system()
+        bank, _ = snapshot_bank(system)
+        plan = FaultPlan(
+            name="lost", register_faults=(LostWrite(bank, 0),)
+        )
+        faulty = faulty_system(system, plan)
+        config = faulty.initial_configuration()
+        seen = {config}
+        for _ in range(20):
+            if 0 not in faulty.enabled_pids(config):
+                break
+            config = faulty.step(config, 0).config
+            seen.add(config)
+        assert len(seen) > 1
+
+    def test_lost_write_drops_exactly_the_named_occurrence(self):
+        # Drive one process; its first update to component 0 must vanish,
+        # later ones must land.
+        system = oneshot_system()
+        bank, _ = snapshot_bank(system)
+        plan = FaultPlan(name="lost", register_faults=(LostWrite(bank, 0),))
+        faulty = faulty_system(system, plan)
+        layout = faulty.layout
+        pos = layout.bank_index(bank)
+        config = faulty.initial_configuration()
+        wrote_then_lost = False
+        for _ in range(50):
+            before = config.memory[pos][0]
+            config = faulty.step(config, 0).config
+            after = config.memory[pos][0]
+            if before is after and config.memory[-1][0] >= 1:
+                wrote_then_lost = True
+            if after != before:
+                break  # a later write landed
+        assert wrote_then_lost
+
+
+class TestInjection:
+    def test_faulty_system_shares_automaton_and_workloads(self):
+        system = oneshot_system()
+        plan = FaultPlan(name="none")
+        faulty = faulty_system(system, plan)
+        assert faulty.automaton is system.automaton
+        assert faulty.workloads == system.workloads
+
+    def test_duplicate_crash_pid_rejected(self):
+        plan = FaultPlan(
+            name="dup", crashes=(ProcessCrash(0, 1), ProcessCrash(0, 2))
+        )
+        with pytest.raises(ConfigurationError):
+            plan_scheduler(plan)
+
+    def test_plan_scheduler_honors_crashes(self):
+        system = oneshot_system()
+        plan = FaultPlan(name="c", crashes=(ProcessCrash(0, 2),),
+                         scheduler_seed=7)
+        execution = run(system, plan_scheduler(plan), max_steps=5_000,
+                        on_limit="return")
+        for index, pid in enumerate(execution.schedule):
+            if pid == 0:
+                assert index < 2

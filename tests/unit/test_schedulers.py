@@ -140,6 +140,58 @@ class TestCrash:
         execution = run(system, CrashScheduler(crashes={0: 0, 1: 0}))
         assert execution.steps == 0
 
+    def test_rogue_base_scheduler_fails_loudly(self):
+        """Regression: a base returning a pid outside the offered live set
+        used to be silently re-asked in a loop that could never terminate
+        for a deterministic base; it must raise instead."""
+        from repro.errors import NotEnabledError
+
+        class RogueScheduler:
+            def choose(self, config, system, enabled, step_index):
+                return 0  # pid 0 is crashed below, so never offered
+
+            def reset(self):
+                pass
+
+        system = trivial_system(n=2, per_proc=2)
+        scheduler = CrashScheduler(crashes={0: 0}, base=RogueScheduler())
+        with pytest.raises(NotEnabledError):
+            run(system, scheduler)
+
+    def test_restart_resumes_crashed_process(self):
+        system = trivial_system(n=2, per_proc=3)
+        execution = run(
+            system, CrashScheduler(crashes={0: 2}, restarts={0: 6})
+        )
+        steps_of_0 = [i for i, pid in enumerate(execution.schedule)
+                      if pid == 0]
+        assert all(i < 2 or i >= 6 for i in steps_of_0)
+        assert any(i >= 6 for i in steps_of_0)  # it did come back
+        assert execution.config.procs[0].outputs  # and finished its workload
+
+    def test_restart_fast_forwards_when_everyone_else_is_done(self):
+        # Crash pid 0 immediately and restart it far beyond the number of
+        # steps pid 1 needs: the run must not end at pid 1's quiescence but
+        # fast-forward to pid 0's restart and let it finish.
+        system = trivial_system(n=2, per_proc=2)
+        execution = run(
+            system, CrashScheduler(crashes={0: 0}, restarts={0: 10_000})
+        )
+        assert execution.config.procs[0].outputs
+        assert execution.config.procs[1].outputs
+
+    def test_restart_before_crash_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CrashScheduler(crashes={0: 10}, restarts={0: 5})
+
+    def test_restart_without_crash_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CrashScheduler(crashes={0: 10}, restarts={1: 20})
+
 
 class TestWriterPriority:
     def test_prefers_writers(self):
