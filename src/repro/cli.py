@@ -20,15 +20,21 @@ uniform across commands (enforced by one dispatch wrapper): **0** — the
 command ran and the checked claim held; **1** — a genuine, certified
 refutation (violation witness, failed construction) — never an error;
 **2** — configuration or engine error (bad arguments, a crashed worker,
-any :class:`~repro.errors.ReproError`), reported on stderr; **130** —
-interrupted by Ctrl-C, with worker pools torn down, never hung.
+any :class:`~repro.errors.ReproError`), reported on stderr; **3** — the
+run hit a watchdog limit (``--deadline``, ``--max-rss``), checkpointed,
+and exited incomplete (rerun with ``--resume`` to continue); **130** —
+interrupted by Ctrl-C, with worker pools torn down, never hung; **143**
+— stopped by SIGTERM, checkpointing first when a journaled run was in
+flight (the dispatcher installs the graceful handler from
+:mod:`repro.durable.watchdog` for every command).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import (
     AnonymousRepeatedSetAgreement,
@@ -127,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
     explorer.add_argument("--max-retries", type=int, default=2,
                           help="pool rebuilds to attempt before degrading "
                                "to serial in-process expansion")
+    explorer.add_argument("--checkpoint-every", type=int, default=64,
+                          metavar="BATCHES",
+                          help="with --resume, compact the durable run "
+                               "journal into a sealed checkpoint every "
+                               "this many merged batches")
+    _add_watchdog_flags(explorer)
 
     faults = sub.add_parser(
         "faults", help="seeded chaos campaign with replay-certified verdicts"
@@ -152,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="extra attempts (with exponentially doubled "
                              "step budgets) before a trial is declared "
                              "inconclusive")
+    faults.add_argument("--resume", action="store_true",
+                        help="persist/resume campaign progress (a durable "
+                             "per-trial journal) under the cache directory "
+                             "instead of restarting")
+    faults.add_argument("--cache-dir", default=".repro-cache",
+                        help="cache directory used by --resume")
+    faults.add_argument("--checkpoint-every", type=int, default=8,
+                        metavar="TRIALS",
+                        help="with --resume, compact the durable run "
+                             "journal into a sealed checkpoint every "
+                             "this many completed trials")
+    _add_watchdog_flags(faults)
 
     covering = sub.add_parser(
         "covering", help="Theorem 2 construction vs under-provisioned Fig. 4"
@@ -182,6 +206,35 @@ def _add_nmk(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=4)
     parser.add_argument("--m", type=int, default=1)
     parser.add_argument("--k", type=int, default=1)
+
+
+def _add_watchdog_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the run; on expiry it "
+                             "checkpoints (with --resume) and exits 3 — "
+                             "rerun with --resume to continue")
+    parser.add_argument("--max-rss", type=float, default=None, metavar="MB",
+                        help="resident-set ceiling in MiB; on reaching it "
+                             "the run checkpoints (with --resume) and "
+                             "exits 3")
+
+
+def _build_watchdog(args) -> Tuple[Optional[object], Optional[str]]:
+    """The command's watchdog (or ``None``), plus a usage error if any."""
+    if args.deadline is not None and args.deadline <= 0:
+        return None, f"--deadline must be positive, got {args.deadline}"
+    if args.max_rss is not None and args.max_rss <= 0:
+        return None, f"--max-rss must be positive, got {args.max_rss}"
+    if args.checkpoint_every < 1:
+        return None, (
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    if args.deadline is None and args.max_rss is None:
+        return None, None
+    from repro.durable.watchdog import Watchdog
+
+    return Watchdog(deadline=args.deadline, max_rss_mb=args.max_rss), None
 
 
 def cmd_bounds(args) -> int:
@@ -249,7 +302,10 @@ def cmd_explore(args) -> int:
     Exit codes: 0 — explored without violations; 1 — a violation was found
     (witness schedule printed); 2 — invalid arguments, or an exploration
     worker failed (the structured failure is printed and the pool is torn
-    down, never hung).  Exit 1 always means a refutation, never an error.
+    down, never hung); 3 — a watchdog (--deadline / --max-rss) fired and
+    the run checkpointed incomplete; 143 — SIGTERM arrived and the run
+    checkpointed before exiting.  Exit 1 always means a refutation, never
+    an error.
     """
     from repro.errors import ExplorationEngineError
 
@@ -260,6 +316,10 @@ def cmd_explore(args) -> int:
     if args.cluster_inputs is not None and args.cluster_inputs < 1:
         print(f"error: --cluster-inputs must be >= 1, got "
               f"{args.cluster_inputs}", file=sys.stderr)
+        return 2
+    watchdog, usage_error = _build_watchdog(args)
+    if usage_error is not None:
+        print(f"error: {usage_error}", file=sys.stderr)
         return 2
     protocol_cls = PROTOCOLS[args.protocol]
     kwargs = dict(n=args.n, m=args.m, k=args.k)
@@ -284,11 +344,16 @@ def cmd_explore(args) -> int:
             cache_dir=args.cache_dir if args.resume else None,
             batch_timeout=args.batch_timeout,
             max_retries=args.max_retries,
+            journal_dir=args.cache_dir if args.resume else None,
+            checkpoint_every=args.checkpoint_every,
+            watchdog=watchdog,
         )
     except ExplorationEngineError as exc:
         print(f"ENGINE FAILURE: {exc}")
         print(exc.failure.traceback, end="")
         return 2
+    if result.recovery is not None:
+        print(result.recovery.describe())
     print(result.summary())
     if args.canonicalize:
         print(f"  distinct states visited: {result.configs_discovered} "
@@ -297,7 +362,13 @@ def cmd_explore(args) -> int:
         print(f"  witness schedule ({len(violation.schedule)} steps): "
               f"{list(violation.schedule)}")
         print(f"  {violation.detail}")
-    return 1 if result.safety_violations else 0
+    if result.safety_violations:
+        return 1
+    if result.interrupted == "sigterm":
+        return 143
+    if result.interrupted is not None:
+        return 3
+    return 0
 
 
 def cmd_faults(args) -> int:
@@ -307,10 +378,17 @@ def cmd_faults(args) -> int:
     inconclusive, which is a budget statement, not a verdict); 1 — at least
     one replay-certified violation (expected for ``--plan-family
     corruption``, a refutation of the fault model's boundary for
-    ``crashes``); 2 — configuration or engine error.
+    ``crashes``); 2 — configuration or engine error; 3 — a watchdog
+    (--deadline / --max-rss) fired and the campaign checkpointed
+    incomplete; 143 — SIGTERM arrived and the campaign checkpointed
+    before exiting.
     """
     from repro.faults import build_family, run_campaign
 
+    watchdog, usage_error = _build_watchdog(args)
+    if usage_error is not None:
+        print(f"error: {usage_error}", file=sys.stderr)
+        return 2
     protocol_cls = PROTOCOLS[args.protocol]
     protocol = protocol_cls(n=args.n, m=args.m, k=args.k)
     system = System(
@@ -323,14 +401,28 @@ def cmd_faults(args) -> int:
     report = run_campaign(
         system, plans, family=args.plan_family, k=args.k,
         budget=args.budget, max_retries=args.retry_budget,
+        journal_dir=args.cache_dir if args.resume else None,
+        checkpoint_every=args.checkpoint_every,
+        watchdog=watchdog,
     )
     print(f"protocol: {protocol.describe()}")
+    if report.recovery is not None:
+        print(report.recovery.describe())
     for trial in report.trials:
         print(f"  {trial.describe()}")
     print(report.summary())
+    if report.interrupted is not None:
+        print(f"campaign checkpointed on {report.interrupted}; rerun with "
+              "--resume to continue")
     if args.plan_family == "crashes" and not report.crash_safety_holds():
         print("POSITIVE CONTROL FAILED: a crash-only plan violated safety")
-    return 1 if report.certified_violations else 0
+    if report.certified_violations:
+        return 1
+    if report.interrupted == "sigterm":
+        return 143
+    if report.interrupted is not None:
+        return 3
+    return 0
 
 
 def cmd_covering(args) -> int:
@@ -422,17 +514,37 @@ def _dispatch(handler, args) -> int:
     first to print richer context), and ``KeyboardInterrupt`` exits 130 —
     after running ``finally`` blocks, which is what tears worker pools
     down instead of leaving them hung.
+
+    SIGTERM is handled symmetrically with Ctrl-C: the dispatcher installs
+    the graceful handler from :mod:`repro.durable.watchdog` for the span
+    of the command (and restores the previous disposition afterwards, so
+    embedding the CLI does not hijack the host's signals).  A journaled
+    run absorbs the signal as a checkpoint request and returns normally
+    (its handler maps that to 143); a command with nothing to checkpoint
+    unwinds via :class:`~repro.durable.watchdog.Terminated` — through
+    every ``finally`` block, so pools still die — and exits 143 here.
     """
+    from repro.durable.watchdog import Terminated, install_sigterm_handler
     from repro.errors import ReproError
 
+    try:
+        previous = install_sigterm_handler()
+    except ValueError:  # not the main thread: leave signal handling alone
+        previous = None
     try:
         return handler(args)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except Terminated:
+        print("terminated", file=sys.stderr)
+        return 143
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

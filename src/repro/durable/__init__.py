@@ -1,0 +1,61 @@
+"""Crash-safe run durability: journal, checkpoints, watchdogs, recovery.
+
+The repository's verification workloads — exhaustive explorations, fault
+campaigns — are long, deterministic, and restartable, which makes
+preemption tolerance cheap: persist progress at unit boundaries and a
+resumed run is *provably* (bit-identically) the run that was interrupted.
+This package is that persistence layer:
+
+* :mod:`repro.durable.journal` — the append-only, length-prefixed,
+  blake2b-checksummed record log (:class:`~repro.durable.journal.Journal`)
+  and the checkpoint-compacted per-run composition
+  (:class:`~repro.durable.journal.RunJournal`);
+* :mod:`repro.durable.checkpoint` — sealed (digest-framed), fsync'd,
+  atomically replaced blobs — the write discipline that survives power
+  loss, not just process death;
+* :mod:`repro.durable.watchdog` — wall-clock deadlines, RSS ceilings and
+  SIGTERM routing that turn impending preemption into checkpoint-then-
+  clean-exit (CLI exit code 3, or 143 for SIGTERM);
+* :mod:`repro.durable.recovery` — the salvage accounting
+  (:class:`~repro.durable.recovery.RecoveryReport`) and the quarantine
+  protocol (unreadable files are moved under ``quarantine/``, never
+  deleted, never re-hit).
+
+Consumers: the exploration coordinator (``explore/frontier.py``,
+``journal_dir=…``), the campaign runner (``faults/campaign.py``), and the
+exploration cache's hardened load/save path (``explore/cache.py``).
+"""
+
+from repro.durable.checkpoint import (
+    CheckpointStore,
+    read_sealed,
+    seal,
+    unseal,
+    write_sealed,
+)
+from repro.durable.journal import Journal, JournalScan, RunJournal, scan_journal
+from repro.durable.recovery import RecoveryReport, quarantine_file
+from repro.durable.watchdog import (
+    Terminated,
+    Watchdog,
+    current_rss_mb,
+    install_sigterm_handler,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "Journal",
+    "JournalScan",
+    "RecoveryReport",
+    "RunJournal",
+    "Terminated",
+    "Watchdog",
+    "current_rss_mb",
+    "install_sigterm_handler",
+    "quarantine_file",
+    "read_sealed",
+    "scan_journal",
+    "seal",
+    "unseal",
+    "write_sealed",
+]

@@ -12,28 +12,37 @@ reduction, and whether canonicalization was in effect.  The exploration
 with a larger budget picks up the saved frontier and keeps going, which is
 the whole point of ``--resume``.
 
-Entries are written atomically (temp file + ``os.replace``) and any
-unreadable or version-skewed entry is treated as a miss — the cache can
-only ever save work, never change a verdict, because resumed state is the
-exact coordinator state the interrupted run would have carried forward.
+Entries are written with the full durability protocol of
+:mod:`repro.durable.checkpoint` — digest-sealed, fsync'd temp file,
+atomic ``os.replace``, directory fsync — so a saved entry survives power
+loss, not merely process death, and a flipped bit on disk reads as a
+verifiable miss rather than plausible garbage.  Any unreadable or
+version-skewed entry is *quarantined* (moved under
+``<cache-dir>/quarantine/``, surfaced as a one-line warning) instead of
+being silently re-hit every run.  The cache can only ever save work,
+never change a verdict, because resumed state is the exact coordinator
+state the interrupted run would have carried forward.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
-import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.durable.checkpoint import read_sealed, write_sealed
+from repro.durable.recovery import QUARANTINE_DIR, quarantine_file
 from repro.memory.layout import ImplementedBinding, MemoryLayout, PrimitiveBinding
 from repro.runtime.system import Configuration, System, stable_fingerprint
 
 #: Bumped whenever the pickled entry layout changes; skew reads as a miss.
-# v2: ExplorationResult grew worker_retries/degraded (self-healing history);
-# entries pickled under v1 would deserialize without the new fields.
-CACHE_VERSION = 2
+# v2: ExplorationResult grew worker_retries/degraded (self-healing history).
+# v3: entries are digest-sealed on disk (durable.checkpoint framing) and
+# ExplorationResult grew interrupted/recovery (watchdog + journal);
+# pre-seal files fail verification and are quarantined, not misread.
+CACHE_VERSION = 3
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -108,37 +117,56 @@ def entry_path(cache_dir: str, key: str) -> Path:
     return Path(cache_dir) / f"{key}.pkl"
 
 
+def _quarantine_entry(cache_dir: str, path: Path, reason: str) -> None:
+    """Move a bad entry aside and say so once, with a count.  Never raises."""
+    moved = quarantine_file(path, Path(cache_dir) / QUARANTINE_DIR)
+    where = moved if moved is not None else path
+    warnings.warn(
+        f"repro-cache: quarantined 1 unreadable entry ({reason}): {where}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def load_entry(cache_dir: str, key: str) -> Optional[CacheEntry]:
-    """Load the entry for *key*, or ``None`` on miss/corruption/skew."""
+    """Load the entry for *key*, or ``None`` on miss/corruption/skew.
+
+    Corrupt, truncated, or version-skewed entries are moved to
+    ``<cache_dir>/quarantine/`` (with a one-line warning) rather than
+    left in place to be re-hit — and the digest seal guarantees that a
+    damaged entry can only ever read as a miss, never as a wrong verdict.
+    """
     path = entry_path(cache_dir, key)
+    if not path.exists():
+        return None
+    payload = read_sealed(path)
+    if payload is None:
+        _quarantine_entry(cache_dir, path, "failed digest verification")
+        return None
     try:
-        with path.open("rb") as handle:
-            entry = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError):
+        entry = pickle.loads(payload)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+            IndexError, TypeError, ValueError):
+        _quarantine_entry(cache_dir, path, "unpicklable payload")
         return None
     if not isinstance(entry, CacheEntry) or entry.version != CACHE_VERSION:
+        _quarantine_entry(cache_dir, path, "version skew")
         return None
     if entry.key != key:
+        _quarantine_entry(cache_dir, path, "key mismatch")
         return None
     return entry
 
 
 def save_entry(cache_dir: str, key: str, entry: CacheEntry) -> Path:
-    """Atomically persist *entry*; returns the final path."""
+    """Durably persist *entry*; returns the final path.
+
+    Sealed and written through :func:`repro.durable.checkpoint.write_sealed`:
+    the temp file is fsync'd before the atomic replace and the directory
+    fsync'd after it, so the entry survives power loss — the pre-v3
+    behavior only survived process crashes.
+    """
     path = entry_path(cache_dir, key)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=f".{key}.", suffix=".tmp"
+    return write_sealed(
+        path, pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
     )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path

@@ -28,6 +28,7 @@ from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro._types import Value
+from repro.durable.recovery import RecoveryReport
 from repro.errors import StepLimitExceeded
 from repro.runtime.system import Configuration, System
 
@@ -69,6 +70,14 @@ class ExplorationResult:
     fell back to serial expansion.  Neither affects the verdict — batches
     are recomputed whole, so a degraded run's violations, counts and
     witness schedules are bit-identical to a healthy one's.
+
+    ``interrupted`` and ``recovery`` are the durability history (see
+    :mod:`repro.durable`): the watchdog reason (``"sigterm"``,
+    ``"deadline"``, ``"rss"``) when the run checkpointed and stopped early,
+    and the :class:`~repro.durable.recovery.RecoveryReport` when the run
+    resumed from a journal.  Like the self-healing fields, neither affects
+    the verdict — a resumed run replays the journaled deltas onto the last
+    checkpoint and continues the identical deterministic BFS.
     """
 
     configs_explored: int
@@ -78,6 +87,8 @@ class ExplorationResult:
     configs_discovered: int = 0
     worker_retries: int = 0
     degraded: bool = False
+    interrupted: Optional[str] = None
+    recovery: Optional[RecoveryReport] = None
 
     @property
     def ok(self) -> bool:
@@ -97,9 +108,15 @@ class ExplorationResult:
                 f" [self-healed: {self.worker_retries} retries"
                 f"{', degraded to serial' if self.degraded else ''}]"
             )
+        durable = ""
+        if self.interrupted:
+            durable = (
+                f" [checkpointed on {self.interrupted}; rerun with "
+                "--resume to continue]"
+            )
         return (
             f"explored {self.configs_explored} configurations "
-            f"({closure}): {verdict}{health}"
+            f"({closure}): {verdict}{health}{durable}"
         )
 
 
@@ -225,6 +242,9 @@ def explore_safety(
     batch_timeout: Optional[float] = None,
     max_retries: int = 2,
     chaos=None,
+    journal_dir: Optional[str] = None,
+    checkpoint_every: int = 64,
+    watchdog=None,
 ) -> ExplorationResult:
     """BFS the reachable configuration space, checking safety everywhere.
 
@@ -250,6 +270,16 @@ def explore_safety(
     of the run.  The default ``None`` waits forever, the pre-self-healing
     behavior.  ``chaos`` is a test hook (see :mod:`repro.faults.chaos`)
     invoked by each worker before expanding a chunk.
+
+    ``journal_dir`` arms the durable run journal (see
+    :mod:`repro.durable`): every merged batch is appended as a checksummed
+    delta record and every ``checkpoint_every`` batches the coordinator
+    state is compacted into a sealed checkpoint, so a run killed at any
+    point — ``kill -9`` included — resumes from its last consistent prefix
+    and ends bit-identical to an uninterrupted run.  ``watchdog`` (a
+    :class:`~repro.durable.watchdog.Watchdog`) is polled between batches;
+    when it fires, the run checkpoints and returns early with
+    ``result.interrupted`` set.
     """
     if reduction not in ("none", "local-first"):
         raise ValueError(f"unknown reduction {reduction!r}")
@@ -269,6 +299,9 @@ def explore_safety(
         batch_timeout=batch_timeout,
         max_retries=max_retries,
         chaos=chaos,
+        journal_dir=journal_dir,
+        checkpoint_every=checkpoint_every,
+        watchdog=watchdog,
     )
 
 
@@ -286,6 +319,9 @@ def explore_progress_closure(
     batch_timeout: Optional[float] = None,
     max_retries: int = 2,
     chaos=None,
+    journal_dir: Optional[str] = None,
+    checkpoint_every: int = 64,
+    watchdog=None,
 ) -> ExplorationResult:
     """From every reachable configuration, every ≤m survivor set must finish.
 
@@ -311,4 +347,7 @@ def explore_progress_closure(
         batch_timeout=batch_timeout,
         max_retries=max_retries,
         chaos=chaos,
+        journal_dir=journal_dir,
+        checkpoint_every=checkpoint_every,
+        watchdog=watchdog,
     )

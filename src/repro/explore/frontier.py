@@ -43,6 +43,21 @@ pool is abandoned and the rest of the run expands serially in-process.
 Batches are merged all-or-nothing, so retried and degraded runs produce
 verdicts bit-identical to healthy ones; the history is recorded in
 ``ExplorationResult.worker_retries`` / ``.degraded``.
+
+Self-healing covers worker death; ``journal_dir`` covers *coordinator*
+death.  With a journal armed, every merged batch is appended to an
+append-only checksummed log as a :class:`_BatchDelta` — the merge's
+decisions in fingerprints, a few dozen bytes per discovery — and at
+``checkpoint_every`` batch boundaries where the log has outgrown the last
+checkpoint (:meth:`~repro.durable.journal.RunJournal.should_compact`) the
+aggregate coordinator state is compacted into a sealed checkpoint (see
+:mod:`repro.durable`).  Recovery is checkpoint + delta replay: because
+batches merge deterministically and ``step`` is pure, a run killed at any
+instant (``kill -9`` included) resumes from its last consistent prefix,
+loses at most one un-journaled batch of work, and finishes bit-identical
+to a run that was never interrupted.  A :class:`~repro.durable.watchdog.Watchdog`, polled
+between batches, turns deadlines / RSS ceilings / SIGTERM into a final
+checkpoint and an early return with ``result.interrupted`` set.
 """
 
 from __future__ import annotations
@@ -53,8 +68,12 @@ import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.durable.journal import RunJournal
+from repro.durable.recovery import QUARANTINE_DIR
+from repro.durable.watchdog import Watchdog, reset_active_watchdogs
 from repro.errors import ExplorationEngineError
 from repro.explore import checker
 from repro.explore.canonical import (
@@ -114,8 +133,16 @@ def _init_worker() -> None:
     coordinator's teardown then deadlocks acquiring it — so workers ignore
     SIGINT and only the coordinator turns Ctrl-C into a clean exit
     (teardown stops workers via SIGTERM, which stays deliverable).
+
+    SIGTERM goes the *other* way: pool teardown stops workers with it, so
+    a worker that inherited the coordinator's graceful handler (fork start
+    method) would swallow the kill and deadlock the join.  Workers restore
+    the default disposition and drop any watchdog registrations inherited
+    across the fork — those belong to the coordinator.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    reset_active_watchdogs()
 
 
 def _set_worker(ctx: _WorkerContext) -> None:
@@ -218,6 +245,154 @@ def _witness_schedule(
     return tuple(schedule)
 
 
+@dataclass(frozen=True)
+class _BatchDelta:
+    """One merged batch, as the journal record that replays the merge.
+
+    Deltas carry the merge's *decisions*, not its data: frontier pops,
+    counter increments, newly discovered ``(fingerprint, parent_fp, pid)``
+    triples, and violations with their witness schedules already
+    reconstructed.  Configurations themselves are deliberately absent —
+    ``step`` is pure and deterministic, so replay re-derives each new
+    frontier configuration from its (just-popped) parent in one step call.
+    That keeps the steady-state journal write proportional to fingerprints
+    (~70 bytes/config) instead of pickled state, and recovery is still
+    checkpoint + replay with no oracle re-checks: a resumed coordinator is
+    bit-identical to one that never stopped.
+    """
+
+    index: int
+    popped: int
+    explored_inc: int
+    new_entries: Tuple[Tuple[str, str, int], ...]
+    safety: Tuple[checker.SafetyCounterexample, ...]
+    progress: Tuple[checker.ProgressCounterexample, ...]
+    done: bool
+
+
+def _merge_batch(
+    index: int,
+    popped: int,
+    expansions: List[_Expansion],
+    parents: Dict[str, Tuple[Optional[str], Optional[int]]],
+    frontier: Deque[Tuple[str, Configuration]],
+    result: checker.ExplorationResult,
+    stop_at_first: bool,
+) -> Tuple[_BatchDelta, bool]:
+    """Merge one fully-expanded batch into the coordinator state.
+
+    Raises :class:`~repro.errors.ExplorationEngineError` *before* touching
+    any state if the batch carries a worker failure, so a failed batch
+    leaves the coordinator (and hence any journal checkpoint of it)
+    exactly as consistent as an unattempted one.  Returns the delta that
+    reproduces this merge plus the early-stop flag.
+    """
+    for expansion in expansions:
+        if expansion.failure is not None:
+            raise ExplorationEngineError(expansion.failure)
+    explored_inc = 0
+    new_entries: List[Tuple[str, str, int]] = []
+    safety_added: List[checker.SafetyCounterexample] = []
+    progress_added: List[checker.ProgressCounterexample] = []
+    done = False
+    for expansion in expansions:
+        explored_inc += 1
+        if expansion.safety_problem is not None:
+            prop, instance, outs, detail = expansion.safety_problem
+            safety_added.append(
+                checker.SafetyCounterexample(
+                    property_name=prop,
+                    instance=instance,
+                    outputs=outs,
+                    schedule=_witness_schedule(parents, expansion.fingerprint),
+                    detail=detail,
+                )
+            )
+            if stop_at_first:
+                done = True
+                break
+            continue  # never expand beyond a violating configuration
+        if expansion.progress_problem is not None:
+            survivors, detail = expansion.progress_problem
+            progress_added.append(
+                checker.ProgressCounterexample(
+                    survivors=survivors,
+                    schedule_to_config=_witness_schedule(
+                        parents, expansion.fingerprint
+                    ),
+                    detail=detail,
+                )
+            )
+            done = True
+            break
+        for pid, successor, succ_fp in expansion.successors:
+            if succ_fp not in parents:
+                parents[succ_fp] = (expansion.fingerprint, pid)
+                new_entries.append((succ_fp, expansion.fingerprint, pid))
+                frontier.append((succ_fp, successor))
+    result.configs_explored += explored_inc
+    result.safety_violations.extend(safety_added)
+    result.progress_violations.extend(progress_added)
+    if done:
+        result.complete = False
+    delta = _BatchDelta(
+        index=index,
+        popped=popped,
+        explored_inc=explored_inc,
+        new_entries=tuple(new_entries),
+        safety=tuple(safety_added),
+        progress=tuple(progress_added),
+        done=done,
+    )
+    return delta, done
+
+
+def _apply_delta(
+    system: System,
+    delta: _BatchDelta,
+    parents: Dict[str, Tuple[Optional[str], Optional[int]]],
+    frontier: Deque[Tuple[str, Configuration]],
+    result: checker.ExplorationResult,
+) -> bool:
+    """Replay one journaled batch merge during recovery.
+
+    New frontier configurations are re-derived by stepping their parents
+    — the entries this very delta pops — through the pure transition
+    function, so the journal never needs to store configurations (see
+    :class:`_BatchDelta`).  One step per recovered discovery, no oracle
+    re-checks.
+    """
+    popped: Dict[str, Configuration] = {}
+    for _ in range(delta.popped):
+        fp, config = frontier.popleft()
+        popped[fp] = config
+    for succ_fp, parent_fp, pid in delta.new_entries:
+        parents[succ_fp] = (parent_fp, pid)
+        frontier.append((succ_fp, system.step(popped[parent_fp], pid).config))
+    result.configs_explored += delta.explored_inc
+    result.safety_violations.extend(delta.safety)
+    result.progress_violations.extend(delta.progress)
+    if delta.done:
+        result.complete = False
+    return delta.done
+
+
+def _state_payload(
+    parents: Dict[str, Tuple[Optional[str], Optional[int]]],
+    frontier: Deque[Tuple[str, Configuration]],
+    result: checker.ExplorationResult,
+) -> Dict:
+    """Absolute coordinator state, as an *unfinished* checkpoint payload."""
+    return {
+        "finished": False,
+        "parents": parents,
+        "frontier": list(frontier),
+        "explored": result.configs_explored,
+        "safety": list(result.safety_violations),
+        "progress": list(result.progress_violations),
+    }
+
+
 def explore(
     system: System,
     *,
@@ -236,6 +411,9 @@ def explore(
     batch_timeout: Optional[float] = None,
     max_retries: int = 2,
     chaos: Optional[object] = None,
+    journal_dir: Optional[str] = None,
+    checkpoint_every: int = 64,
+    watchdog: Optional[Watchdog] = None,
 ) -> checker.ExplorationResult:
     """Run one exploration with the chosen oracle; the library's one engine.
 
@@ -251,6 +429,8 @@ def explore(
         raise ValueError(f"batch_timeout must be positive, got {batch_timeout}")
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     if oracle == "safety":
         if k is None:
             raise ValueError("safety oracle requires k")
@@ -279,10 +459,10 @@ def explore(
 
     cache = None
     key = None
-    if cache_dir is not None:
+    entry = None
+    if cache_dir is not None or journal_dir is not None:
         from repro.explore import cache as cache_mod
 
-        cache = cache_mod
         key = cache_mod.exploration_key(
             system,
             oracle=oracle,
@@ -293,105 +473,163 @@ def explore(
             canonicalized=classes is not None,
             stop_at_first=stop_at_first,
         )
-        entry = cache_mod.load_entry(cache_dir, key)
-        if entry is not None and entry.finished:
-            return entry.result
-    else:
-        entry = None
+        if cache_dir is not None:
+            cache = cache_mod
+            entry = cache_mod.load_entry(cache_dir, key)
+            if entry is not None and entry.finished:
+                return entry.result
 
-    if entry is not None:
+    # Journal recovery: a finished checkpoint short-circuits the run; an
+    # unfinished one overrides the cache entry as the resume base (the
+    # journal is written during the run, the cache only at its end, so the
+    # journal is never the staler of the two for the same key).
+    runlog = None
+    recovery = None
+    recovered_state = None
+    recovered_records: List[Tuple[int, _BatchDelta]] = []
+    if journal_dir is not None:
+        runlog = RunJournal(
+            Path(journal_dir) / f"{key}.journal",
+            quarantine_dir=Path(journal_dir) / QUARANTINE_DIR,
+        )
+        ck, recovered_records, recovery = runlog.recover()
+        if isinstance(ck, dict):
+            if ck.get("finished"):
+                prior: checker.ExplorationResult = ck["result"]
+                prior.recovery = recovery
+                runlog.close()
+                return prior
+            recovered_state = ck
+        if not recovery.salvaged_anything:
+            recovery = None  # fresh journal: nothing recovered, no report
+
+    if recovered_state is not None:
+        parents = recovered_state["parents"]
+        frontier: Deque[Tuple[str, Configuration]] = deque(
+            recovered_state["frontier"]
+        )
+        explored = recovered_state["explored"]
+        base_safety = list(recovered_state["safety"])
+        base_progress = list(recovered_state["progress"])
+    elif entry is not None:
         parents = entry.parents
-        frontier: Deque[Tuple[str, Configuration]] = deque(entry.frontier)
+        frontier = deque(entry.frontier)
         explored = entry.explored
+        base_safety, base_progress = [], []
     else:
         initial = system.initial_configuration()
         initial_fp = _fingerprint(initial, classes)
         parents = {initial_fp: (None, None)}
         frontier = deque([(initial_fp, initial)])
         explored = 0
+        base_safety, base_progress = [], []
 
     result = checker.ExplorationResult(configs_explored=explored, complete=True)
-    pool = None
-    done = False
-    try:
-        if workers > 1:
-            pool = _make_pool(workers, ctx)
-        while frontier and not done:
-            budget = max_configs - result.configs_explored
-            if budget <= 0:
-                result.complete = False
-                break
-            count = min(len(frontier), budget, batch_size * workers)
-            batch = [frontier.popleft() for _ in range(count)]
-            if pool is None:
-                expansions = _expand_chunk_local(ctx, batch)
-            else:
-                expansions, pool = _expand_batch(
-                    pool, ctx, batch, workers,
-                    batch_timeout=batch_timeout,
-                    max_retries=max_retries,
-                    result=result,
-                )
-            for expansion in expansions:
-                result.configs_explored += 1
-                if expansion.failure is not None:
-                    raise ExplorationEngineError(expansion.failure)
-                if expansion.safety_problem is not None:
-                    prop, instance, outs, detail = expansion.safety_problem
-                    result.safety_violations.append(
-                        checker.SafetyCounterexample(
-                            property_name=prop,
-                            instance=instance,
-                            outputs=outs,
-                            schedule=_witness_schedule(
-                                parents, expansion.fingerprint
-                            ),
-                            detail=detail,
-                        )
-                    )
-                    if stop_at_first:
-                        result.complete = False
-                        done = True
-                        break
-                    continue  # never expand beyond a violating configuration
-                if expansion.progress_problem is not None:
-                    survivors, detail = expansion.progress_problem
-                    result.progress_violations.append(
-                        checker.ProgressCounterexample(
-                            survivors=survivors,
-                            schedule_to_config=_witness_schedule(
-                                parents, expansion.fingerprint
-                            ),
-                            detail=detail,
-                        )
-                    )
-                    result.complete = False
-                    done = True
-                    break
-                for pid, successor, succ_fp in expansion.successors:
-                    if succ_fp not in parents:
-                        parents[succ_fp] = (expansion.fingerprint, pid)
-                        frontier.append((succ_fp, successor))
-    finally:
-        _teardown(pool)
+    result.safety_violations.extend(base_safety)
+    result.progress_violations.extend(base_progress)
+    result.recovery = recovery
 
-    result.configs_discovered = len(parents)
-    if cache is not None:
+    done = False
+    batch_index = 0
+    if runlog is not None:
+        # Replay the contiguous post-checkpoint deltas; the merge already
+        # happened once, so this is deterministic re-stepping with no
+        # oracle re-checks.
+        for _, delta in recovered_records:
+            done = _apply_delta(system, delta, parents, frontier, result) or done
+        batch_index = runlog.next_index
+
+    # A journaled run always has a watchdog armed (even a limitless one):
+    # it is the mailbox through which the CLI's SIGTERM handler requests
+    # the checkpoint-then-exit path.
+    wd = watchdog
+    if wd is None and runlog is not None:
+        wd = Watchdog()
+
+    pool = None
+    interrupted: Optional[str] = None
+    try:
+        if wd is not None:
+            wd.__enter__()
+        try:
+            if workers > 1:
+                pool = _make_pool(workers, ctx)
+            while frontier and not done:
+                if wd is not None:
+                    interrupted = wd.poll()
+                    if interrupted is not None:
+                        break
+                budget = max_configs - result.configs_explored
+                if budget <= 0:
+                    result.complete = False
+                    break
+                count = min(len(frontier), budget, batch_size * workers)
+                batch = [frontier.popleft() for _ in range(count)]
+                if pool is None:
+                    expansions = _expand_chunk_local(ctx, batch)
+                else:
+                    expansions, pool = _expand_batch(
+                        pool, ctx, batch, workers,
+                        batch_timeout=batch_timeout,
+                        max_retries=max_retries,
+                        result=result,
+                    )
+                delta, done = _merge_batch(
+                    batch_index, count, expansions, parents, frontier,
+                    result, stop_at_first,
+                )
+                if runlog is not None:
+                    runlog.record(batch_index, delta)
+                batch_index += 1
+                if (
+                    runlog is not None
+                    and not done
+                    and batch_index % checkpoint_every == 0
+                    and runlog.should_compact()
+                ):
+                    runlog.checkpoint(
+                        _state_payload(parents, frontier, result), batch_index
+                    )
+        finally:
+            _teardown(pool)
+            if wd is not None:
+                wd.__exit__(None, None, None)
+
+        result.configs_discovered = len(parents)
+        if interrupted is not None:
+            result.complete = False
+            result.interrupted = interrupted
         finished = result.complete or not result.ok
-        cache.save_entry(
-            cache_dir,
-            key,
-            cache.CacheEntry(
-                version=cache.CACHE_VERSION,
-                key=key,
-                finished=finished,
-                result=result if finished else None,
-                parents=None if finished else parents,
-                frontier=None if finished else list(frontier),
-                explored=result.configs_explored,
-            ),
-        )
-    return result
+        if runlog is not None:
+            if finished:
+                runlog.checkpoint(
+                    {"finished": True, "result": result}, batch_index
+                )
+            else:
+                runlog.checkpoint(
+                    _state_payload(parents, frontier, result), batch_index
+                )
+        if cache is not None:
+            cache.save_entry(
+                cache_dir,
+                key,
+                cache.CacheEntry(
+                    version=cache.CACHE_VERSION,
+                    key=key,
+                    finished=finished,
+                    result=result if finished else None,
+                    parents=None if finished else parents,
+                    frontier=None if finished else list(frontier),
+                    explored=result.configs_explored,
+                ),
+            )
+        return result
+    finally:
+        # On every exit path — returns, engine errors, Ctrl-C — fsync and
+        # close the journal so the appended deltas are the durable record
+        # of everything this run merged.
+        if runlog is not None:
+            runlog.close()
 
 
 def _expand_chunk_local(

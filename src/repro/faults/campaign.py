@@ -34,13 +34,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
+from repro.durable.journal import RunJournal
+from repro.durable.recovery import QUARANTINE_DIR, RecoveryReport
+from repro.durable.watchdog import Watchdog
 from repro.errors import ConfigurationError
 from repro.faults.inject import faulty_system, plan_scheduler
 from repro.faults.plans import FaultPlan
 from repro.runtime.runner import replay, run
-from repro.runtime.system import System
+from repro.runtime.system import System, stable_fingerprint
 from repro.spec.properties import Violation, check_safety
 
 SAFE, VIOLATION, INCONCLUSIVE = "safe", "violation", "inconclusive"
@@ -72,12 +76,25 @@ class FaultTrial:
 
 @dataclass
 class FaultReport:
-    """Aggregate of one campaign, with wall-clock for throughput numbers."""
+    """Aggregate of one campaign, with wall-clock for throughput numbers.
+
+    ``interrupted`` and ``recovery`` mirror the exploration engine's
+    durability history (see :mod:`repro.durable`): the watchdog reason
+    when the campaign checkpointed and stopped early, and the
+    :class:`~repro.durable.recovery.RecoveryReport` when it resumed from
+    a journal.  Trials are deterministic functions of their plans, so a
+    resumed campaign's trial list is bit-identical to an uninterrupted
+    one's; ``elapsed_seconds`` covers only the current process's share of
+    the work and is excluded from identity comparisons, like the rest of
+    the history fields.
+    """
 
     family: str
     trials: List[FaultTrial] = field(default_factory=list)
     retries: int = 0
     elapsed_seconds: float = 0.0
+    interrupted: Optional[str] = None
+    recovery: Optional[RecoveryReport] = None
 
     def outcomes(self, outcome: str) -> List[FaultTrial]:
         """Trials whose verdict is *outcome* (safe/violation/inconclusive)."""
@@ -171,6 +188,38 @@ def run_trial(
     )
 
 
+def campaign_key(
+    system: System,
+    plans: Sequence[FaultPlan],
+    *,
+    family: str,
+    k: Optional[int],
+    budget: int,
+    max_retries: int,
+    backoff: float,
+) -> str:
+    """Stable fingerprint of a campaign's full semantics — its journal key.
+
+    Everything that determines trial outcomes participates: the system
+    (automaton class, parameters, workloads, memory-layout shape), the
+    exact plan sequence, and the retry/budget knobs.  Two campaigns with
+    the same key are the same deterministic computation, which is what
+    makes resuming one from the other's journal sound.
+    """
+    from repro.explore.cache import _layout_signature
+
+    automaton = system.automaton
+    descriptor = (
+        "repro-campaign", 1, family,
+        type(automaton).__qualname__, automaton.name,
+        stable_fingerprint(dict(automaton.params)),
+        system.n, system.workloads,
+        _layout_signature(system.layout),
+        tuple(plans), k, budget, max_retries, backoff,
+    )
+    return stable_fingerprint(descriptor)
+
+
 def run_campaign(
     system: System,
     plans: Sequence[FaultPlan],
@@ -180,16 +229,98 @@ def run_campaign(
     budget: int = 20_000,
     max_retries: int = 3,
     backoff: float = 2.0,
+    journal_dir: Optional[str] = None,
+    checkpoint_every: int = 8,
+    watchdog: Optional[Watchdog] = None,
 ) -> FaultReport:
-    """Sweep *plans* against *system*, aggregating certified outcomes."""
-    report = FaultReport(family=family)
-    started = time.perf_counter()
-    for plan in plans:
-        trial = run_trial(
-            system, plan, k=k, budget=budget, max_retries=max_retries,
-            backoff=backoff,
+    """Sweep *plans* against *system*, aggregating certified outcomes.
+
+    ``journal_dir`` arms the durable run journal (see
+    :mod:`repro.durable`): each completed trial is appended as a
+    checksummed record and every ``checkpoint_every`` trials the trial
+    list is compacted into a sealed checkpoint, so a killed campaign
+    resumes after its last recorded trial instead of restarting.
+    ``watchdog`` is polled between trials; when it fires the campaign
+    checkpoints and returns early with ``report.interrupted`` set.
+    """
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
         )
-        report.trials.append(trial)
-        report.retries += trial.attempts - 1
-    report.elapsed_seconds = time.perf_counter() - started
-    return report
+    plans = list(plans)
+    runlog = None
+    recovery = None
+    recovered_trials: List[FaultTrial] = []
+    if journal_dir is not None:
+        key = campaign_key(
+            system, plans, family=family, k=k, budget=budget,
+            max_retries=max_retries, backoff=backoff,
+        )
+        runlog = RunJournal(
+            Path(journal_dir) / f"{key}.journal",
+            quarantine_dir=Path(journal_dir) / QUARANTINE_DIR,
+        )
+        ck, records, recovery = runlog.recover()
+        if isinstance(ck, dict):
+            if ck.get("finished"):
+                prior: FaultReport = ck["report"]
+                prior.recovery = recovery
+                runlog.close()
+                return prior
+            recovered_trials = list(ck["trials"])
+        for _, trial in records:
+            recovered_trials.append(trial)
+        if not recovery.salvaged_anything:
+            recovery = None  # fresh journal: nothing recovered, no report
+
+    report = FaultReport(family=family)
+    report.trials.extend(recovered_trials)
+    report.recovery = recovery
+
+    wd = watchdog
+    if wd is None and runlog is not None:
+        wd = Watchdog()  # SIGTERM mailbox for journaled campaigns
+
+    started = time.perf_counter()
+    try:
+        if wd is not None:
+            wd.__enter__()
+        try:
+            for index in range(len(report.trials), len(plans)):
+                if wd is not None:
+                    reason = wd.poll()
+                    if reason is not None:
+                        report.interrupted = reason
+                        break
+                trial = run_trial(
+                    system, plans[index], k=k, budget=budget,
+                    max_retries=max_retries, backoff=backoff,
+                )
+                report.trials.append(trial)
+                if runlog is not None:
+                    runlog.record(index, trial)
+                    if ((index + 1) % checkpoint_every == 0
+                            and runlog.should_compact()):
+                        runlog.checkpoint(
+                            {"finished": False, "trials": report.trials},
+                            index + 1,
+                        )
+        finally:
+            if wd is not None:
+                wd.__exit__(None, None, None)
+        report.retries = sum(t.attempts - 1 for t in report.trials)
+        report.elapsed_seconds = time.perf_counter() - started
+        if runlog is not None:
+            if report.interrupted is None:
+                runlog.checkpoint(
+                    {"finished": True, "report": report}, len(report.trials)
+                )
+            else:
+                runlog.checkpoint(
+                    {"finished": False, "trials": report.trials},
+                    len(report.trials),
+                )
+        return report
+    finally:
+        if runlog is not None:
+            runlog.close()

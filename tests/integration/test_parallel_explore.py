@@ -200,7 +200,11 @@ class TestCliIntegration:
                 "--resume", "--cache-dir", cache_dir]
         assert main(args) == 0
         first = capsys.readouterr().out
-        assert len(list((tmp_path / "cli-cache").iterdir())) == 1
+        entries = sorted(p.name for p in (tmp_path / "cli-cache").iterdir())
+        # one sealed cache entry plus the run's durable journal directory
+        assert len(entries) == 2
+        assert any(name.endswith(".pkl") for name in entries)
+        assert any(name.endswith(".journal") for name in entries)
         assert main(args) == 0
         assert capsys.readouterr().out == first
 

@@ -1,0 +1,117 @@
+"""Unit: watchdog limits, the SIGTERM routing contract, and RSS probing.
+
+The watchdog is polled cooperation, not preemption: these tests pin what
+``poll()`` returns under each limit, that SIGTERM fans out to every armed
+watchdog (and raises :class:`Terminated` when none is armed), and that
+the process registry survives enter/exit nesting.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.durable.watchdog import (
+    Terminated,
+    Watchdog,
+    active_watchdogs,
+    current_rss_mb,
+    deliver_sigterm,
+    install_sigterm_handler,
+    reset_active_watchdogs,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_active_watchdogs()
+    yield
+    reset_active_watchdogs()
+
+
+class TestLimits:
+    def test_no_limits_never_fires(self):
+        wd = Watchdog()
+        with wd:
+            assert wd.poll() is None
+
+    def test_deadline_fires_after_elapsed(self):
+        wd = Watchdog(deadline=0.01)
+        with wd:
+            time.sleep(0.02)
+            assert wd.poll() == "deadline"
+            assert wd.poll() == "deadline"  # sticky
+
+    def test_generous_deadline_does_not_fire(self):
+        wd = Watchdog(deadline=3600.0)
+        with wd:
+            assert wd.poll() is None
+
+    def test_rss_ceiling_fires(self):
+        assert current_rss_mb() > 0  # the probe works on this platform
+        wd = Watchdog(max_rss_mb=0.5)  # any live interpreter exceeds this
+        with wd:
+            assert wd.poll() == "rss"
+
+    def test_request_stop_first_reason_wins(self):
+        wd = Watchdog(deadline=0.001)
+        wd.request_stop("sigterm")
+        time.sleep(0.005)
+        assert wd.poll() == "sigterm"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(deadline=0)
+        with pytest.raises(ValueError):
+            Watchdog(max_rss_mb=-1)
+
+
+class TestSigtermRouting:
+    def test_registry_tracks_context(self):
+        wd = Watchdog()
+        assert active_watchdogs() == []
+        with wd:
+            assert active_watchdogs() == [wd]
+        assert active_watchdogs() == []
+
+    def test_deliver_flags_every_active_watchdog(self):
+        first, second = Watchdog(), Watchdog()
+        with first, second:
+            deliver_sigterm()
+        assert first.poll() == "sigterm"
+        assert second.poll() == "sigterm"
+
+    def test_deliver_without_watchdog_raises_terminated(self):
+        with pytest.raises(Terminated):
+            deliver_sigterm()
+
+    def test_terminated_is_not_an_exception(self):
+        # must pass through `except Exception` clauses untouched
+        assert not issubclass(Terminated, Exception)
+        assert issubclass(Terminated, BaseException)
+
+    def test_real_signal_reaches_active_watchdog(self):
+        previous = install_sigterm_handler()
+        try:
+            wd = Watchdog()
+            with wd:
+                os.kill(os.getpid(), signal.SIGTERM)
+                # CPython delivers pending signals at the next bytecode
+                # boundary; poll() is one.
+                deadline = time.monotonic() + 5.0
+                while wd.poll() is None and time.monotonic() < deadline:
+                    time.sleep(0.001)
+                assert wd.poll() == "sigterm"
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_installer_returns_previous_handler(self):
+        before = signal.getsignal(signal.SIGTERM)
+        previous = install_sigterm_handler()
+        try:
+            assert previous is before
+            assert signal.getsignal(signal.SIGTERM) is not before
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        assert signal.getsignal(signal.SIGTERM) is before
