@@ -32,7 +32,7 @@ from repro.sched.base import Scheduler
 from repro.sched.round_robin import RoundRobinScheduler
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class ReplicatedRun:
     """Outcome of a replicated-state-machine run."""
 

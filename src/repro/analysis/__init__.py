@@ -1,14 +1,23 @@
-"""Execution analytics: contention profiles and preference convergence.
+"""Execution analytics and static analysis of the reproduction itself.
 
-The progress arguments of §4 are, operationally, statements about how the
-set of *live preferences* shrinks: processes adopt duplicated values until
-at most ``m`` distinct values survive, at which point everyone decides.
-This package measures that dynamic on concrete executions:
+Two halves live here.  *Execution analytics* measure concrete runs:
 
 * :mod:`~repro.analysis.contention` — per-process preference changes,
   location advances, and the concurrency profile of a run;
 * :mod:`~repro.analysis.convergence` — the "preference funnel": distinct
   values present in the snapshot over time, and when it collapses to ≤ m.
+
+*Static analysis* (``python -m repro analyze``) verifies the properties
+the rest of the repo leans on without running a single simulation step:
+
+* :mod:`~repro.analysis.report` — the shared :class:`AnalysisReport` /
+  :class:`Finding` vocabulary, rule catalog, and suppression syntax;
+* :mod:`~repro.analysis.determinism` — AST lint for nondeterminism
+  hazards and frozen-state discipline on the step path (DET*/MUT* rules);
+* :mod:`~repro.analysis.footprint` — symbolic register-footprint checker
+  proving each algorithm family against its Figure 1 bound (FP* rules);
+* :mod:`~repro.analysis.sanitizer` — opt-in runtime instrumentation
+  ("simsan") for purity and register-access anomalies (SAN* rules).
 """
 
 from repro.analysis.contention import (
@@ -20,6 +29,15 @@ from repro.analysis.convergence import (
     convergence_step,
     distinct_values_over_time,
 )
+from repro.analysis.determinism import lint_paths
+from repro.analysis.footprint import check_footprints, family_footprints
+from repro.analysis.report import AnalysisReport, Finding, RULES, catalog_table
+from repro.analysis.sanitizer import (
+    RegisterSanitizer,
+    SanitizedSystem,
+    SanitizerCollector,
+    sanitize_execution,
+)
 
 __all__ = [
     "preference_changes",
@@ -27,4 +45,15 @@ __all__ = [
     "concurrency_profile",
     "distinct_values_over_time",
     "convergence_step",
+    "AnalysisReport",
+    "Finding",
+    "RULES",
+    "catalog_table",
+    "lint_paths",
+    "check_footprints",
+    "family_footprints",
+    "RegisterSanitizer",
+    "SanitizedSystem",
+    "SanitizerCollector",
+    "sanitize_execution",
 ]

@@ -1,0 +1,401 @@
+"""Determinism and purity lint over the simulation's step path.
+
+The durable run journal and the parallel exploration merge are sound only
+because :meth:`repro.runtime.system.System.step` is a *pure function of
+hashable values*: replaying a journaled schedule must rebuild bit-identical
+configurations, and two worker processes expanding the same frontier batch
+must produce the same children in the same order.  Those properties were
+previously asserted in docs; this pass checks them in the source.
+
+Two rule groups, each over an explicit module scope:
+
+* **DET — nondeterminism hazards** (scope: :data:`STEP_PATH_SCOPE`, the
+  modules whose code runs inside a simulated step or a fingerprint):
+  wall-clock reads, unseeded randomness, ``id()``, ambient environment
+  reads, and iteration over sets/frozensets whose order can leak into
+  outputs.  Seeded randomness (``random.Random(seed)``) is fine — plan
+  families depend on it — as is order-insensitive set use (``len``,
+  membership, ``sorted(...)``).
+
+* **MUT — immutability of state** (scope: :data:`STATE_SCOPE` for
+  ``frozen=True``; :data:`SLOTS_SCOPE` for ``slots=True``): every
+  dataclass in a state module must be frozen (anything reachable from a
+  configuration fingerprint must be a value), attribute assignment through
+  a function parameter is flagged as mutation of state the caller still
+  holds, and frozen state dataclasses must also declare ``slots=True`` so
+  stray attribute creation fails loudly.
+
+Scopes are path-prefix lists relative to the package root, so the pass can
+run over a whole tree (``repro analyze src/repro``) and only apply each
+rule where it is meant to hold: e.g. :mod:`repro.durable.watchdog` reads
+the wall clock *by design* (deadlines), and :mod:`repro.runtime.procedural`
+is the documented impure automaton style (``supports_peek = False`` guards
+it at runtime) — neither is in scope.
+
+Suppression: ``# repro: allow(RULE)`` on (or directly above) the flagged
+line; see :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import (
+    AnalysisReport,
+    Finding,
+    apply_suppressions,
+    make_finding,
+    suppressions,
+)
+
+#: Modules whose code executes inside System.step / fingerprinting —
+#: the code that must be deterministic for replay and parallel merge.
+STEP_PATH_SCOPE: Tuple[str, ...] = (
+    "repro/agreement/",
+    "repro/faults/plans.py",
+    "repro/memory/",
+    "repro/objects/",
+    "repro/runtime/automaton.py",
+    "repro/runtime/events.py",
+    "repro/runtime/frames.py",
+    "repro/runtime/system.py",
+    "repro/explore/canonical.py",
+)
+
+#: Modules whose dataclasses must be frozen (values reachable from
+#: configuration fingerprints live here).
+STATE_SCOPE: Tuple[str, ...] = STEP_PATH_SCOPE + ("repro/spec/",)
+
+#: Modules whose frozen dataclasses must also declare ``slots=True``
+#: (the PR-4 conversion set; grows as modules are converted).
+SLOTS_SCOPE: Tuple[str, ...] = (
+    "repro/faults/plans.py",
+    "repro/runtime/frames.py",
+    "repro/runtime/system.py",
+    "repro/spec/",
+)
+
+#: ``module.attribute`` call targets that read a wall clock (DET001).
+_CLOCK_CALLS = {
+    ("time", "time"), ("time", "monotonic"), ("time", "perf_counter"),
+    ("time", "process_time"), ("time", "time_ns"), ("time", "monotonic_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: ``random.<fn>`` module-level calls that use the shared global RNG
+#: (DET002); ``random.Random(seed)`` instances are fine.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "betavariate", "expovariate", "seed",
+    "getrandbits",
+}
+
+#: Ambient environment reads (DET005).
+_ENV_CALLS = {("os", "urandom"), ("os", "getenv"), ("uuid", "uuid1"),
+              ("uuid", "uuid4"), ("secrets", "token_bytes"),
+              ("secrets", "token_hex")}
+
+
+def in_scope(path: str, scope: Sequence[str]) -> bool:
+    """True iff *path* (POSIX-style) falls under one of *scope*'s prefixes.
+
+    Prefixes are matched against the path's tail, so absolute paths,
+    ``src/``-prefixed paths and bare package paths all resolve the same
+    way.
+    """
+    normalized = Path(path).as_posix()
+    return any(
+        normalized.endswith(prefix.rstrip("/"))
+        or f"/{prefix}" in f"/{normalized}/"
+        or normalized.startswith(prefix)
+        for prefix in scope
+    )
+
+
+def _call_target(node: ast.Call) -> Tuple[Optional[str], Optional[str]]:
+    """(base, attr) for ``base.attr(...)`` calls, (None, name) for bare."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            return base.id, func.attr
+        if isinstance(base, ast.Attribute):  # e.g. datetime.datetime.now
+            return base.attr, func.attr
+        return None, func.attr
+    if isinstance(func, ast.Name):
+        return None, func.id
+    return None, None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Over-approximate: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        base, attr = _call_target(node)
+        if base is None and attr in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.Sub)
+    ):
+        # set algebra: s1 | s2, s1 & s2, s1 - s2 over syntactic sets
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class _FunctionParams(ast.NodeVisitor):
+    """Collects, per function node, the parameter names it binds."""
+
+    @staticmethod
+    def params(node: ast.AST) -> frozenset:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return frozenset()
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return frozenset(names)
+
+
+def _dataclass_decoration(node: ast.ClassDef) -> Optional[Tuple[bool, bool, int]]:
+    """(frozen, slots, decorator line) when *node* is a dataclass, else None."""
+    for decorator in node.decorator_list:
+        target = decorator
+        keywords: List[ast.keyword] = []
+        if isinstance(decorator, ast.Call):
+            target = decorator.func
+            keywords = decorator.keywords
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name != "dataclass":
+            continue
+        flags = {"frozen": False, "slots": False}
+        for keyword in keywords:
+            if keyword.arg in flags and isinstance(keyword.value, ast.Constant):
+                flags[keyword.arg] = bool(keyword.value.value)
+        return flags["frozen"], flags["slots"], decorator.lineno
+    return None
+
+
+def _lint_tree(
+    tree: ast.AST,
+    rel_path: str,
+    *,
+    det: bool,
+    frozen_rule: bool,
+    slots_rule: bool,
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # Parameter-name context for MUT001: walk functions, tracking params.
+    param_stack: List[frozenset] = []
+
+    def visit(node: ast.AST) -> None:
+        is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if is_function:
+            param_stack.append(_FunctionParams.params(node))
+        _check_node(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+        if is_function:
+            param_stack.pop()
+
+    def _check_node(node: ast.AST) -> None:
+        if det and isinstance(node, ast.Call):
+            base, attr = _call_target(node)
+            if (base, attr) in _CLOCK_CALLS:
+                findings.append(make_finding(
+                    "DET001",
+                    f"call to {base}.{attr}() — wall-clock reads make "
+                    "journal replay and parallel merge diverge; thread a "
+                    "logical clock through the configuration instead",
+                    file=rel_path, line=node.lineno,
+                ))
+            if base == "random" and attr in _GLOBAL_RANDOM_FNS:
+                findings.append(make_finding(
+                    "DET002",
+                    f"call to random.{attr}() uses the shared global RNG; "
+                    "construct random.Random(seed) with an injected seed",
+                    file=rel_path, line=node.lineno,
+                ))
+            if base is None and attr == "Random" and not (
+                node.args or node.keywords
+            ):
+                findings.append(make_finding(
+                    "DET002",
+                    "Random() without a seed argument is seeded from the "
+                    "OS; inject an explicit seed",
+                    file=rel_path, line=node.lineno,
+                ))
+            if base == "random" and attr == "Random" and not (
+                node.args or node.keywords
+            ):
+                findings.append(make_finding(
+                    "DET002",
+                    "random.Random() without a seed argument is seeded "
+                    "from the OS; inject an explicit seed",
+                    file=rel_path, line=node.lineno,
+                ))
+            if base is None and attr == "id" and node.args:
+                findings.append(make_finding(
+                    "DET003",
+                    "id() depends on object identity, which differs across "
+                    "interpreter processes; use a stable key",
+                    file=rel_path, line=node.lineno,
+                ))
+            if (base, attr) in _ENV_CALLS:
+                findings.append(make_finding(
+                    "DET005",
+                    f"call to {base}.{attr}() reads ambient environment "
+                    "state; pass the value in explicitly",
+                    file=rel_path, line=node.lineno,
+                ))
+        if det and isinstance(node, ast.Subscript):
+            # os.environ[...] reads
+            target = node.value
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "environ"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "os"
+            ):
+                findings.append(make_finding(
+                    "DET005",
+                    "os.environ read in the step path; pass configuration "
+                    "in explicitly",
+                    file=rel_path, line=node.lineno,
+                ))
+        if det and isinstance(node, (ast.For, ast.comprehension)):
+            iterable = node.iter
+            if _is_set_expression(iterable):
+                findings.append(make_finding(
+                    "DET004",
+                    "iterating a set/frozenset: element order depends on "
+                    "PYTHONHASHSEED and can leak into outputs; wrap in "
+                    "sorted(...) or iterate a deterministic sequence",
+                    file=rel_path, line=iterable.lineno,
+                ))
+
+        if frozen_rule and isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base = target.value
+                if (
+                    isinstance(base, ast.Name)
+                    and param_stack
+                    and base.id in param_stack[-1]
+                    and base.id not in ("self", "cls")
+                ):
+                    findings.append(make_finding(
+                        "MUT001",
+                        f"assignment to {base.id}.{target.attr} mutates a "
+                        "parameter the caller still holds; build a new "
+                        "value (dataclasses.replace) instead",
+                        file=rel_path, line=node.lineno,
+                    ))
+        if frozen_rule and isinstance(node, ast.Call):
+            base, attr = _call_target(node)
+            if attr == "__setattr__" and base == "object":
+                findings.append(make_finding(
+                    "MUT001",
+                    "object.__setattr__ bypasses frozen-dataclass "
+                    "protection; frozen state must never be written after "
+                    "construction",
+                    file=rel_path, line=node.lineno,
+                ))
+
+        if isinstance(node, ast.ClassDef) and (frozen_rule or slots_rule):
+            decoration = _dataclass_decoration(node)
+            if decoration is not None:
+                frozen, slots, deco_line = decoration
+                if frozen_rule and not frozen:
+                    findings.append(make_finding(
+                        "MUT002",
+                        f"dataclass {node.name} is not frozen=True; values "
+                        "in state modules must be immutable (they are "
+                        "reachable from configuration fingerprints)",
+                        file=rel_path, line=deco_line,
+                    ))
+                if slots_rule and frozen and not slots:
+                    findings.append(make_finding(
+                        "MUT003",
+                        f"frozen dataclass {node.name} lacks slots=True; "
+                        "slots make stray attribute creation fail loudly "
+                        "and shrink per-configuration memory",
+                        file=rel_path, line=deco_line,
+                    ))
+
+    visit(tree)
+    return findings
+
+
+def lint_file(
+    path: str,
+    *,
+    det: Optional[bool] = None,
+    frozen_rule: Optional[bool] = None,
+    slots_rule: Optional[bool] = None,
+) -> List[Finding]:
+    """Lint one file.  Rule groups default to their scope tables.
+
+    Passing explicit booleans overrides scoping — the fixture tests use
+    this to run every rule against modules outside the package.
+    """
+    rel = Path(path).as_posix()
+    source = Path(path).read_text()
+    tree = ast.parse(source, filename=rel)
+    findings = _lint_tree(
+        tree,
+        rel,
+        det=in_scope(rel, STEP_PATH_SCOPE) if det is None else det,
+        frozen_rule=(
+            in_scope(rel, STATE_SCOPE) if frozen_rule is None else frozen_rule
+        ),
+        slots_rule=(
+            in_scope(rel, SLOTS_SCOPE) if slots_rule is None else slots_rule
+        ),
+    )
+    return apply_suppressions(findings, suppressions(source))
+
+
+def _python_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str], *, all_rules: bool = False
+) -> AnalysisReport:
+    """Lint every Python file under *paths*, honoring the rule scopes.
+
+    With ``all_rules=True`` every rule group applies to every file
+    regardless of scope (the CLI's ``--all-rules``, used against fixture
+    trees).
+    """
+    report = AnalysisReport(passes_run=("determinism",))
+    override = True if all_rules else None
+    for path in _python_files(paths):
+        report.files_scanned += 1
+        for finding in lint_file(
+            str(path), det=override, frozen_rule=override, slots_rule=override
+        ):
+            report.add(finding)
+    return report

@@ -1,0 +1,538 @@
+"""Static register-footprint checker: Figure 1 without running a step.
+
+The paper's headline artifact is a table of register counts; the library's
+operational accounting (`MemoryLayout.register_count`) only measures a
+*constructed* layout at concrete ``(n, m, k)``.  This pass closes the gap
+statically: it parses each algorithm family's source, derives a *symbolic*
+register footprint over the parameters ``n, m, k``, and proves it against
+the declared Figure 1 bounds — so an accidental extra bank, a changed
+component formula, or a new register slipped into ``default_layout`` fails
+``repro analyze`` before any simulation runs.
+
+How the footprint is derived (all by AST walk, no imports, no execution):
+
+1. ``nominal_components`` — its return expression is converted into a
+   polynomial over ``n, m, k`` (the paper's formulas are polynomial:
+   ``n+2m−k`` for Figures 3/4, ``(m+1)(n−k)+m²`` for Figure 5);
+2. ``default_layout`` — every allocation call is charged:
+   ``snapshot_layout(X, self.components)`` costs the components
+   polynomial, ``register_layout(X, c)`` costs the constant ``c``,
+   ``merge_layouts`` sums its arguments.  Any allocation the walker does
+   not recognize is itself a finding (FP003) — the checker refuses to
+   under-count silently;
+3. access sites — every ``UpdateOp/ScanOp/ReadOp/WriteOp`` constructed
+   anywhere in the class must target an object the layout declares
+   (FP002): a protocol cannot touch registers it never paid for.
+
+Symbolic comparison happens over the paper's parameter regime
+``1 ≤ m ≤ k < n`` using the substitution ``m = 1+c, k = m+b, n = k+1+a``
+with ``a, b, c ≥ 0``: a polynomial is nonnegative on the whole regime if
+its rewritten form has only nonnegative coefficients.  This is sound
+(never claims an inequality that can fail) and complete for every bound in
+Figure 1; a ``min``-shaped upper bound is satisfied when the footprint is
+dominated by *some* branch — the min records that two different algorithms
+witness the bound, and this repo implements the ``n+2m−k`` witness.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.report import AnalysisReport, make_finding
+
+#: Monomial over the parameter variables: a sorted tuple of variable
+#: names, e.g. () for the constant term, ("m", "n") for m·n.
+Monomial = Tuple[str, ...]
+
+#: Polynomial: monomial -> integer coefficient (zero coefficients absent).
+Poly = Mapping[Monomial, int]
+
+PARAMS = ("n", "m", "k")
+
+
+def poly(**terms: int) -> Dict[Monomial, int]:
+    """Convenience constructor: ``poly(n=1, m=2, k=-1, const=0)``.
+
+    Keys are single variables or ``const``; richer monomials (``m²``,
+    ``m·n``) are built with :func:`p_mul`.
+    """
+    out: Dict[Monomial, int] = {}
+    for key, coeff in terms.items():
+        mono: Monomial = () if key == "const" else (key,)
+        if coeff:
+            out[mono] = out.get(mono, 0) + coeff
+    return out
+
+
+def p_add(*ps: Poly) -> Dict[Monomial, int]:
+    """Sum of polynomials."""
+    out: Dict[Monomial, int] = {}
+    for p in ps:
+        for mono, coeff in p.items():
+            new = out.get(mono, 0) + coeff
+            if new:
+                out[mono] = new
+            else:
+                out.pop(mono, None)
+    return out
+
+
+def p_neg(p: Poly) -> Dict[Monomial, int]:
+    """Negation of a polynomial."""
+    return {mono: -coeff for mono, coeff in p.items()}
+
+
+def p_sub(a: Poly, b: Poly) -> Dict[Monomial, int]:
+    """Difference ``a - b``."""
+    return p_add(a, p_neg(b))
+
+
+def p_mul(a: Poly, b: Poly) -> Dict[Monomial, int]:
+    """Product of two polynomials."""
+    out: Dict[Monomial, int] = {}
+    for mono_a, ca in a.items():
+        for mono_b, cb in b.items():
+            mono = tuple(sorted(mono_a + mono_b))
+            new = out.get(mono, 0) + ca * cb
+            if new:
+                out[mono] = new
+            else:
+                out.pop(mono, None)
+    return out
+
+
+def p_eval(p: Poly, **values: int) -> int:
+    """Evaluate at concrete parameter values."""
+    total = 0
+    for mono, coeff in p.items():
+        term = coeff
+        for var in mono:
+            term *= values[var]
+        total += term
+    return total
+
+
+def p_render(p: Poly) -> str:
+    """Human-readable canonical rendering, e.g. ``m*n - k + 2``."""
+    if not p:
+        return "0"
+    parts = []
+    for mono in sorted(p, key=lambda m: (-len(m), m)):
+        coeff = p[mono]
+        body = "*".join(mono)
+        if not mono:
+            text = str(abs(coeff))
+        elif abs(coeff) == 1:
+            text = body
+        else:
+            text = f"{abs(coeff)}*{body}"
+        sign = "-" if coeff < 0 else "+"
+        parts.append((sign, text))
+    first_sign, first_text = parts[0]
+    rendered = (first_sign if first_sign == "-" else "") + first_text
+    for sign, text in parts[1:]:
+        rendered += f" {sign} {text}"
+    return rendered
+
+
+def nonnegative_on_regime(p: Poly) -> bool:
+    """Soundly decide ``p(n,m,k) ≥ 0`` for all ``1 ≤ m ≤ k < n``.
+
+    Substitutes ``m = 1+c, k = 1+c+b, n = 2+c+b+a`` (``a,b,c ≥ 0``) and
+    checks that every coefficient of the rewritten polynomial in
+    ``a, b, c`` is nonnegative — a sufficient condition that happens to be
+    conclusive for every Figure 1 bound (their slack is monotone in the
+    regime offsets).
+    """
+    substitution = {
+        "m": poly(c=1, const=1),
+        "k": poly(c=1, b=1, const=1),
+        "n": poly(c=1, b=1, a=1, const=2),
+    }
+    rewritten: Dict[Monomial, int] = {(): 0}
+    for mono, coeff in p.items():
+        term: Dict[Monomial, int] = {(): coeff}
+        for var in mono:
+            term = p_mul(term, substitution[var])
+        rewritten = p_add(rewritten, term)
+    return all(coeff >= 0 for coeff in rewritten.values())
+
+
+# --------------------------------------------------------------------- #
+# AST -> polynomial extraction
+# --------------------------------------------------------------------- #
+
+class FootprintExtractionError(Exception):
+    """The walker met source it cannot soundly account for."""
+
+
+def _expr_poly(node: ast.expr) -> Dict[Monomial, int]:
+    """Convert an arithmetic expression over self.n/m/k into a polynomial."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return poly(const=node.value)
+    if isinstance(node, ast.Attribute) and node.attr in PARAMS:
+        return poly(**{node.attr: 1})
+    if isinstance(node, ast.Name) and node.id in PARAMS:
+        return poly(**{node.id: 1})
+    if isinstance(node, ast.BinOp):
+        left, right = _expr_poly(node.left), _expr_poly(node.right)
+        if isinstance(node.op, ast.Add):
+            return p_add(left, right)
+        if isinstance(node.op, ast.Sub):
+            return p_sub(left, right)
+        if isinstance(node.op, ast.Mult):
+            return p_mul(left, right)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return p_neg(_expr_poly(node.operand))
+    raise FootprintExtractionError(
+        f"cannot symbolize expression at line {node.lineno}: "
+        f"{ast.dump(node)[:80]}"
+    )
+
+
+def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _components_poly(cls: ast.ClassDef) -> Dict[Monomial, int]:
+    method = _find_method(cls, "nominal_components")
+    if method is None:
+        raise FootprintExtractionError(
+            f"{cls.name} has no nominal_components method"
+        )
+    returns = [n for n in ast.walk(method) if isinstance(n, ast.Return)]
+    if len(returns) != 1 or returns[0].value is None:
+        raise FootprintExtractionError(
+            f"{cls.name}.nominal_components must have a single return "
+            "expression"
+        )
+    return _expr_poly(returns[0].value)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _layout_cost(
+    node: ast.expr,
+    components: Poly,
+    objects: List[str],
+) -> Dict[Monomial, int]:
+    """Charge one allocation expression inside ``default_layout``."""
+    if not isinstance(node, ast.Call):
+        raise FootprintExtractionError(
+            f"unrecognized layout expression at line {node.lineno}"
+        )
+    name = _call_name(node)
+    if name == "merge_layouts":
+        return p_add(*(
+            _layout_cost(arg, components, objects) for arg in node.args
+        ))
+    if name in ("snapshot_layout", "register_layout"):
+        if len(node.args) < 2:
+            raise FootprintExtractionError(
+                f"{name} call at line {node.lineno} lacks a size argument"
+            )
+        obj_arg, size_arg = node.args[0], node.args[1]
+        if isinstance(obj_arg, ast.Constant):
+            objects.append(str(obj_arg.value))
+        elif isinstance(obj_arg, ast.Name):
+            objects.append(obj_arg.id)  # module-level constant (SNAPSHOT)
+        if (
+            isinstance(size_arg, ast.Attribute)
+            and size_arg.attr == "components"
+        ):
+            return dict(components)
+        return _expr_poly(size_arg)
+    raise FootprintExtractionError(
+        f"unrecognized allocation {name!r} at line {node.lineno}; teach "
+        "repro.analysis.footprint about it before shipping"
+    )
+
+
+def _layout_poly(
+    cls: ast.ClassDef, components: Poly
+) -> Tuple[Dict[Monomial, int], List[str]]:
+    method = _find_method(cls, "default_layout")
+    if method is None:
+        raise FootprintExtractionError(f"{cls.name} has no default_layout")
+    returns = [n for n in ast.walk(method) if isinstance(n, ast.Return)]
+    if len(returns) != 1 or returns[0].value is None:
+        raise FootprintExtractionError(
+            f"{cls.name}.default_layout must have a single return expression"
+        )
+    objects: List[str] = []
+    cost = _layout_cost(returns[0].value, components, objects)
+    return cost, objects
+
+
+_OP_CONSTRUCTORS = {"UpdateOp", "ScanOp", "ReadOp", "WriteOp"}
+
+
+def _access_sites(cls: ast.ClassDef) -> List[Tuple[str, int]]:
+    """(object name, line) of every shared-memory op the class constructs."""
+    sites: List[Tuple[str, int]] = []
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) not in _OP_CONSTRUCTORS:
+            continue
+        if not node.args:
+            continue
+        target = node.args[0]
+        if isinstance(target, ast.Constant):
+            sites.append((str(target.value), node.lineno))
+        elif isinstance(target, ast.Name):
+            sites.append((target.id, node.lineno))
+    return sites
+
+
+# --------------------------------------------------------------------- #
+# The family registry and the check
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class FamilySpec:
+    """The declared space contract of one algorithm family.
+
+    ``expected`` is the family's exact footprint formula; ``upper_bounds``
+    the Figure 1 cell's branches (the footprint must be dominated by at
+    least one); ``lower_bound`` the matching lower-bound polynomial (must
+    not exceed the footprint — an algorithm below the proven lower bound
+    means the accounting itself is broken), or ``None`` when the cell's
+    lower bound is not polynomial (Theorem 10's square root).
+    """
+
+    family: str
+    module: str
+    class_name: str
+    expected: Poly
+    expected_text: str
+    upper_bounds: Tuple[Poly, ...]
+    upper_text: str
+    lower_bound: Optional[Poly]
+    source: str
+
+
+def _fig1_nonanon() -> Tuple[Poly, ...]:
+    # min(n+2m−k, n): the repo implements the n+2m−k witness.
+    return (poly(n=1, m=2, k=-1), poly(n=1))
+
+
+def _fig5_snapshot() -> Dict[Monomial, int]:
+    # (m+1)(n−k) + m²
+    return p_add(
+        p_mul(poly(m=1, const=1), poly(n=1, k=-1)),
+        p_mul(poly(m=1), poly(m=1)),
+    )
+
+
+DEFAULT_FAMILIES: Tuple[FamilySpec, ...] = (
+    FamilySpec(
+        family="oneshot-figure3",
+        module="repro/agreement/oneshot.py",
+        class_name="OneShotSetAgreement",
+        expected=poly(n=1, m=2, k=-1),
+        expected_text="n + 2m - k",
+        upper_bounds=_fig1_nonanon(),
+        upper_text="min(n+2m-k, n)  (Theorem 7)",
+        lower_bound=poly(const=2),
+        source="Figure 3",
+    ),
+    FamilySpec(
+        family="repeated-figure4",
+        module="repro/agreement/repeated.py",
+        class_name="RepeatedSetAgreement",
+        expected=poly(n=1, m=2, k=-1),
+        expected_text="n + 2m - k",
+        upper_bounds=_fig1_nonanon(),
+        upper_text="min(n+2m-k, n)  (Theorem 8)",
+        lower_bound=poly(n=1, m=1, k=-1),
+        source="Figure 4",
+    ),
+    FamilySpec(
+        family="anonymous-figure5",
+        module="repro/agreement/anonymous.py",
+        class_name="AnonymousRepeatedSetAgreement",
+        expected=p_add(_fig5_snapshot(), poly(const=1)),
+        expected_text="(m+1)(n-k) + m^2 + 1",
+        upper_bounds=(p_add(_fig5_snapshot(), poly(const=1)),),
+        upper_text="(m+1)(n-k) + m^2 + 1  (Theorem 11)",
+        lower_bound=poly(n=1, m=1, k=-1),
+        source="Figure 5",
+    ),
+    FamilySpec(
+        family="anonymous-oneshot",
+        module="repro/agreement/anonymous.py",
+        class_name="AnonymousOneShotSetAgreement",
+        expected=_fig5_snapshot(),
+        expected_text="(m+1)(n-k) + m^2",
+        upper_bounds=(_fig5_snapshot(),),
+        upper_text="(m+1)(n-k) + m^2  (§6 remark)",
+        lower_bound=None,  # Theorem 10's bound is a square root
+        source="Figure 5 (one-shot)",
+    ),
+)
+
+#: Module-level constants that name layout objects in the sources.
+_OBJECT_CONSTANTS = {"SNAPSHOT": "A", "HISTORY_REGISTER": "H"}
+
+
+@dataclass(frozen=True, slots=True)
+class FamilyFootprint:
+    """The derived symbolic footprint of one family (for tests/tables)."""
+
+    family: str
+    footprint: Poly
+    rendered: str
+    objects: Tuple[str, ...]
+
+
+def check_family(
+    spec: FamilySpec, root: Path
+) -> Tuple[Optional[FamilyFootprint], List]:
+    """Derive and verify one family's footprint.  Returns (footprint, findings)."""
+    findings = []
+    path = _resolve_module(spec.module, root)
+    if path is None:
+        findings.append(make_finding(
+            "FP003",
+            f"family {spec.family}: module {spec.module} not found under "
+            f"{root}",
+            file=spec.module,
+        ))
+        return None, findings
+    rel = path.as_posix()
+    tree = ast.parse(path.read_text(), filename=rel)
+    cls = next(
+        (
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.ClassDef) and n.name == spec.class_name
+        ),
+        None,
+    )
+    if cls is None:
+        findings.append(make_finding(
+            "FP003",
+            f"family {spec.family}: class {spec.class_name} not found in "
+            f"{rel}",
+            file=rel,
+        ))
+        return None, findings
+    try:
+        components = _components_poly(cls)
+        footprint, declared = _layout_poly(cls, components)
+    except FootprintExtractionError as exc:
+        findings.append(make_finding(
+            "FP003", f"family {spec.family}: {exc}", file=rel, line=cls.lineno
+        ))
+        return None, findings
+
+    declared_objects = {
+        _OBJECT_CONSTANTS.get(name, name) for name in declared
+    }
+    for obj, line in _access_sites(cls):
+        resolved = _OBJECT_CONSTANTS.get(obj, obj)
+        if resolved not in declared_objects:
+            findings.append(make_finding(
+                "FP002",
+                f"family {spec.family}: operation targets object "
+                f"{resolved!r} which default_layout never allocates "
+                f"(declared: {sorted(declared_objects)})",
+                file=rel, line=line,
+            ))
+
+    if dict(footprint) != dict(spec.expected):
+        findings.append(make_finding(
+            "FP001",
+            f"family {spec.family}: static footprint is "
+            f"{p_render(footprint)} registers but {spec.source} declares "
+            f"{spec.expected_text}; a space "
+            f"{'regression' if _exceeds(footprint, spec.expected) else 'deviation'} "
+            "must update the Figure 1 contract explicitly",
+            file=rel, line=cls.lineno,
+        ))
+    if not any(
+        nonnegative_on_regime(p_sub(branch, footprint))
+        for branch in spec.upper_bounds
+    ):
+        findings.append(make_finding(
+            "FP001",
+            f"family {spec.family}: footprint {p_render(footprint)} is not "
+            f"dominated by any branch of the Figure 1 upper bound "
+            f"{spec.upper_text} on the regime 1 <= m <= k < n",
+            file=rel, line=cls.lineno,
+        ))
+    if spec.lower_bound is not None and not nonnegative_on_regime(
+        p_sub(footprint, spec.lower_bound)
+    ):
+        findings.append(make_finding(
+            "FP001",
+            f"family {spec.family}: footprint {p_render(footprint)} falls "
+            f"below the proven lower bound "
+            f"{p_render(spec.lower_bound)} — the static accounting is "
+            "unsound, not the algorithm too frugal",
+            file=rel, line=cls.lineno,
+        ))
+    return (
+        FamilyFootprint(
+            family=spec.family,
+            footprint=footprint,
+            rendered=p_render(footprint),
+            objects=tuple(sorted(declared_objects)),
+        ),
+        findings,
+    )
+
+
+def _exceeds(footprint: Poly, expected: Poly) -> bool:
+    """True when the footprint is (somewhere in the regime) above expected."""
+    return not nonnegative_on_regime(p_sub(expected, footprint))
+
+
+def _resolve_module(module: str, root: Path) -> Optional[Path]:
+    for candidate in (root / module, root / "src" / module):
+        if candidate.is_file():
+            return candidate
+    matches = sorted(root.rglob(Path(module).name))
+    for match in matches:
+        if match.as_posix().endswith(module):
+            return match
+    return None
+
+
+def check_footprints(
+    root: str = ".",
+    families: Sequence[FamilySpec] = DEFAULT_FAMILIES,
+) -> AnalysisReport:
+    """Run the static footprint pass for every family under *root*."""
+    report = AnalysisReport(passes_run=("footprint",))
+    for spec in families:
+        footprint, findings = check_family(spec, Path(root))
+        report.files_scanned += 1
+        for finding in findings:
+            report.add(finding)
+    return report
+
+
+def family_footprints(
+    root: str = ".",
+    families: Sequence[FamilySpec] = DEFAULT_FAMILIES,
+) -> Dict[str, FamilyFootprint]:
+    """The derived footprints keyed by family (None entries omitted)."""
+    out: Dict[str, FamilyFootprint] = {}
+    for spec in families:
+        footprint, _ = check_family(spec, Path(root))
+        if footprint is not None:
+            out[spec.family] = footprint
+    return out

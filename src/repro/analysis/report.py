@@ -1,0 +1,252 @@
+"""The shared reporting vocabulary of ``repro analyze``.
+
+Every static-analysis pass — the determinism/purity lint
+(:mod:`repro.analysis.determinism`), the static register-footprint checker
+(:mod:`repro.analysis.footprint`), and the register-access sanitizer
+(:mod:`repro.analysis.sanitizer`) — reports through one
+:class:`AnalysisReport` of :class:`Finding` records, so CLI output, JSON
+artifacts, and the CI gate all speak a single format.
+
+Rules have *stable identifiers* (``DET001``, ``MUT002``, ``FP001``,
+``SAN101``, ...): tests, suppression comments and CI logs reference rules
+by ID, and IDs are never renumbered — a retired rule's ID is retired with
+it.  The full catalog lives in :data:`RULES` and is rendered in
+``docs/analysis.md``.
+
+Severities form a three-level gate:
+
+* ``error`` — a soundness problem (mutation of frozen state, a register
+  footprint above the declared bound); fails ``repro analyze`` always;
+* ``warning`` — a hazard that needs review (unseeded randomness, set
+  iteration feeding output order); fails only under ``--strict``;
+* ``note`` — diagnostics (covering-write statistics from the sanitizer);
+  never affects the exit code.
+
+Suppression is per-line and per-rule: a trailing ``# repro: allow(RULE)``
+comment on the flagged line (or the line above it) silences exactly that
+rule there, and :func:`suppressed` is consulted by every pass — there is
+one suppression syntax, not one per pass.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Ordered severity levels, weakest last.
+SEVERITIES = ("error", "warning", "note")
+
+#: The rule catalog: stable ID -> (default severity, one-line summary).
+#: IDs are grouped by pass: DET* determinism, MUT* immutability, FP*
+#: footprint, SAN* sanitizer (trace-time).  Never renumber.
+RULES: Dict[str, Tuple[str, str]] = {
+    "DET001": ("error", "wall-clock read (time/datetime) in the step path"),
+    "DET002": ("error", "unseeded randomness in the step path"),
+    "DET003": ("error", "object-identity dependence (id()) in the step path"),
+    "DET004": ("warning", "iteration over a set/frozenset feeds output order"),
+    "DET005": ("error", "ambient-environment read (os.environ/os.urandom) "
+                        "in the step path"),
+    "MUT001": ("error", "attribute assignment mutates a frozen-state "
+                        "parameter"),
+    "MUT002": ("error", "non-frozen dataclass in a state module"),
+    "MUT003": ("warning", "frozen state dataclass without slots=True"),
+    "FP001": ("error", "static register footprint deviates from the "
+                       "declared Figure 1 bound"),
+    "FP002": ("error", "protocol accesses an object its layout does not "
+                       "declare"),
+    "FP003": ("error", "unrecognized allocation site in default_layout"),
+    "SAN101": ("error", "mutation-after-freeze: step mutated its input "
+                        "configuration"),
+    "SAN102": ("error", "nondeterministic step: replaying one step "
+                        "diverged"),
+    "SAN103": ("note", "covering write: a value was overwritten before "
+                       "any other process read it"),
+    "SAN104": ("note", "torn frame read: one frame observed two values "
+                       "of the same register"),
+}
+
+#: ``# repro: allow(DET001)`` — also accepts a comma-separated rule list.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([A-Z0-9, ]+)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding, anchored to a rule and (usually) a location.
+
+    ``file`` and ``line`` are empty/0 for trace-time findings that have no
+    source anchor (the sanitizer anchors to the simulated step instead,
+    described in ``detail``).
+    """
+
+    rule: str
+    message: str
+    file: str = ""
+    line: int = 0
+    severity: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown analysis rule {self.rule!r}")
+        if not self.severity:
+            object.__setattr__(self, "severity", RULES[self.rule][0])
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def location(self) -> str:
+        """``file:line`` when anchored, ``<trace>`` otherwise."""
+        if self.file:
+            return f"{self.file}:{self.line}"
+        return "<trace>"
+
+    def render(self) -> str:
+        """The canonical one-line rendering used by the CLI."""
+        return f"{self.location()}: {self.severity} [{self.rule}] {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """The combined outcome of one ``repro analyze`` invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    passes_run: Tuple[str, ...] = ()
+
+    def add(self, finding: Finding) -> None:
+        """Append one finding."""
+        self.findings.append(finding)
+
+    def extend(self, other: "AnalysisReport") -> None:
+        """Fold another pass's report into this one."""
+        self.findings.extend(other.findings)
+        self.files_scanned += other.files_scanned
+        self.passes_run = self.passes_run + other.passes_run
+
+    def sorted_findings(self) -> List[Finding]:
+        """Findings in stable (file, line, rule) order — diffable output."""
+        return sorted(
+            self.findings, key=lambda f: (f.file, f.line, f.rule, f.message)
+        )
+
+    def count(self, severity: str) -> int:
+        """Number of findings at exactly *severity*."""
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def gating_findings(self, strict: bool = False) -> List[Finding]:
+        """Findings that fail the run: errors always, warnings iff strict."""
+        gate = ("error", "warning") if strict else ("error",)
+        return [f for f in self.sorted_findings() if f.severity in gate]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the report carries no error-severity finding."""
+        return self.count("error") == 0
+
+    def summary(self) -> str:
+        """One-line account: passes, files, findings per severity."""
+        counts = ", ".join(
+            f"{self.count(sev)} {sev}{'s' if self.count(sev) != 1 else ''}"
+            for sev in SEVERITIES
+        )
+        passes = "+".join(self.passes_run) if self.passes_run else "none"
+        return (
+            f"analyze [{passes}]: {self.files_scanned} files, {counts}"
+        )
+
+    def render(self) -> str:
+        """Multi-line human-readable report (findings then summary)."""
+        lines = [finding.render() for finding in self.sorted_findings()]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Stable JSON rendering (the CI failure artifact)."""
+        payload = {
+            "passes": list(self.passes_run),
+            "files_scanned": self.files_scanned,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "file": f.file,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in self.sorted_findings()
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def suppressions(source: str) -> Mapping[int, frozenset]:
+    """Map line number -> rules suppressed there via ``# repro: allow(...)``.
+
+    A suppression comment covers its own line and the line directly below
+    it, so both trailing comments and own-line comments above a long
+    statement work.
+    """
+    table: Dict[int, set] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {
+            token.strip()
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        table.setdefault(lineno, set()).update(rules)
+        table.setdefault(lineno + 1, set()).update(rules)
+    return {lineno: frozenset(rules) for lineno, rules in table.items()}
+
+
+def suppressed(
+    table: Mapping[int, frozenset], line: int, rule: str
+) -> bool:
+    """True iff *rule* is suppressed at *line* per :func:`suppressions`."""
+    return rule in table.get(line, frozenset())
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], table: Mapping[int, frozenset]
+) -> List[Finding]:
+    """Drop findings whose (line, rule) the source explicitly allows."""
+    return [
+        finding
+        for finding in findings
+        if not suppressed(table, finding.line, finding.rule)
+    ]
+
+
+def rule_severity(rule: str) -> str:
+    """The default severity of *rule* (raises on unknown IDs)."""
+    return RULES[rule][0]
+
+
+def rule_summary(rule: str) -> str:
+    """The one-line catalog summary of *rule*."""
+    return RULES[rule][1]
+
+
+def catalog_table() -> List[Tuple[str, str, str]]:
+    """(id, severity, summary) rows in ID order — docs and ``--rules``."""
+    return [(rid, sev, text) for rid, (sev, text) in sorted(RULES.items())]
+
+
+def make_finding(
+    rule: str,
+    message: str,
+    *,
+    file: str = "",
+    line: int = 0,
+    severity: Optional[str] = None,
+) -> Finding:
+    """Convenience constructor applying the catalog's default severity."""
+    return Finding(
+        rule=rule,
+        message=message,
+        file=file,
+        line=line,
+        severity=severity or rule_severity(rule),
+    )

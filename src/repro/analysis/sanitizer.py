@@ -1,0 +1,287 @@
+"""The register-access sanitizer ("simsan"): dynamic checks at trace time.
+
+Static passes prove what the *source* can do; the sanitizer watches what a
+*simulation* actually does.  It is opt-in instrumentation, analogous to
+ASan/TSan for native code: nothing in the substrate pays for it unless a
+run is started with ``--sanitize``.
+
+Two tiers, because two different guarantees are at stake:
+
+* **Configuration-local checks** (:class:`SanitizedSystem`) wrap
+  :meth:`repro.runtime.system.System.step` and are valid under *any*
+  exploration order, including branching BFS:
+
+  - SAN101 *mutation-after-freeze* — the input configuration's stable
+    fingerprint must be identical before and after the step.  Journal
+    replay (PR 3) and the parallel frontier merge (PR 1) silently corrupt
+    if a step mutates shared immutable state.
+  - SAN102 *nondeterministic step* — re-executing the same
+    ``(configuration, pid)`` step must yield the same successor
+    fingerprint and the same event.  This is the operational counterpart
+    of the static DET rules: it catches nondeterminism the lint cannot
+    see (hash-order leaks through C extensions, stateful closures).
+
+* **Trace-level checks** (:class:`RegisterSanitizer`) need a *linear*
+  execution, so they attach as a runner monitor (``repro run --sanitize``
+  and the smoke runs of ``repro analyze --sanitize``), never to BFS:
+
+  - SAN103 *covering write* (note) — a register's value was overwritten
+    by a different process before anyone read it.  Not a bug: it is the
+    paper's covering phenomenon (Theorem 2 builds its lower bound from
+    exactly these), surfaced so operators can see covering pressure.
+  - SAN104 *torn frame read* (note) — one object-implementation frame
+    observed two different values of the same register, i.e. its read
+    set was not atomic.  Expected for non-linearizable substrates
+    (``collect``); a diagnostic for the others.
+
+Findings flow into the shared :class:`~repro.analysis.report.AnalysisReport`
+vocabulary; error-severity findings from SAN101/SAN102 gate ``--sanitize``
+runs the same way static findings gate ``repro analyze``.
+
+Sanitized systems carry mutable collector state, so ``explore --sanitize``
+forces ``workers=1`` — the shared-nothing worker pool cannot aggregate a
+collector across processes, and a silent per-worker collector would drop
+findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.memory.ops import ReadOp, ScanOp, is_write_access, written_register
+from repro.runtime.events import Event, MemoryEvent
+from repro.runtime.system import (
+    Configuration,
+    StepResult,
+    System,
+    configuration_fingerprint,
+)
+
+from repro.analysis.report import AnalysisReport, Finding, make_finding
+
+#: Stop collecting per rule beyond this many findings: a systematically
+#: covering schedule would otherwise drown the report in identical notes.
+MAX_FINDINGS_PER_RULE = 25
+
+
+@dataclass
+class SanitizerCollector:
+    """Mutable accumulator shared by all sanitizer instrumentation.
+
+    Deduplicates by (rule, message) and caps per-rule volume, so a bug hit
+    on every step of a long exploration is reported once, not a million
+    times.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    steps_checked: int = 0
+    _seen: Set[Tuple[str, str]] = field(default_factory=set)
+    _dropped: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule: str, message: str) -> None:
+        """Record one finding, deduplicating and capping per rule."""
+        key = (rule, message)
+        if key in self._seen:
+            return
+        per_rule = sum(1 for f in self.findings if f.rule == rule)
+        if per_rule >= MAX_FINDINGS_PER_RULE:
+            self._dropped[rule] = self._dropped.get(rule, 0) + 1
+            return
+        self._seen.add(key)
+        self.findings.append(make_finding(rule, message))
+
+    def report(self) -> AnalysisReport:
+        """Snapshot the collected findings as an :class:`AnalysisReport`."""
+        report = AnalysisReport(passes_run=("sanitizer",))
+        for finding in self.findings:
+            report.add(finding)
+        for rule, count in sorted(self._dropped.items()):
+            report.add(make_finding(
+                rule,
+                f"... and {count} further {rule} findings suppressed "
+                f"(cap {MAX_FINDINGS_PER_RULE} per rule)",
+                severity="note",
+            ))
+        return report
+
+
+SanitizedCollectorT = Optional[SanitizerCollector]
+
+
+class SanitizedSystem(System):
+    """A :class:`System` whose ``step`` audits purity on every call.
+
+    Wraps an existing system (sharing its automaton, workloads and layout)
+    rather than building one, so callers sanitize exactly the system they
+    were about to run: ``SanitizedSystem(system, collector)``.
+
+    ``check_replay=True`` doubles the cost of every step (each step is
+    executed twice and compared) — acceptable for smoke runs and bounded
+    explorations, which is what ``--sanitize`` is for.
+    """
+
+    def __init__(
+        self,
+        base: System,
+        collector: SanitizedCollectorT = None,
+        *,
+        check_replay: bool = True,
+    ) -> None:
+        # Adopt the base system's fully-validated state wholesale instead
+        # of re-running System.__init__: the base already resolved
+        # workloads/layout defaults, and re-validation could diverge.
+        self.__dict__.update(base.__dict__)
+        self._base = base
+        self.collector = collector if collector is not None else SanitizerCollector()
+        self.check_replay = check_replay
+
+    def step(self, config: Configuration, pid: int) -> StepResult:
+        before = configuration_fingerprint(config)
+        result = self._base.step(config, pid)
+        self.collector.steps_checked += 1
+        after = configuration_fingerprint(config)
+        if before != after:
+            self.collector.record(
+                "SAN101",
+                f"step(pid={pid}) mutated its input configuration "
+                f"(fingerprint {before[:12]} -> {after[:12]}); journal "
+                "replay and frontier merging are unsound against this "
+                "system",
+            )
+        if self.check_replay:
+            replayed = self._base.step(config, pid)
+            same_succ = (
+                configuration_fingerprint(replayed.config)
+                == configuration_fingerprint(result.config)
+            )
+            if not same_succ or replayed.event != result.event:
+                what = "successor" if not same_succ else "event"
+                self.collector.record(
+                    "SAN102",
+                    f"step(pid={pid}) is nondeterministic: re-executing "
+                    f"the same step produced a different {what} "
+                    f"(event {result.event!r} vs {replayed.event!r})",
+                )
+        return result
+
+
+@dataclass
+class _WriteRecord:
+    """Last write to one register: who wrote, and whether anyone read it."""
+
+    pid: int
+    step: int
+    read: bool = False
+
+
+class RegisterSanitizer:
+    """Runner monitor tracking happens-before over register accesses.
+
+    Only sound on a *linear* execution: attach via
+    ``run(..., monitors=[sanitizer])``, never to BFS exploration (a
+    branching frontier has no single happens-before order).
+    """
+
+    def __init__(self, system: System, collector: SanitizedCollectorT = None):
+        self.layout = system.layout
+        self.collector = (
+            collector if collector is not None else SanitizerCollector()
+        )
+        self._writes: Dict[Tuple[str, int], _WriteRecord] = {}
+        #: (pid, invocation, thread) -> register -> first response seen
+        #: inside the current object-implementation frame.
+        self._frame_reads: Dict[Tuple[int, int, int], Dict] = {}
+        self._step = 0
+
+    # -- read-set bookkeeping ----------------------------------------- #
+
+    def _reads_of(self, op) -> List[Tuple[str, int]]:
+        if isinstance(op, ReadOp):
+            return [(op.obj, op.index)]
+        if isinstance(op, ScanOp):
+            return [
+                (op.obj, index)
+                for (obj, index) in self._writes
+                if obj == op.obj
+            ]
+        return []
+
+    def __call__(self, config: Configuration, event: Event) -> None:
+        self._step += 1
+        if not isinstance(event, MemoryEvent):
+            return
+        frame_key = (event.pid, event.invocation, event.thread)
+        if not event.in_frame:
+            # Leaving (or never entering) a frame ends its read window.
+            self._frame_reads.pop(frame_key, None)
+
+        for reg in self._reads_of(event.op):
+            record = self._writes.get(reg)
+            if record is not None:
+                record.read = True
+            if event.in_frame and isinstance(event.op, ReadOp):
+                window = self._frame_reads.setdefault(frame_key, {})
+                if reg in window and window[reg] != event.response:
+                    self.collector.record(
+                        "SAN104",
+                        f"p{event.pid} frame (invocation "
+                        f"{event.invocation}, thread {event.thread}) read "
+                        f"{reg[0]}[{reg[1]}] twice and observed "
+                        f"{window[reg]!r} then {event.response!r}: the "
+                        "frame's read set is not atomic",
+                    )
+                window.setdefault(reg, event.response)
+
+        if is_write_access(event.op):
+            reg = written_register(event.op)
+            if reg is None:
+                return
+            previous = self._writes.get(reg)
+            if (
+                previous is not None
+                and not previous.read
+                and previous.pid != event.pid
+            ):
+                self.collector.record(
+                    "SAN103",
+                    f"p{event.pid} covered {reg[0]}[{reg[1]}] at step "
+                    f"{self._step}: p{previous.pid}'s write at step "
+                    f"{previous.step} was never read (covering pressure, "
+                    "cf. Theorem 2)",
+                )
+            self._writes[reg] = _WriteRecord(pid=event.pid, step=self._step)
+
+    def report(self) -> AnalysisReport:
+        """Snapshot the collected trace findings as a report."""
+        return self.collector.report()
+
+
+def sanitize_execution(
+    system: System,
+    *,
+    max_steps: int = 2_000,
+    check_replay: bool = True,
+) -> AnalysisReport:
+    """One sanitized smoke run: round-robin *system* to quiescence.
+
+    This is what ``repro analyze --sanitize`` does per algorithm family:
+    wrap the system, attach the trace monitor, run a short linear
+    execution, and fold every finding into one report.
+    """
+    from repro.runtime.runner import run
+    from repro.sched.round_robin import RoundRobinScheduler
+
+    collector = SanitizerCollector()
+    sanitized = SanitizedSystem(system, collector, check_replay=check_replay)
+    monitor = RegisterSanitizer(sanitized, collector)
+    run(
+        sanitized,
+        RoundRobinScheduler(),
+        max_steps=max_steps,
+        on_limit="return",
+        monitors=[monitor],
+    )
+    report = collector.report()
+    report.files_scanned = 0
+    return report

@@ -12,7 +12,10 @@ entry points:
 * ``glue``      — run the Lemma 9 clone construction against the anonymous
   one-shot algorithm;
 * ``faults``    — run a seeded chaos campaign (process crashes, register
-  corruption) and report replay-certified outcomes.
+  corruption) and report replay-certified outcomes;
+* ``analyze``   — static analysis of the reproduction itself: the
+  determinism/purity lint, the symbolic register-footprint checker, and
+  (with ``--sanitize``) sanitized smoke runs; the CI gate.
 
 Every command prints plain text and exits non-zero on failure, so the CLI
 can anchor shell-based regression checks.  The exit-code discipline is
@@ -32,6 +35,7 @@ flight (the dispatcher installs the graceful handler from
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 from typing import List, Optional, Tuple
@@ -95,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--max-steps", type=int, default=200_000)
     runner.add_argument("--diagram", action="store_true",
                         help="print a space-time diagram of the run")
+    runner.add_argument("--sanitize", action="store_true",
+                        help="run under the register-access sanitizer: "
+                             "purity checks on every step plus trace-time "
+                             "covering/torn-read diagnostics")
 
     explorer = sub.add_parser("explore", help="exhaustive safety check")
     explorer.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -138,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="with --resume, compact the durable run "
                                "journal into a sealed checkpoint every "
                                "this many merged batches")
+    explorer.add_argument("--sanitize", action="store_true",
+                          help="explore with per-step purity checks "
+                               "(mutation-after-freeze, nondeterministic "
+                               "step); forces --workers 1 because the "
+                               "sanitizer's collector is in-process state")
     _add_watchdog_flags(explorer)
 
     faults = sub.add_parser(
@@ -198,6 +211,31 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="re-check a saved violation certificate"
     )
     verify.add_argument("certificate", help="path to a certificate JSON")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: determinism lint, footprint check, simsan",
+    )
+    analyze.add_argument("paths", nargs="*", default=["src/repro"],
+                         help="files or directories to lint "
+                              "(default: src/repro)")
+    analyze.add_argument("--strict", action="store_true",
+                         help="exit 1 on warnings too, not just errors "
+                              "(the CI gate)")
+    analyze.add_argument("--all-rules", action="store_true",
+                         help="apply every lint rule to every given path, "
+                              "ignoring the step-path scope tables (used "
+                              "to exercise the known-bad fixtures)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as JSON (the CI artifact)")
+    analyze.add_argument("--no-footprint", action="store_true",
+                         help="skip the symbolic Figure 1 footprint pass")
+    analyze.add_argument("--sanitize", action="store_true",
+                         help="also run one sanitized smoke execution per "
+                              "algorithm family and fold SAN* findings "
+                              "into the report")
+    analyze.add_argument("--rules", action="store_true",
+                         help="print the rule catalog and exit")
 
     return parser
 
@@ -276,8 +314,21 @@ def cmd_run(args) -> int:
         layout=layout,
     )
     scheduler = _make_scheduler(args, args.n, args.m)
+    sanitizer = None
+    monitors = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import (
+            RegisterSanitizer,
+            SanitizedSystem,
+            SanitizerCollector,
+        )
+
+        collector = SanitizerCollector()
+        system = SanitizedSystem(system, collector)
+        sanitizer = RegisterSanitizer(system, collector)
+        monitors = [sanitizer]
     execution = run(system, scheduler, max_steps=args.max_steps,
-                    on_limit="return")
+                    on_limit="return", monitors=monitors)
 
     stats = execution_stats(execution)
     print(f"protocol:  {protocol.describe()} on {args.substrate}")
@@ -293,6 +344,12 @@ def cmd_run(args) -> int:
     if args.diagram:
         print()
         print(space_time_diagram(execution, length=min(execution.steps, 72)))
+    if sanitizer is not None:
+        report = sanitizer.report()
+        print()
+        print(report.render())
+        if not report.ok:
+            return 1
     return 1 if violations else 0
 
 
@@ -333,6 +390,16 @@ def cmd_explore(args) -> int:
     else:
         workloads = distinct_inputs(args.n)
     system = System(protocol, workloads=workloads)
+    collector = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import SanitizedSystem, SanitizerCollector
+
+        if args.workers > 1:
+            print("note: --sanitize forces --workers 1 (the sanitizer "
+                  "collector is in-process state)", file=sys.stderr)
+            args.workers = 1
+        collector = SanitizerCollector()
+        system = SanitizedSystem(system, collector)
     try:
         result = explore_safety(
             system,
@@ -362,6 +429,11 @@ def cmd_explore(args) -> int:
         print(f"  witness schedule ({len(violation.schedule)} steps): "
               f"{list(violation.schedule)}")
         print(f"  {violation.detail}")
+    if collector is not None:
+        sanitizer_report = collector.report()
+        print(sanitizer_report.render())
+        if not sanitizer_report.ok:
+            return 1
     if result.safety_violations:
         return 1
     if result.interrupted == "sigterm":
@@ -493,6 +565,59 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Run the static-analysis passes and report through one AnalysisReport.
+
+    Exit codes follow the shared discipline: 0 — every pass ran and no
+    gating finding (errors, plus warnings under ``--strict``) was
+    reported; 1 — findings (printed, or emitted as JSON with ``--json``);
+    2 — an analysis pass itself failed (unparseable input, missing
+    module); 130/143 — interrupted, via the shared dispatcher.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.determinism import lint_paths
+    from repro.analysis.footprint import check_footprints
+    from repro.analysis.report import AnalysisReport, catalog_table
+    from repro.errors import ReproError
+
+    if args.rules:
+        for rule_id, severity, summary in catalog_table():
+            print(f"{rule_id}  {severity:8s}  {summary}")
+        return 0
+
+    report = AnalysisReport()
+    try:
+        report.extend(lint_paths(args.paths, all_rules=args.all_rules))
+        if not args.no_footprint:
+            # Resolve the shipped families from the installed package, so
+            # the footprint contract is checked no matter which paths (or
+            # working directory) the lint half was pointed at.
+            package_root = Path(repro.__file__).resolve().parents[1]
+            report.extend(check_footprints(str(package_root)))
+        if args.sanitize:
+            from repro.analysis.sanitizer import sanitize_execution
+            from repro.bench.workloads import distinct_inputs as _inputs
+
+            for name in sorted(PROTOCOLS):
+                protocol = PROTOCOLS[name](n=3, m=1, k=1)
+                system = System(protocol, workloads=_inputs(3))
+                smoke = sanitize_execution(system)
+                smoke.passes_run = (f"sanitizer:{name}",)
+                report.extend(smoke)
+    except ReproError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - exit-2 contract for pass crashes
+        raise ReproError(f"analysis pass failed: {exc}") from exc
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 1 if report.gating_findings(strict=args.strict) else 0
+
+
 COMMANDS = {
     "bounds": cmd_bounds,
     "run": cmd_run,
@@ -501,6 +626,7 @@ COMMANDS = {
     "covering": cmd_covering,
     "glue": cmd_glue,
     "verify": cmd_verify,
+    "analyze": cmd_analyze,
 }
 
 
@@ -523,6 +649,13 @@ def _dispatch(handler, args) -> int:
     (its handler maps that to 143); a command with nothing to checkpoint
     unwinds via :class:`~repro.durable.watchdog.Terminated` — through
     every ``finally`` block, so pools still die — and exits 143 here.
+
+    A downstream reader closing the pipe early (``repro analyze --rules |
+    head``) surfaces as :class:`BrokenPipeError` under Python's ignored
+    ``SIGPIPE``; the dispatcher exits 141 — the POSIX ``SIGPIPE`` death
+    code, deliberately neither 0 nor 1 since the truncated output proves
+    nothing — after pointing stdout at ``/dev/null`` so the interpreter's
+    exit-time flush cannot raise a second traceback.
     """
     from repro.durable.watchdog import Terminated, install_sigterm_handler
     from repro.errors import ReproError
@@ -542,6 +675,12 @@ def _dispatch(handler, args) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):  # stdout has no real fd (embedding)
+            pass
+        return 141
     finally:
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)

@@ -49,7 +49,7 @@ GHOST_ID = "<ghost>"
 # Fault vocabulary
 # --------------------------------------------------------------------- #
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessCrash:
     """Process *pid* takes no step at or after global step *at_step*."""
 
@@ -57,7 +57,7 @@ class ProcessCrash:
     at_step: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessRestart:
     """A crashed *pid* resumes taking steps at global step *at_step*.
 
@@ -70,7 +70,7 @@ class ProcessRestart:
     at_step: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LostWrite:
     """The *occurrence*-th write to register (*bank*, *index*) is dropped.
 
@@ -83,7 +83,7 @@ class LostWrite:
     occurrence: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StuckAt:
     """Register (*bank*, *index*) is stuck at *value* from the start.
 
@@ -96,7 +96,7 @@ class StuckAt:
     value: Value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpuriousReset:
     """Before its *occurrence*-th read, (*bank*, *index*) reverts to ⊥.
 
@@ -113,7 +113,7 @@ class SpuriousReset:
 RegisterFault = Union[LostWrite, StuckAt, SpuriousReset]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultPlan:
     """One trial's complete fault description.  Pure, hashable, replayable.
 

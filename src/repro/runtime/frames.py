@@ -31,7 +31,7 @@ from repro.memory.layout import BankSpec
 from repro.memory.ops import Op
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ImplContext:
     """Context for an object implementation: which process, which banks.
 
@@ -46,7 +46,7 @@ class ImplContext:
     anonymous: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Return:
     """Terminal action of a frame: the operation's response.
 
@@ -96,7 +96,7 @@ class ObjectImplementation(ABC):
         """Frame transition on the response of its pending register access."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """A live frame: the object being operated on and the impl's state."""
 

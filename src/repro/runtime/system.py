@@ -52,7 +52,7 @@ from repro.runtime.frames import Frame, ImplContext, Return
 MAX_INTERNAL_TRANSITIONS = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Slot:
     """One operation-local thread: its state and (optionally) a live frame."""
 
@@ -61,7 +61,7 @@ class Slot:
     frame: Optional[Frame] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActiveOp:
     """An in-flight ``Propose``: its threads and whose turn it is.
 
@@ -77,7 +77,7 @@ class ActiveOp:
     turn: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcState:
     """Complete local state of one process.
 
@@ -108,7 +108,7 @@ class ProcState:
         return replace(self, obj_persistent=updated)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Configuration:
     """Global state: every process's local state + every register's value."""
 
@@ -120,7 +120,7 @@ class Configuration:
         return len(self.procs)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StepResult:
     config: Configuration
     event: Event

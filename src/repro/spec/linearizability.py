@@ -33,7 +33,7 @@ from repro.runtime.events import MemoryEvent
 from repro.runtime.runner import Execution
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _ScriptState:
     position: int
     responses: Tuple[Value, ...]
@@ -84,7 +84,7 @@ class SnapshotScript(ProtocolAutomaton):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpRecord:
     """One completed high-level operation with its real-time interval."""
 

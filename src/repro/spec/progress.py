@@ -35,7 +35,7 @@ from repro.sched.crash import CrashScheduler
 from repro.sched.random_walk import RandomScheduler
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProgressFailure:
     """One adversary under which survivors failed to finish in budget."""
 
@@ -52,6 +52,7 @@ class ProgressFailure:
         )
 
 
+# A mutable accumulator, never fingerprinted.  # repro: allow(MUT002)
 @dataclass
 class ProgressReport:
     """Aggregate over an adversary family."""

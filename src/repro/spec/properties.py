@@ -24,7 +24,7 @@ from repro.runtime.events import DecideEvent, Event, InvokeEvent
 from repro.runtime.runner import Execution
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Violation:
     """One violated property instance, with human-readable evidence."""
 

@@ -31,7 +31,7 @@ def registers_written(execution: Execution) -> Set[RegisterCoord]:
     return written
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionStats:
     """Summary of one execution, as printed by the benchmark tables."""
 

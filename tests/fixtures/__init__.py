@@ -1,0 +1,1 @@
+"""Static fixture trees consumed by tests (not test modules themselves)."""

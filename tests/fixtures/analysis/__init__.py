@@ -1,0 +1,13 @@
+"""Fixture modules for the ``repro analyze`` rule tests.
+
+``known_good`` is a near-miss gauntlet: code that *looks* like each
+hazard but is deterministic, and must produce zero findings.  Each
+``det*``/``mut*`` module seeds exactly one rule violation;
+``suppressed`` carries a real violation silenced by the documented
+``# repro: allow(...)`` comment; ``fp_families`` defines deliberately
+broken algorithm shells for the footprint checker (an extra-register
+regression, an undeclared access, an opaque allocation).
+
+These modules are linted as *files* (AST only) — nothing imports the
+``det*``/``mut*`` ones, so their hazards never execute.
+"""

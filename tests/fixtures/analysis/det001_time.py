@@ -1,0 +1,8 @@
+"""Seeded DET001 violation: a wall-clock read in step-path-shaped code."""
+
+import time
+
+
+def stamp_step(event: dict) -> dict:
+    """Attaches a wall-clock timestamp — replay would diverge."""
+    return {**event, "at": time.time()}

@@ -1,0 +1,14 @@
+"""Seeded DET002 violations: global RNG use and an unseeded Random()."""
+
+import random
+from random import Random
+
+
+def pick(candidates: list):
+    """Draws from the shared global RNG — differs across processes."""
+    return random.choice(candidates)
+
+
+def fresh_rng() -> Random:
+    """Random() with no seed argument is seeded from the OS."""
+    return Random()

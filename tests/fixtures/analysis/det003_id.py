@@ -1,0 +1,6 @@
+"""Seeded DET003 violation: object identity as a key."""
+
+
+def identity_key(frame: object) -> int:
+    """id() differs between interpreter processes; replay diverges."""
+    return id(frame)

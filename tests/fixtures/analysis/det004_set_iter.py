@@ -1,0 +1,13 @@
+"""Seeded DET004 violations: set iteration order leaking into output."""
+
+
+def first_preference(values: list):
+    """Iterating a set comprehension: order is PYTHONHASHSEED-dependent."""
+    for value in {v for v in values}:
+        return value
+    return None
+
+
+def union_order(left: list, right: set) -> list:
+    """A set-algebra result iterated without sorting."""
+    return [value for value in set(left) | right]

@@ -1,0 +1,13 @@
+"""Seeded DET005 violations: ambient-environment reads."""
+
+import os
+
+
+def ambient_seed() -> str:
+    """os.environ read inside step-path-shaped code."""
+    return os.environ["REPRO_SEED"]
+
+
+def entropy() -> bytes:
+    """os.urandom is nondeterministic by definition."""
+    return os.urandom(8)

@@ -1,0 +1,64 @@
+"""Broken algorithm shells for the static footprint checker's tests.
+
+Each class mirrors the real ``SetAgreementAutomaton`` surface the checker
+walks (``nominal_components`` / ``default_layout`` / op construction) but
+seeds exactly one FP* violation.  The classes are shells — never
+instantiated, never stepped; the checker only parses them.
+"""
+
+from repro.agreement.base import SNAPSHOT
+from repro.memory.layout import merge_layouts, register_layout, snapshot_layout
+from repro.memory.ops import ScanOp, UpdateOp, WriteOp
+
+
+def mystery_layout(name: str):
+    """An allocation helper the footprint walker does not know (FP003)."""
+    return register_layout(name, 1)
+
+
+class RegressedSetAgreement:
+    """FP001: one register more than the Figure 1 contract allows."""
+
+    def nominal_components(self):
+        """n + 2m - k + 1: a classic off-by-one space regression."""
+        return self.n + 2 * self.m - self.k + 1
+
+    def default_layout(self):
+        """Snapshot sized by the (regressed) component count."""
+        return snapshot_layout(SNAPSHOT, self.components)
+
+    def observe(self):
+        """A legitimate access to the declared snapshot."""
+        return ScanOp(SNAPSHOT)
+
+
+class UndeclaredAccessSetAgreement:
+    """FP002: writes an object its layout never allocates."""
+
+    def nominal_components(self):
+        """The correct Figure 3/4 count."""
+        return self.n + 2 * self.m - self.k
+
+    def default_layout(self):
+        """Declares only the snapshot..."""
+        return snapshot_layout(SNAPSHOT, self.components)
+
+    def announce(self, preference):
+        """...but also posts to an undeclared register bank Z."""
+        UpdateOp(SNAPSHOT, 0, preference)
+        return WriteOp("Z", 0, preference)
+
+
+class OpaqueAllocationSetAgreement:
+    """FP003: allocates through a helper the checker cannot account."""
+
+    def nominal_components(self):
+        """The trivial n-register count."""
+        return self.n
+
+    def default_layout(self):
+        """merge with an opaque helper: refuse to under-count silently."""
+        return merge_layouts(
+            snapshot_layout(SNAPSHOT, self.components),
+            mystery_layout("X"),
+        )

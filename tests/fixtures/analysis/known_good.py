@@ -1,0 +1,48 @@
+"""Near-miss gauntlet: hazard-shaped code that is actually deterministic.
+
+Every pattern here sits just on the allowed side of a lint rule; the
+known-good test asserts this module produces zero findings under
+``--all-rules``.
+"""
+
+from dataclasses import dataclass, replace
+from random import Random
+
+
+@dataclass(frozen=True, slots=True)
+class GoodState:
+    """Frozen, slotted: the required shape for state dataclasses."""
+
+    ident: int
+    label: str
+
+
+def seeded_stream(seed: int, length: int) -> list:
+    """random.Random with an injected seed is fine (DET002 near-miss)."""
+    rng = Random(seed)
+    return [rng.random() for _ in range(length)]
+
+
+def ordered_union(left: frozenset, right: frozenset) -> list:
+    """Set algebra consumed through sorted() is fine (DET004 near-miss)."""
+    return sorted(left | right)
+
+
+def set_cardinality(values: list) -> int:
+    """Constructing a set for len/membership is fine (DET004 near-miss)."""
+    return len({value for value in values})
+
+
+def stable_key(state: GoodState) -> int:
+    """An attribute named ``id`` is not the id() builtin (DET003 near-miss)."""
+    return state.ident
+
+
+def advance(state: GoodState) -> GoodState:
+    """replace() builds a new value instead of mutating (MUT001 near-miss)."""
+    return replace(state, ident=state.ident + 1)
+
+
+def timestamp_field(record: dict) -> object:
+    """Reading a key called 'time' is not a clock read (DET001 near-miss)."""
+    return record["time"]

@@ -1,0 +1,11 @@
+"""Seeded MUT001 violations: mutating state a caller still holds."""
+
+
+def zero_counter(config) -> None:
+    """Assigns through a parameter: the caller's value changes under it."""
+    config.steps = 0
+
+
+def force_write(frame, value) -> None:
+    """object.__setattr__ bypasses frozen-dataclass protection."""
+    object.__setattr__(frame, "slot", value)

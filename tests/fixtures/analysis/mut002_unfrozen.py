@@ -1,0 +1,11 @@
+"""Seeded MUT002 violation: a mutable dataclass in state-module position."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LeakyState:
+    """Not frozen: aliased references can be mutated after fingerprinting."""
+
+    value: int
+    tag: str

@@ -1,0 +1,10 @@
+"""Seeded MUT003 violation: frozen but without slots=True."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AlmostGoodState:
+    """Frozen but unslotted: stray attribute creation succeeds silently."""
+
+    value: int

@@ -1,0 +1,14 @@
+"""A real DET001 violation silenced by the documented suppression comment."""
+
+import time
+
+
+def wall_deadline(seconds: float) -> float:
+    """Deadline arithmetic is allowed to read the clock, explicitly."""
+    return time.time() + seconds  # repro: allow(DET001)
+
+
+def wall_start() -> float:
+    """Same suppression, own-line form (covers the line below)."""
+    # repro: allow(DET001)
+    return time.time()

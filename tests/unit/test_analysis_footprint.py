@@ -1,0 +1,209 @@
+"""The static footprint checker: Figure 1, proven symbolically.
+
+The headline test derives each family's register footprint from source
+and matches it against the paper's formula *as a polynomial* — not at
+sampled parameters.  Concrete cross-checks then pin the symbolic result
+to the operational accounting (``MemoryLayout.register_count``) and the
+Figure 1 table, and the seeded fixture families must each trip their
+FP rule.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.agreement.anonymous import (
+    AnonymousOneShotSetAgreement,
+    AnonymousRepeatedSetAgreement,
+)
+from repro.agreement.oneshot import OneShotSetAgreement
+from repro.agreement.repeated import RepeatedSetAgreement
+from repro.analysis.footprint import (
+    DEFAULT_FAMILIES,
+    FamilySpec,
+    check_family,
+    check_footprints,
+    family_footprints,
+    nonnegative_on_regime,
+    p_add,
+    p_eval,
+    p_mul,
+    p_render,
+    p_sub,
+    poly,
+)
+
+REPO = pathlib.Path(__file__).parent.parent.parent
+FIXDIR = str(REPO / "tests")
+
+EXPECTED = {
+    "oneshot-figure3": poly(n=1, m=2, k=-1),
+    "repeated-figure4": poly(n=1, m=2, k=-1),
+    "anonymous-figure5": p_add(
+        p_mul(poly(m=1, const=1), poly(n=1, k=-1)),
+        p_mul(poly(m=1), poly(m=1)),
+        poly(const=1),
+    ),
+    "anonymous-oneshot": p_add(
+        p_mul(poly(m=1, const=1), poly(n=1, k=-1)),
+        p_mul(poly(m=1), poly(m=1)),
+    ),
+}
+
+PROTOCOLS = {
+    "oneshot-figure3": OneShotSetAgreement,
+    "repeated-figure4": RepeatedSetAgreement,
+    "anonymous-figure5": AnonymousRepeatedSetAgreement,
+    "anonymous-oneshot": AnonymousOneShotSetAgreement,
+}
+
+REGIMES = [(4, 1, 1), (5, 2, 2), (6, 2, 3), (7, 3, 3), (9, 1, 4)]
+
+
+# --------------------------------------------------------------------- #
+# The headline claim: all four families match Figure 1 symbolically
+# --------------------------------------------------------------------- #
+
+def test_all_four_families_match_figure1_symbolically():
+    footprints = family_footprints(str(REPO))
+    assert set(footprints) == set(EXPECTED)
+    for family, expected in EXPECTED.items():
+        derived = dict(footprints[family].footprint)
+        assert derived == dict(expected), (
+            f"{family}: derived {p_render(derived)}, "
+            f"expected {p_render(expected)}"
+        )
+
+
+def test_shipped_tree_footprint_pass_is_clean():
+    report = check_footprints(str(REPO))
+    assert report.findings == [], report.render()
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED))
+@pytest.mark.parametrize("n,m,k", REGIMES)
+def test_symbolic_footprint_matches_operational_count(family, n, m, k):
+    if k >= n or m > k:
+        pytest.skip("outside the paper's regime")
+    protocol = PROTOCOLS[family](n=n, m=m, k=k)
+    operational = protocol.default_layout().register_count()
+    symbolic = p_eval(EXPECTED[family], n=n, m=m, k=k)
+    assert operational == symbolic
+
+
+def test_declared_objects_are_derived_from_source():
+    footprints = family_footprints(str(REPO))
+    assert footprints["oneshot-figure3"].objects == ("A",)
+    assert footprints["anonymous-figure5"].objects == ("A", "H")
+
+
+# --------------------------------------------------------------------- #
+# The regime decision procedure
+# --------------------------------------------------------------------- #
+
+def test_regime_nonnegativity_accepts_figure1_slacks():
+    lower = poly(n=1, m=1, k=-1)  # n + m - k (Theorem 2)
+    upper = poly(n=1, m=2, k=-1)  # n + 2m - k
+    assert nonnegative_on_regime(p_sub(upper, lower))  # m >= 0
+    anon = EXPECTED["anonymous-figure5"]
+    assert nonnegative_on_regime(p_sub(anon, lower))
+
+
+def test_regime_nonnegativity_rejects_genuine_negatives():
+    assert not nonnegative_on_regime(poly(k=1, n=-1))  # k - n < 0
+    assert not nonnegative_on_regime(poly(const=-1))
+    # m - k <= 0 with equality possible, strictly negative when m < k
+    assert not nonnegative_on_regime(poly(m=1, k=-1, const=-1))
+
+
+def test_regime_nonnegativity_boundary_cases():
+    assert nonnegative_on_regime(poly(m=1, const=-1))  # m >= 1
+    assert nonnegative_on_regime(poly(k=1, m=-1))      # k >= m
+    assert nonnegative_on_regime(poly(n=1, k=-1, const=-1))  # n >= k+1
+    assert nonnegative_on_regime({})  # the zero polynomial
+
+
+# --------------------------------------------------------------------- #
+# Seeded fixture families trip their FP rules
+# --------------------------------------------------------------------- #
+
+def fixture_spec(class_name, **overrides):
+    """A FamilySpec pointed at the broken shells in the fixture module."""
+    base = dict(
+        family=f"fixture-{class_name}",
+        module="fixtures/analysis/fp_families.py",
+        class_name=class_name,
+        expected=poly(n=1, m=2, k=-1),
+        expected_text="n + 2m - k",
+        upper_bounds=(poly(n=1, m=2, k=-1), poly(n=1)),
+        upper_text="min(n+2m-k, n)",
+        lower_bound=poly(n=1, m=1, k=-1),
+        source="Figure 1 (fixture)",
+    )
+    base.update(overrides)
+    return FamilySpec(**base)
+
+
+def test_extra_register_regression_trips_fp001():
+    spec = fixture_spec("RegressedSetAgreement")
+    footprint, findings = check_family(spec, pathlib.Path(FIXDIR))
+    rules = [f.rule for f in findings]
+    assert "FP001" in rules
+    assert any("regression" in f.message for f in findings)
+    # The derived footprint itself is still reported for inspection.
+    assert footprint is not None
+    assert dict(footprint.footprint) == dict(
+        poly(n=1, m=2, k=-1, const=1)
+    )
+
+
+def test_undeclared_access_trips_fp002():
+    spec = fixture_spec("UndeclaredAccessSetAgreement")
+    footprint, findings = check_family(spec, pathlib.Path(FIXDIR))
+    assert [f.rule for f in findings] == ["FP002"]
+    assert "'Z'" in findings[0].message
+    assert findings[0].line > 0
+
+
+def test_opaque_allocation_trips_fp003():
+    spec = fixture_spec(
+        "OpaqueAllocationSetAgreement",
+        expected=poly(n=1, const=1),
+        upper_bounds=(poly(n=1, const=1),),
+        lower_bound=None,
+    )
+    footprint, findings = check_family(spec, pathlib.Path(FIXDIR))
+    assert footprint is None  # refused to account, not silently wrong
+    assert [f.rule for f in findings] == ["FP003"]
+    assert "mystery_layout" in findings[0].message
+
+
+def test_missing_class_trips_fp003():
+    spec = fixture_spec("NoSuchAlgorithm")
+    footprint, findings = check_family(spec, pathlib.Path(FIXDIR))
+    assert footprint is None
+    assert [f.rule for f in findings] == ["FP003"]
+
+
+def test_footprint_below_lower_bound_is_reported_as_unsound():
+    # An "algorithm" claiming 2 registers would beat Theorem 2: the
+    # checker must call out the accounting, not celebrate the algorithm.
+    spec = fixture_spec(
+        "UndeclaredAccessSetAgreement",
+        lower_bound=p_add(poly(n=1, m=2, k=-1), poly(const=1)),
+    )
+    _, findings = check_family(spec, pathlib.Path(FIXDIR))
+    assert any(
+        f.rule == "FP001" and "unsound" in f.message for f in findings
+    )
+
+
+# --------------------------------------------------------------------- #
+# Registry sanity
+# --------------------------------------------------------------------- #
+
+def test_default_registry_covers_all_four_families():
+    names = {spec.family for spec in DEFAULT_FAMILIES}
+    assert names == set(EXPECTED)
+    for spec in DEFAULT_FAMILIES:
+        assert dict(spec.expected) == dict(EXPECTED[spec.family])

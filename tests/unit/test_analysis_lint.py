@@ -1,0 +1,144 @@
+"""Per-rule tests for the determinism/purity lint.
+
+Each seeded fixture under ``tests/fixtures/analysis`` must trip exactly
+its rule (detection), the near-miss gauntlet must trip nothing
+(non-detection), and the shipped tree must be clean — the same claim the
+CI gate makes via ``repro analyze --strict src/repro``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.determinism import (
+    SLOTS_SCOPE,
+    STATE_SCOPE,
+    STEP_PATH_SCOPE,
+    in_scope,
+    lint_file,
+    lint_paths,
+)
+from repro.analysis.report import RULES, suppressed, suppressions
+
+FIXTURES = pathlib.Path(__file__).parent.parent / "fixtures" / "analysis"
+SRC = pathlib.Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def lint_all_rules(name):
+    """Lint one fixture with every rule group force-enabled."""
+    return lint_file(
+        str(FIXTURES / name), det=True, frozen_rule=True, slots_rule=True
+    )
+
+
+# --------------------------------------------------------------------- #
+# Detection: each seeded fixture trips its rule
+# --------------------------------------------------------------------- #
+
+FIXTURE_RULES = [
+    ("det001_time.py", "DET001"),
+    ("det002_random.py", "DET002"),
+    ("det003_id.py", "DET003"),
+    ("det004_set_iter.py", "DET004"),
+    ("det005_env.py", "DET005"),
+    ("mut001_setattr.py", "MUT001"),
+    ("mut002_unfrozen.py", "MUT002"),
+    ("mut003_noslots.py", "MUT003"),
+]
+
+
+@pytest.mark.parametrize("fixture,rule", FIXTURE_RULES)
+def test_seeded_fixture_trips_its_rule(fixture, rule):
+    findings = lint_all_rules(fixture)
+    assert any(f.rule == rule for f in findings), (
+        f"{fixture} should trip {rule}, got {[f.rule for f in findings]}"
+    )
+
+
+@pytest.mark.parametrize("fixture,rule", FIXTURE_RULES)
+def test_seeded_fixture_trips_only_its_rule(fixture, rule):
+    findings = lint_all_rules(fixture)
+    assert {f.rule for f in findings} == {rule}
+
+
+@pytest.mark.parametrize("fixture,rule", FIXTURE_RULES)
+def test_findings_carry_location_and_severity(fixture, rule):
+    for finding in lint_all_rules(fixture):
+        assert finding.file.endswith(fixture)
+        assert finding.line > 0
+        assert finding.severity == RULES[finding.rule][0]
+        assert f"[{rule}]" in finding.render()
+
+
+def test_det002_flags_both_global_rng_and_unseeded_random():
+    lines = {f.line for f in lint_all_rules("det002_random.py")}
+    assert len(lines) == 2  # random.choice(...) and Random()
+
+
+def test_mut001_flags_both_assignment_and_object_setattr():
+    messages = [f.message for f in lint_all_rules("mut001_setattr.py")]
+    assert len(messages) == 2
+    assert any("config.steps" in m for m in messages)
+    assert any("__setattr__" in m for m in messages)
+
+
+# --------------------------------------------------------------------- #
+# Non-detection: near-misses and suppressions stay silent
+# --------------------------------------------------------------------- #
+
+def test_known_good_gauntlet_is_clean():
+    assert lint_all_rules("known_good.py") == []
+
+
+def test_suppression_comment_silences_the_rule():
+    assert lint_all_rules("suppressed.py") == []
+
+
+def test_suppression_is_per_rule_not_blanket():
+    source = "x = 1  # repro: allow(DET001)\n"
+    table = suppressions(source)
+    assert suppressed(table, 1, "DET001")
+    assert not suppressed(table, 1, "DET002")
+    assert suppressed(table, 2, "DET001")  # covers the line below
+    assert not suppressed(table, 3, "DET001")
+
+
+def test_suppression_accepts_rule_lists():
+    table = suppressions("y = 2  # repro: allow(DET001, MUT002)\n")
+    assert suppressed(table, 1, "DET001")
+    assert suppressed(table, 1, "MUT002")
+
+
+# --------------------------------------------------------------------- #
+# Scoping
+# --------------------------------------------------------------------- #
+
+def test_step_path_scope_matches_expected_modules():
+    assert in_scope("src/repro/agreement/oneshot.py", STEP_PATH_SCOPE)
+    assert in_scope("src/repro/runtime/system.py", STEP_PATH_SCOPE)
+    # Wall-clock reads are the watchdog's job; it is out of scope by design.
+    assert not in_scope("src/repro/durable/watchdog.py", STEP_PATH_SCOPE)
+    assert not in_scope("src/repro/analysis/report.py", STEP_PATH_SCOPE)
+
+
+def test_spec_is_state_scope_but_not_step_path():
+    assert in_scope("src/repro/spec/progress.py", STATE_SCOPE)
+    assert not in_scope("src/repro/spec/progress.py", STEP_PATH_SCOPE)
+    assert in_scope("src/repro/spec/progress.py", SLOTS_SCOPE)
+
+
+def test_out_of_scope_file_gets_no_findings_by_default():
+    # The fixtures live outside every scope table, so default-scoped
+    # linting must not flag them at all.
+    findings = lint_file(str(FIXTURES / "det001_time.py"))
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# The shipped tree is clean (the CI gate's claim, as a unit test)
+# --------------------------------------------------------------------- #
+
+def test_shipped_tree_has_no_findings():
+    report = lint_paths([str(SRC)])
+    assert report.findings == [], report.render()
+    assert report.files_scanned > 50

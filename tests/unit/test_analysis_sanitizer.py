@@ -1,0 +1,222 @@
+"""The register-access sanitizer: purity audits and trace diagnostics.
+
+SAN101/SAN102 are tested by wrapping deliberately impure ``System``
+subclasses — the sanitizer must catch exactly the corruption it was built
+for.  SAN103/SAN104 are tested both on synthetic event streams (precise
+happens-before shapes) and on a real double-collect run (the substrate
+whose frames are genuinely not atomic).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.agreement.oneshot import OneShotSetAgreement
+from repro.analysis.sanitizer import (
+    MAX_FINDINGS_PER_RULE,
+    RegisterSanitizer,
+    SanitizedSystem,
+    SanitizerCollector,
+    sanitize_execution,
+)
+from repro.memory.ops import ReadOp, UpdateOp, WriteOp
+from repro.objects import implemented_snapshot_layout
+from repro.runtime.events import MemoryEvent
+from repro.runtime.runner import run
+from repro.runtime.system import StepResult, System
+from repro.sched.round_robin import RoundRobinScheduler
+
+
+def oneshot_system(substrate=None):
+    protocol = OneShotSetAgreement(n=3, m=1, k=1)
+    layout = (
+        implemented_snapshot_layout(protocol, substrate) if substrate else None
+    )
+    return System(protocol, workloads=[[1], [2], [3]], layout=layout)
+
+
+# --------------------------------------------------------------------- #
+# Clean systems stay clean
+# --------------------------------------------------------------------- #
+
+def test_pure_system_produces_no_errors():
+    report = sanitize_execution(oneshot_system())
+    assert report.ok
+    assert report.count("warning") == 0
+    assert all(f.rule in ("SAN103", "SAN104") for f in report.findings)
+
+
+def test_sanitized_system_preserves_behavior():
+    plain = run(oneshot_system(), RoundRobinScheduler(), max_steps=5_000)
+    sanitized = run(
+        SanitizedSystem(oneshot_system()), RoundRobinScheduler(),
+        max_steps=5_000,
+    )
+    assert sanitized.schedule == plain.schedule
+    assert sanitized.events == plain.events
+    assert sanitized.outputs() == plain.outputs()
+
+
+# --------------------------------------------------------------------- #
+# SAN101: mutation-after-freeze
+# --------------------------------------------------------------------- #
+
+class MutatingSystem(System):
+    """Impure on purpose: writes through the frozen input configuration."""
+
+    def step(self, config, pid):
+        result = super().step(config, pid)
+        # Every step changes the stepping process's state, so writing the
+        # successor's procs back through the *input* is a real mutation.
+        object.__setattr__(config, "procs", result.config.procs)
+        return result
+
+
+def test_mutation_after_freeze_is_caught():
+    base = oneshot_system()
+    evil = MutatingSystem(base.automaton, workloads=[[1], [2], [3]])
+    collector = SanitizerCollector()
+    sanitized = SanitizedSystem(evil, collector, check_replay=False)
+    sanitized.step(sanitized.initial_configuration(), 0)
+    assert [f.rule for f in collector.findings] == ["SAN101"]
+    assert collector.findings[0].severity == "error"
+    assert not collector.report().ok
+
+
+# --------------------------------------------------------------------- #
+# SAN102: nondeterministic step
+# --------------------------------------------------------------------- #
+
+class FlickeringSystem(System):
+    """Impure on purpose: each call returns a differently-labeled event."""
+
+    def step(self, config, pid):
+        self._calls = getattr(self, "_calls", 0) + 1
+        result = super().step(config, pid)
+        return StepResult(
+            result.config, replace(result.event, value=self._calls)
+        )
+
+
+def test_nondeterministic_step_is_caught():
+    base = oneshot_system()
+    evil = FlickeringSystem(base.automaton, workloads=[[1], [2], [3]])
+    collector = SanitizerCollector()
+    sanitized = SanitizedSystem(evil, collector, check_replay=True)
+    # The first step is p0's invoke, whose event carries a value field.
+    sanitized.step(sanitized.initial_configuration(), 0)
+    assert any(f.rule == "SAN102" for f in collector.findings)
+
+
+def test_replay_check_can_be_disabled():
+    base = oneshot_system()
+    evil = FlickeringSystem(base.automaton, workloads=[[1], [2], [3]])
+    collector = SanitizerCollector()
+    sanitized = SanitizedSystem(evil, collector, check_replay=False)
+    sanitized.step(sanitized.initial_configuration(), 0)
+    assert collector.findings == []
+
+
+# --------------------------------------------------------------------- #
+# SAN103 / SAN104 on synthetic event streams
+# --------------------------------------------------------------------- #
+
+def make_monitor():
+    system = oneshot_system()
+    collector = SanitizerCollector()
+    return RegisterSanitizer(system, collector), collector, system
+
+
+def test_covering_write_is_reported():
+    monitor, collector, system = make_monitor()
+    config = system.initial_configuration()
+    monitor(config, MemoryEvent(0, 1, UpdateOp("A", 0, "x"), None))
+    monitor(config, MemoryEvent(1, 1, UpdateOp("A", 0, "y"), None))
+    assert [f.rule for f in collector.findings] == ["SAN103"]
+    assert collector.findings[0].severity == "note"
+
+
+def test_read_between_writes_suppresses_covering():
+    monitor, collector, system = make_monitor()
+    config = system.initial_configuration()
+    monitor(config, MemoryEvent(0, 1, WriteOp("R", 0, "x"), None))
+    monitor(config, MemoryEvent(2, 1, ReadOp("R", 0), "x"))
+    monitor(config, MemoryEvent(1, 1, WriteOp("R", 0, "y"), None))
+    assert collector.findings == []
+
+
+def test_own_overwrite_is_not_covering():
+    monitor, collector, system = make_monitor()
+    config = system.initial_configuration()
+    monitor(config, MemoryEvent(0, 1, WriteOp("R", 0, "x"), None))
+    monitor(config, MemoryEvent(0, 1, WriteOp("R", 0, "y"), None))
+    assert collector.findings == []
+
+
+def test_torn_frame_read_is_reported():
+    monitor, collector, system = make_monitor()
+    config = system.initial_configuration()
+    read = ReadOp("R", 0)
+    monitor(config, MemoryEvent(0, 1, read, "old", in_frame=True))
+    monitor(config, MemoryEvent(0, 1, read, "new", in_frame=True))
+    assert [f.rule for f in collector.findings] == ["SAN104"]
+
+
+def test_consistent_frame_reads_are_silent():
+    monitor, collector, system = make_monitor()
+    config = system.initial_configuration()
+    read = ReadOp("R", 0)
+    monitor(config, MemoryEvent(0, 1, read, "same", in_frame=True))
+    monitor(config, MemoryEvent(0, 1, read, "same", in_frame=True))
+    assert collector.findings == []
+
+
+def test_frame_boundary_resets_the_read_window():
+    monitor, collector, system = make_monitor()
+    config = system.initial_configuration()
+    read = ReadOp("R", 0)
+    monitor(config, MemoryEvent(0, 1, read, "old", in_frame=True))
+    # Leaving the frame ends the window: the next frame may see new values.
+    monitor(config, MemoryEvent(0, 1, UpdateOp("A", 0, "v"), None))
+    monitor(config, MemoryEvent(0, 1, read, "new", in_frame=True))
+    assert collector.findings == []
+
+
+def test_double_collect_run_reports_torn_reads():
+    report = sanitize_execution(
+        oneshot_system("double-collect"), max_steps=3_000
+    )
+    assert any(f.rule == "SAN104" for f in report.findings)
+    assert report.ok  # torn reads in a collect substrate are notes, not bugs
+
+
+# --------------------------------------------------------------------- #
+# Collector hygiene
+# --------------------------------------------------------------------- #
+
+def test_collector_deduplicates_identical_findings():
+    collector = SanitizerCollector()
+    collector.record("SAN103", "same message")
+    collector.record("SAN103", "same message")
+    assert len(collector.findings) == 1
+
+
+def test_collector_caps_per_rule_volume():
+    collector = SanitizerCollector()
+    for i in range(MAX_FINDINGS_PER_RULE + 10):
+        collector.record("SAN103", f"distinct message {i}")
+    assert len(collector.findings) == MAX_FINDINGS_PER_RULE
+    report = collector.report()
+    assert any("suppressed" in f.message for f in report.findings)
+
+
+def test_collector_cap_is_per_rule_not_global():
+    collector = SanitizerCollector()
+    for i in range(MAX_FINDINGS_PER_RULE):
+        collector.record("SAN103", f"covering {i}")
+    collector.record("SAN104", "a torn read")
+    assert any(f.rule == "SAN104" for f in collector.findings)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,160 @@
+"""``repro analyze`` end to end: exit-code contract, flags, CI gate.
+
+Exit codes are the documented contract (docs/api.md): 0 — clean;
+1 — gating findings; 2 — an analysis pass itself failed; 130 — SIGINT
+(covered by the shared dispatcher tests).  Also pins the lint-tool
+satellite: pyproject must carry the ruff/mypy configuration CI runs.
+"""
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+REPO = pathlib.Path(__file__).parent.parent.parent
+FIXTURES = REPO / "tests" / "fixtures" / "analysis"
+SRC = str(REPO / "src" / "repro")
+
+
+# --------------------------------------------------------------------- #
+# Exit code 0: clean trees
+# --------------------------------------------------------------------- #
+
+def test_shipped_tree_is_clean_strict(capsys):
+    assert main(["analyze", "--strict", SRC]) == 0
+    out = capsys.readouterr().out
+    assert "0 errors" in out
+    assert "determinism" in out and "footprint" in out
+
+
+def test_known_good_fixture_is_clean_under_all_rules(capsys):
+    code = main([
+        "analyze", "--all-rules", "--no-footprint",
+        str(FIXTURES / "known_good.py"),
+    ])
+    assert code == 0
+
+
+def test_rules_flag_prints_the_catalog(capsys):
+    assert main(["analyze", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("DET001", "MUT002", "FP001", "SAN101"):
+        assert rule in out
+
+
+# --------------------------------------------------------------------- #
+# Exit code 1: findings
+# --------------------------------------------------------------------- #
+
+def test_seeded_fixtures_gate_with_exit_1(capsys):
+    code = main([
+        "analyze", "--all-rules", "--no-footprint", str(FIXTURES),
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    for rule in ("DET001", "DET002", "DET003", "DET005",
+                 "MUT001", "MUT002"):
+        assert f"[{rule}]" in out
+
+
+def test_warnings_gate_only_under_strict(capsys):
+    noslots = str(FIXTURES / "mut003_noslots.py")
+    assert main(["analyze", "--all-rules", "--no-footprint", noslots]) == 0
+    assert main([
+        "analyze", "--all-rules", "--no-footprint", "--strict", noslots
+    ]) == 1
+
+
+def test_json_report_is_machine_readable(capsys):
+    code = main([
+        "analyze", "--all-rules", "--no-footprint", "--json",
+        str(FIXTURES / "det001_time.py"),
+    ])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["DET001"]
+    finding = payload["findings"][0]
+    assert finding["severity"] == "error"
+    assert finding["file"].endswith("det001_time.py")
+    assert finding["line"] > 0
+
+
+def test_every_seeded_rule_id_appears_in_ci_shaped_run(capsys):
+    """The acceptance-criteria run: each fixture violation, by rule ID."""
+    main(["analyze", "--all-rules", "--no-footprint", "--json",
+          str(FIXTURES)])
+    payload = json.loads(capsys.readouterr().out)
+    reported = {f["rule"] for f in payload["findings"]}
+    assert {"DET001", "DET002", "DET003", "DET004", "DET005",
+            "MUT001", "MUT002", "MUT003"} <= reported
+
+
+# --------------------------------------------------------------------- #
+# Exit code 2: the pass itself failed
+# --------------------------------------------------------------------- #
+
+def test_unparseable_input_exits_2(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def half_a_function(:\n")
+    assert main(["analyze", "--no-footprint", str(broken)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# --sanitize smoke integration
+# --------------------------------------------------------------------- #
+
+def test_explore_sanitize_is_clean_and_serial(capsys):
+    code = main([
+        "explore", "--protocol", "oneshot", "--n", "3",
+        "--sanitize", "--workers", "2", "--max-configs", "500",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "forces --workers 1" in captured.err
+    assert "sanitizer" in captured.out
+
+
+def test_run_sanitize_reports_and_stays_clean(capsys):
+    code = main([
+        "run", "--protocol", "oneshot", "--n", "3",
+        "--scheduler", "round-robin", "--sanitize",
+    ])
+    assert code == 0
+    assert "sanitizer" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# Satellite: ruff/mypy wiring exists (and runs where available)
+# --------------------------------------------------------------------- #
+
+def test_pyproject_carries_lint_tool_config():
+    if sys.version_info >= (3, 11):
+        import tomllib
+    else:  # pragma: no cover
+        pytest.skip("tomllib requires Python 3.11")
+    config = tomllib.loads((REPO / "pyproject.toml").read_text())
+    assert "ruff" in config["tool"]
+    assert "F" in config["tool"]["ruff"]["lint"]["select"]
+    assert config["tool"]["mypy"]["packages"] == ["repro"]
+    overrides = config["tool"]["mypy"]["overrides"]
+    assert any(o["module"] == "repro.analysis.*" for o in overrides)
+    assert config["project"]["optional-dependencies"]["lint"] == [
+        "ruff", "mypy",
+    ]
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed (CI installs it)")
+def test_ruff_baseline_passes():  # pragma: no cover
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

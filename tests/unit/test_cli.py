@@ -147,6 +147,31 @@ class TestExitCodeDiscipline:
         assert code == 130
         assert "interrupted" in capsys.readouterr().err
 
+    def test_broken_pipe_exits_141(self, monkeypatch):
+        # ``repro analyze --rules | head`` closes stdout mid-print; the
+        # dispatcher must exit with the POSIX SIGPIPE death code instead
+        # of leaking a traceback, and must not claim a clean verdict.
+        import os
+
+        from repro import cli
+
+        def pipe_died(args):
+            raise BrokenPipeError
+
+        monkeypatch.setitem(cli.COMMANDS, "bounds", pipe_died)
+        # The handler points the stdout fd at /dev/null; restore it so
+        # pytest's fd-level capture keeps working after this test.
+        import sys
+
+        fd = sys.stdout.fileno()
+        saved = os.dup(fd)
+        try:
+            code = main(["bounds"])
+        finally:
+            os.dup2(saved, fd)
+            os.close(saved)
+        assert code == 141
+
 
 class TestCovering:
     def test_default_registers_produce_violation(self, capsys):
