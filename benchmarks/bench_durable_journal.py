@@ -93,7 +93,15 @@ def test_checkpointing_overhead(emit, tmp_path):
         title="E15a — run-journal overhead on exhaustive exploration "
               "(fingerprint deltas, size-gated compaction, min of 3)",
     )
-    emit("durable_journal_overhead", text)
+    emit("durable_journal_overhead", text, record={
+        "experiment": "E15a",
+        "params": {"max_configs": MAX_CONFIGS, "batch_size": 64,
+                   "checkpoint_every": CHECKPOINT_EVERY},
+        "seconds_plain": round(t_plain, 3),
+        "seconds_journaled": round(t_journal, 3),
+        "overhead_fraction": round(overhead, 4),
+        "verdict": "identical",
+    })
 
 
 def test_resume_saves_work(emit, tmp_path):
@@ -130,4 +138,12 @@ def test_resume_saves_work(emit, tmp_path):
         title="E15b — deadline interrupt + resume "
               "(the second leg redoes no explored configuration)",
     )
-    emit("durable_journal_resume", text)
+    emit("durable_journal_resume", text, record={
+        "experiment": "E15b",
+        "params": {"max_configs": MAX_CONFIGS, "batch_size": 64,
+                   "checkpoint_every": CHECKPOINT_EVERY},
+        "seconds_uninterrupted": round(t_full, 3),
+        "explored_at_interrupt": first_leg.configs_explored,
+        "seconds_resume": round(t_resume, 3),
+        "verdict": "identical",
+    })

@@ -70,7 +70,12 @@ def test_symmetry_dedup_ratio(emit):
         title="E13a — symmetry reduction on anonymous instances "
               "(identical verdicts, complete closures)",
     )
-    emit("explore_parallel_dedup", text)
+    emit("explore_parallel_dedup", text, record={
+        "experiment": "E13a",
+        "params": {"grid": DEDUP_GRID, "max_configs": 300_000},
+        "best_dedup_ratio": round(best_ratio, 2),
+        "verdict": "ok",
+    })
 
 
 def test_parallel_worker_speedup(emit):
@@ -105,4 +110,13 @@ def test_parallel_worker_speedup(emit):
         title="E13b — worker sharding on the progress-closure oracle "
               "(deterministic merge: results are worker-count invariant)",
     )
-    emit("explore_parallel_speedup", text)
+    emit("explore_parallel_speedup", text, record={
+        "experiment": "E13b",
+        "params": {"n": 3, "m": 1, "k": 2, "max_configs": 2_000,
+                   "batch_size": 32, "workers": [1, 4]},
+        "cores": cores,
+        "seconds_workers_1": round(timings[1], 3),
+        "seconds_workers_4": round(timings[4], 3),
+        "speedup": round(speedup, 2),
+        "verdict": "identical",
+    })

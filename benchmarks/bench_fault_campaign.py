@@ -80,7 +80,19 @@ def test_campaign_throughput(emit):
          "certified", "inconclusive"],
         rows,
         title=f"E14: campaign throughput ({TRIALS} trials, seed {SEED})",
-    ))
+    ), record={
+        "experiment": "E14a",
+        "params": {"trials": TRIALS, "seed": SEED, "budget": 4_000,
+                   "max_retries": 2, "k": 2},
+        "campaigns": [
+            {"algorithm": algo, "family": fam, "trials": trials,
+             "trials_per_s": float(rate), "retries": retries,
+             "certified": certified, "inconclusive": inconclusive}
+            for algo, fam, trials, rate, retries, certified, inconclusive
+            in rows
+        ],
+        "verdict": "ok",
+    })
 
 
 def _verdict(result):
@@ -130,4 +142,13 @@ def test_self_healing_overhead(emit, tmp_path):
         ["condition", "seconds", "retries", "degraded", "explored"],
         rows,
         title="E14: self-healing overhead (verdicts bit-identical)",
-    ))
+    ), record={
+        "experiment": "E14b",
+        "params": {"n": 3, "m": 1, "k": 1, "max_configs": 3_000,
+                   "workers": 2, "batch_size": 16},
+        "seconds_healthy": round(t_healthy, 3),
+        "seconds_one_kill": round(t_one, 3),
+        "seconds_degraded": round(t_degraded, 3),
+        "retries_one_kill": one_kill.worker_retries,
+        "verdict": "identical",
+    })

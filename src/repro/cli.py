@@ -15,7 +15,17 @@ entry points:
   corruption) and report replay-certified outcomes;
 * ``analyze``   — static analysis of the reproduction itself: the
   determinism/purity lint, the symbolic register-footprint checker, and
-  (with ``--sanitize``) sanitized smoke runs; the CI gate.
+  (with ``--sanitize``) sanitized smoke runs; the CI gate;
+* ``report``    — render a Markdown run report from a telemetry stream
+  written by ``--telemetry=jsonl`` (see :mod:`repro.telemetry`).
+
+``run``, ``explore`` and ``faults`` accept ``--telemetry`` (``off`` /
+``live`` / ``jsonl``): ``live`` paints a progress line on stderr,
+``jsonl`` writes the machine-readable event stream + Chrome trace under
+``--telemetry-dir``.  The session wraps the whole command — the dispatch
+wrapper closes it with the final exit code and verdict — and telemetry
+can never change an exit code or a verdict (enforced by the on/off
+bit-identity tests).
 
 Every command prints plain text and exits non-zero on failure, so the CLI
 can anchor shell-based regression checks.  The exit-code discipline is
@@ -58,7 +68,7 @@ from repro.lowerbounds import covering_construction, figure1_table
 from repro.lowerbounds.cloning import lemma9_glue
 from repro.objects import implemented_snapshot_layout
 from repro.sched import EventuallyBoundedScheduler
-from repro.spec import check_safety, execution_stats
+from repro.spec import check_safety, execution_stats, publish_stats
 from repro.trace import space_time_diagram
 
 PROTOCOLS = {
@@ -103,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under the register-access sanitizer: "
                              "purity checks on every step plus trace-time "
                              "covering/torn-read diagnostics")
+    _add_telemetry_flags(runner)
 
     explorer = sub.add_parser("explore", help="exhaustive safety check")
     explorer.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -152,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "step); forces --workers 1 because the "
                                "sanitizer's collector is in-process state")
     _add_watchdog_flags(explorer)
+    _add_telemetry_flags(explorer)
 
     faults = sub.add_parser(
         "faults", help="seeded chaos campaign with replay-certified verdicts"
@@ -189,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "journal into a sealed checkpoint every "
                              "this many completed trials")
     _add_watchdog_flags(faults)
+    _add_telemetry_flags(faults)
 
     covering = sub.add_parser(
         "covering", help="Theorem 2 construction vs under-provisioned Fig. 4"
@@ -237,6 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--rules", action="store_true",
                          help="print the rule catalog and exit")
 
+    reporter = sub.add_parser(
+        "report", help="render a Markdown run report from a telemetry stream"
+    )
+    reporter.add_argument("run_dir",
+                          help="telemetry directory (or events.jsonl path) "
+                               "written by a --telemetry=jsonl run")
+    reporter.add_argument("--check", action="store_true",
+                          help="validate the event stream against the "
+                               "telemetry schema first; schema problems "
+                               "print to stderr and exit 1")
+
     return parser
 
 
@@ -256,6 +280,65 @@ def _add_watchdog_flags(parser: argparse.ArgumentParser) -> None:
                         help="resident-set ceiling in MiB; on reaching it "
                              "the run checkpoints (with --resume) and "
                              "exits 3")
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", choices=("off", "live", "jsonl"),
+                        default="off",
+                        help="observability for the run: 'live' paints a "
+                             "progress line (rate, ETA, RSS heartbeat) on "
+                             "stderr; 'jsonl' writes the machine-readable "
+                             "event stream + Chrome trace under "
+                             "--telemetry-dir (render it with 'repro "
+                             "report'); never changes verdicts or exit "
+                             "codes")
+    parser.add_argument("--telemetry-dir", default=".repro-telemetry",
+                        metavar="DIR",
+                        help="directory for --telemetry=jsonl artifacts "
+                             "(events.jsonl, trace.json)")
+
+
+def _open_telemetry(args) -> Optional[object]:
+    """Open the command's telemetry session per ``--telemetry``, if any.
+
+    The ``run_start`` event echoes every scalar argument of the command
+    (seed, scheduler, n/m/k, budgets …), which is what makes a stream —
+    and the report rendered from it — reproducible from the transcript
+    alone.
+    """
+    mode = getattr(args, "telemetry", "off")
+    if mode == "off":
+        return None
+    from repro import telemetry
+    from repro.telemetry.schema import SCHEMA_VERSION
+    from repro.telemetry.sinks import JsonlSink, LiveSink
+
+    sink = (JsonlSink(args.telemetry_dir) if mode == "jsonl"
+            else LiveSink())
+    attrs = {"schema": SCHEMA_VERSION}
+    for key, value in sorted(vars(args).items()):
+        if key in ("command", "telemetry", "telemetry_dir"):
+            continue
+        if value is None or isinstance(value, (bool, int, float, str)):
+            attrs[key] = value
+    session = telemetry.start(
+        command=args.command, mode=mode, sinks=[sink], attrs=attrs
+    )
+    if isinstance(sink, LiveSink):
+        sink.attach(session)
+    return session
+
+
+#: Exit code → run_end verdict, for the telemetry stream and live line.
+_VERDICTS = {
+    0: "ok",
+    1: "refuted",
+    2: "error",
+    3: "checkpointed",
+    130: "interrupted",
+    141: "broken-pipe",
+    143: "terminated",
+}
 
 
 def _build_watchdog(args) -> Tuple[Optional[object], Optional[str]]:
@@ -328,10 +411,14 @@ def cmd_run(args) -> int:
         sanitizer = RegisterSanitizer(system, collector)
         monitors = [sanitizer]
     execution = run(system, scheduler, max_steps=args.max_steps,
-                    on_limit="return", monitors=monitors)
+                    on_limit="return", monitors=monitors,
+                    telemetry_span="runtime.run")
 
     stats = execution_stats(execution)
+    publish_stats(stats)
     print(f"protocol:  {protocol.describe()} on {args.substrate}")
+    print(f"scheduler: {args.scheduler} (seed {args.seed}, "
+          f"max-steps {args.max_steps}, instances {args.instances})")
     print(f"registers: {system.layout.register_count()}")
     print(f"steps:     {stats.total_steps} "
           f"({stats.memory_steps} memory, {stats.decisions} decisions)")
@@ -422,6 +509,8 @@ def cmd_explore(args) -> int:
     if result.recovery is not None:
         print(result.recovery.describe())
     print(result.summary())
+    print(f"  {result.footprint_summary()} "
+          f"(layout provisions {system.layout.register_count()})")
     if args.canonicalize:
         print(f"  distinct states visited: {result.configs_discovered} "
               "(orbit representatives)")
@@ -618,6 +707,26 @@ def cmd_analyze(args) -> int:
     return 1 if report.gating_findings(strict=args.strict) else 0
 
 
+def cmd_report(args) -> int:
+    """Render the Markdown run report for one telemetry stream.
+
+    Exit codes: 0 — report rendered; 1 — ``--check`` found schema
+    problems (printed to stderr); 2 — no stream at the given path, or an
+    unparseable one.
+    """
+    from repro.telemetry.report import render_report
+    from repro.telemetry.schema import validate_stream
+
+    if args.check:
+        problems = validate_stream(args.run_dir)
+        if problems:
+            for problem in problems:
+                print(f"schema: {problem}", file=sys.stderr)
+            return 1
+    print(render_report(args.run_dir))
+    return 0
+
+
 COMMANDS = {
     "bounds": cmd_bounds,
     "run": cmd_run,
@@ -627,6 +736,7 @@ COMMANDS = {
     "glue": cmd_glue,
     "verify": cmd_verify,
     "analyze": cmd_analyze,
+    "report": cmd_report,
 }
 
 
@@ -664,24 +774,36 @@ def _dispatch(handler, args) -> int:
         previous = install_sigterm_handler()
     except ValueError:  # not the main thread: leave signal handling alone
         previous = None
+    session = None
+    code = 2
     try:
-        return handler(args)
-    except KeyboardInterrupt:
-        print("interrupted", file=sys.stderr)
-        return 130
-    except Terminated:
-        print("terminated", file=sys.stderr)
-        return 143
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except BrokenPipeError:
         try:
-            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        except (OSError, ValueError):  # stdout has no real fd (embedding)
-            pass
-        return 141
+            session = _open_telemetry(args)
+            code = handler(args)
+        except KeyboardInterrupt:
+            print("interrupted", file=sys.stderr)
+            code = 130
+        except Terminated:
+            print("terminated", file=sys.stderr)
+            code = 143
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            code = 2
+        except BrokenPipeError:
+            try:
+                os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            except (OSError, ValueError):  # stdout has no real fd (embedding)
+                pass
+            code = 141
+        return code
     finally:
+        # The session observes the command's true outcome — including the
+        # exception paths above — and must release its sinks even when the
+        # handler re-raises something unanticipated.
+        if session is not None:
+            session.close(
+                exit_code=code, verdict=_VERDICTS.get(code, "unknown")
+            )
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
 

@@ -39,10 +39,12 @@ import io
 import os
 import pickle
 import struct
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, List, Optional, Tuple
 
+from repro import telemetry
 from repro.durable.checkpoint import (
     DIGEST_SIZE as _SEAL_DIGEST_SIZE,
     SEAL_MAGIC,
@@ -72,6 +74,15 @@ COMPACT_FLOOR_BYTES = 4 << 20
 
 def _digest(payload: bytes) -> bytes:
     return hashlib.blake2b(payload, digest_size=DIGEST_SIZE).digest()
+
+
+def _timed_fsync(fileno: int) -> None:
+    """fsync, timing the wait into the volatile latency histogram."""
+    t0 = time.perf_counter()
+    os.fsync(fileno)
+    telemetry.observe(
+        "durable.fsync_seconds", time.perf_counter() - t0, volatile=True
+    )
 
 
 @dataclass
@@ -150,13 +161,13 @@ class Journal:
         handle.write(_LEN.pack(len(payload)) + _digest(payload) + payload)
         handle.flush()
         if sync:
-            os.fsync(handle.fileno())
+            _timed_fsync(handle.fileno())
 
     def sync(self) -> None:
         """fsync pending appends (no-op if nothing was ever appended)."""
         if self._handle is not None:
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            _timed_fsync(self._handle.fileno())
 
     def reset(self) -> None:
         """Truncate to an empty (header-only) journal, durably."""
@@ -234,17 +245,22 @@ class RunJournal:
         payload = pickle.dumps((index, obj), protocol=pickle.HIGHEST_PROTOCOL)
         self.journal.append(payload, sync=sync)
         self.bytes_since_compaction += len(payload) + _LEN.size + DIGEST_SIZE
+        telemetry.counter("durable.appends")
+        telemetry.counter("durable.append_bytes", len(payload))
 
     def checkpoint(self, obj: Any, next_index: int) -> None:
         """Compact: seal the aggregate covering ``[0, next_index)``, then
         reset the journal.  Crash-safe in either order of survival."""
-        payload = pickle.dumps(
-            (_CK_FORMAT, next_index, obj), protocol=pickle.HIGHEST_PROTOCOL
-        )
-        write_sealed(self.store.path, payload)
-        self.journal.reset()
+        with telemetry.span("durable.checkpoint", next_index=next_index) as sp:
+            payload = pickle.dumps(
+                (_CK_FORMAT, next_index, obj), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            write_sealed(self.store.path, payload)
+            self.journal.reset()
+            sp.set(bytes=len(payload))
         self.bytes_since_compaction = 0
         self.last_checkpoint_bytes = len(payload)
+        telemetry.counter("durable.checkpoints")
 
     def should_compact(self) -> bool:
         """Has the journal grown enough that folding it in pays?
@@ -328,11 +344,34 @@ class RunJournal:
             self.last_recovery = report
             self.next_index = expected
             self._seed_compaction_sizes(scan.valid_bytes)
+            self._recovery_telemetry(report)
             return checkpoint_obj, records, report
         self.last_recovery = report
         self.next_index = next_index
         self._seed_compaction_sizes(0)
+        self._recovery_telemetry(report)
         return checkpoint_obj, [], report
+
+    @staticmethod
+    def _recovery_telemetry(report: RecoveryReport) -> None:
+        """Publish one salvaging recovery's counters (fresh journals skip).
+
+        Volatile: what a recovery salvages depends on where the previous
+        process died, which is a host accident, not run semantics.
+        """
+        if not report.salvaged_anything:
+            return
+        telemetry.counter("durable.recoveries", volatile=True)
+        telemetry.counter(
+            "durable.records_recovered", report.records_recovered,
+            volatile=True,
+        )
+        telemetry.counter(
+            "durable.records_stale", report.records_stale, volatile=True
+        )
+        telemetry.counter(
+            "durable.bytes_discarded", report.bytes_discarded, volatile=True
+        )
 
     def _seed_compaction_sizes(self, journal_valid_bytes: int) -> None:
         """Prime :meth:`should_compact` from the recovered on-disk sizes."""

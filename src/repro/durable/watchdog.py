@@ -105,15 +105,30 @@ class Watchdog:
             self._stop_reason = reason
 
     def poll(self) -> Optional[str]:
-        """The reason to checkpoint-and-stop, or ``None`` to keep working."""
+        """The reason to checkpoint-and-stop, or ``None`` to keep working.
+
+        RSS comes from the shared throttled heartbeat
+        (:mod:`repro.telemetry.heartbeat`), which also publishes the sample
+        as the volatile gauges live renderers read — one ``/proc`` read
+        serves the ceiling check and every display.  The cache can delay
+        an RSS-ceiling trip by at most its ``max_age`` (0.5s), well under
+        any poll cadence the ceiling is meant to protect.
+        """
+        # Imported lazily: telemetry.heartbeat imports this module for the
+        # raw probe, so a top-level import here would be circular.
+        from repro.telemetry import heartbeat
+
         if self._stop_reason is not None:
             return self._stop_reason
+        elapsed: Optional[float] = None
+        if self.started is not None:
+            elapsed = time.monotonic() - self.started
         if self.deadline is not None:
-            started = self.started if self.started is not None else time.monotonic()
-            if time.monotonic() - started >= self.deadline:
+            if (elapsed if elapsed is not None else 0.0) >= self.deadline:
                 self._stop_reason = DEADLINE_REASON
                 return self._stop_reason
-        if self.max_rss_mb is not None and current_rss_mb() >= self.max_rss_mb:
+        rss = heartbeat.publish(elapsed_s=elapsed)
+        if self.max_rss_mb is not None and rss >= self.max_rss_mb:
             self._stop_reason = RSS_REASON
             return self._stop_reason
         return None

@@ -42,7 +42,10 @@ from repro.runtime.system import Configuration, System, stable_fingerprint
 # v3: entries are digest-sealed on disk (durable.checkpoint framing) and
 # ExplorationResult grew interrupted/recovery (watchdog + journal);
 # pre-seal files fail verification and are quarantined, not misread.
-CACHE_VERSION = 3
+# v4: entries and ExplorationResult carry the register footprint
+# (memory_steps / write_steps / registers_written), so resumed runs
+# report the same footprint as uninterrupted ones.
+CACHE_VERSION = 4
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -65,6 +68,10 @@ class CacheEntry:
     parents: Optional[Dict[str, Tuple[Optional[str], Optional[int]]]]
     frontier: Optional[List[Tuple[str, Configuration]]]
     explored: int
+    #: Register footprint carried across resumes (sorted for stable bytes).
+    memory_steps: int = 0
+    write_steps: int = 0
+    registers_written: Tuple = ()
 
 
 def _layout_signature(layout: MemoryLayout) -> Tuple:

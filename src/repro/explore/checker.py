@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro._types import Value
 from repro.durable.recovery import RecoveryReport
 from repro.errors import StepLimitExceeded
+from repro.memory.layout import RegisterCoord
 from repro.runtime.system import Configuration, System
 
 
@@ -78,6 +79,14 @@ class ExplorationResult:
     resumed from a journal.  Like the self-healing fields, neither affects
     the verdict — a resumed run replays the journaled deltas onto the last
     checkpoint and continues the identical deterministic BFS.
+
+    ``memory_steps`` / ``write_steps`` / ``registers_written`` are the
+    run's register footprint in the paper's space vocabulary: over every
+    expanded edge, how many steps touched shared memory, how many were
+    writes, and the set of global register coordinates written.  Each
+    reachable edge is stepped exactly once, so all three are bit-identical
+    across worker counts, batch sizes, and journal resumes (asserted by the
+    identity tests alongside the verdict).
     """
 
     configs_explored: int
@@ -89,11 +98,22 @@ class ExplorationResult:
     degraded: bool = False
     interrupted: Optional[str] = None
     recovery: Optional[RecoveryReport] = None
+    memory_steps: int = 0
+    write_steps: int = 0
+    registers_written: Set["RegisterCoord"] = field(default_factory=set)
 
     @property
     def ok(self) -> bool:
         """True iff no safety or progress violation was found."""
         return not self.safety_violations and not self.progress_violations
+
+    def footprint_summary(self) -> str:
+        """One-line register-footprint account, as printed by the CLI."""
+        return (
+            f"footprint: {self.memory_steps} memory steps "
+            f"({self.write_steps} writes) over "
+            f"{len(self.registers_written)} registers"
+        )
 
     def summary(self) -> str:
         """One-line account of coverage and verdict."""

@@ -71,6 +71,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.durable.journal import RunJournal
 from repro.durable.recovery import QUARANTINE_DIR
 from repro.durable.watchdog import Watchdog, reset_active_watchdogs
@@ -81,6 +82,11 @@ from repro.explore.canonical import (
     canonicalize as canonical_form,
     symmetry_classes,
 )
+from repro.memory.layout import RegisterCoord
+from repro.memory.ops import is_write_access
+from repro.runtime.events import MemoryEvent
+from repro.telemetry import heartbeat
+from repro.telemetry.metrics import COUNT_BUCKETS, MetricsRegistry, MetricsSnapshot
 from repro.runtime.system import Configuration, System, stable_fingerprint
 
 
@@ -96,13 +102,24 @@ class EngineFailure:
 
 @dataclass(frozen=True)
 class _Expansion:
-    """Everything a worker learned about one frontier configuration."""
+    """Everything a worker learned about one frontier configuration.
+
+    The footprint fields measure the expansion's own steps — one step per
+    enabled pid — in the paper's space vocabulary: how many of them were
+    shared-memory accesses, how many were writes, and which global register
+    coordinates those writes landed on.  Each reachable edge is stepped
+    exactly once, so the sums are a pure function of the explored graph and
+    stay bit-identical across worker counts, batch sizes, and resumes.
+    """
 
     fingerprint: str
     safety_problem: Optional[Tuple[str, int, Tuple, str]]
     progress_problem: Optional[Tuple[Tuple[int, ...], str]]
     successors: Tuple[Tuple[int, Configuration, str], ...]
     failure: Optional[EngineFailure]
+    memory_inc: int = 0
+    write_inc: int = 0
+    writes: Tuple[RegisterCoord, ...] = ()
 
 
 @dataclass
@@ -119,6 +136,9 @@ class _WorkerContext:
     solo_budget: int
     #: Chaos hook (duck-typed ``maybe_kill()``); workers call it per chunk.
     chaos: Optional[object] = None
+    #: Whether the coordinator has a telemetry session; workers then meter
+    #: their chunks and ship snapshots back for the deterministic merge.
+    telemetry_enabled: bool = False
 
 
 #: Worker-process slot for the run context (set pre-fork / by initializer).
@@ -143,6 +163,11 @@ def _init_worker() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     reset_active_watchdogs()
+    # An inherited telemetry session would interleave worker events into
+    # the coordinator's sinks; workers meter chunks via fresh registries
+    # instead (see _expand_chunk_measured).
+    telemetry.reset()
+    heartbeat.reset()
 
 
 def _set_worker(ctx: _WorkerContext) -> None:
@@ -175,12 +200,25 @@ def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansi
             if stall is not None:
                 return _Expansion(fp, None, stall, (), None)
             pids = ctx.system.enabled_pids(config)
-        successors = tuple(
-            (pid, succ, _fingerprint(succ, ctx.classes))
-            for pid in pids
-            for succ in (ctx.system.step(config, pid).config,)
+        successors: List[Tuple[int, Configuration, str]] = []
+        memory_inc = write_inc = 0
+        writes: List[RegisterCoord] = []
+        for pid in pids:
+            step = ctx.system.step(config, pid)
+            successors.append(
+                (pid, step.config, _fingerprint(step.config, ctx.classes))
+            )
+            if isinstance(step.event, MemoryEvent):
+                memory_inc += 1
+                if is_write_access(step.event.op):
+                    write_inc += 1
+                    coord = ctx.system.layout.op_coord(step.event.op)
+                    if coord is not None and coord not in writes:
+                        writes.append(coord)
+        return _Expansion(
+            fp, None, None, tuple(successors), None,
+            memory_inc, write_inc, tuple(writes),
         )
-        return _Expansion(fp, None, None, successors, None)
     except Exception as exc:  # noqa: BLE001 — everything must cross the pool
         failure = EngineFailure(
             kind=type(exc).__name__,
@@ -191,12 +229,42 @@ def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansi
         return _Expansion(fp, None, None, (), failure)
 
 
-def _expand_chunk(items: List[Tuple[str, Configuration]]) -> List[_Expansion]:
-    """Worker entry point: expand a contiguous frontier slice, in order."""
+def _expand_chunk(
+    items: List[Tuple[str, Configuration]],
+) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
+    """Worker entry point: expand a contiguous frontier slice, in order.
+
+    Alongside the expansions, ships back a picklable metrics snapshot of
+    the chunk (``None`` when the run is untelemetered); the coordinator
+    folds snapshots in at the deterministic merge point, in submission
+    order.
+    """
     assert _WORKER is not None, "worker context not initialized"
     if _WORKER.chaos is not None:
         _WORKER.chaos.maybe_kill()
-    return [_expand_one(_WORKER, fp, config) for fp, config in items]
+    return _expand_chunk_measured(_WORKER, items)
+
+
+def _expand_chunk_measured(
+    ctx: _WorkerContext, items: List[Tuple[str, Configuration]]
+) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
+    """Expand *items* in order, metering the chunk when telemetry is on.
+
+    The chunk registry is process-local and fresh per chunk: counters are
+    deterministic for a fixed ``workers`` value, durations are volatile by
+    declaration, and nothing touches the per-step hot loop.
+    """
+    if not ctx.telemetry_enabled:
+        return [_expand_one(ctx, fp, config) for fp, config in items], None
+    registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    expansions = [_expand_one(ctx, fp, config) for fp, config in items]
+    registry.counter("explore.worker.chunks").inc()
+    registry.counter("explore.worker.expansions").inc(len(expansions))
+    registry.histogram("explore.worker.chunk_seconds", volatile=True).observe(
+        time.perf_counter() - t0
+    )
+    return expansions, registry.snapshot()
 
 
 def _split(batch: List, parts: int) -> List[List]:
@@ -268,6 +336,12 @@ class _BatchDelta:
     safety: Tuple[checker.SafetyCounterexample, ...]
     progress: Tuple[checker.ProgressCounterexample, ...]
     done: bool
+    memory_inc: int = 0
+    write_inc: int = 0
+    #: Register coordinates first written by this batch, in merge order —
+    #: replayed into ``ExplorationResult.registers_written`` on recovery so
+    #: a resumed run's footprint is bit-identical to an uninterrupted one.
+    new_writes: Tuple[RegisterCoord, ...] = ()
 
 
 def _merge_batch(
@@ -291,12 +365,19 @@ def _merge_batch(
         if expansion.failure is not None:
             raise ExplorationEngineError(expansion.failure)
     explored_inc = 0
+    memory_inc = write_inc = 0
+    new_writes: List[RegisterCoord] = []
     new_entries: List[Tuple[str, str, int]] = []
     safety_added: List[checker.SafetyCounterexample] = []
     progress_added: List[checker.ProgressCounterexample] = []
     done = False
     for expansion in expansions:
         explored_inc += 1
+        memory_inc += expansion.memory_inc
+        write_inc += expansion.write_inc
+        for coord in expansion.writes:
+            if coord not in result.registers_written and coord not in new_writes:
+                new_writes.append(coord)
         if expansion.safety_problem is not None:
             prop, instance, outs, detail = expansion.safety_problem
             safety_added.append(
@@ -331,6 +412,9 @@ def _merge_batch(
                 new_entries.append((succ_fp, expansion.fingerprint, pid))
                 frontier.append((succ_fp, successor))
     result.configs_explored += explored_inc
+    result.memory_steps += memory_inc
+    result.write_steps += write_inc
+    result.registers_written.update(new_writes)
     result.safety_violations.extend(safety_added)
     result.progress_violations.extend(progress_added)
     if done:
@@ -343,6 +427,9 @@ def _merge_batch(
         safety=tuple(safety_added),
         progress=tuple(progress_added),
         done=done,
+        memory_inc=memory_inc,
+        write_inc=write_inc,
+        new_writes=tuple(new_writes),
     )
     return delta, done
 
@@ -370,6 +457,9 @@ def _apply_delta(
         parents[succ_fp] = (parent_fp, pid)
         frontier.append((succ_fp, system.step(popped[parent_fp], pid).config))
     result.configs_explored += delta.explored_inc
+    result.memory_steps += delta.memory_inc
+    result.write_steps += delta.write_inc
+    result.registers_written.update(delta.new_writes)
     result.safety_violations.extend(delta.safety)
     result.progress_violations.extend(delta.progress)
     if delta.done:
@@ -390,6 +480,9 @@ def _state_payload(
         "explored": result.configs_explored,
         "safety": list(result.safety_violations),
         "progress": list(result.progress_violations),
+        "memory_steps": result.memory_steps,
+        "write_steps": result.write_steps,
+        "registers_written": set(result.registers_written),
     }
 
 
@@ -455,6 +548,7 @@ def explore(
         survivor_sets=sets,
         solo_budget=solo_budget,
         chaos=chaos,
+        telemetry_enabled=telemetry.active() is not None,
     )
 
     cache = None
@@ -511,11 +605,20 @@ def explore(
         explored = recovered_state["explored"]
         base_safety = list(recovered_state["safety"])
         base_progress = list(recovered_state["progress"])
+        base_footprint = (
+            recovered_state.get("memory_steps", 0),
+            recovered_state.get("write_steps", 0),
+            set(recovered_state.get("registers_written", ())),
+        )
     elif entry is not None:
         parents = entry.parents
         frontier = deque(entry.frontier)
         explored = entry.explored
         base_safety, base_progress = [], []
+        base_footprint = (
+            entry.memory_steps, entry.write_steps,
+            set(entry.registers_written),
+        )
     else:
         initial = system.initial_configuration()
         initial_fp = _fingerprint(initial, classes)
@@ -523,10 +626,13 @@ def explore(
         frontier = deque([(initial_fp, initial)])
         explored = 0
         base_safety, base_progress = [], []
+        base_footprint = (0, 0, set())
 
     result = checker.ExplorationResult(configs_explored=explored, complete=True)
     result.safety_violations.extend(base_safety)
     result.progress_violations.extend(base_progress)
+    result.memory_steps, result.write_steps = base_footprint[0], base_footprint[1]
+    result.registers_written = base_footprint[2]
     result.recovery = recovery
 
     done = False
@@ -545,6 +651,11 @@ def explore(
     wd = watchdog
     if wd is None and runlog is not None:
         wd = Watchdog()
+
+    telemetry.gauge(
+        "footprint.registers_provisioned", system.layout.register_count()
+    )
+    telemetry.gauge("progress.total", max_configs)
 
     pool = None
     interrupted: Optional[str] = None
@@ -565,19 +676,27 @@ def explore(
                     break
                 count = min(len(frontier), budget, batch_size * workers)
                 batch = [frontier.popleft() for _ in range(count)]
-                if pool is None:
-                    expansions = _expand_chunk_local(ctx, batch)
-                else:
-                    expansions, pool = _expand_batch(
-                        pool, ctx, batch, workers,
-                        batch_timeout=batch_timeout,
-                        max_retries=max_retries,
-                        result=result,
+                with telemetry.span(
+                    "explore.batch", batch=batch_index, size=count
+                ) as sp:
+                    if pool is None:
+                        expansions = _expand_chunk_local(ctx, batch)
+                    else:
+                        expansions, pool = _expand_batch(
+                            pool, ctx, batch, workers,
+                            batch_timeout=batch_timeout,
+                            max_retries=max_retries,
+                            result=result,
+                        )
+                    delta, done = _merge_batch(
+                        batch_index, count, expansions, parents, frontier,
+                        result, stop_at_first,
                     )
-                delta, done = _merge_batch(
-                    batch_index, count, expansions, parents, frontier,
-                    result, stop_at_first,
-                )
+                    sp.set(
+                        explored=delta.explored_inc,
+                        discovered=len(delta.new_entries),
+                    )
+                _batch_telemetry(count, delta, len(frontier), len(parents), result)
                 if runlog is not None:
                     runlog.record(batch_index, delta)
                 batch_index += 1
@@ -599,6 +718,7 @@ def explore(
         if interrupted is not None:
             result.complete = False
             result.interrupted = interrupted
+            telemetry.mark("explore.interrupted", reason=interrupted)
         finished = result.complete or not result.ok
         if runlog is not None:
             if finished:
@@ -621,6 +741,12 @@ def explore(
                     parents=None if finished else parents,
                     frontier=None if finished else list(frontier),
                     explored=result.configs_explored,
+                    memory_steps=result.memory_steps,
+                    write_steps=result.write_steps,
+                    registers_written=tuple(
+                        sorted(result.registers_written,
+                               key=lambda c: (c.bank, c.index))
+                    ),
                 ),
             )
         return result
@@ -636,7 +762,35 @@ def _expand_chunk_local(
     ctx: _WorkerContext, batch: List[Tuple[str, Configuration]]
 ) -> List[_Expansion]:
     """In-process expansion path: ``workers == 1`` and the degraded mode."""
-    return [_expand_one(ctx, fp, config) for fp, config in batch]
+    expansions, snapshot = _expand_chunk_measured(ctx, batch)
+    telemetry.merge(snapshot)
+    return expansions
+
+
+def _batch_telemetry(
+    count: int,
+    delta: _BatchDelta,
+    frontier_len: int,
+    discovered: int,
+    result: checker.ExplorationResult,
+) -> None:
+    """Publish one merged batch's metrics (no-op when telemetry is off).
+
+    Everything here is a pure function of the deterministic BFS — counts,
+    set sizes, footprint — so these instruments stay on the deterministic
+    side of the export and are pinned by the golden-stream tests.
+    """
+    if telemetry.active() is None:
+        return
+    telemetry.counter("explore.batches")
+    telemetry.counter("explore.configs_explored", delta.explored_inc)
+    telemetry.counter("footprint.memory_steps", delta.memory_inc)
+    telemetry.counter("footprint.write_steps", delta.write_inc)
+    telemetry.observe("explore.batch_size", count, bounds=COUNT_BUCKETS)
+    telemetry.gauge("explore.frontier_size", frontier_len)
+    telemetry.gauge("explore.configs_discovered", discovered)
+    telemetry.gauge("footprint.registers_written", len(result.registers_written))
+    telemetry.gauge("progress.done", result.configs_explored)
 
 
 def _expand_batch(
@@ -672,13 +826,21 @@ def _expand_batch(
                 mapped = pool.map_async(_expand_chunk, chunks).get(
                     timeout=batch_timeout
                 )
-            return [e for chunk in mapped for e in chunk], pool
+            # Fold worker metrics in only once the batch is accepted, in
+            # submission order — discarded attempts leave no trace, which
+            # keeps retried runs' deterministic metrics identical too.
+            for _, snapshot in mapped:
+                telemetry.merge(snapshot)
+            return [e for expansions, _ in mapped for e in expansions], pool
         except Exception:  # noqa: BLE001 — any pool failure takes the heal path
             result.worker_retries += 1
+            # Volatile: pool failures are host events, not run semantics.
+            telemetry.counter("explore.worker_retries", volatile=True)
             _teardown(pool)
             pool = None
             if attempt < max_retries:
                 time.sleep(min(0.05 * 2**attempt, 2.0))
                 pool = _make_pool(workers, ctx)
     result.degraded = True
+    telemetry.mark("explore.degraded")
     return _expand_chunk_local(ctx, batch), None

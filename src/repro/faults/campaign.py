@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.durable.journal import RunJournal
 from repro.durable.recovery import QUARANTINE_DIR, RecoveryReport
 from repro.durable.watchdog import Watchdog
@@ -160,6 +161,7 @@ def run_trial(
             plan_scheduler(plan),
             max_steps=attempt_budget,
             on_limit="return",
+            telemetry_span="faults.attempt",
         )
         observed = check_safety(execution, k)
         if observed:
@@ -286,17 +288,33 @@ def run_campaign(
         if wd is not None:
             wd.__enter__()
         try:
+            telemetry.gauge("progress.total", len(plans))
+            telemetry.gauge("progress.done", len(report.trials))
             for index in range(len(report.trials), len(plans)):
                 if wd is not None:
                     reason = wd.poll()
                     if reason is not None:
                         report.interrupted = reason
+                        telemetry.mark("faults.interrupted", reason=reason)
                         break
-                trial = run_trial(
-                    system, plans[index], k=k, budget=budget,
-                    max_retries=max_retries, backoff=backoff,
-                )
+                with telemetry.span(
+                    "faults.trial", trial=index,
+                    plan=plans[index].describe(),
+                ) as sp:
+                    trial = run_trial(
+                        system, plans[index], k=k, budget=budget,
+                        max_retries=max_retries, backoff=backoff,
+                    )
+                    sp.set(outcome=trial.outcome, attempts=trial.attempts)
                 report.trials.append(trial)
+                telemetry.counter("faults.trials")
+                telemetry.counter(f"faults.outcome.{trial.outcome}")
+                telemetry.counter("faults.retries", trial.attempts - 1)
+                telemetry.observe(
+                    "faults.trial_steps", trial.steps,
+                    bounds=telemetry.COUNT_BUCKETS,
+                )
+                telemetry.gauge("progress.done", len(report.trials))
                 if runlog is not None:
                     runlog.record(index, trial)
                     if ((index + 1) % checkpoint_every == 0

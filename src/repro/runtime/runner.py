@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro._types import Value
 from repro.errors import NotEnabledError, StepLimitExceeded
 from repro.runtime.events import DecideEvent, Event, MemoryEvent
@@ -85,6 +86,7 @@ def run(
     stop: Optional[StopCondition] = None,
     on_limit: str = "raise",
     monitors: Optional[Sequence[Monitor]] = None,
+    telemetry_span: Optional[str] = None,
 ) -> Execution:
     """Run *system* under *scheduler* until quiescence, *stop*, or the budget.
 
@@ -98,6 +100,14 @@ def run(
     the event taken; they raise to abort the run — the way per-step
     invariants (e.g. the paper's Lemma 3, :mod:`repro.spec.invariants`)
     are enforced online.
+
+    ``telemetry_span`` names the telemetry span to wrap the whole run in
+    (e.g. ``"runtime.run"`` from the CLI, ``"faults.attempt"`` from a
+    campaign trial).  It is opt-in per call site because ``run`` is also
+    the inner engine of exploration oracles, where a span per call would
+    flood the event stream; the ``runtime.runs`` / ``runtime.steps``
+    counters are recorded regardless, and no instrumentation ever runs
+    inside the per-step loop.
     """
     if on_limit not in ("raise", "return"):
         raise ValueError(f"on_limit must be 'raise' or 'return', got {on_limit!r}")
@@ -105,31 +115,63 @@ def run(
     execution = Execution(system=system, initial=start)
     if hasattr(scheduler, "reset"):
         scheduler.reset()
-    while True:
-        if stop is not None and stop(execution.config, execution.events):
-            return execution
-        enabled = system.enabled_pids(execution.config)
-        if not enabled:
-            return execution
-        if execution.steps >= max_steps:
-            if on_limit == "return":
-                execution.hit_step_limit = True
+    if telemetry_span is None:
+        return _drive(system, scheduler, execution, max_steps, stop,
+                      on_limit, monitors)
+    with telemetry.span(
+        telemetry_span, protocol=system.automaton.name, n=system.n
+    ) as sp:
+        _drive(system, scheduler, execution, max_steps, stop, on_limit, monitors)
+        sp.set(steps=execution.steps, hit_step_limit=execution.hit_step_limit)
+    return execution
+
+
+def _drive(
+    system: System,
+    scheduler,
+    execution: Execution,
+    max_steps: int,
+    stop: Optional[StopCondition],
+    on_limit: str,
+    monitors: Optional[Sequence[Monitor]],
+) -> Execution:
+    """The scheduler-driven step loop behind :func:`run`.
+
+    The ``finally`` clause records the run-level counters on every exit
+    path — quiescence, stop conditions, budget raises, monitor raises —
+    so ``runtime.steps`` accounts for work that ended in an exception too.
+    """
+    try:
+        while True:
+            if stop is not None and stop(execution.config, execution.events):
                 return execution
-            raise StepLimitExceeded(
-                f"run exceeded {max_steps} steps without terminating "
-                f"({system.automaton.name}, n={system.n})"
+            enabled = system.enabled_pids(execution.config)
+            if not enabled:
+                return execution
+            if execution.steps >= max_steps:
+                if on_limit == "return":
+                    execution.hit_step_limit = True
+                    return execution
+                raise StepLimitExceeded(
+                    f"run exceeded {max_steps} steps without terminating "
+                    f"({system.automaton.name}, n={system.n})"
+                )
+            pid = scheduler.choose(
+                execution.config, system, enabled, execution.steps
             )
-        pid = scheduler.choose(execution.config, system, enabled, execution.steps)
-        if pid is None:
-            return execution
-        if pid not in enabled:
-            raise NotEnabledError(
-                f"scheduler chose disabled process {pid} (enabled: {enabled})"
-            )
-        event = execution.append_step(pid)
-        if monitors:
-            for monitor in monitors:
-                monitor(execution.config, event)
+            if pid is None:
+                return execution
+            if pid not in enabled:
+                raise NotEnabledError(
+                    f"scheduler chose disabled process {pid} (enabled: {enabled})"
+                )
+            event = execution.append_step(pid)
+            if monitors:
+                for monitor in monitors:
+                    monitor(execution.config, event)
+    finally:
+        telemetry.counter("runtime.runs")
+        telemetry.counter("runtime.steps", execution.steps)
 
 
 def replay(

@@ -17,7 +17,12 @@ from repro.spec.properties import (
     instance_inputs,
     instance_outputs,
 )
-from repro.spec.stats import ExecutionStats, execution_stats, registers_written
+from repro.spec.stats import (
+    ExecutionStats,
+    execution_stats,
+    publish_stats,
+    registers_written,
+)
 
 __all__ = [
     "ProgressFailure",
@@ -35,5 +40,6 @@ __all__ = [
     "progress_matrix",
     "ExecutionStats",
     "execution_stats",
+    "publish_stats",
     "registers_written",
 ]

@@ -88,6 +88,26 @@ def execution_stats(execution: Execution) -> ExecutionStats:
     )
 
 
+def publish_stats(stats: ExecutionStats) -> None:
+    """Record a run's register footprint on the active telemetry session.
+
+    Publishes the same ``footprint.*`` instruments the exploration engine
+    feeds (see ``docs/observability.md``), so ``repro report`` renders
+    its register-footprint table for single executions too.  No-op when
+    telemetry is off, like every instrumentation call.
+    """
+    from repro import telemetry
+
+    if telemetry.active() is None:
+        return
+    telemetry.counter("footprint.memory_steps", stats.memory_steps)
+    telemetry.counter("footprint.write_steps", stats.write_steps)
+    telemetry.gauge("footprint.registers_written", stats.registers_written)
+    telemetry.gauge(
+        "footprint.registers_provisioned", stats.registers_provisioned
+    )
+
+
 def max_register_payload(execution: Execution) -> int:
     """The widest value ever written to a register, in ``repr`` characters.
 

@@ -1,0 +1,71 @@
+"""Telemetry: run-wide metrics, span tracing, live progress, run reports.
+
+The observability layer for every long-running subsystem — exploration
+batches, fault-campaign trials, durable-journal operations, whole
+executions.  Zero third-party dependencies; nothing here is ever called
+from the per-step hot loop, and nothing here may perturb a verdict
+(enforced by the telemetry-on/off bit-identity tests).
+
+The package splits five ways:
+
+* :mod:`repro.telemetry.metrics` — the instrument store: deterministic /
+  volatile counters, gauges, fixed-bucket histograms, and the picklable
+  snapshot-merge protocol that aggregates worker registries at the
+  exploration engine's deterministic merge point;
+* :mod:`repro.telemetry.session` — the process-wide pipeline: the active
+  session, span tracing, and the no-op-safe helpers instrumented code
+  calls (:func:`span`, :func:`counter`, :func:`gauge`, :func:`observe`,
+  :func:`merge`, :func:`mark`);
+* :mod:`repro.telemetry.sinks` — the JSONL event stream + Chrome trace,
+  and the TTY-aware live progress renderer;
+* :mod:`repro.telemetry.schema` — stream validation and the golden-file
+  normalization (volatile section stripped);
+* :mod:`repro.telemetry.report` — the ``repro report`` Markdown renderer.
+
+See ``docs/observability.md`` for the metric catalogue, the span
+taxonomy, and the report format.
+"""
+
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SECONDS_BUCKETS,
+)
+from repro.telemetry.session import (
+    MODES,
+    TelemetrySession,
+    active,
+    counter,
+    gauge,
+    mark,
+    merge,
+    observe,
+    reset,
+    span,
+    start,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MODES",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SECONDS_BUCKETS",
+    "TelemetrySession",
+    "active",
+    "counter",
+    "gauge",
+    "mark",
+    "merge",
+    "observe",
+    "reset",
+    "span",
+    "start",
+]

@@ -1,0 +1,64 @@
+"""The shared heartbeat: one RSS poll feeding watchdogs and renderers.
+
+Before telemetry existed, the RSS ceiling watchdog read ``/proc`` on every
+poll and any progress display would have had to read it again.  This module
+makes the measurement a single shared, throttled sample:
+
+* :func:`rss_mb` returns the cached resident-set size, re-reading the OS
+  only when the cache is older than ``max_age`` seconds;
+* :func:`publish` pushes the heartbeat into the active telemetry session
+  as the volatile gauges ``heartbeat.rss_mb`` / ``heartbeat.elapsed_s``,
+  so the live renderer and the run report read the same numbers the
+  watchdog acted on — instead of re-polling.
+
+:class:`repro.durable.watchdog.Watchdog` calls both from ``poll()``; the
+live sink only ever *reads* (with ``max_age`` relaxed) so an idle display
+cannot turn into a /proc polling loop of its own.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.durable.watchdog import current_rss_mb
+
+#: Default cache lifetime: well under the watchdog's poll cadence, well
+#: over the cost of a /proc read.
+DEFAULT_MAX_AGE = 0.5
+
+_sampled_at: Optional[float] = None
+_sampled_rss: float = 0.0
+
+
+def rss_mb(max_age: float = DEFAULT_MAX_AGE) -> float:
+    """This process's RSS in MiB, via the shared throttled cache."""
+    global _sampled_at, _sampled_rss
+    now = time.monotonic()
+    if _sampled_at is None or now - _sampled_at > max_age:
+        _sampled_rss = current_rss_mb()
+        _sampled_at = now
+    return _sampled_rss
+
+
+def publish(elapsed_s: Optional[float] = None,
+            max_age: float = DEFAULT_MAX_AGE) -> float:
+    """Sample the heartbeat and publish it as volatile gauges.
+
+    Returns the RSS sample so callers (the watchdog) can act on the same
+    number they published.  No-ops the gauge half when telemetry is off.
+    """
+    from repro.telemetry import session
+
+    sample = rss_mb(max_age)
+    session.gauge("heartbeat.rss_mb", sample, volatile=True)
+    if elapsed_s is not None:
+        session.gauge("heartbeat.elapsed_s", elapsed_s, volatile=True)
+    return sample
+
+
+def reset() -> None:
+    """Invalidate the cache (test isolation, forked children)."""
+    global _sampled_at, _sampled_rss
+    _sampled_at = None
+    _sampled_rss = 0.0

@@ -1,0 +1,288 @@
+"""The metrics registry: counters, gauges, histograms, and their merge.
+
+Design constraints, in order:
+
+* **Determinism** — metric *values* must be reproducible functions of the
+  run's semantics wherever possible, because the JSONL export is pinned
+  by golden-file tests (same seed ⇒ byte-identical stream modulo the
+  normalized volatile section).  Every instrument therefore declares
+  whether it is deterministic (``volatile=False``, the default: counts of
+  semantic units — configurations, trials, journal records) or volatile
+  (``volatile=True``: anything derived from wall clocks or the host —
+  latencies, RSS).  Exports keep the two groups apart so normalization
+  can strip the volatile side wholesale.
+
+* **Fixed histogram buckets** — bucket bounds are part of the instrument's
+  identity, chosen at creation and never adapted to the data, so two runs
+  of the same workload bucket identically and their exports compare
+  byte-for-byte.
+
+* **Multiprocessing-safe aggregation by snapshot, not by sharing** — a
+  registry is plain process-local state (no locks, no shared memory).
+  Workers each populate their own registry and ship a picklable
+  :class:`MetricsSnapshot` back with their results; the coordinator folds
+  snapshots in at its deterministic merge point via
+  :meth:`MetricsRegistry.merge`.  Counter and histogram merges are
+  commutative sums, so worker count and scheduling cannot change the
+  merged values; gauges are last-write-wins in merge order, which the
+  exploration engine keeps deterministic by merging in submission order.
+
+Zero dependencies; everything here is stdlib.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds for second-scale durations.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0
+)
+
+#: Default bucket bounds for unit counts (batch sizes, record counts).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing sum of non-negative increments."""
+
+    name: str
+    volatile: bool = False
+    value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative inc {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value; last write wins."""
+
+    name: str
+    volatile: bool = False
+    value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound bucketed distribution: counts per bucket + sum + count.
+
+    ``bounds`` are inclusive upper bounds; an observation larger than the
+    last bound lands in the implicit overflow bucket.  Bounds are frozen
+    at creation so the export shape is a pure function of the instrument,
+    never of the data.
+    """
+
+    name: str
+    bounds: Tuple[float, ...]
+    volatile: bool = False
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name}: empty bucket bounds")
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(
+                f"histogram {self.name}: bounds must be sorted, "
+                f"got {self.bounds}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A picklable, mergeable copy of one registry's state.
+
+    The unit that crosses the ``multiprocessing`` pool boundary: workers
+    snapshot their local registry and the coordinator folds the snapshots
+    into its own via :meth:`MetricsRegistry.merge`.
+    """
+
+    counters: Tuple[Tuple[str, bool, Number], ...]
+    gauges: Tuple[Tuple[str, bool, Number], ...]
+    histograms: Tuple[Tuple[str, bool, Tuple[float, ...],
+                            Tuple[int, ...], float, int], ...]
+
+    @property
+    def empty(self) -> bool:
+        """True when the snapshot carries no instruments at all."""
+        return not (self.counters or self.gauges or self.histograms)
+
+
+class MetricsRegistry:
+    """Process-local instrument store with get-or-create accessors.
+
+    Instruments are identified by name; asking twice for the same name
+    returns the same object, and asking with conflicting metadata
+    (volatility, bucket bounds) raises — silent skew between two call
+    sites would corrupt the export's determinism contract.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- #
+    # Get-or-create accessors
+    # ------------------------------------------------------------- #
+
+    def counter(self, name: str, *, volatile: bool = False) -> Counter:
+        """The counter *name*, created on first use."""
+        existing = self._counters.get(name)
+        if existing is not None:
+            if existing.volatile != volatile:
+                raise ValueError(
+                    f"counter {name}: volatility skew across call sites"
+                )
+            return existing
+        made = Counter(name=name, volatile=volatile)
+        self._counters[name] = made
+        return made
+
+    def gauge(self, name: str, *, volatile: bool = False) -> Gauge:
+        """The gauge *name*, created on first use."""
+        existing = self._gauges.get(name)
+        if existing is not None:
+            if existing.volatile != volatile:
+                raise ValueError(
+                    f"gauge {name}: volatility skew across call sites"
+                )
+            return existing
+        made = Gauge(name=name, volatile=volatile)
+        self._gauges[name] = made
+        return made
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        bounds: Sequence[float] = SECONDS_BUCKETS,
+        volatile: bool = False,
+    ) -> Histogram:
+        """The histogram *name*, created on first use with *bounds*."""
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if existing.volatile != volatile or existing.bounds != tuple(bounds):
+                raise ValueError(
+                    f"histogram {name}: bounds/volatility skew across call sites"
+                )
+            return existing
+        made = Histogram(name=name, bounds=tuple(bounds), volatile=volatile)
+        self._histograms[name] = made
+        return made
+
+    # ------------------------------------------------------------- #
+    # Snapshot / merge — the multiprocessing aggregation protocol
+    # ------------------------------------------------------------- #
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A picklable copy of the current state, sorted by name."""
+        return MetricsSnapshot(
+            counters=tuple(
+                (c.name, c.volatile, c.value)
+                for c in sorted(self._counters.values(), key=lambda c: c.name)
+            ),
+            gauges=tuple(
+                (g.name, g.volatile, g.value)
+                for g in sorted(self._gauges.values(), key=lambda g: g.name)
+            ),
+            histograms=tuple(
+                (h.name, h.volatile, h.bounds, tuple(h.counts), h.total, h.count)
+                for h in sorted(self._histograms.values(), key=lambda h: h.name)
+            ),
+        )
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold one snapshot in: counters/histograms add, gauges overwrite.
+
+        Counter and histogram merges are commutative, so any merge order
+        yields the same sums; gauge merges are last-write-wins, which the
+        caller keeps deterministic by merging in a deterministic order
+        (the exploration engine merges in batch-submission order).
+        """
+        for name, volatile, value in snapshot.counters:
+            self.counter(name, volatile=volatile).inc(value)
+        for name, volatile, value in snapshot.gauges:
+            self.gauge(name, volatile=volatile).set(value)
+        for name, volatile, bounds, counts, total, count in snapshot.histograms:
+            histogram = self.histogram(name, bounds=bounds, volatile=volatile)
+            for index, bucket in enumerate(counts):
+                histogram.counts[index] += bucket
+            histogram.total += total
+            histogram.count += count
+
+    def reset(self) -> None:
+        """Drop every instrument (worker per-chunk reuse, test isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------- #
+    # Export
+    # ------------------------------------------------------------- #
+
+    def export(self) -> Tuple[Dict, Dict]:
+        """The registry as ``(deterministic, volatile)`` JSON-ready dicts.
+
+        Each side maps kind -> name -> value (counters and gauges) or
+        kind -> name -> ``{bounds, counts, total, count}`` (histograms),
+        with names sorted so the serialization is stable.
+        """
+        deterministic: Dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        volatile: Dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            side = volatile if counter.volatile else deterministic
+            side["counters"][name] = counter.value
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            side = volatile if gauge.volatile else deterministic
+            side["gauges"][name] = gauge.value
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            side = volatile if histogram.volatile else deterministic
+            side["histograms"][name] = {
+                "bounds": list(histogram.bounds),
+                "counts": list(histogram.counts),
+                "total": histogram.total,
+                "count": histogram.count,
+            }
+        return deterministic, volatile
+
+    def value(self, kind: str, name: str) -> Optional[Number]:
+        """Convenience read: the current value of a counter or gauge."""
+        if kind == "counter":
+            counter = self._counters.get(name)
+            return None if counter is None else counter.value
+        if kind == "gauge":
+            gauge = self._gauges.get(name)
+            return None if gauge is None else gauge.value
+        raise ValueError(f"unknown instrument kind {kind!r}")

@@ -1,0 +1,214 @@
+"""``repro report``: render a Markdown run report from a telemetry stream.
+
+The report is the post-hoc, human-auditable account of one telemetered
+run, built entirely from ``events.jsonl`` (no live process needed):
+
+* the **verdict** and exit code from ``run_end``;
+* the run's **parameters** from ``run_start`` — the same echo that makes
+  a printed violation reproducible from the transcript;
+* the **register footprint** table — registers written vs provisioned,
+  the exact quantity the paper's covering lower bound reasons about;
+* **top spans** by total wall time (where the run actually went);
+* **histogram summaries** and the retry / recovery counters.
+
+Durations in the span and histogram sections come from the stream's
+volatile section — they are real wall-clock numbers and are expected to
+differ between runs; everything else in the report is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.telemetry.schema import _events_path
+
+
+def load_events(path) -> List[Dict]:
+    """Parse the event stream at *path* (run directory or file)."""
+    events_path = _events_path(path)
+    if not events_path.exists():
+        raise ReproError(
+            f"no telemetry stream at {events_path} — run a command with "
+            "--telemetry=jsonl first"
+        )
+    events: List[Dict] = []
+    with open(events_path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                events.append(json.loads(raw))
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{events_path}:{line_no}: unparseable event ({exc.msg})"
+                ) from exc
+    if not events:
+        raise ReproError(f"{events_path} is empty")
+    return events
+
+
+def _first(events: List[Dict], type_: str) -> Optional[Dict]:
+    for event in events:
+        if event["type"] == type_:
+            return event
+    return None
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return lines
+
+
+def _span_aggregate(events: List[Dict]) -> List[Dict]:
+    """Spans grouped by name: count, total / mean / max duration."""
+    grouped: Dict[str, Dict] = {}
+    for event in events:
+        if event["type"] != "span":
+            continue
+        dur = float(event["vol"].get("dur", 0.0))
+        agg = grouped.setdefault(
+            event["name"], {"name": event["name"], "count": 0,
+                            "total": 0.0, "max": 0.0}
+        )
+        agg["count"] += 1
+        agg["total"] += dur
+        agg["max"] = max(agg["max"], dur)
+    return sorted(grouped.values(), key=lambda a: -a["total"])
+
+
+def _metric(metrics: Optional[Dict], group: str, name: str,
+            default=None):
+    """Look *name* up across the deterministic and volatile sides."""
+    if metrics is None:
+        return default
+    for side in ("attrs", "vol"):
+        value = metrics.get(side, {}).get(group, {}).get(name)
+        if value is not None:
+            return value
+    return default
+
+
+def render_report(path) -> str:
+    """The Markdown run report for the stream at *path*."""
+    events = load_events(path)
+    start = _first(events, "run_start")
+    end = _first(events, "run_end")
+    metrics = _first(events, "metrics")
+    command = start["name"] if start else "unknown"
+    lines: List[str] = [f"# Run report — `repro {command}`", ""]
+
+    # Verdict ------------------------------------------------------ #
+    if end is not None:
+        verdict = end["attrs"].get("verdict") or "unknown"
+        code = end["attrs"].get("exit_code")
+        wall = end["vol"].get("ts")
+        wall_text = f", {wall:.2f}s wall" if isinstance(wall, (int, float)) else ""
+        lines += [f"**Verdict:** {verdict} (exit code {code}{wall_text})", ""]
+    else:
+        lines += ["**Verdict:** stream has no `run_end` — the run was "
+                  "interrupted before closing its telemetry session.", ""]
+
+    # Parameters --------------------------------------------------- #
+    if start is not None and start["attrs"]:
+        lines += ["## Parameters", ""]
+        rows = [
+            [f"`{key}`", repr(value)]
+            for key, value in sorted(start["attrs"].items())
+        ]
+        lines += _md_table(["parameter", "value"], rows) + [""]
+
+    # Register footprint ------------------------------------------- #
+    written = _metric(metrics, "gauges", "footprint.registers_written")
+    provisioned = _metric(metrics, "gauges", "footprint.registers_provisioned")
+    memory_steps = _metric(metrics, "counters", "footprint.memory_steps")
+    write_steps = _metric(metrics, "counters", "footprint.write_steps")
+    if written is not None or provisioned is not None:
+        lines += [
+            "## Register footprint",
+            "",
+            "Registers *written* is the run's actual space use — the "
+            "quantity the Figure 1 covering argument bounds; *provisioned* "
+            "is the layout's static allocation.",
+            "",
+        ]
+        rows = []
+        if provisioned is not None:
+            rows.append(["registers provisioned", int(provisioned)])
+        if written is not None:
+            rows.append(["registers written", int(written)])
+        if provisioned and written is not None:
+            rows.append(
+                ["utilization", f"{100.0 * written / provisioned:.0f}%"]
+            )
+        if memory_steps is not None:
+            rows.append(["memory steps", int(memory_steps)])
+        if write_steps is not None:
+            rows.append(["write steps", int(write_steps)])
+        lines += _md_table(["measure", "value"], rows) + [""]
+
+    # Top spans ---------------------------------------------------- #
+    aggregates = _span_aggregate(events)
+    if aggregates:
+        lines += ["## Top spans (by total wall time)", ""]
+        rows = [
+            [f"`{agg['name']}`", agg["count"], f"{agg['total']:.3f}s",
+             f"{agg['total'] / agg['count']:.4f}s", f"{agg['max']:.4f}s"]
+            for agg in aggregates[:12]
+        ]
+        lines += _md_table(
+            ["span", "count", "total", "mean", "max"], rows
+        ) + [""]
+
+    # Histograms --------------------------------------------------- #
+    histogram_rows = []
+    if metrics is not None:
+        for side in ("attrs", "vol"):
+            for name, data in sorted(
+                metrics.get(side, {}).get("histograms", {}).items()
+            ):
+                count = data.get("count", 0)
+                mean = data.get("total", 0.0) / count if count else 0.0
+                histogram_rows.append(
+                    [f"`{name}`", count, f"{mean:.4f}",
+                     "volatile" if side == "vol" else "deterministic"]
+                )
+    if histogram_rows:
+        lines += ["## Histograms", ""]
+        lines += _md_table(
+            ["histogram", "count", "mean", "kind"], histogram_rows
+        ) + [""]
+
+    # Resilience counters ------------------------------------------ #
+    resilience = [
+        ("worker retries", "explore.worker_retries"),
+        ("campaign retries", "faults.retries"),
+        ("journal appends", "durable.appends"),
+        ("journal checkpoints", "durable.checkpoints"),
+        ("journal recoveries", "durable.recoveries"),
+        ("journal records recovered", "durable.records_recovered"),
+    ]
+    rows = []
+    for label, name in resilience:
+        value = _metric(metrics, "counters", name)
+        if value is not None:
+            rows.append([label, int(value)])
+    if rows:
+        lines += ["## Retries and recovery", ""]
+        lines += _md_table(["counter", "value"], rows) + [""]
+
+    lines += [
+        "---",
+        f"_Rendered from `{Path(_events_path(path))}` "
+        f"({len(events)} events)._",
+        "",
+    ]
+    return "\n".join(lines)

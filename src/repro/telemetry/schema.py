@@ -1,0 +1,137 @@
+"""Schema and normalization for the telemetry event stream.
+
+The JSONL stream is a public, machine-readable artifact (CI validates it,
+``repro report`` renders it, golden tests pin it), so its shape is
+versioned and checkable without any third-party schema library:
+
+* :func:`validate_stream` / :func:`validate_lines` — structural check of
+  a whole stream: every line parses, carries exactly the five event keys,
+  sequences contiguously from 0, starts with ``run_start``, ends with
+  ``run_end``, and keeps deterministic payloads out of ``vol`` (and
+  vice-versa nothing but JSON scalars/objects inside either).
+* :func:`normalize_line` / :func:`normalize_lines` — the golden-file
+  projection: parse, replace the volatile section with ``{}``, re-dump
+  canonically.  Two runs of the same seeded workload must normalize to
+  byte-identical text; everything wall-clock- or host-derived therefore
+  belongs in ``vol`` by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+#: Bumped when the event shape changes; stamped into ``run_start.attrs``.
+SCHEMA_VERSION = 1
+
+#: The exact key set of every event.
+EVENT_KEYS = ("seq", "type", "name", "attrs", "vol")
+
+#: Every event type the stream may contain.
+EVENT_TYPES = ("run_start", "span", "mark", "metrics", "run_end")
+
+
+def _check_event(event: Dict, problems: List[str], line_no: int) -> None:
+    prefix = f"line {line_no}"
+    if sorted(event.keys()) != sorted(EVENT_KEYS):
+        problems.append(
+            f"{prefix}: keys {sorted(event.keys())} != {sorted(EVENT_KEYS)}"
+        )
+        return
+    if not isinstance(event["seq"], int):
+        problems.append(f"{prefix}: seq is not an int")
+    if event["type"] not in EVENT_TYPES:
+        problems.append(f"{prefix}: unknown event type {event['type']!r}")
+    if not isinstance(event["name"], str) or not event["name"]:
+        problems.append(f"{prefix}: name must be a non-empty string")
+    for section in ("attrs", "vol"):
+        if not isinstance(event[section], dict):
+            problems.append(f"{prefix}: {section} is not an object")
+    if event["type"] == "metrics" and isinstance(event["attrs"], dict):
+        for group in ("counters", "gauges", "histograms"):
+            if group not in event["attrs"]:
+                problems.append(f"{prefix}: metrics.attrs missing {group!r}")
+
+
+def validate_lines(lines: Iterable[str]) -> List[str]:
+    """Structural problems in an event stream ([] means schema-valid)."""
+    problems: List[str] = []
+    events: List[Tuple[int, Dict]] = []
+    for line_no, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {line_no}: not JSON ({exc.msg})")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"line {line_no}: not a JSON object")
+            continue
+        _check_event(event, problems, line_no)
+        events.append((line_no, event))
+    if not events:
+        problems.append("stream is empty")
+        return problems
+    for position, (line_no, event) in enumerate(events):
+        seq = event.get("seq")
+        if isinstance(seq, int) and seq != position:
+            problems.append(
+                f"line {line_no}: seq {seq} != expected {position} "
+                "(stream must sequence contiguously from 0)"
+            )
+    first, last = events[0][1], events[-1][1]
+    if first.get("type") != "run_start":
+        problems.append("stream does not start with run_start")
+    elif first.get("attrs", {}).get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"run_start.attrs.schema != {SCHEMA_VERSION} "
+            "(missing or version-skewed stream)"
+        )
+    if last.get("type") != "run_end":
+        problems.append(
+            "stream does not end with run_end (interrupted or truncated run)"
+        )
+    return problems
+
+
+def validate_stream(path) -> List[str]:
+    """Validate the ``events.jsonl`` at *path* (file or run directory)."""
+    events_path = _events_path(path)
+    if not events_path.exists():
+        return [f"no event stream at {events_path}"]
+    with open(events_path, "r", encoding="utf-8") as handle:
+        return validate_lines(handle)
+
+
+def normalize_line(raw: str) -> str:
+    """One event line with its volatile section blanked, re-dumped canonically."""
+    event = json.loads(raw)
+    event["vol"] = {}
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def normalize_lines(lines: Iterable[str]) -> str:
+    """A whole stream normalized for golden-file comparison."""
+    normalized = [
+        normalize_line(raw) for raw in (line.strip() for line in lines) if raw
+    ]
+    return "\n".join(normalized) + "\n"
+
+
+def normalized_stream(path) -> str:
+    """The normalized text of the stream at *path* (file or run directory)."""
+    with open(_events_path(path), "r", encoding="utf-8") as handle:
+        return normalize_lines(handle)
+
+
+def _events_path(path) -> Path:
+    """Resolve a run directory or direct file path to its events.jsonl."""
+    from repro.telemetry.sinks import EVENTS_FILE
+
+    candidate = Path(path)
+    if candidate.is_dir():
+        return candidate / EVENTS_FILE
+    return candidate

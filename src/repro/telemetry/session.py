@@ -1,0 +1,279 @@
+"""The telemetry session: the process-wide pipeline events flow through.
+
+One :class:`TelemetrySession` is active per process at most (module-global,
+like the watchdog registry in :mod:`repro.durable.watchdog`): the CLI opens
+it around a command, instrumented subsystems reach it through the no-op-safe
+module helpers (:func:`span`, :func:`counter`, :func:`gauge`,
+:func:`observe`, :func:`merge`), and sinks (:mod:`repro.telemetry.sinks`)
+receive every emitted event.
+
+The cost model is the load-bearing part: with no session active every
+helper is one module-global read and an early return, so instrumentation
+can stay permanently in place on batch/trial/journal boundaries without
+perturbing un-telemetered runs.  Nothing here is ever called from the
+per-step hot loop — call sites are batch boundaries, campaign trials,
+journal operations, and whole executions.
+
+Events are dicts of a fixed shape (see :mod:`repro.telemetry.schema`)::
+
+    {"seq": 7, "type": "span", "name": "explore.batch",
+     "attrs": {...deterministic...}, "vol": {...wall-clock-derived...}}
+
+Everything derived from a wall clock or the host (timestamps, durations,
+RSS) lives under ``"vol"``; everything under ``"attrs"`` must be a
+deterministic function of the run's semantics.  That split is what lets
+the golden-file tests assert byte-identical streams after normalizing
+``vol`` away.
+
+Worker processes forked by the exploration pool must not inherit the
+coordinator's session (their writes would interleave into its sinks);
+:func:`reset` drops it, mirroring ``reset_active_watchdogs``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    SECONDS_BUCKETS,
+)
+
+#: The session currently active in this process, if any.
+_ACTIVE: Optional["TelemetrySession"] = None
+
+#: Telemetry modes accepted by the CLI's ``--telemetry`` flag.
+MODES = ("off", "live", "jsonl")
+
+
+class TelemetrySession:
+    """One run's telemetry pipeline: registry + sequenced event fan-out.
+
+    Constructed via :func:`start` (which also installs it as the active
+    session) and closed exactly once via :meth:`close`, which emits the
+    final ``metrics`` and ``run_end`` events and releases the sinks.
+    """
+
+    def __init__(
+        self,
+        *,
+        command: str,
+        mode: str,
+        sinks: Sequence[object],
+        attrs: Optional[Dict] = None,
+    ) -> None:
+        self.command = command
+        self.mode = mode
+        self.registry = MetricsRegistry()
+        self.sinks: List[object] = list(sinks)
+        self.started = time.perf_counter()
+        self.closed = False
+        self._seq = 0
+        self.emit(
+            "run_start",
+            command,
+            attrs=dict(attrs or {}),
+            vol={"ts": self.elapsed()},
+        )
+
+    def elapsed(self) -> float:
+        """Seconds since the session opened (volatile by definition)."""
+        return time.perf_counter() - self.started
+
+    def emit(
+        self,
+        type_: str,
+        name: str,
+        *,
+        attrs: Optional[Dict] = None,
+        vol: Optional[Dict] = None,
+    ) -> Dict:
+        """Build, sequence, and fan one event out to every sink."""
+        event = {
+            "seq": self._seq,
+            "type": type_,
+            "name": name,
+            "attrs": attrs or {},
+            "vol": vol or {},
+        }
+        self._seq += 1
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    def close(self, *, exit_code: Optional[int] = None,
+              verdict: Optional[str] = None) -> None:
+        """Emit the final ``metrics`` + ``run_end`` events, close the sinks.
+
+        Idempotent: a second close is a no-op, so error paths can close
+        defensively without double-emitting.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        deterministic, volatile = self.registry.export()
+        self.emit("metrics", "metrics", attrs=deterministic, vol=volatile)
+        self.emit(
+            "run_end",
+            self.command,
+            attrs={"exit_code": exit_code, "verdict": verdict},
+            vol={"ts": self.elapsed()},
+        )
+        for sink in self.sinks:
+            sink.close()
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+
+class _Span:
+    """A live span: measures wall duration, emits one event on exit."""
+
+    __slots__ = ("_session", "name", "attrs", "_t0")
+
+    def __init__(self, session: TelemetrySession, name: str, attrs: Dict) -> None:
+        self._session = session
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach deterministic attributes before the span closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._session.elapsed()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._session.emit(
+            "span",
+            self.name,
+            attrs=self.attrs,
+            vol={"ts": self._t0, "dur": self._session.elapsed() - self._t0},
+        )
+        return False
+
+
+class _NullSpan:
+    """The span returned when no session is active: pure no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        """No-op (matches :meth:`_Span.set`)."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# ----------------------------------------------------------------- #
+# Module-level pipeline: the API instrumented subsystems call
+# ----------------------------------------------------------------- #
+
+
+def active() -> Optional[TelemetrySession]:
+    """The active session, or ``None`` (telemetry off)."""
+    return _ACTIVE
+
+
+def start(
+    *,
+    command: str,
+    mode: str,
+    sinks: Sequence[object],
+    attrs: Optional[Dict] = None,
+) -> TelemetrySession:
+    """Open a session and install it as the process's active pipeline."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError(
+            f"a telemetry session ({_ACTIVE.command}) is already active"
+        )
+    if mode not in MODES or mode == "off":
+        raise ValueError(f"cannot start a session with mode {mode!r}")
+    _ACTIVE = TelemetrySession(
+        command=command, mode=mode, sinks=sinks, attrs=attrs
+    )
+    return _ACTIVE
+
+
+def reset() -> None:
+    """Drop the active session without closing it.
+
+    For forked pool workers (which must not write into the coordinator's
+    sinks) and test isolation — mirrors
+    :func:`repro.durable.watchdog.reset_active_watchdogs`.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def span(name: str, **attrs):
+    """A context manager timing one unit of work; no-op when inactive."""
+    session = _ACTIVE
+    if session is None:
+        return _NULL_SPAN
+    return _Span(session, name, attrs)
+
+
+def mark(name: str, **attrs) -> None:
+    """Emit one instantaneous event; no-op when inactive."""
+    session = _ACTIVE
+    if session is None:
+        return
+    session.emit("mark", name, attrs=attrs, vol={"ts": session.elapsed()})
+
+
+def counter(name: str, amount: float = 1, *, volatile: bool = False) -> None:
+    """Increment a counter on the active registry; no-op when inactive."""
+    session = _ACTIVE
+    if session is None:
+        return
+    session.registry.counter(name, volatile=volatile).inc(amount)
+
+
+def gauge(name: str, value: float, *, volatile: bool = False) -> None:
+    """Set a gauge on the active registry; no-op when inactive."""
+    session = _ACTIVE
+    if session is None:
+        return
+    session.registry.gauge(name, volatile=volatile).set(value)
+
+
+def observe(
+    name: str,
+    value: float,
+    *,
+    bounds: Sequence[float] = SECONDS_BUCKETS,
+    volatile: bool = False,
+) -> None:
+    """Record a histogram observation; no-op when inactive."""
+    session = _ACTIVE
+    if session is None:
+        return
+    session.registry.histogram(
+        name, bounds=bounds, volatile=volatile
+    ).observe(value)
+
+
+def merge(snapshot: Optional[MetricsSnapshot]) -> None:
+    """Fold a worker's :class:`MetricsSnapshot` in; no-op when inactive.
+
+    Callers are responsible for merging in a deterministic order (the
+    exploration engine merges chunk snapshots in submission order).
+    """
+    session = _ACTIVE
+    if session is None or snapshot is None or snapshot.empty:
+        return
+    session.registry.merge(snapshot)

@@ -1,0 +1,179 @@
+"""Event sinks: the JSONL stream, the Chrome trace, the live renderer.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``.  The
+session fans every event to every sink; sinks never filter the registry —
+metrics arrive as the final ``metrics`` event.
+
+* :class:`JsonlSink` — the machine-readable record: one JSON object per
+  line in ``<dir>/events.jsonl`` (sorted keys, compact separators, so the
+  byte stream is a pure function of the event sequence), plus a Chrome
+  trace (``<dir>/trace.json``, load it in ``chrome://tracing`` or
+  Perfetto) derived from the span events at close.
+* :class:`LiveSink` — the human-readable window: a single self-updating
+  status line on a TTY, degrading to plain rate-limited log lines when
+  stderr is a pipe (CI logs stay readable, no ``\\r`` garbage).
+
+Neither sink is ever on the step-path: they see one event per batch /
+trial / journal operation, by construction of the call sites.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO
+
+#: File names inside a telemetry run directory.
+EVENTS_FILE = "events.jsonl"
+TRACE_FILE = "trace.json"
+
+#: Minimum seconds between repaints (TTY) / log lines (pipe).
+TTY_REFRESH = 0.1
+PIPE_REFRESH = 2.0
+
+
+def dump_event(event: Dict) -> str:
+    """One event as its canonical JSONL line (sorted keys, compact)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlSink:
+    """Append events to ``events.jsonl``; derive ``trace.json`` at close."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._handle: TextIO = open(
+            self.directory / EVENTS_FILE, "w", encoding="utf-8"
+        )
+        self._spans: List[Dict] = []
+
+    def emit(self, event: Dict) -> None:
+        """Write one event line; remember spans for the Chrome trace."""
+        self._handle.write(dump_event(event) + "\n")
+        self._handle.flush()
+        if event["type"] == "span":
+            self._spans.append(event)
+
+    def close(self) -> None:
+        """Close the stream and write the Chrome-trace rendition."""
+        self._handle.close()
+        trace = {
+            "traceEvents": [
+                {
+                    "name": event["name"],
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": round(event["vol"].get("ts", 0.0) * 1e6, 3),
+                    "dur": round(event["vol"].get("dur", 0.0) * 1e6, 3),
+                    "args": event["attrs"],
+                }
+                for event in self._spans
+            ],
+            "displayTimeUnit": "ms",
+        }
+        (self.directory / TRACE_FILE).write_text(
+            json.dumps(trace, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+
+
+class LiveSink:
+    """Progress renderer: rate / ETA / heartbeat, repainted per event.
+
+    Reads the session's registry (installed via :meth:`attach`) for the
+    generic progress contract — the deterministic gauges
+    ``progress.done`` / ``progress.total`` any subsystem may publish —
+    and the shared heartbeat for RSS.  Rate is measured over a sliding
+    window of repaints, ETA extrapolates the remaining units at that
+    rate.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.refresh = TTY_REFRESH if self.tty else PIPE_REFRESH
+        self._session = None
+        self._last_paint = 0.0
+        self._last_done: float = 0.0
+        self._last_done_at: Optional[float] = None
+        self._rate: float = 0.0
+        self._painted = False
+
+    def attach(self, session) -> None:
+        """Give the sink registry access (called by the session opener)."""
+        self._session = session
+
+    # ------------------------------------------------------------- #
+
+    def _progress(self) -> Dict[str, Optional[float]]:
+        registry = self._session.registry if self._session else None
+        if registry is None:
+            return {"done": None, "total": None}
+        return {
+            "done": registry.value("gauge", "progress.done"),
+            "total": registry.value("gauge", "progress.total"),
+        }
+
+    def _format_line(self, event: Dict) -> str:
+        from repro.telemetry import heartbeat
+
+        # Before attach() the only event in flight is run_start, whose
+        # name is the command itself — so the label is right either way.
+        command = self._session.command if self._session else event["name"]
+        parts = [f"[{command}]"]
+        progress = self._progress()
+        done, total = progress["done"], progress["total"]
+        now = time.monotonic()
+        if done is not None:
+            if self._last_done_at is not None and now > self._last_done_at:
+                window_rate = (done - self._last_done) / (now - self._last_done_at)
+                # Exponential smoothing keeps the display calm without
+                # changing what is measured.
+                self._rate = (
+                    window_rate if self._rate == 0.0
+                    else 0.7 * self._rate + 0.3 * window_rate
+                )
+            self._last_done, self._last_done_at = done, now
+            if total:
+                parts.append(f"{int(done)}/{int(total)}")
+                if self._rate > 0 and total > done:
+                    eta = (total - done) / self._rate
+                    parts.append(f"eta {eta:.0f}s")
+            else:
+                parts.append(f"{int(done)} units")
+            if self._rate > 0:
+                parts.append(f"{self._rate:.0f}/s")
+        parts.append(f"last {event['name']}")
+        parts.append(f"rss {heartbeat.rss_mb(max_age=5.0):.0f}MiB")
+        return " | ".join(parts)
+
+    def emit(self, event: Dict) -> None:
+        """Repaint (rate-limited); run_end always paints a final line."""
+        final = event["type"] == "run_end"
+        now = time.monotonic()
+        if not final and now - self._last_paint < self.refresh:
+            return
+        self._last_paint = now
+        line = self._format_line(event)
+        if final:
+            verdict = event["attrs"].get("verdict")
+            code = event["attrs"].get("exit_code")
+            line = f"[{event['name']}] done: {verdict} (exit {code})"
+        if self.tty:
+            self.stream.write("\r\x1b[2K" + line)
+            if final:
+                self.stream.write("\n")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._painted = True
+
+    def close(self) -> None:
+        """Terminate the status line cleanly on a TTY."""
+        if self.tty and self._painted:
+            self.stream.write("\r\x1b[2K")
+            self.stream.flush()

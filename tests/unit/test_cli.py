@@ -30,6 +30,10 @@ class TestRun:
         out = capsys.readouterr().out
         assert "instance 1: outputs" in out
         assert "registers: 4" in out
+        # the header echoes the effective seed and schedule parameters,
+        # so a pasted transcript is reproducible on its own
+        assert "scheduler: bounded (seed 3" in out
+        assert "max-steps" in out
 
     def test_repeated_multi_instance(self, capsys):
         code = main([

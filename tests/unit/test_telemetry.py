@@ -1,0 +1,493 @@
+"""Unit tests for the telemetry subsystem.
+
+Covers the metrics registry (instruments, snapshot/merge aggregation,
+deterministic/volatile export split), the session pipeline (event
+sequencing, spans, no-op safety when inactive), the sinks (JSONL stream,
+Chrome trace, live renderer in pipe mode), the stream schema validator
+and golden normalization, the shared heartbeat, the Markdown report
+renderer, and the ``repro report`` CLI command.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.telemetry import heartbeat
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.report import load_events, render_report
+from repro.telemetry.schema import (
+    SCHEMA_VERSION,
+    normalize_lines,
+    normalized_stream,
+    validate_lines,
+    validate_stream,
+)
+from repro.telemetry.sinks import (
+    EVENTS_FILE,
+    TRACE_FILE,
+    JsonlSink,
+    LiveSink,
+    dump_event,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """No session or heartbeat state leaks between tests."""
+    telemetry.reset()
+    heartbeat.reset()
+    yield
+    telemetry.reset()
+    heartbeat.reset()
+
+
+class ListSink:
+    """A sink that records events in memory (test double)."""
+
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+def _session(sinks=None, attrs=None):
+    return telemetry.start(
+        command="test", mode="jsonl", sinks=sinks or [],
+        attrs={"schema": SCHEMA_VERSION, **(attrs or {})},
+    )
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("counter", "c") == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3)
+        registry.gauge("g").set(7)
+        assert registry.value("gauge", "g") == 7
+
+    def test_histogram_buckets_observations(self):
+        histogram = Histogram(name="h", bounds=(1, 10, 100))
+        for value in (0.5, 1, 5, 50, 500):
+            histogram.observe(value)
+        # inclusive upper bounds; 500 overflows into the implicit bucket
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.mean() == pytest.approx(556.5 / 5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="empty"):
+            Histogram(name="h", bounds=())
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(name="h", bounds=(10, 1))
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_metadata_skew_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.gauge("g")
+        registry.histogram("h", bounds=(1, 2))
+        with pytest.raises(ValueError, match="skew"):
+            registry.counter("c", volatile=True)
+        with pytest.raises(ValueError, match="skew"):
+            registry.gauge("g", volatile=True)
+        with pytest.raises(ValueError, match="skew"):
+            registry.histogram("h", bounds=(1, 2, 3))
+
+    def test_value_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            MetricsRegistry().value("histogram", "h")
+        assert MetricsRegistry().value("counter", "missing") is None
+
+
+class TestSnapshotMerge:
+    def _worker_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("configs").inc(10)
+        registry.gauge("frontier").set(3)
+        registry.histogram("sizes", bounds=COUNT_BUCKETS).observe(8)
+        return registry
+
+    def test_merge_sums_counters_and_histograms(self):
+        coordinator = MetricsRegistry()
+        for _ in range(3):
+            coordinator.merge(self._worker_registry().snapshot())
+        assert coordinator.value("counter", "configs") == 30
+        histogram = coordinator.histogram("sizes", bounds=COUNT_BUCKETS)
+        assert histogram.count == 3 and histogram.total == 24
+
+    def test_merge_gauges_last_write_wins(self):
+        coordinator = MetricsRegistry()
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("g").set(1)
+        second.gauge("g").set(2)
+        coordinator.merge(first.snapshot())
+        coordinator.merge(second.snapshot())
+        assert coordinator.value("gauge", "g") == 2
+
+    def test_merge_order_invariant_for_sums(self):
+        a, b = self._worker_registry(), MetricsRegistry()
+        b.counter("configs").inc(7)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.merge(a.snapshot())
+        forward.merge(b.snapshot())
+        backward.merge(b.snapshot())
+        backward.merge(a.snapshot())
+        assert (forward.value("counter", "configs")
+                == backward.value("counter", "configs") == 17)
+
+    def test_snapshot_is_picklable_and_empty_detects(self):
+        import pickle
+
+        snapshot = self._worker_registry().snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        assert not snapshot.empty
+        assert MetricsRegistry().snapshot().empty
+
+    def test_export_splits_deterministic_from_volatile(self):
+        registry = MetricsRegistry()
+        registry.counter("det").inc(2)
+        registry.counter("vol", volatile=True).inc(9)
+        registry.histogram("lat", volatile=True).observe(0.2)
+        deterministic, volatile = registry.export()
+        assert deterministic["counters"] == {"det": 2}
+        assert volatile["counters"] == {"vol": 9}
+        assert "lat" in volatile["histograms"]
+        assert deterministic["histograms"] == {}
+
+
+class TestSession:
+    def test_helpers_are_noops_without_session(self):
+        assert telemetry.active() is None
+        telemetry.counter("c")
+        telemetry.gauge("g", 1)
+        telemetry.observe("h", 0.1)
+        telemetry.mark("m")
+        telemetry.merge(None)
+        with telemetry.span("s") as span:
+            span.set(x=1)  # the null span swallows everything
+
+    def test_start_installs_and_close_uninstalls(self):
+        sink = ListSink()
+        session = _session([sink])
+        assert telemetry.active() is session
+        session.close(exit_code=0, verdict="ok")
+        assert telemetry.active() is None
+        assert sink.closed
+
+    def test_double_start_raises(self):
+        _session()
+        with pytest.raises(RuntimeError, match="already active"):
+            _session()
+
+    def test_off_mode_rejected(self):
+        with pytest.raises(ValueError, match="off"):
+            telemetry.start(command="x", mode="off", sinks=[])
+
+    def test_event_sequence_and_shape(self):
+        sink = ListSink()
+        session = _session([sink])
+        telemetry.counter("units", 3)
+        with telemetry.span("work", step=1):
+            pass
+        telemetry.mark("note", why="because")
+        session.close(exit_code=0, verdict="ok")
+        types = [event["type"] for event in sink.events]
+        assert types == ["run_start", "span", "mark", "metrics", "run_end"]
+        assert [event["seq"] for event in sink.events] == list(range(5))
+        assert sink.events[1]["attrs"] == {"step": 1}
+        assert "dur" in sink.events[1]["vol"]
+        assert sink.events[3]["attrs"]["counters"] == {"units": 3}
+        assert sink.events[-1]["attrs"] == {"exit_code": 0, "verdict": "ok"}
+
+    def test_close_is_idempotent(self):
+        sink = ListSink()
+        session = _session([sink])
+        session.close(exit_code=0, verdict="ok")
+        session.close(exit_code=1, verdict="refuted")
+        assert [e["type"] for e in sink.events].count("run_end") == 1
+
+    def test_span_records_exception_type(self):
+        sink = ListSink()
+        session = _session([sink])
+        with pytest.raises(KeyError):
+            with telemetry.span("doomed"):
+                raise KeyError("x")
+        session.close()
+        span = [e for e in sink.events if e["type"] == "span"][0]
+        assert span["attrs"]["error"] == "KeyError"
+
+    def test_merge_folds_worker_snapshot(self):
+        session = _session()
+        worker = MetricsRegistry()
+        worker.counter("configs").inc(5)
+        telemetry.merge(worker.snapshot())
+        telemetry.merge(None)  # tolerated
+        telemetry.merge(MetricsRegistry().snapshot())  # empty: tolerated
+        assert session.registry.value("counter", "configs") == 5
+        session.close()
+
+    def test_reset_drops_without_closing(self):
+        sink = ListSink()
+        _session([sink])
+        telemetry.reset()
+        assert telemetry.active() is None
+        assert not sink.closed  # reset is the fork path, not a close
+
+
+class TestSinks:
+    def test_dump_event_is_canonical(self):
+        line = dump_event({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_jsonl_sink_writes_stream_and_trace(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "run"))
+        session = _session([sink])
+        with telemetry.span("explore.batch", batch=0):
+            pass
+        session.close(exit_code=0, verdict="ok")
+        lines = (tmp_path / "run" / EVENTS_FILE).read_text().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[0])["type"] == "run_start"
+        trace = json.loads((tmp_path / "run" / TRACE_FILE).read_text())
+        assert [entry["name"] for entry in trace["traceEvents"]] == [
+            "explore.batch"
+        ]
+        assert trace["traceEvents"][0]["ph"] == "X"
+
+    def test_live_sink_pipe_mode_prints_final_line(self):
+        stream = io.StringIO()  # not a TTY: plain rate-limited lines
+        sink = LiveSink(stream)
+        session = _session([sink])
+        sink.attach(session)
+        telemetry.gauge("progress.total", 10)
+        telemetry.gauge("progress.done", 4)
+        session.close(exit_code=0, verdict="ok")
+        output = stream.getvalue()
+        assert "\r" not in output
+        assert "done: ok (exit 0)" in output
+
+
+class TestSchema:
+    def _stream(self, tmp_path, name="run"):
+        directory = tmp_path / name
+        sink = JsonlSink(str(directory))
+        session = _session([sink])
+        telemetry.counter("explore.batches")
+        with telemetry.span("explore.batch", batch=0):
+            pass
+        session.close(exit_code=0, verdict="ok")
+        return directory
+
+    def test_valid_stream_has_no_problems(self, tmp_path):
+        directory = self._stream(tmp_path)
+        assert validate_stream(directory) == []
+        assert validate_stream(directory / EVENTS_FILE) == []
+
+    def test_missing_stream_reports(self, tmp_path):
+        problems = validate_stream(tmp_path / "nowhere")
+        assert problems and "no event stream" in problems[0]
+
+    def test_empty_stream_reports(self):
+        assert validate_lines([]) == ["stream is empty"]
+
+    def test_tampering_is_detected(self, tmp_path):
+        directory = self._stream(tmp_path)
+        lines = (directory / EVENTS_FILE).read_text().splitlines()
+        # wrong keys
+        assert any(
+            "keys" in p for p in validate_lines(['{"seq": 0}'])
+        )
+        # non-contiguous seq
+        broken = [lines[0], lines[-1].replace('"seq":3', '"seq":9')]
+        assert any("seq" in p for p in validate_lines(broken))
+        # truncated run (no run_end)
+        assert any(
+            "run_end" in p for p in validate_lines(lines[:-1])
+        )
+        # unknown type (lines: run_start, span, metrics, run_end)
+        bad_type = lines[2].replace('"type":"metrics"', '"type":"mystery"')
+        assert any(
+            "unknown event type" in p
+            for p in validate_lines(lines[:2] + [bad_type] + lines[3:])
+        )
+        # version skew
+        skewed = lines[0].replace(
+            f'"schema":{SCHEMA_VERSION}', '"schema":999'
+        )
+        assert any(
+            "schema" in p for p in validate_lines([skewed] + lines[1:])
+        )
+
+    def test_normalization_blanks_volatile_only(self, tmp_path):
+        directory = self._stream(tmp_path)
+        normalized = normalized_stream(directory)
+        for line in normalized.strip().splitlines():
+            event = json.loads(line)
+            assert event["vol"] == {}
+        assert '"explore.batch"' in normalized
+
+    def test_two_sessions_normalize_identically(self, tmp_path):
+        first = self._stream(tmp_path, "first")
+        telemetry.reset()
+        second = self._stream(tmp_path, "second")
+        assert normalized_stream(first) == normalized_stream(second)
+        raw_first = (first / EVENTS_FILE).read_text()
+        raw_second = (second / EVENTS_FILE).read_text()
+        # the raw streams differ (timings), the normalized ones do not
+        assert normalize_lines(raw_first.splitlines()) == normalize_lines(
+            raw_second.splitlines()
+        )
+
+
+class TestHeartbeat:
+    def test_publish_returns_rss_and_sets_gauges(self):
+        session = _session()
+        sample = heartbeat.publish(elapsed_s=1.5)
+        assert sample >= 0.0
+        assert session.registry.value("gauge", "heartbeat.rss_mb") == sample
+        assert session.registry.value("gauge", "heartbeat.elapsed_s") == 1.5
+        session.close()
+
+    def test_publish_without_session_is_safe(self):
+        assert heartbeat.publish() >= 0.0
+
+    def test_rss_sample_is_cached(self):
+        heartbeat.reset()
+        first = heartbeat.rss_mb(max_age=60.0)
+        second = heartbeat.rss_mb(max_age=60.0)
+        assert first == second  # one /proc read served both
+
+
+class TestReport:
+    def _run_dir(self, tmp_path):
+        directory = tmp_path / "run"
+        sink = JsonlSink(str(directory))
+        session = _session([sink], attrs={"n": 2, "k": 1, "seed": 7})
+        telemetry.gauge("footprint.registers_provisioned", 3)
+        telemetry.gauge("footprint.registers_written", 3)
+        telemetry.counter("footprint.memory_steps", 311)
+        telemetry.counter("footprint.write_steps", 138)
+        telemetry.counter("durable.appends", 13)
+        with telemetry.span("explore.batch", batch=0):
+            pass
+        telemetry.observe("explore.batch_size", 16, bounds=COUNT_BUCKETS)
+        session.close(exit_code=0, verdict="ok")
+        return directory
+
+    def test_report_renders_all_sections(self, tmp_path):
+        text = render_report(self._run_dir(tmp_path))
+        assert "# Run report" in text
+        assert "**Verdict:** ok (exit code 0" in text
+        assert "| `n` | 2 |" in text
+        assert "registers written | 3" in text
+        assert "memory steps | 311" in text
+        assert "`explore.batch`" in text
+        assert "`explore.batch_size`" in text
+        assert "journal appends | 13" in text
+
+    def test_load_events_errors_on_missing_and_empty(self, tmp_path):
+        with pytest.raises(ReproError, match="no telemetry stream"):
+            load_events(tmp_path / "nope")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        (empty / EVENTS_FILE).write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            load_events(empty)
+        (empty / EVENTS_FILE).write_text("not json\n")
+        with pytest.raises(ReproError, match="unparseable event"):
+            load_events(empty)
+
+
+class TestReportCommand:
+    def _run_dir(self, tmp_path):
+        from repro.cli import main
+
+        directory = tmp_path / "tele"
+        code = main([
+            "explore", "--protocol", "oneshot", "--n", "2", "--k", "1",
+            "--max-configs", "100", "--telemetry", "jsonl",
+            "--telemetry-dir", str(directory),
+        ])
+        assert code == 0
+        return directory
+
+    def test_report_command_renders(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = self._run_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "repro explore" in out
+
+    def test_report_check_accepts_valid_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = self._run_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(directory), "--check"]) == 0
+
+    def test_report_check_rejects_truncated_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = self._run_dir(tmp_path)
+        events = directory / EVENTS_FILE
+        lines = events.read_text().splitlines()
+        events.write_text("\n".join(lines[:-1]) + "\n")
+        capsys.readouterr()
+        assert main(["report", str(directory), "--check"]) == 1
+        assert "schema:" in capsys.readouterr().err
+
+    def test_run_stream_carries_the_footprint(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = tmp_path / "run-tele"
+        code = main([
+            "run", "--protocol", "oneshot", "--n", "3", "--k", "2",
+            "--seed", "7", "--telemetry", "jsonl",
+            "--telemetry-dir", str(directory),
+        ])
+        assert code == 0
+        assert validate_stream(directory) == []
+        capsys.readouterr()
+        assert main(["report", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "## Register footprint" in out
+        assert "`runtime.run`" in out
+
+    def test_report_missing_dir_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(tmp_path / "nothing")]) == 2
+        assert "error:" in capsys.readouterr().err
