@@ -62,6 +62,7 @@ STEP_PATH_SCOPE: Tuple[str, ...] = (
     "repro/runtime/frames.py",
     "repro/runtime/system.py",
     "repro/explore/canonical.py",
+    "repro/explore/packed.py",
 )
 
 #: Modules whose dataclasses must be frozen (values reachable from

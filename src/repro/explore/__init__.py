@@ -20,6 +20,10 @@ guide):
   propagation;
 * :mod:`repro.explore.canonical` — symmetry reduction for anonymous
   protocols (visited-set quotient by process-identity orbits);
+* :mod:`repro.explore.packed` — the packed configuration codec and the
+  backend registry behind ``--backend={reference,packed}``: canonical
+  byte encodings key the visited set, and the packed backend ships bytes
+  instead of pickled dataclass graphs (see ``docs/performance.md``);
 * :mod:`repro.explore.cache` — the ``.repro-cache/`` persistence layer
   that lets truncated runs resume and finished runs return instantly.
 """
@@ -33,15 +37,29 @@ from repro.explore.checker import (
     explore_safety,
 )
 from repro.explore.frontier import EngineFailure
+from repro.explore.packed import (
+    BACKENDS,
+    PackedCodec,
+    PackedCodecError,
+    PackedState,
+    make_backend,
+    packed_fingerprint,
+)
 
 __all__ = [
+    "BACKENDS",
     "EngineFailure",
     "ExplorationResult",
+    "PackedCodec",
+    "PackedCodecError",
+    "PackedState",
     "ProgressCounterexample",
     "SafetyCounterexample",
     "canonical_fingerprint",
     "canonicalize",
     "explore_progress_closure",
     "explore_safety",
+    "make_backend",
+    "packed_fingerprint",
     "symmetry_classes",
 ]

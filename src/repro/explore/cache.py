@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.durable.checkpoint import read_sealed, write_sealed
 from repro.durable.recovery import QUARANTINE_DIR, quarantine_file
 from repro.memory.layout import ImplementedBinding, MemoryLayout, PrimitiveBinding
-from repro.runtime.system import Configuration, System, stable_fingerprint
+from repro.runtime.system import System, stable_fingerprint
 
 #: Bumped whenever the pickled entry layout changes; skew reads as a miss.
 # v2: ExplorationResult grew worker_retries/degraded (self-healing history).
@@ -45,7 +45,11 @@ from repro.runtime.system import Configuration, System, stable_fingerprint
 # v4: entries and ExplorationResult carry the register footprint
 # (memory_steps / write_steps / registers_written), so resumed runs
 # report the same footprint as uninterrupted ones.
-CACHE_VERSION = 4
+# v5: fingerprints are blake2b digests of the packed canonical encoding
+# (see repro.explore.packed) and unfinished frontiers are stored as
+# (fingerprint, packed bytes) pairs instead of pickled Configuration
+# graphs — entries are smaller and resumable under either --backend.
+CACHE_VERSION = 5
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -66,7 +70,9 @@ class CacheEntry:
     finished: bool
     result: Optional[object]
     parents: Optional[Dict[str, Tuple[Optional[str], Optional[int]]]]
-    frontier: Optional[List[Tuple[str, Configuration]]]
+    #: Pending ``(fingerprint, packed bytes)`` pairs (see
+    #: :mod:`repro.explore.packed`) — backend-independent since v5.
+    frontier: Optional[List[Tuple[str, bytes]]]
     explored: int
     #: Register footprint carried across resumes (sorted for stable bytes).
     memory_steps: int = 0

@@ -31,7 +31,7 @@ the gate fails, and callers must then explore the full graph.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.memory.layout import PrimitiveBinding
 from repro.runtime.system import Configuration, System, stable_fingerprint
@@ -67,21 +67,36 @@ def symmetry_classes(system: System) -> Optional[SymmetryClasses]:
     return classes or None
 
 
-def canonicalize(config: Configuration, classes: SymmetryClasses) -> Configuration:
+def canonicalize(
+    config: Configuration,
+    classes: SymmetryClasses,
+    *,
+    key: Callable[..., "str | bytes"] = stable_fingerprint,
+) -> Configuration:
     """The canonical representative of *config*'s symmetry orbit.
 
-    Within each class, process records are sorted by their stable
-    fingerprint; positions outside every class are left untouched.  The
-    result is reachable-equivalent to *config* (same orbit) and identical
-    for every member of the orbit, so it can key a visited set.
+    Within each class, process records are sorted by *key* (their stable
+    fingerprint by default); positions outside every class are left
+    untouched.  The result is reachable-equivalent to *config* (same
+    orbit) and identical for every member of the orbit, so it can key a
+    visited set.
+
+    ``key`` may be any injective, deterministic total order on process
+    records: which orbit member represents the orbit affects no
+    exploration result (verdicts, counts, footprints, and schedules are
+    all orbit-invariant), only the opaque key bytes.  What *does* matter
+    is that every party sharing a fingerprint namespace uses the same
+    key — the codec backends therefore all sort with
+    :meth:`repro.explore.packed.PackedCodec.proc_frag` (memoized, and
+    reused verbatim when the representative is encoded), while direct
+    callers of this function and the legacy benchmark backend keep the
+    definitional ``stable_fingerprint`` order.
 
     Idempotent: ``canonicalize(canonicalize(c, g), g) == canonicalize(c, g)``.
     """
     procs = list(config.procs)
     for pids in classes:
-        records = sorted(
-            (procs[pid] for pid in pids), key=stable_fingerprint
-        )
+        records = sorted((procs[pid] for pid in pids), key=key)
         for pid, record in zip(pids, records):
             procs[pid] = record
     return Configuration(procs=tuple(procs), memory=config.memory)

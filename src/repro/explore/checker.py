@@ -265,6 +265,7 @@ def explore_safety(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = 64,
     watchdog=None,
+    backend: str = "reference",
 ) -> ExplorationResult:
     """BFS the reachable configuration space, checking safety everywhere.
 
@@ -300,6 +301,13 @@ def explore_safety(
     :class:`~repro.durable.watchdog.Watchdog`) is polled between batches;
     when it fires, the run checkpoints and returns early with
     ``result.interrupted`` set.
+
+    ``backend`` selects the hot-path representation (see
+    :mod:`repro.explore.packed`): ``"reference"`` walks dataclass
+    configurations, ``"packed"`` walks compact byte carriers and ships
+    bytes across the worker pool.  Verdicts, footprints, and checkpoints
+    are bit-identical either way; ``packed`` is the faster choice for
+    multi-worker runs.
     """
     if reduction not in ("none", "local-first"):
         raise ValueError(f"unknown reduction {reduction!r}")
@@ -322,6 +330,7 @@ def explore_safety(
         journal_dir=journal_dir,
         checkpoint_every=checkpoint_every,
         watchdog=watchdog,
+        backend=backend,
     )
 
 
@@ -342,6 +351,7 @@ def explore_progress_closure(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = 64,
     watchdog=None,
+    backend: str = "reference",
 ) -> ExplorationResult:
     """From every reachable configuration, every ≤m survivor set must finish.
 
@@ -370,4 +380,5 @@ def explore_progress_closure(
         journal_dir=journal_dir,
         checkpoint_every=checkpoint_every,
         watchdog=watchdog,
+        backend=backend,
     )

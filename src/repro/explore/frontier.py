@@ -18,9 +18,16 @@ visited set, ``configs_explored``, verdicts and witness schedules are
 bit-identical for every ``workers`` value.  That is what lets the test
 suite assert ``--workers 4`` certifies exactly what ``--workers 1`` does.
 
-Fingerprints come from :func:`repro.runtime.system.stable_fingerprint`
-(``hash()`` is salted per process and cannot cross the pool boundary).
-With ``canonicalize=True`` and a symmetric system (see
+Fingerprints are blake2b digests of the packed canonical encoding (see
+:mod:`repro.explore.packed`; ``hash()`` is salted per process and cannot
+cross the pool boundary).  Both public backends key their visited sets
+with the same digests, so parent maps, journal deltas, checkpoints, and
+cache entries are bit-identical across ``--backend`` choices — an
+interrupted run resumes under either backend.  What the backend chooses
+is the *carrier*: ``reference`` moves dataclass configurations through
+the frontier and pickles them across the pool, while ``packed`` moves
+:class:`~repro.explore.packed.PackedState` bytes, decoding at most once
+per expansion.  With ``canonicalize=True`` and a symmetric system (see
 :mod:`repro.explore.canonical`) fingerprints are taken of the orbit
 representative instead, deduplicating identity-permuted configurations;
 the *actual* first-reached configuration of each orbit is the one
@@ -77,17 +84,14 @@ from repro.durable.recovery import QUARANTINE_DIR
 from repro.durable.watchdog import Watchdog, reset_active_watchdogs
 from repro.errors import ExplorationEngineError
 from repro.explore import checker
-from repro.explore.canonical import (
-    SymmetryClasses,
-    canonicalize as canonical_form,
-    symmetry_classes,
-)
+from repro.explore.canonical import SymmetryClasses, symmetry_classes
+from repro.explore.packed import make_backend
 from repro.memory.layout import RegisterCoord
 from repro.memory.ops import is_write_access
 from repro.runtime.events import MemoryEvent
 from repro.telemetry import heartbeat
 from repro.telemetry.metrics import COUNT_BUCKETS, MetricsRegistry, MetricsSnapshot
-from repro.runtime.system import Configuration, System, stable_fingerprint
+from repro.runtime.system import Configuration, System
 
 
 @dataclass(frozen=True)
@@ -115,11 +119,17 @@ class _Expansion:
     fingerprint: str
     safety_problem: Optional[Tuple[str, int, Tuple, str]]
     progress_problem: Optional[Tuple[Tuple[int, ...], str]]
-    successors: Tuple[Tuple[int, Configuration, str], ...]
+    #: ``(pid, carrier, fingerprint)`` per successor; the carrier is a
+    #: :class:`Configuration` (reference/legacy) or a
+    #: :class:`~repro.explore.packed.PackedState` (packed backend).
+    successors: Tuple[Tuple[int, object, str], ...]
     failure: Optional[EngineFailure]
     memory_inc: int = 0
     write_inc: int = 0
     writes: Tuple[RegisterCoord, ...] = ()
+    #: Canonical packed bytes produced while fingerprinting successors —
+    #: the deterministic input of the ``explore.packed.*`` counters.
+    encoded_bytes: int = 0
 
 
 @dataclass
@@ -139,6 +149,9 @@ class _WorkerContext:
     #: Whether the coordinator has a telemetry session; workers then meter
     #: their chunks and ship snapshots back for the deterministic merge.
     telemetry_enabled: bool = False
+    #: The exploration backend (see :mod:`repro.explore.packed`): owns the
+    #: fingerprint keying and the frontier/pool carrier representation.
+    backend: object = None
 
 
 #: Worker-process slot for the run context (set pre-fork / by initializer).
@@ -177,15 +190,11 @@ def _set_worker(ctx: _WorkerContext) -> None:
     _init_worker()
 
 
-def _fingerprint(config: Configuration, classes: Optional[SymmetryClasses]) -> str:
-    if classes is None:
-        return stable_fingerprint(config)
-    return stable_fingerprint(canonical_form(config, classes))
-
-
-def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansion:
-    """Oracle-check one configuration and compute its successors."""
+def _expand_one(ctx: _WorkerContext, fp: str, carrier: object) -> _Expansion:
+    """Oracle-check one frontier carrier and compute its successors."""
     try:
+        backend = ctx.backend
+        config = backend.configuration(carrier)
         if ctx.oracle == "safety":
             problem = checker._check_config_safety(
                 ctx.system, config, ctx.k, ctx.inputs
@@ -200,14 +209,25 @@ def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansi
             if stall is not None:
                 return _Expansion(fp, None, stall, (), None)
             pids = ctx.system.enabled_pids(config)
-        successors: List[Tuple[int, Configuration, str]] = []
+        successors: List[Tuple[int, object, str]] = []
         memory_inc = write_inc = 0
+        encoded_bytes = 0
         writes: List[RegisterCoord] = []
         for pid in pids:
             step = ctx.system.step(config, pid)
-            successors.append(
-                (pid, step.config, _fingerprint(step.config, ctx.classes))
-            )
+            succ_fp, data = backend.fingerprint(step.config, ctx.classes)
+            if data is not None:
+                encoded_bytes += len(data)
+            # With symmetry classes the fingerprinted bytes describe the
+            # orbit representative, not the successor itself — the carrier
+            # must then re-encode the actual configuration (memo-cheap).
+            successors.append((
+                pid,
+                backend.carrier(
+                    step.config, data if ctx.classes is None else None
+                ),
+                succ_fp,
+            ))
             if isinstance(step.event, MemoryEvent):
                 memory_inc += 1
                 if is_write_access(step.event.op):
@@ -217,7 +237,7 @@ def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansi
                         writes.append(coord)
         return _Expansion(
             fp, None, None, tuple(successors), None,
-            memory_inc, write_inc, tuple(writes),
+            memory_inc, write_inc, tuple(writes), encoded_bytes,
         )
     except Exception as exc:  # noqa: BLE001 — everything must cross the pool
         failure = EngineFailure(
@@ -230,7 +250,7 @@ def _expand_one(ctx: _WorkerContext, fp: str, config: Configuration) -> _Expansi
 
 
 def _expand_chunk(
-    items: List[Tuple[str, Configuration]],
+    items: List[Tuple[str, object]],
 ) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
     """Worker entry point: expand a contiguous frontier slice, in order.
 
@@ -246,7 +266,7 @@ def _expand_chunk(
 
 
 def _expand_chunk_measured(
-    ctx: _WorkerContext, items: List[Tuple[str, Configuration]]
+    ctx: _WorkerContext, items: List[Tuple[str, object]]
 ) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
     """Expand *items* in order, metering the chunk when telemetry is on.
 
@@ -255,12 +275,22 @@ def _expand_chunk_measured(
     declaration, and nothing touches the per-step hot loop.
     """
     if not ctx.telemetry_enabled:
-        return [_expand_one(ctx, fp, config) for fp, config in items], None
+        return [_expand_one(ctx, fp, carrier) for fp, carrier in items], None
     registry = MetricsRegistry()
     t0 = time.perf_counter()
-    expansions = [_expand_one(ctx, fp, config) for fp, config in items]
+    expansions = [_expand_one(ctx, fp, carrier) for fp, carrier in items]
     registry.counter("explore.worker.chunks").inc()
     registry.counter("explore.worker.expansions").inc(len(expansions))
+    if getattr(ctx.backend, "name", None) == "packed":
+        # Deterministic: sums over the expanded configurations only, so
+        # they are invariant under worker count and batch size like every
+        # other non-volatile explore counter.
+        registry.counter("explore.packed.configs_encoded").inc(
+            sum(len(e.successors) for e in expansions)
+        )
+        registry.counter("explore.packed.bytes_encoded").inc(
+            sum(e.encoded_bytes for e in expansions)
+        )
     registry.histogram("explore.worker.chunk_seconds", volatile=True).observe(
         time.perf_counter() - t0
     )
@@ -349,7 +379,7 @@ def _merge_batch(
     popped: int,
     expansions: List[_Expansion],
     parents: Dict[str, Tuple[Optional[str], Optional[int]]],
-    frontier: Deque[Tuple[str, Configuration]],
+    frontier: Deque[Tuple[str, object]],
     result: checker.ExplorationResult,
     stop_at_first: bool,
 ) -> Tuple[_BatchDelta, bool]:
@@ -438,8 +468,9 @@ def _apply_delta(
     system: System,
     delta: _BatchDelta,
     parents: Dict[str, Tuple[Optional[str], Optional[int]]],
-    frontier: Deque[Tuple[str, Configuration]],
+    frontier: Deque[Tuple[str, object]],
     result: checker.ExplorationResult,
+    backend,
 ) -> bool:
     """Replay one journaled batch merge during recovery.
 
@@ -449,13 +480,16 @@ def _apply_delta(
     :class:`_BatchDelta`).  One step per recovered discovery, no oracle
     re-checks.
     """
-    popped: Dict[str, Configuration] = {}
+    popped: Dict[str, object] = {}
     for _ in range(delta.popped):
-        fp, config = frontier.popleft()
-        popped[fp] = config
+        fp, carrier = frontier.popleft()
+        popped[fp] = carrier
     for succ_fp, parent_fp, pid in delta.new_entries:
         parents[succ_fp] = (parent_fp, pid)
-        frontier.append((succ_fp, system.step(popped[parent_fp], pid).config))
+        parent = backend.configuration(popped[parent_fp])
+        frontier.append(
+            (succ_fp, backend.carrier(system.step(parent, pid).config))
+        )
     result.configs_explored += delta.explored_inc
     result.memory_steps += delta.memory_inc
     result.write_steps += delta.write_inc
@@ -469,14 +503,21 @@ def _apply_delta(
 
 def _state_payload(
     parents: Dict[str, Tuple[Optional[str], Optional[int]]],
-    frontier: Deque[Tuple[str, Configuration]],
+    frontier: Deque[Tuple[str, object]],
     result: checker.ExplorationResult,
+    backend,
 ) -> Dict:
-    """Absolute coordinator state, as an *unfinished* checkpoint payload."""
+    """Absolute coordinator state, as an *unfinished* checkpoint payload.
+
+    The frontier is stored as ``(fingerprint, packed bytes)`` pairs —
+    both backends produce identical payloads (and hence identical sealed
+    checkpoints), which is what makes a checkpoint resumable under either
+    ``--backend``.
+    """
     return {
         "finished": False,
         "parents": parents,
-        "frontier": list(frontier),
+        "frontier": [(fp, backend.pack(carrier)) for fp, carrier in frontier],
         "explored": result.configs_explored,
         "safety": list(result.safety_violations),
         "progress": list(result.progress_violations),
@@ -507,6 +548,7 @@ def explore(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = 64,
     watchdog: Optional[Watchdog] = None,
+    backend: str = "reference",
 ) -> checker.ExplorationResult:
     """Run one exploration with the chosen oracle; the library's one engine.
 
@@ -516,6 +558,13 @@ def explore(
     """
     if oracle not in ("safety", "progress"):
         raise ValueError(f"unknown oracle {oracle!r}")
+    bk = make_backend(backend)
+    if not bk.supports_persistence and (
+        cache_dir is not None or journal_dir is not None
+    ):
+        raise ValueError(
+            f"backend {backend!r} does not support cache_dir/journal_dir"
+        )
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if batch_timeout is not None and batch_timeout <= 0:
@@ -549,6 +598,7 @@ def explore(
         solo_budget=solo_budget,
         chaos=chaos,
         telemetry_enabled=telemetry.active() is not None,
+        backend=bk,
     )
 
     cache = None
@@ -599,8 +649,8 @@ def explore(
 
     if recovered_state is not None:
         parents = recovered_state["parents"]
-        frontier: Deque[Tuple[str, Configuration]] = deque(
-            recovered_state["frontier"]
+        frontier: Deque[Tuple[str, object]] = deque(
+            (fp, bk.unpack(blob)) for fp, blob in recovered_state["frontier"]
         )
         explored = recovered_state["explored"]
         base_safety = list(recovered_state["safety"])
@@ -612,7 +662,7 @@ def explore(
         )
     elif entry is not None:
         parents = entry.parents
-        frontier = deque(entry.frontier)
+        frontier = deque((fp, bk.unpack(blob)) for fp, blob in entry.frontier)
         explored = entry.explored
         base_safety, base_progress = [], []
         base_footprint = (
@@ -621,9 +671,12 @@ def explore(
         )
     else:
         initial = system.initial_configuration()
-        initial_fp = _fingerprint(initial, classes)
+        initial_fp, initial_data = bk.fingerprint(initial, classes)
         parents = {initial_fp: (None, None)}
-        frontier = deque([(initial_fp, initial)])
+        frontier = deque([(
+            initial_fp,
+            bk.carrier(initial, initial_data if classes is None else None),
+        )])
         explored = 0
         base_safety, base_progress = [], []
         base_footprint = (0, 0, set())
@@ -642,7 +695,10 @@ def explore(
         # happened once, so this is deterministic re-stepping with no
         # oracle re-checks.
         for _, delta in recovered_records:
-            done = _apply_delta(system, delta, parents, frontier, result) or done
+            done = (
+                _apply_delta(system, delta, parents, frontier, result, bk)
+                or done
+            )
         batch_index = runlog.next_index
 
     # A journaled run always has a watchdog armed (even a limitless one):
@@ -707,7 +763,8 @@ def explore(
                     and runlog.should_compact()
                 ):
                     runlog.checkpoint(
-                        _state_payload(parents, frontier, result), batch_index
+                        _state_payload(parents, frontier, result, bk),
+                        batch_index,
                     )
         finally:
             _teardown(pool)
@@ -727,7 +784,7 @@ def explore(
                 )
             else:
                 runlog.checkpoint(
-                    _state_payload(parents, frontier, result), batch_index
+                    _state_payload(parents, frontier, result, bk), batch_index
                 )
         if cache is not None:
             cache.save_entry(
@@ -739,7 +796,9 @@ def explore(
                     finished=finished,
                     result=result if finished else None,
                     parents=None if finished else parents,
-                    frontier=None if finished else list(frontier),
+                    frontier=None if finished else [
+                        (fp, bk.pack(carrier)) for fp, carrier in frontier
+                    ],
                     explored=result.configs_explored,
                     memory_steps=result.memory_steps,
                     write_steps=result.write_steps,
@@ -759,7 +818,7 @@ def explore(
 
 
 def _expand_chunk_local(
-    ctx: _WorkerContext, batch: List[Tuple[str, Configuration]]
+    ctx: _WorkerContext, batch: List[Tuple[str, object]]
 ) -> List[_Expansion]:
     """In-process expansion path: ``workers == 1`` and the degraded mode."""
     expansions, snapshot = _expand_chunk_measured(ctx, batch)
@@ -796,7 +855,7 @@ def _batch_telemetry(
 def _expand_batch(
     pool,
     ctx: _WorkerContext,
-    batch: List[Tuple[str, Configuration]],
+    batch: List[Tuple[str, object]],
     workers: int,
     *,
     batch_timeout: Optional[float],

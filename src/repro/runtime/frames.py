@@ -98,7 +98,13 @@ class ObjectImplementation(ABC):
 
 @dataclass(frozen=True, slots=True)
 class Frame:
-    """A live frame: the object being operated on and the impl's state."""
+    """A live frame: the object being operated on and the impl's state.
+
+    Part of the packed codec's fixed skeleton
+    (:mod:`repro.explore.packed` assigns it a one-byte class index), so
+    adding, removing, or reordering fields is a serialization format
+    change: bump :data:`repro.explore.cache.CACHE_VERSION` alongside.
+    """
 
     obj: str
     state: Any

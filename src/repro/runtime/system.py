@@ -462,6 +462,14 @@ def _replace_in_tuple(items: Tuple[Any, ...], index: int, item: Any) -> Tuple[An
 
 # ---------------------------------------------------------------------- #
 # Stable fingerprints
+#
+# These are the *definitional* fingerprints: a recursive, type-tagged
+# hash over the frozen-dataclass graph.  The exploration hot path keys
+# its visited sets with the packed codec instead
+# (:mod:`repro.explore.packed` hashes an invertible byte encoding, which
+# is both faster and checkpoint-stable); stable_fingerprint remains the
+# oracle that anything may fall back on, and the legacy benchmark
+# backend still measures the engine with it end-to-end.
 # ---------------------------------------------------------------------- #
 
 def _feed_fingerprint(h, value: Any) -> None:

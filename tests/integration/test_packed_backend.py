@@ -1,0 +1,251 @@
+"""Bit-identity of the packed backend against the reference oracle.
+
+``--backend=packed`` is only allowed to change *how fast* exploration
+runs — never what it computes.  These tests pin that contract where it
+could plausibly break (see ``docs/performance.md``):
+
+* **Verdict identity** — full ``dataclasses.asdict`` equality of safety
+  and progress results across backends, worker counts, and
+  canonicalization.
+* **Cross-backend resume** — both backends key caches and journals with
+  the same packed fingerprints, so a run truncated under one backend
+  resumes under the other without re-exploring anything.
+* **CLI identity** — ``repro explore`` prints byte-identical output
+  either way; the backend is invisible except in wall-clock.
+* **Telemetry** — packed runs emit golden (normalized-byte-identical)
+  streams, and the packed-only counters never perturb the verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import OneShotSetAgreement, System, telemetry
+from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+from repro.cli import main
+from repro.durable.watchdog import Watchdog
+from repro.explore import explore_progress_closure, explore_safety
+from repro.telemetry.schema import normalized_stream, validate_stream
+from repro.telemetry.sinks import JsonlSink
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def make_system():
+    return System(
+        OneShotSetAgreement(n=3, m=1, k=2), workloads=[["a"], ["b"], ["c"]]
+    )
+
+
+def make_anonymous():
+    return System(
+        AnonymousOneShotSetAgreement(n=3, m=1, k=2), workloads=[["v"]] * 3
+    )
+
+
+def verdict(result):
+    return dataclasses.asdict(result)
+
+
+class TestVerdictIdentity:
+    def test_safety_verdicts_are_bit_identical(self):
+        reference = explore_safety(make_system(), 2, max_configs=800)
+        packed = explore_safety(
+            make_system(), 2, max_configs=800, backend="packed"
+        )
+        assert verdict(reference) == verdict(packed)
+
+    def test_canonicalized_verdicts_are_bit_identical(self):
+        reference = explore_safety(
+            make_anonymous(), 2, max_configs=800, canonicalize=True
+        )
+        packed = explore_safety(
+            make_anonymous(), 2, max_configs=800, canonicalize=True,
+            backend="packed",
+        )
+        assert verdict(reference) == verdict(packed)
+
+    def test_progress_closure_verdicts_are_bit_identical(self):
+        reference = explore_progress_closure(
+            make_system(), 1, max_configs=400, solo_budget=400, batch_size=32
+        )
+        packed = explore_progress_closure(
+            make_system(), 1, max_configs=400, solo_budget=400, batch_size=32,
+            backend="packed",
+        )
+        assert verdict(reference) == verdict(packed)
+
+    def test_packed_workers_match_reference_serial(self):
+        reference = explore_safety(
+            make_system(), 2, max_configs=800, batch_size=32
+        )
+        packed = explore_safety(
+            make_system(), 2, max_configs=800, batch_size=32,
+            backend="packed", workers=2,
+        )
+        assert verdict(reference) == verdict(packed)
+
+    def test_unsafe_counterexamples_are_bit_identical(self):
+        # An under-provisioned instance is unsafe: the violation witness
+        # and its schedule must match across backends exactly too.
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1, components=2),
+            workloads=[["a"], ["b"]],
+        )
+        reference = explore_safety(system, 1)
+        packed = explore_safety(system, 1, backend="packed")
+        assert not reference.ok
+        assert reference.safety_violations
+        assert verdict(reference) == verdict(packed)
+
+
+class TestCrossBackendResume:
+    @pytest.mark.parametrize(
+        "first,second",
+        [("packed", "reference"), ("reference", "packed")],
+        ids=["packed-then-reference", "reference-then-packed"],
+    )
+    def test_cache_truncation_resumes_across_backends(
+        self, tmp_path, first, second
+    ):
+        uninterrupted = explore_safety(make_system(), 2, max_configs=800)
+        cache_dir = str(tmp_path / "cache")
+        truncated = explore_safety(
+            make_system(), 2, max_configs=120, cache_dir=cache_dir,
+            backend=first,
+        )
+        assert not truncated.complete
+        resumed = explore_safety(
+            make_system(), 2, max_configs=800, cache_dir=cache_dir,
+            backend=second,
+        )
+        assert verdict(resumed) == verdict(uninterrupted)
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [("packed", "reference"), ("reference", "packed")],
+        ids=["packed-then-reference", "reference-then-packed"],
+    )
+    def test_journal_interrupt_resumes_across_backends(
+        self, tmp_path, first, second
+    ):
+        baseline = explore_safety(make_system(), 2, max_configs=800)
+        journal_dir = str(tmp_path / "journal")
+        interrupted = explore_safety(
+            make_system(), 2, max_configs=800, batch_size=32,
+            journal_dir=journal_dir, backend=first,
+            watchdog=Watchdog(deadline=1e-6),
+        )
+        assert interrupted.interrupted == "deadline"
+        resumed = explore_safety(
+            make_system(), 2, max_configs=800, batch_size=32,
+            journal_dir=journal_dir, backend=second,
+        )
+        assert resumed.recovery is not None
+        assert resumed.configs_explored == baseline.configs_explored
+        assert (resumed.memory_steps, resumed.write_steps) == (
+            baseline.memory_steps, baseline.write_steps
+        )
+
+    def test_finished_packed_entry_served_to_reference_run(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        system = System(
+            OneShotSetAgreement(n=2, m=1, k=1), workloads=[["a"], ["b"]]
+        )
+        first = explore_safety(system, 1, cache_dir=cache_dir,
+                               backend="packed")
+        assert first.complete
+        hit = explore_safety(system, 1, cache_dir=cache_dir)
+        assert verdict(hit) == verdict(first)
+
+
+class TestCliIdentity:
+    ARGV = [
+        "explore", "--protocol", "oneshot", "--n", "3", "--k", "2",
+        "--max-configs", "400",
+    ]
+
+    def test_stdout_is_byte_identical_across_backends(self, capsys):
+        assert main(self.ARGV + ["--backend", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(self.ARGV + ["--backend", "packed"]) == 0
+        packed_out = capsys.readouterr().out
+        assert packed_out == reference_out
+        assert "footprint:" in packed_out
+
+    def test_backend_default_is_reference(self, capsys):
+        assert main(self.ARGV) == 0
+        default_out = capsys.readouterr().out
+        assert main(self.ARGV + ["--backend", "reference"]) == 0
+        assert capsys.readouterr().out == default_out
+
+
+class TestPackedTelemetry:
+    def traced(self, directory, **kwargs):
+        session = telemetry.start(
+            command="explore", mode="jsonl",
+            sinks=[JsonlSink(str(directory))],
+            attrs={"schema": 1, "n": 3, "m": 1, "k": 2},
+        )
+        try:
+            result = explore_safety(
+                make_system(), 2, max_configs=800, batch_size=32, **kwargs
+            )
+        finally:
+            session.close(exit_code=0, verdict="ok")
+        return result
+
+    def test_packed_streams_are_golden(self, tmp_path):
+        first = self.traced(tmp_path / "first", backend="packed")
+        telemetry.reset()
+        second = self.traced(tmp_path / "second", backend="packed")
+        assert verdict(first) == verdict(second)
+        assert validate_stream(tmp_path / "first") == []
+        assert normalized_stream(tmp_path / "first") == normalized_stream(
+            tmp_path / "second"
+        )
+
+    @staticmethod
+    def stream_counters(directory):
+        """The run-summary counters dict from a raw JSONL stream."""
+        import json
+        import pathlib
+
+        for path in sorted(pathlib.Path(directory).glob("*.jsonl")):
+            for line in path.read_text().splitlines():
+                event = json.loads(line)
+                counters = event.get("attrs", {}).get("counters")
+                if counters:
+                    return counters
+        return {}
+
+    def test_packed_counters_are_present_and_deterministic(self, tmp_path):
+        self.traced(tmp_path / "first", backend="packed")
+        telemetry.reset()
+        self.traced(tmp_path / "second", backend="packed")
+        first = self.stream_counters(tmp_path / "first")
+        second = self.stream_counters(tmp_path / "second")
+        assert first["explore.packed.configs_encoded"] > 0
+        assert first["explore.packed.bytes_encoded"] > 0
+        assert first == second
+
+    def test_reference_streams_carry_no_packed_counters(self, tmp_path):
+        self.traced(tmp_path / "reference")
+        counters = self.stream_counters(tmp_path / "reference")
+        assert counters
+        assert not any(name.startswith("explore.packed") for name in counters)
+
+    def test_telemetry_is_observer_neutral_under_packed(self, tmp_path):
+        plain = explore_safety(
+            make_system(), 2, max_configs=800, batch_size=32,
+            backend="packed",
+        )
+        traced = self.traced(tmp_path / "traced", backend="packed")
+        assert verdict(plain) == verdict(traced)

@@ -109,6 +109,31 @@ class TestLintConfig:
             )
 
 
+class TestDocsCoverExploreFlags:
+    """Reverse lint: the explorer's whole CLI surface must be documented.
+
+    The forward lint only rejects flags the docs invent; it is happy with
+    docs that fall behind the parser (exactly the drift that PR 6 fixed
+    for ``--backend`` and the footprint output).  This direction pins it:
+    every option of ``repro explore --help`` has to appear somewhere in
+    the linted corpus.
+    """
+
+    def test_every_explore_flag_appears_in_the_docs(self):
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        flags = _parser_flags(subparsers.choices["explore"]) - {"-h", "--help"}
+        corpus = "\n".join(path.read_text() for path in DOC_FILES)
+        undocumented = sorted(flag for flag in flags if flag not in corpus)
+        assert not undocumented, (
+            "`repro explore` flags missing from the documentation corpus "
+            f"({', '.join(DOC_IDS)}): {undocumented}"
+        )
+
+
 @pytest.mark.parametrize(
     "doc", DOC_FILES, ids=DOC_IDS
 )

@@ -1,0 +1,277 @@
+"""Unit tests for the packed configuration codec and backend registry.
+
+The codec's contract (see ``repro.explore.packed``): canonical —
+equal values encode to identical bytes regardless of construction
+order or memo state; invertible — ``decode(encode(v)) == v`` with no
+lossy fallback; and strict — values outside the vocabulary, corrupt
+framing, and truncation all raise :class:`PackedCodecError` rather
+than round-tripping garbage.
+"""
+
+import dataclasses
+import math
+import pickle
+
+import pytest
+
+from repro import OneShotSetAgreement, System
+from repro._types import BOT, Params
+from repro.explore import symmetry_classes
+from repro.explore.packed import (
+    BACKENDS,
+    MAGIC,
+    PackedCodec,
+    PackedCodecError,
+    PackedState,
+    make_backend,
+    packed_fingerprint,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Point:
+    """A generic (non-skeleton) frozen dataclass for codec tests."""
+
+    x: int
+    y: object
+
+
+VOCABULARY = [
+    None,
+    BOT,
+    True,
+    False,
+    0,
+    -1,
+    63,
+    64,
+    -64,
+    12_345_678_901_234_567_890,
+    -(1 << 200),
+    0.0,
+    -0.0,
+    1.5,
+    float("inf"),
+    float("-inf"),
+    "",
+    "héllo wörld ✓",
+    b"",
+    b"\x00\xff\x80",
+    (),
+    (1, (2, ("deep", BOT))),
+    [1, [2, []]],
+    frozenset(),
+    frozenset({1, "a", (2, 3)}),
+    {7, 8, 9},
+    {},
+    {"k": 1, 5: None, ("t",): [BOT]},
+    Params(),
+    Params(alpha=1, beta=("b", 2)),
+    _Point(1, "y"),
+    _Point(2, _Point(3, (BOT,))),
+]
+
+
+def make_system():
+    return System(OneShotSetAgreement(n=3, m=1, k=2),
+                  workloads=[["a"], ["b"], ["c"]])
+
+
+def bfs_configs(system, limit):
+    """First *limit* configurations of the system's reachable graph."""
+    from repro.errors import NotEnabledError
+
+    configs = [system.initial_configuration()]
+    frontier = list(configs)
+    while frontier and len(configs) < limit:
+        config = frontier.pop(0)
+        for pid in range(len(config.procs)):
+            try:
+                step = system.step(config, pid)
+            except NotEnabledError:
+                continue
+            if step is not None:
+                configs.append(step.config)
+                frontier.append(step.config)
+    return configs[:limit]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", VOCABULARY, ids=repr)
+    def test_vocabulary_value(self, value):
+        codec = PackedCodec()
+        blob = codec.encode_value(value)
+        back = codec.decode_value(blob)
+        assert back == value
+        assert type(back) is type(value)
+
+    def test_nan_round_trips_bitwise(self):
+        codec = PackedCodec()
+        back = codec.decode_value(codec.encode_value(float("nan")))
+        assert math.isnan(back)
+
+    def test_negative_zero_sign_preserved(self):
+        codec = PackedCodec()
+        back = codec.decode_value(codec.encode_value(-0.0))
+        assert math.copysign(1.0, back) == -1.0
+
+    def test_configurations_round_trip(self):
+        codec = PackedCodec()
+        for config in bfs_configs(make_system(), 150):
+            assert codec.decode(codec.encode(config)) == config
+
+    def test_decode_rejects_non_configuration_blob(self):
+        codec = PackedCodec()
+        with pytest.raises(PackedCodecError, match="not Configuration"):
+            codec.decode(codec.encode_value(42))
+
+
+class TestCanonicalBytes:
+    def test_set_and_dict_order_independent(self):
+        codec = PackedCodec()
+        assert codec.encode_value(frozenset([1, 2, 3])) == codec.encode_value(
+            frozenset([3, 1, 2])
+        )
+        assert codec.encode_value({"a": 1, "b": 2}) == codec.encode_value(
+            dict([("b", 2), ("a", 1)])
+        )
+
+    def test_warm_memos_do_not_change_bytes(self):
+        warm = PackedCodec()
+        config = bfs_configs(make_system(), 40)[-1]
+        for _ in range(3):
+            warm_blob = warm.encode(config)
+        assert warm_blob == PackedCodec().encode(config)
+
+    def test_distinct_container_types_encode_distinctly(self):
+        codec = PackedCodec()
+        blobs = {
+            codec.encode_value(value)
+            for value in [(1, 2), [1, 2], frozenset({1, 2}), {1, 2}, {1: 2}]
+        }
+        assert len(blobs) == 5
+
+    def test_memo_limit_overflow_is_semantically_inert(self):
+        tiny = PackedCodec(memo_limit=2)
+        configs = bfs_configs(make_system(), 30)
+        expected = [PackedCodec().encode(c) for c in configs]
+        assert [tiny.encode(c) for c in configs] == expected
+
+
+class TestStrictness:
+    @pytest.mark.parametrize("value", [object(), complex(1, 2), range(3)],
+                             ids=type)
+    def test_out_of_vocabulary_raises(self, value):
+        with pytest.raises(PackedCodecError, match="cannot pack"):
+            PackedCodec().encode_value(value)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(PackedCodecError, match="magic"):
+            PackedCodec().decode_value(b"XX1N")
+
+    def test_truncation_raises(self):
+        codec = PackedCodec()
+        blob = codec.encode_value((1, "abcdef", (2.5, BOT)))
+        for cut in range(len(MAGIC), len(blob)):
+            with pytest.raises(PackedCodecError):
+                codec.decode_value(blob[:cut])
+
+    def test_trailing_bytes_raise(self):
+        codec = PackedCodec()
+        with pytest.raises(PackedCodecError, match="trailing"):
+            codec.decode_value(codec.encode_value(1) + b"\x00")
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(PackedCodecError):
+            PackedCodec().decode_value(MAGIC + b"\xfe")
+
+    def test_pickled_codec_drops_memos(self):
+        codec = PackedCodec(memo_limit=17)
+        config = bfs_configs(make_system(), 5)[-1]
+        blob = codec.encode(config)
+        clone = pickle.loads(pickle.dumps(codec))
+        assert clone._proc_memo == {}
+        assert clone._memo_limit == 17
+        assert clone.encode(config) == blob
+
+
+class TestPackedState:
+    def test_lazy_encode_matches_codec(self):
+        codec = PackedCodec()
+        config = make_system().initial_configuration()
+        carrier = PackedState(config=config, codec=codec)
+        assert carrier.data == codec.encode(config)
+        assert carrier.configuration(codec) is config
+
+    def test_lazy_decode_happens_once(self):
+        codec = PackedCodec()
+        config = make_system().initial_configuration()
+        carrier = PackedState(codec.encode(config))
+        first = carrier.configuration(codec)
+        assert first == config
+        assert carrier.configuration(codec) is first
+
+    def test_pickle_ships_bytes_only(self):
+        codec = PackedCodec()
+        config = make_system().initial_configuration()
+        carrier = PackedState(config=config, codec=codec)
+        clone = pickle.loads(pickle.dumps(carrier))
+        assert clone._config is None and clone._codec is None
+        assert clone.data == codec.encode(config)
+        assert clone.configuration(PackedCodec()) == config
+
+    def test_requires_data_or_config_and_codec(self):
+        with pytest.raises(ValueError):
+            PackedState()
+        with pytest.raises(ValueError):
+            PackedState(config=make_system().initial_configuration())
+
+
+class TestBackends:
+    def test_public_backends(self):
+        assert BACKENDS == ("reference", "packed")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("pickle")
+
+    @pytest.mark.parametrize("name", ["reference", "packed"])
+    def test_fingerprints_agree_across_backends(self, name):
+        system = make_system()
+        backend = make_backend(name)
+        oracle = make_backend("reference")
+        for config in bfs_configs(system, 60):
+            fp, data = backend.fingerprint(config, None)
+            assert (fp, data) == oracle.fingerprint(config, None)
+            assert fp == packed_fingerprint(data)
+            carrier = backend.carrier(config, data)
+            assert backend.configuration(carrier) == config
+            assert backend.unpack(backend.pack(carrier)) is not None
+
+    def test_orbit_fingerprints_agree_across_backends(self):
+        from repro.agreement.anonymous import AnonymousOneShotSetAgreement
+
+        system = System(AnonymousOneShotSetAgreement(n=3, m=1, k=2),
+                        workloads=[["v"]] * 3)
+        classes = symmetry_classes(system)
+        assert classes is not None
+        reference, packed = make_backend("reference"), make_backend("packed")
+        for config in bfs_configs(system, 60):
+            assert reference.fingerprint(config, classes) == \
+                packed.fingerprint(config, classes)
+
+    def test_legacy_refuses_persistence(self):
+        legacy = make_backend("legacy")
+        assert not legacy.supports_persistence
+        config = make_system().initial_configuration()
+        with pytest.raises(PackedCodecError):
+            legacy.pack(legacy.carrier(config))
+        with pytest.raises(PackedCodecError):
+            legacy.unpack(b"")
+
+    def test_legacy_rejected_by_explore_persistence(self, tmp_path):
+        from repro.explore import explore_safety
+
+        with pytest.raises(ValueError, match="does not support cache_dir"):
+            explore_safety(make_system(), k=2, max_configs=10,
+                           backend="legacy", cache_dir=tmp_path / "cache")
