@@ -1,0 +1,184 @@
+"""E17 — the serve daemon: memoization payoff and saturation behavior.
+
+Three measurements against a real subprocess daemon (the same binary an
+operator runs, socket and all):
+
+* **cold latency** — submit a fresh explore job and block for the
+  verdict: the price of one verification plus the protocol round trip;
+* **cache-hit latency** — resubmit the identical job: the handler
+  thread answers inline from the content-addressed store, so this is
+  pure protocol + store-read cost, and the speedup over cold is the
+  memoization payoff;
+* **saturation throughput** — fire distinct jobs at a small-capacity
+  queue as fast as the daemon refuses them, honoring every
+  ``retry_after`` hint, and measure completed jobs per second plus how
+  many explicit busy refusals the run absorbed — backpressure must
+  shed load without losing a single accepted job.
+
+Acceptance assertions are generous backstops (shared CI hosts are
+noisy); the emitted table and record carry the real numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.bench.tables import format_table
+from repro.serve import client
+from repro.serve.protocol import VerifyJob
+from repro.serve.server import resolve_endpoint
+
+#: Cold work unit: big enough to dwarf the round trip, small enough to
+#: keep the benchmark in seconds.
+COLD_CONFIGS = 8_000
+#: Distinct jobs fired at the saturation leg's capacity-2 queue.
+SATURATION_JOBS = 6
+CACHE_HIT_REPS = 20
+
+
+def subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    return env
+
+
+def start_daemon(data_dir, *extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--data-dir", str(data_dir), *extra],
+        env=subprocess_env(), start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_endpoint(data_dir, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            host, port = resolve_endpoint(data_dir)
+            client.status(host, port, timeout=2.0)
+            return host, port
+        except Exception:
+            time.sleep(0.05)
+    raise AssertionError(f"no live daemon under {data_dir}")
+
+
+def stop_daemon(proc):
+    # SIGTERM the daemon only — a group-wide TERM would also hit the
+    # pool workers and wedge the graceful pool teardown.
+    try:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+    except (ProcessLookupError, subprocess.TimeoutExpired):
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        proc.wait(timeout=60)
+
+
+def test_serve_latency_and_saturation(emit, tmp_path):
+    """E17: cold vs cache-hit latency, then throughput under saturation."""
+    job = VerifyJob(mode="explore", max_configs=COLD_CONFIGS)
+    data_dir = tmp_path / "serve"
+    proc = start_daemon(data_dir)
+    try:
+        host, port = wait_for_endpoint(data_dir)
+
+        t0 = time.perf_counter()
+        cold = client.verify(host, port, job.descriptor(), timeout=600.0)
+        t_cold = time.perf_counter() - t0
+        assert cold["ok"] and not cold["cached"], cold
+
+        t_hit = float("inf")
+        for _ in range(CACHE_HIT_REPS):
+            t0 = time.perf_counter()
+            hit = client.verify(host, port, job.descriptor(), timeout=60.0)
+            t_hit = min(t_hit, time.perf_counter() - t0)
+            assert hit["ok"] and hit["cached"], hit
+            assert hit["fingerprint"] == cold["fingerprint"]
+    finally:
+        stop_daemon(proc)
+
+    # Saturation leg: fresh daemon, tiny queue, sustained submission.
+    sat_dir = tmp_path / "serve-sat"
+    jobs = [
+        VerifyJob(mode="explore", max_configs=2_000, seed=i + 1)
+        for i in range(SATURATION_JOBS)
+    ]
+    proc = start_daemon(sat_dir, "--queue-capacity", "2",
+                        "--retry-after", "0.1")
+    try:
+        host, port = wait_for_endpoint(sat_dir)
+        busy = 0
+        t0 = time.perf_counter()
+        outstanding = list(jobs)
+        while outstanding:
+            answer = client.verify(
+                host, port, outstanding[0].descriptor(),
+                wait=False, timeout=60.0,
+            )
+            if answer.get("ok"):
+                outstanding.pop(0)
+            else:
+                assert answer.get("busy"), answer
+                busy += 1
+                time.sleep(answer["retry_after"])
+        unresolved = {j.key for j in jobs}
+        while unresolved:
+            for key in sorted(unresolved):
+                answer = client.result(host, port, key, timeout=60.0)
+                if answer.get("ok"):
+                    unresolved.discard(key)
+            if unresolved:
+                time.sleep(0.1)
+            assert time.perf_counter() - t0 < 600, "saturation leg hung"
+        t_saturation = time.perf_counter() - t0
+        polled = client.status(host, port, timeout=60.0)["status"]
+    finally:
+        stop_daemon(proc)
+
+    assert polled["cache"]["entries"] == SATURATION_JOBS  # zero loss
+    speedup = t_cold / t_hit
+    throughput = SATURATION_JOBS / t_saturation
+    # Backstop: memoization must beat redoing the work by a wide margin.
+    assert speedup >= 10, f"cache hit only {speedup:.1f}x faster than cold"
+
+    emit(
+        "serve_latency",
+        format_table(
+            ["leg", "jobs", "seconds", "note"],
+            [
+                ["cold verify", 1, f"{t_cold:.3f}",
+                 f"explore max_configs={COLD_CONFIGS}"],
+                ["cache hit", 1, f"{t_hit:.4f}",
+                 f"{speedup:.0f}x faster (min of {CACHE_HIT_REPS})"],
+                ["saturation", SATURATION_JOBS, f"{t_saturation:.2f}",
+                 f"{throughput:.2f} jobs/s, {busy} busy refusals, "
+                 "capacity 2"],
+            ],
+            title="E17 — serve daemon: cold vs memoized latency, "
+                  "saturation throughput",
+        ),
+        record={
+            "experiment": "E17",
+            "params": {
+                "cold_max_configs": COLD_CONFIGS,
+                "saturation_jobs": SATURATION_JOBS,
+                "queue_capacity": 2,
+            },
+            "cold_s": round(t_cold, 4),
+            "cache_hit_s": round(t_hit, 5),
+            "cache_speedup": round(speedup, 1),
+            "saturation_s": round(t_saturation, 3),
+            "saturation_jobs_per_s": round(throughput, 3),
+            "busy_refusals": busy,
+            "verdict": "ok",
+        },
+    )

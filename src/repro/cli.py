@@ -53,11 +53,8 @@ from typing import List, Optional, Tuple
 from repro import (
     AnonymousRepeatedSetAgreement,
     OneShotSetAgreement,
-    RandomScheduler,
     RepeatedSetAgreement,
-    RoundRobinScheduler,
     System,
-    WriterPriorityScheduler,
     run,
 )
 from repro.agreement.anonymous import AnonymousOneShotSetAgreement
@@ -67,7 +64,7 @@ from repro.explore import explore_safety
 from repro.lowerbounds import covering_construction, figure1_table
 from repro.lowerbounds.cloning import lemma9_glue
 from repro.objects import implemented_snapshot_layout
-from repro.sched import EventuallyBoundedScheduler
+from repro.sched import NAMED_SCHEDULERS, build_scheduler
 from repro.spec import check_safety, execution_stats, publish_stats
 from repro.trace import space_time_diagram
 
@@ -78,7 +75,7 @@ PROTOCOLS = {
     "anonymous-oneshot": AnonymousOneShotSetAgreement,
 }
 
-SCHEDULERS = ("round-robin", "random", "writer-priority", "bounded")
+SCHEDULERS = NAMED_SCHEDULERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -258,6 +255,49 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--rules", action="store_true",
                          help="print the rule catalog and exit")
 
+    server = sub.add_parser(
+        "serve",
+        help="verification daemon: verify jobs over a JSON socket, "
+             "memoized verdicts, crash-safe queue",
+    )
+    server.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default loopback)")
+    server.add_argument("--port", type=int, default=0,
+                        help="TCP port; 0 picks an ephemeral port, printed "
+                             "on startup and written to the data dir's "
+                             "endpoint file")
+    server.add_argument("--data-dir", default=".repro-serve",
+                        help="daemon state: content-addressed verdict "
+                             "store, write-ahead job journal, endpoint "
+                             "file; restarting on the same directory "
+                             "resumes journaled jobs")
+    server.add_argument("--queue-capacity", type=int, default=64,
+                        help="bound on queued + running jobs; past it, "
+                             "submissions get an explicit busy response "
+                             "with a retry-after hint instead of "
+                             "unbounded buffering")
+    server.add_argument("--workers", type=int, default=1,
+                        help="supervised worker processes; the pool is "
+                             "rebuilt on failure and degrades to serial "
+                             "in-process execution after repeated "
+                             "incidents")
+    server.add_argument("--retry-after", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="hint returned with busy responses")
+    server.add_argument("--max-jobs", type=int, default=None,
+                        help="exit 0 after completing this many jobs "
+                             "(smoke tests and CI)")
+    server.add_argument("--job-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget, enforced by an "
+                             "in-worker watchdog; an over-deadline job "
+                             "reports incomplete and is never cached")
+    server.add_argument("--job-max-rss", type=float, default=None,
+                        metavar="MB",
+                        help="per-job resident-set ceiling in MiB "
+                             "(in-worker watchdog, like --job-deadline)")
+    _add_telemetry_flags(server)
+
     reporter = sub.add_parser(
         "report", help="render a Markdown run report from a telemetry stream"
     )
@@ -378,17 +418,7 @@ def cmd_bounds(args) -> int:
 
 
 def _make_scheduler(args, n, m):
-    if args.scheduler == "round-robin":
-        return RoundRobinScheduler()
-    if args.scheduler == "random":
-        return RandomScheduler(seed=args.seed)
-    if args.scheduler == "writer-priority":
-        return WriterPriorityScheduler()
-    return EventuallyBoundedScheduler(
-        survivors=list(range(m)),
-        prelude_steps=60,
-        prelude=RandomScheduler(seed=args.seed),
-    )
+    return build_scheduler(args.scheduler, seed=args.seed, m=m)
 
 
 def cmd_run(args) -> int:
@@ -736,6 +766,64 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the verification daemon until shutdown or SIGTERM.
+
+    Exit codes: 0 — graceful stop (a ``shutdown`` op, or ``--max-jobs``
+    reached); 2 — configuration error (bad flags, port in use); 143 —
+    SIGTERM, after closing the queue (pending jobs stay journaled and
+    resume on the next start against the same ``--data-dir``).  See
+    ``docs/serving.md`` for the protocol and the kill-and-resume
+    runbook.
+    """
+    from repro.serve.server import ReproServer
+
+    if args.queue_capacity < 1:
+        print(f"error: --queue-capacity must be >= 1, got "
+              f"{args.queue_capacity}", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    for name in ("job_deadline", "job_max_rss", "retry_after"):
+        value = getattr(args, name)
+        if value is not None and value <= 0:
+            flag = "--" + name.replace("_", "-")
+            print(f"error: {flag} must be positive, got {value}",
+                  file=sys.stderr)
+            return 2
+    try:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            data_dir=args.data_dir,
+            queue_capacity=args.queue_capacity,
+            workers=args.workers,
+            job_deadline=args.job_deadline,
+            job_max_rss=args.job_max_rss,
+            retry_after=args.retry_after,
+            max_jobs=args.max_jobs,
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    server.start()
+    replayed = server.queue.depth()
+    print(f"repro serve listening on {server.host}:{server.port} "
+          f"(data: {args.data_dir}, queue: {args.queue_capacity}, "
+          f"workers: {args.workers})", flush=True)
+    if replayed:
+        print(f"replaying {replayed} journaled job"
+              f"{'s' if replayed != 1 else ''} from a previous run",
+              flush=True)
+    try:
+        return server.serve_forever()
+    finally:
+        server.close()
+
+
 COMMANDS = {
     "bounds": cmd_bounds,
     "run": cmd_run,
@@ -745,6 +833,7 @@ COMMANDS = {
     "glue": cmd_glue,
     "verify": cmd_verify,
     "analyze": cmd_analyze,
+    "serve": cmd_serve,
     "report": cmd_report,
 }
 
@@ -808,11 +897,24 @@ def _dispatch(handler, args) -> int:
     finally:
         # The session observes the command's true outcome — including the
         # exception paths above — and must release its sinks even when the
-        # handler re-raises something unanticipated.
+        # handler re-raises something unanticipated.  The flush runs under
+        # an armed watchdog mailbox: a SIGTERM landing *during* close is
+        # absorbed as a flag instead of raising Terminated mid-write,
+        # which would truncate events.jsonl (no run_end => schema-invalid)
+        # and replace the already-computed exit code.  A sink failure
+        # likewise cannot change the exit code — telemetry never does.
         if session is not None:
-            session.close(
-                exit_code=code, verdict=_VERDICTS.get(code, "unknown")
-            )
+            from repro.durable.watchdog import Watchdog
+
+            try:
+                with Watchdog():
+                    session.close(
+                        exit_code=code, verdict=_VERDICTS.get(code, "unknown")
+                    )
+            except Terminated:
+                pass  # signal raced the arming instant; the code stands
+            except Exception as exc:  # noqa: BLE001 — flush must not mask code
+                print(f"telemetry: close failed: {exc}", file=sys.stderr)
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
 

@@ -19,7 +19,10 @@ This package is that persistence layer:
 * :mod:`repro.durable.recovery` — the salvage accounting
   (:class:`~repro.durable.recovery.RecoveryReport`) and the quarantine
   protocol (unreadable files are moved under ``quarantine/``, never
-  deleted, never re-hit).
+  deleted, never re-hit);
+* :mod:`repro.durable.retry` — the one shared exponential-backoff
+  policy (:class:`~repro.durable.retry.BackoffPolicy`, optional seeded
+  jitter) behind every self-healing retry loop.
 
 Consumers: the exploration coordinator (``explore/frontier.py``,
 ``journal_dir=…``), the campaign runner (``faults/campaign.py``), and the
@@ -33,8 +36,15 @@ from repro.durable.checkpoint import (
     unseal,
     write_sealed,
 )
-from repro.durable.journal import Journal, JournalScan, RunJournal, scan_journal
+from repro.durable.journal import (
+    Journal,
+    JournalBusyError,
+    JournalScan,
+    RunJournal,
+    scan_journal,
+)
 from repro.durable.recovery import RecoveryReport, quarantine_file
+from repro.durable.retry import DEFAULT_REBUILD_POLICY, BackoffPolicy
 from repro.durable.watchdog import (
     Terminated,
     Watchdog,
@@ -43,8 +53,11 @@ from repro.durable.watchdog import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "CheckpointStore",
+    "DEFAULT_REBUILD_POLICY",
     "Journal",
+    "JournalBusyError",
     "JournalScan",
     "RecoveryReport",
     "RunJournal",

@@ -23,6 +23,16 @@ Appends go to the OS immediately (``flush``), so the journal survives
 close, keeping the per-record cost to one buffered write (power loss can
 cost un-fsynced suffix records — bounded, reported, never corrupting).
 
+A journal has exactly **one writer**.  Two processes appending to the
+same file would interleave frames and corrupt both histories, so the
+writer handle takes a non-blocking ``flock`` on open and holds it until
+:meth:`Journal.close` — including across :meth:`Journal.reset`, which
+truncates the locked handle in place rather than reopening.  The loser
+of the race gets :class:`JournalBusyError` immediately (nothing it wrote
+reaches the file) and can retry under a
+:class:`~repro.durable.retry.BackoffPolicy` or walk away; read paths
+(:func:`scan_journal`) stay lock-free.
+
 :class:`RunJournal` composes a journal with a sealed checkpoint
 (:mod:`repro.durable.checkpoint`) into the unit the exploration engine
 and the campaign runner actually use: indexed pickled records, periodic
@@ -44,6 +54,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, List, Optional, Tuple
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX: locking degrades to no-op
+    fcntl = None  # type: ignore[assignment]
+
 from repro import telemetry
 from repro.durable.checkpoint import (
     DIGEST_SIZE as _SEAL_DIGEST_SIZE,
@@ -53,6 +68,7 @@ from repro.durable.checkpoint import (
     write_sealed,
 )
 from repro.durable.recovery import RecoveryReport, quarantine_file
+from repro.errors import ReproError
 
 #: Journal file header: magic + format version.  A mismatched header is
 #: quarantine-grade (the whole file is unreadable), not a torn tail.
@@ -70,6 +86,39 @@ MAX_RECORD_BYTES = 1 << 30
 #: yes: below this, replaying the log on recovery is cheaper than writing
 #: a full-state checkpoint during the run.
 COMPACT_FLOOR_BYTES = 4 << 20
+
+
+class JournalBusyError(ReproError):
+    """Another live process holds the writer lock on this journal.
+
+    Raised by the *loser* of a concurrent-open race before any of its
+    bytes reach the file — the on-disk journal stays the winner's,
+    uncorrupted.  Callers either retry (serve's admission queue, under
+    its backoff policy) or surface the conflict (two explorations
+    resuming the same run key is an operator error).
+    """
+
+    def __init__(self, path: Path) -> None:
+        super().__init__(
+            f"journal {path} is locked by another writer; "
+            "concurrent appends would corrupt it"
+        )
+        self.path = path
+
+
+def _lock_or_raise(handle: Any, path: Path) -> None:
+    """Take the non-blocking writer flock, or raise :class:`JournalBusyError`.
+
+    flock attaches to the open file description, so a second ``Journal``
+    on the same path conflicts even within one process — which is the
+    point: one journal, one writer, no exceptions.
+    """
+    if fcntl is None:  # non-POSIX: advisory locking unavailable
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        raise JournalBusyError(path) from None
 
 
 def _digest(payload: bytes) -> bytes:
@@ -143,7 +192,13 @@ class Journal:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fresh = not self.path.exists() or self.path.stat().st_size == 0
-            self._handle = open(self.path, "ab")
+            handle = open(self.path, "ab")
+            try:
+                _lock_or_raise(handle, self.path)
+            except JournalBusyError:
+                handle.close()
+                raise
+            self._handle = handle
             if fresh:
                 self._handle.write(JOURNAL_MAGIC)
                 self._handle.flush()
@@ -170,13 +225,18 @@ class Journal:
             _timed_fsync(self._handle.fileno())
 
     def reset(self) -> None:
-        """Truncate to an empty (header-only) journal, durably."""
-        self.close()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "wb") as handle:
-            handle.write(JOURNAL_MAGIC)
-            handle.flush()
-            os.fsync(handle.fileno())
+        """Truncate to an empty (header-only) journal, durably.
+
+        The writer lock is held *across* the truncation: the handle is
+        truncated in place rather than closed and reopened, so no other
+        process can slip in between compaction and the next append.
+        """
+        handle = self._ensure_open()
+        handle.flush()
+        handle.truncate(0)
+        handle.write(JOURNAL_MAGIC)  # O_APPEND: lands at the new EOF (0)
+        handle.flush()
+        os.fsync(handle.fileno())
         fsync_dir(self.path.parent)
 
     def repair(self, scan: JournalScan) -> None:
@@ -186,6 +246,7 @@ class Journal:
             return
         try:
             with open(self.path, "rb+") as handle:
+                _lock_or_raise(handle, self.path)
                 handle.truncate(scan.valid_bytes)
                 handle.flush()
                 os.fsync(handle.fileno())

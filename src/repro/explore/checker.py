@@ -107,6 +107,45 @@ class ExplorationResult:
         """True iff no safety or progress violation was found."""
         return not self.safety_violations and not self.progress_violations
 
+    def identity_record(self) -> Dict[str, object]:
+        """Deterministic, JSON-safe identity of this exploration's verdict.
+
+        The history fields (``worker_retries``, ``degraded``,
+        ``interrupted``, ``recovery``) are host accidents and excluded;
+        the footprint set is rendered in sorted order.  Two runs of the
+        same job therefore produce byte-identical canonical JSON no
+        matter the worker count, backend, batch size, or resume history
+        — this is the payload ``repro serve`` memoizes and fingerprints.
+        """
+        return {
+            "complete": self.complete,
+            "configs_discovered": self.configs_discovered,
+            "configs_explored": self.configs_explored,
+            "memory_steps": self.memory_steps,
+            "progress_violations": [
+                {
+                    "detail": v.detail,
+                    "schedule_to_config": list(v.schedule_to_config),
+                    "survivors": list(v.survivors),
+                }
+                for v in self.progress_violations
+            ],
+            "registers_written": sorted(
+                [coord.bank, coord.index] for coord in self.registers_written
+            ),
+            "safety_violations": [
+                {
+                    "detail": v.detail,
+                    "instance": v.instance,
+                    "outputs": list(v.outputs),
+                    "property": v.property_name,
+                    "schedule": list(v.schedule),
+                }
+                for v in self.safety_violations
+            ],
+            "write_steps": self.write_steps,
+        }
+
     def footprint_summary(self) -> str:
         """One-line register-footprint account, as printed by the CLI."""
         return (

@@ -69,6 +69,7 @@ checkpoint and an early return with ``result.interrupted`` set.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import signal
 import time
@@ -81,6 +82,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro import telemetry
 from repro.durable.journal import RunJournal
 from repro.durable.recovery import QUARANTINE_DIR
+from repro.durable.retry import DEFAULT_REBUILD_POLICY
 from repro.durable.watchdog import Watchdog, reset_active_watchdogs
 from repro.errors import ExplorationEngineError
 from repro.explore import checker
@@ -877,7 +879,8 @@ def _expand_batch(
     unpicklable results) take the same heal path regardless.
     """
     chunks = _split(batch, workers)
-    for attempt in range(max_retries + 1):
+    policy = dataclasses.replace(DEFAULT_REBUILD_POLICY, max_retries=max_retries)
+    for attempt in policy.attempts():
         try:
             if batch_timeout is None:
                 mapped = pool.map(_expand_chunk, chunks)
@@ -898,7 +901,7 @@ def _expand_batch(
             _teardown(pool)
             pool = None
             if attempt < max_retries:
-                time.sleep(min(0.05 * 2**attempt, 2.0))
+                policy.sleep(attempt)
                 pool = _make_pool(workers, ctx)
     result.degraded = True
     telemetry.mark("explore.degraded")

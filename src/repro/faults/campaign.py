@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro import telemetry
 from repro.durable.journal import RunJournal
 from repro.durable.recovery import QUARANTINE_DIR, RecoveryReport
+from repro.durable.retry import BackoffPolicy
 from repro.durable.watchdog import Watchdog
 from repro.errors import ConfigurationError
 from repro.faults.inject import faulty_system, plan_scheduler
@@ -150,11 +151,12 @@ def run_trial(
             raise ConfigurationError(
                 "run_trial needs k (the automaton carries none)"
             )
+    policy = BackoffPolicy(max_retries=max_retries, factor=backoff)
     attempts = 0
     execution = None
-    for attempt in range(max_retries + 1):
+    for attempt in policy.attempts():
         attempts = attempt + 1
-        attempt_budget = int(budget * backoff**attempt)
+        attempt_budget = policy.scaled_budget(budget, attempt)
         faulty = faulty_system(system, plan)
         execution = run(
             faulty,

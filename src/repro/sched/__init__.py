@@ -29,9 +29,37 @@ from repro.sched.adversarial import WriterPriorityScheduler
 from repro.sched.cyclic import CyclicScheduler, phases
 from repro.sched.composed import InterleavedScheduler, PhasedScheduler
 
+#: The adversaries nameable from the CLI and the serve wire protocol.
+NAMED_SCHEDULERS = ("round-robin", "random", "writer-priority", "bounded")
+
+
+def build_scheduler(name: str, *, seed: int = 1, m: int = 1) -> Scheduler:
+    """Factory for the named adversary families (CLI ``--scheduler`` and
+    serve run-mode jobs share this, so both sides mean the same thing by
+    ``"bounded"``).  ``seed`` feeds the randomized families; ``m`` sizes
+    the eventually-bounded survivor set."""
+    if name == "round-robin":
+        return RoundRobinScheduler()
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    if name == "writer-priority":
+        return WriterPriorityScheduler()
+    if name == "bounded":
+        return EventuallyBoundedScheduler(
+            survivors=list(range(m)),
+            prelude_steps=60,
+            prelude=RandomScheduler(seed=seed),
+        )
+    raise ValueError(
+        f"unknown scheduler {name!r}; expected one of {NAMED_SCHEDULERS}"
+    )
+
+
 __all__ = [
+    "NAMED_SCHEDULERS",
     "PhasedScheduler",
     "InterleavedScheduler",
+    "build_scheduler",
     "Scheduler",
     "FixedSchedule",
     "RoundRobinScheduler",

@@ -1,0 +1,387 @@
+"""The `repro serve` daemon: socket front end + dispatch loop.
+
+Connections are handled by a threading TCP server (one thread per
+connection, line-delimited JSON both ways); verification itself runs in
+a single dispatcher loop that drains the admission queue through the
+:class:`~repro.serve.supervisor.WorkerSupervisor`.  The split matters
+for the robustness story: handler threads only ever do O(1) work —
+cache lookup, journal append, queue refusal — so the daemon stays
+responsive (and able to say *busy* explicitly) no matter what the
+workers are chewing on.
+
+The ``status`` op is the LiveSink idea turned outward: where the live
+progress line reads the telemetry registry to paint stderr, ``status``
+reads the same registry (plus queue/supervisor/store internals) and
+returns it as JSON, so an operator polls the daemon the way the sink
+polls a run.
+
+Shutdown discipline: SIGTERM lands in the dispatcher's watchdog mailbox
+(the same graceful path every CLI command uses), the queue closes (new
+submissions get backpressure), the in-flight job finishes, the pending
+set is checkpointed, and the process exits 143.  ``kill -9`` skips all
+of that by definition — which is fine, because every accepted job is
+journaled before execution and the next start replays it
+(:meth:`~repro.serve.queue.JobQueue.recover`) to bit-identical verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro import telemetry
+from repro.durable.watchdog import Watchdog
+from repro.errors import ConfigurationError, ReproError
+from repro.serve.protocol import VerifyJob, verdict_fingerprint
+from repro.serve.queue import Backpressure, JobQueue, Ticket
+from repro.serve.store import VerdictStore
+from repro.serve.supervisor import WorkerSupervisor
+
+#: Name of the endpoint file written under the data dir: ``host:port`` of
+#: the live daemon, for clients started without an explicit port.
+ENDPOINT_FILE = "endpoint"
+
+#: Verdict outcomes that are deterministic functions of the job and are
+#: therefore memoized.  ``incomplete`` (watchdog) and ``error`` are host
+#: accidents and never cached.
+CACHEABLE_OUTCOMES = ("ok", "refuted")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: JSON lines in, JSON lines out."""
+
+    def handle(self) -> None:  # pragma: no cover — exercised via sockets
+        server: ReproServer = self.server.repro_server  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline()
+            except OSError:
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError:
+                response = {"ok": False, "error": "request is not JSON"}
+            else:
+                response = server.handle_request(request)
+            try:
+                self.wfile.write(
+                    json.dumps(response, sort_keys=True).encode("ascii")
+                    + b"\n"
+                )
+                self.wfile.flush()
+            except (OSError, ValueError):
+                return
+
+
+class _SocketServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ReproServer:
+    """The daemon: admission, dispatch, memoization, status, shutdown."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        data_dir: Path,
+        queue_capacity: int = 64,
+        workers: int = 1,
+        job_deadline: Optional[float] = None,
+        job_max_rss: Optional[float] = None,
+        retry_after: float = 1.0,
+        max_jobs: Optional[int] = None,
+        serial: bool = False,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.store = VerdictStore(self.data_dir / "store")
+        self.queue = JobQueue(
+            queue_capacity,
+            journal_dir=self.data_dir / "jobs",
+            retry_after=retry_after,
+        )
+        self.supervisor = WorkerSupervisor(
+            workers=workers, job_deadline=job_deadline,
+            job_max_rss=job_max_rss, serial=serial,
+        )
+        self.max_jobs = max_jobs
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.jobs_completed = 0
+        self._started = time.monotonic()
+        self._lock = threading.Lock()
+        self._events: Dict[int, threading.Event] = {}
+        self._outcomes: Dict[int, Dict[str, Any]] = {}
+        self._shutdown = threading.Event()
+        self._closed = False
+        self._socket_server = _SocketServer((host, port), _Handler)
+        self._socket_server.repro_server = self  # type: ignore[attr-defined]
+        self._acceptor: Optional[threading.Thread] = None
+        self.host, self.port = self._socket_server.server_address[:2]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the pool and the acceptor thread; write the endpoint file."""
+        self.supervisor.start()
+        (self.data_dir / ENDPOINT_FILE).write_text(
+            f"{self.host}:{self.port}\n"
+        )
+        self._acceptor = threading.Thread(
+            target=self._socket_server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-acceptor",
+            daemon=True,
+        )
+        self._acceptor.start()
+        replayed = self.queue.depth()
+        if replayed:
+            telemetry.mark("serve.resumed", replayed=replayed)
+
+    def serve_forever(self) -> int:
+        """The dispatcher loop; returns the process exit code.
+
+        Runs until ``max_jobs`` is reached, a ``shutdown`` op arrives
+        (exit 0), or SIGTERM lands in the watchdog mailbox (exit 143).
+        """
+        exit_code = 0
+        with Watchdog() as watchdog:
+            while True:
+                reason = watchdog.poll()
+                if reason is not None:
+                    telemetry.mark("serve.terminated", reason=reason)
+                    exit_code = 143
+                    break
+                if self._shutdown.is_set():
+                    break
+                if (self.max_jobs is not None
+                        and self.jobs_completed >= self.max_jobs):
+                    break
+                item = self.queue.take(timeout=0.2)
+                if item is None:
+                    continue
+                seq, job = item
+                self._dispatch_one(seq, job)
+        self.close()
+        return exit_code
+
+    def _dispatch_one(self, seq: int, job: VerifyJob) -> None:
+        key = job.key
+        entry = self.store.get(key)
+        if entry is not None:
+            self.cache_hits += 1
+            telemetry.counter("serve.cache_hits")
+            response = self._verdict_response(entry, cached=True)
+        else:
+            self.cache_misses += 1
+            telemetry.counter("serve.cache_misses")
+            with telemetry.span("serve.job", key=key, mode=job.mode) as span:
+                payload = self.supervisor.run_job(job)
+                span.set(outcome=payload.get("outcome"))
+            if payload.get("outcome") in CACHEABLE_OUTCOMES:
+                entry = {
+                    "fingerprint": verdict_fingerprint(payload),
+                    "key": key,
+                    "result": payload,
+                }
+                self.store.put(key, entry)
+                response = self._verdict_response(entry, cached=False)
+            else:
+                response = {
+                    "ok": False,
+                    "error": payload.get("reason") or payload.get("detail")
+                    or "job failed",
+                    "outcome": payload.get("outcome"),
+                    "key": key,
+                }
+        self.queue.mark_done(seq)
+        self.jobs_completed += 1
+        telemetry.counter("serve.jobs_completed")
+        with self._lock:
+            event = self._events.pop(seq, None)
+            if event is not None:
+                self._outcomes[seq] = response
+                event.set()
+
+    @staticmethod
+    def _verdict_response(entry: Dict[str, Any], *, cached: bool) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "cached": cached,
+            "key": entry["key"],
+            "fingerprint": entry["fingerprint"],
+            "verdict": entry["result"],
+        }
+
+    def close(self) -> None:
+        """Stop accepting, checkpoint the queue, tear down the pool.
+
+        Idempotent: the CLI calls it from a ``finally`` even though the
+        dispatch loop already closed on its way out.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._shutdown.set()
+        if self._acceptor is not None:
+            # shutdown() blocks on serve_forever's exit handshake; with no
+            # acceptor thread that loop never ran and the wait never ends.
+            self._socket_server.shutdown()
+        self._socket_server.server_close()
+        self.queue.close()
+        self.supervisor.stop()
+        with self._lock:
+            for event in self._events.values():
+                event.set()  # wake waiters; they answer "shutting down"
+            self._events.clear()
+
+    # -- request handling (socket handler threads) -------------------------
+
+    def handle_request(self, request: Any) -> Dict[str, Any]:
+        """Answer one decoded protocol request; never raises."""
+        if not isinstance(request, dict) or "op" not in request:
+            return {"ok": False, "error": "request must carry an 'op'"}
+        op = request["op"]
+        try:
+            if op == "verify":
+                return self._op_verify(request)
+            if op == "result":
+                return self._op_result(request)
+            if op == "status":
+                return {"ok": True, "status": self.status()}
+            if op == "shutdown":
+                self._shutdown.set()
+                return {"ok": True, "shutting_down": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+
+    def _op_verify(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = VerifyJob.from_wire(request.get("job"))
+        key = job.key
+        entry = self.store.get(key)
+        if entry is not None:
+            # Memoized: answered inline by the handler thread, no queueing.
+            self.cache_hits += 1
+            telemetry.counter("serve.cache_hits")
+            return self._verdict_response(entry, cached=True)
+        wait = bool(request.get("wait", True))
+        event = threading.Event()
+        with self._lock:
+            if self._shutdown.is_set():
+                return {"ok": False, "error": "daemon is shutting down",
+                        "retry_after": self.queue.retry_after}
+            ticket = self.queue.admit(job)
+            if isinstance(ticket, Backpressure):
+                return {
+                    "ok": False,
+                    "error": ticket.describe(),
+                    "busy": True,
+                    "retry_after": ticket.retry_after,
+                    "depth": ticket.depth,
+                    "capacity": ticket.capacity,
+                }
+            assert isinstance(ticket, Ticket)
+            if wait:
+                self._events[ticket.seq] = event
+        if not wait:
+            return {"ok": True, "accepted": True, "key": ticket.key,
+                    "seq": ticket.seq}
+        event.wait()
+        with self._lock:
+            response = self._outcomes.pop(ticket.seq, None)
+        if response is None:  # woken by shutdown, not completion
+            return {"ok": False, "error": "daemon is shutting down",
+                    "key": ticket.key,
+                    "retry_after": self.queue.retry_after}
+        return response
+
+    def _op_result(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        key = request.get("key")
+        if not isinstance(key, str):
+            raise ConfigurationError("'result' needs a string 'key'")
+        entry = self.store.get(key)
+        if entry is None:
+            return {"ok": False, "error": "no verdict for key",
+                    "pending": True, "key": key}
+        return self._verdict_response(entry, cached=True)
+
+    # -- status ------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Health snapshot: queue, cache, supervisor, and metrics."""
+        status: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "endpoint": f"{self.host}:{self.port}",
+            "queue": {
+                "depth": self.queue.depth(),
+                "in_flight": self.queue.in_flight(),
+                "capacity": self.queue.capacity,
+                "accepted": self.queue.accepted_total,
+                "completed": self.queue.completed_total,
+                "rejected": self.queue.rejected_total,
+                "retry_after": self.queue.retry_after,
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "entries": len(self.store),
+            },
+            "supervisor": self.supervisor.status(),
+            "jobs_completed": self.jobs_completed,
+        }
+        session = telemetry.active()
+        if session is not None:
+            # The LiveSink reads this registry to paint a progress line;
+            # status returns the same counters as JSON.
+            metrics = {}
+            for name in (
+                "serve.jobs_accepted", "serve.jobs_completed",
+                "serve.cache_hits", "serve.cache_misses",
+                "serve.store_puts",
+            ):
+                value = session.registry.value("counter", name)
+                if value is not None:
+                    metrics[name] = value
+            depth = session.registry.value("gauge", "serve.queue_depth")
+            if depth is not None:
+                metrics["serve.queue_depth"] = depth
+            status["metrics"] = metrics
+        return status
+
+
+def resolve_endpoint(data_dir: Path) -> Tuple[str, int]:
+    """Read ``host:port`` from a daemon's endpoint file."""
+    path = Path(data_dir) / ENDPOINT_FILE
+    try:
+        text = path.read_text().strip()
+        host, _, port = text.rpartition(":")
+        return host, int(port)
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"no live endpoint under {data_dir} ({exc})"
+        ) from None
+
+
+def probe(host: str, port: int, timeout: float = 1.0) -> bool:
+    """True iff something accepts TCP connections at host:port."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            return True
+    except OSError:
+        return False

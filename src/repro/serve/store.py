@@ -1,0 +1,97 @@
+"""Content-addressed verdict store: sealed blobs under the job key.
+
+Each memoized verdict lives at ``<dir>/<key>.verdict`` as a sealed
+(digest-framed, fsync'd, atomically replaced) canonical-JSON blob — the
+same write discipline as the durable checkpoint layer, so a crash
+mid-write leaves either the old entry or the new one, never a torn file.
+
+Content addressing makes concurrent writers safe *without locking*:
+verdicts are deterministic functions of their jobs, so two processes
+racing to store the same key write byte-identical payloads and the
+``os.replace`` loser changes nothing.  Corruption (bit rot, manual
+edits) is detected on read by three independent fences — the seal
+digest, the embedded key, and the verdict fingerprint — and handled by
+the quarantine protocol: the bad file is moved aside, never trusted,
+never deleted, and the read reports a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro import telemetry
+from repro.durable.checkpoint import read_sealed, write_sealed
+from repro.durable.recovery import QUARANTINE_DIR, quarantine_file
+from repro.serve.protocol import canonical_json, verdict_fingerprint
+
+
+class VerdictStore:
+    """Memoized verdicts, one sealed file per job key."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.quarantine_dir = self.directory / QUARANTINE_DIR
+
+    def path(self, key: str) -> Path:
+        """On-disk location of *key*'s sealed verdict."""
+        return self.directory / f"{key}.verdict"
+
+    def put(self, key: str, verdict: Dict[str, Any]) -> Path:
+        """Seal *verdict* under *key*.  Last writer wins byte-identically."""
+        payload = canonical_json(verdict)
+        path = write_sealed(self.path(key), payload)
+        telemetry.counter("serve.store_puts")
+        telemetry.counter("serve.store_bytes", len(payload))
+        return path
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load the verdict for *key*; ``None`` (a miss) on any problem.
+
+        A file that fails the seal, decodes to the wrong shape, carries
+        a different key, or whose payload no longer matches its own
+        fingerprint is quarantined with a warning — a corrupt store
+        degrades to recomputation, never to a wrong answer.
+        """
+        path = self.path(key)
+        payload = read_sealed(path)
+        if payload is None:
+            if path.exists():
+                self._quarantine(path, "failed seal verification")
+            return None
+        try:
+            verdict = json.loads(payload)
+        except ValueError:
+            self._quarantine(path, "sealed payload is not JSON")
+            return None
+        if not isinstance(verdict, dict) or verdict.get("key") != key:
+            self._quarantine(path, "verdict key mismatch")
+            return None
+        recorded = verdict.get("fingerprint")
+        body = verdict.get("result")
+        if not isinstance(body, dict) or recorded != verdict_fingerprint(body):
+            self._quarantine(path, "verdict fingerprint mismatch")
+            return None
+        return verdict
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        moved = quarantine_file(path, self.quarantine_dir)
+        warnings.warn(
+            f"verdict store entry {path.name} {reason}; "
+            f"{'quarantined to ' + str(moved) if moved else 'left in place'}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        telemetry.counter("serve.store_quarantined", volatile=True)
+
+    def keys(self) -> Iterator[str]:
+        """Stored job keys in sorted order."""
+        if not self.directory.is_dir():
+            return iter(())
+        return (p.name[:-len(".verdict")]
+                for p in sorted(self.directory.glob("*.verdict")))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

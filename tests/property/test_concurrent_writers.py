@@ -1,0 +1,179 @@
+"""Property: concurrent writers cannot corrupt the durable layer.
+
+The serve daemon made multi-writer scenarios routine — two daemons
+pointed at one ``--data-dir``, a handler thread admitting while the
+dispatcher completes, racing stores memoizing the same verdict — so the
+durable layer's two defenses get exhaustive treatment here:
+
+* the journal's flock makes the second writer *fail loudly*
+  (:class:`~repro.durable.journal.JournalBusyError`) instead of
+  interleaving appends, in-process and across real processes; the loser
+  retries once the winner releases and loses nothing;
+* sealed-blob writes are atomic (``os.replace``), so any interleaving of
+  appends and seals — and any number of racing sealers — leaves every
+  reader a verified payload, never a torn hybrid.
+"""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.durable.checkpoint import read_sealed, write_sealed
+from repro.durable.journal import (
+    Journal,
+    JournalBusyError,
+    RunJournal,
+    scan_journal,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+class TestJournalSingleWriter:
+    def test_second_writer_fails_loudly_in_process(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        winner = Journal(path)
+        winner.append(b"first")
+        loser = Journal(path)
+        with pytest.raises(JournalBusyError) as excinfo:
+            loser.append(b"interloper")
+        assert str(path) in str(excinfo.value)
+        # the refused append left no trace
+        winner.close()
+        assert scan_journal(path).payloads == [b"first"]
+
+    def test_loser_retries_after_winner_releases(self, tmp_path):
+        """The documented client behavior: catch JournalBusyError, retry
+        when the lock frees, and no accepted payload is lost."""
+        path = tmp_path / "journal.bin"
+        winner = Journal(path)
+        winner.append(b"one")
+        loser = Journal(path)
+        with pytest.raises(JournalBusyError):
+            loser.append(b"two")
+        winner.close()
+        loser.append(b"two")  # the retry
+        loser.close()
+        assert scan_journal(path).payloads == [b"one", b"two"]
+
+    def test_second_writer_fails_across_real_processes(self, tmp_path):
+        """flock is advisory but per open-file-description: a *different
+        process* appending to a held journal must also get the error."""
+        path = tmp_path / "journal.bin"
+        winner = Journal(path)
+        winner.append(b"held")
+        script = (
+            "import sys\n"
+            "from pathlib import Path\n"
+            "from repro.durable.journal import Journal, JournalBusyError\n"
+            f"journal = Journal(Path({str(path)!r}))\n"
+            "try:\n"
+            "    journal.append(b'crossproc')\n"
+            "except JournalBusyError:\n"
+            "    sys.exit(42)\n"
+            "sys.exit(0)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env={"PYTHONPATH": "src"},
+            capture_output=True, timeout=60,
+        )
+        assert proc.returncode == 42, proc.stderr.decode()
+        winner.close()
+        assert scan_journal(path).payloads == [b"held"]
+
+    def test_run_journal_writers_conflict_too(self, tmp_path):
+        winner = RunJournal(tmp_path / "run")
+        winner.record(0, {"op": "admit"}, sync=True)
+        loser = RunJournal(tmp_path / "run")
+        with pytest.raises(JournalBusyError):
+            loser.record(1, {"op": "admit"}, sync=True)
+        winner.close()
+
+
+# An operation stream: append payload i to the journal, or seal payload i
+# into one of two cache slots.  Drawn as (kind, slot) pairs.
+OPS = st.lists(
+    st.tuples(st.sampled_from(["append", "seal"]), st.integers(0, 1)),
+    min_size=1, max_size=12,
+)
+
+
+class TestInterleavedAppendsAndSeals:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_any_interleaving_leaves_both_readable(self, tmp_path_factory, ops):
+        """Interleaving journal appends with sealed-blob writes (the serve
+        data-dir's actual workload: job journal + verdict store side by
+        side) must leave the journal a verified prefix and every sealed
+        slot its last write."""
+        base = tmp_path_factory.mktemp("interleave")
+        journal = Journal(base / "journal.bin")
+        appended = []
+        last_sealed = {}
+        for index, (kind, slot) in enumerate(ops):
+            payload = f"{kind}-{slot}-{index}".encode()
+            if kind == "append":
+                journal.append(payload, sync=index % 3 == 0)
+                appended.append(payload)
+            else:
+                write_sealed(base / f"slot-{slot}.bin", payload)
+                last_sealed[slot] = payload
+        journal.close()
+        assert scan_journal(journal.path).payloads == appended
+        for slot, payload in last_sealed.items():
+            assert read_sealed(base / f"slot-{slot}.bin") == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(order=st.permutations(list(range(4))))
+    def test_racing_sealers_any_order_leave_a_valid_entry(
+        self, tmp_path_factory, order
+    ):
+        """N writers sealing the same path in any serialization: the
+        survivor is always the last one's payload, intact — os.replace
+        admits no torn intermediate state."""
+        base = tmp_path_factory.mktemp("race")
+        target = base / "entry.bin"
+        for writer in order:
+            write_sealed(target, f"writer-{writer}".encode())
+        assert read_sealed(target) == f"writer-{order[-1]}".encode()
+
+
+class TestRealProcessSealRace:
+    def test_parallel_sealers_never_produce_garbage(self, tmp_path):
+        """Four processes hammering write_sealed on one path while the
+        parent reads continuously: every read is a complete payload from
+        some writer (atomic rename), never a hybrid."""
+        target = tmp_path / "entry.bin"
+        script = (
+            "from pathlib import Path\n"
+            "from repro.durable.checkpoint import write_sealed\n"
+            "import sys\n"
+            "who = sys.argv[1]\n"
+            f"target = Path({str(target)!r})\n"
+            "for i in range(25):\n"
+            "    write_sealed(target, f'{who}:{i}'.encode() * 40)\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, f"w{i}"],
+                env={"PYTHONPATH": "src"},
+            )
+            for i in range(4)
+        ]
+        observed = set()
+        try:
+            while any(proc.poll() is None for proc in procs):
+                payload = read_sealed(target)
+                if payload is not None:
+                    observed.add(payload)
+        finally:
+            for proc in procs:
+                proc.wait(timeout=120)
+        assert all(proc.returncode == 0 for proc in procs)
+        valid = {
+            (f"w{i}:{j}".encode()) * 40 for i in range(4) for j in range(25)
+        }
+        assert observed  # the reader actually raced the writers
+        assert observed <= valid

@@ -1,0 +1,188 @@
+"""Unit tests for the ReproServer daemon core (in-process, serial mode)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import client
+from repro.serve.protocol import VerifyJob
+from repro.serve.server import ReproServer, probe, resolve_endpoint
+
+JOB = VerifyJob(mode="run", max_steps=500)
+OTHER = VerifyJob(mode="run", max_steps=500, seed=2)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A serial daemon with a live dispatcher thread."""
+    srv = ReproServer(data_dir=tmp_path / "serve", serial=True,
+                      queue_capacity=4)
+    srv.start()
+    exit_code = []
+    thread = threading.Thread(
+        target=lambda: exit_code.append(srv.serve_forever()), daemon=True
+    )
+    thread.start()
+    yield srv
+    srv.handle_request({"op": "shutdown"})
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert exit_code == [0]
+
+
+class TestVerify:
+    def test_cold_then_cached_same_fingerprint(self, server):
+        cold = server.handle_request({"op": "verify", "job": JOB.descriptor()})
+        assert cold["ok"] is True and cold["cached"] is False
+        hit = server.handle_request({"op": "verify", "job": JOB.descriptor()})
+        assert hit["ok"] is True and hit["cached"] is True
+        assert hit["fingerprint"] == cold["fingerprint"]
+        assert hit["verdict"] == cold["verdict"]
+        assert server.cache_hits == 1 and server.cache_misses == 1
+
+    def test_wait_false_accepts_then_result_catches_up(self, server):
+        accepted = server.handle_request(
+            {"op": "verify", "job": JOB.descriptor(), "wait": False}
+        )
+        assert accepted == {"ok": True, "accepted": True, "key": JOB.key,
+                            "seq": accepted["seq"]}
+        deadline = threading.Event()
+        for _ in range(300):
+            answer = server.handle_request({"op": "result", "key": JOB.key})
+            if answer.get("ok"):
+                break
+            assert answer["pending"] is True
+            deadline.wait(0.05)
+        assert answer["ok"] is True
+        assert answer["verdict"]["outcome"] in ("ok", "refuted")
+
+    def test_result_unknown_key_is_pending(self, server):
+        answer = server.handle_request({"op": "result", "key": "f" * 32})
+        assert answer["ok"] is False and answer["pending"] is True
+
+    def test_result_requires_a_key(self, server):
+        answer = server.handle_request({"op": "result"})
+        assert answer["ok"] is False and "key" in answer["error"]
+
+    def test_bad_job_is_rejected_inline(self, server):
+        answer = server.handle_request(
+            {"op": "verify", "job": {"n": 0}}
+        )
+        assert answer["ok"] is False and "n" in answer["error"]
+
+    def test_unknown_op_rejected(self, server):
+        answer = server.handle_request({"op": "dance"})
+        assert answer["ok"] is False and "unknown op" in answer["error"]
+
+    def test_opless_request_rejected(self, server):
+        assert server.handle_request({})["ok"] is False
+        assert server.handle_request("verify")["ok"] is False
+
+
+class TestBackpressure:
+    def test_admission_past_capacity_is_busy_with_retry_after(self, tmp_path):
+        """No dispatcher draining: the queue fills to capacity, and the
+        next submission gets the explicit busy envelope."""
+        srv = ReproServer(data_dir=tmp_path / "serve", serial=True,
+                          queue_capacity=2, retry_after=0.5)
+        try:
+            jobs = [VerifyJob(seed=i + 1) for i in range(3)]
+            for job in jobs[:2]:
+                accepted = srv.handle_request(
+                    {"op": "verify", "job": job.descriptor(), "wait": False}
+                )
+                assert accepted["ok"] is True
+            busy = srv.handle_request(
+                {"op": "verify", "job": jobs[2].descriptor(), "wait": False}
+            )
+            assert busy["ok"] is False
+            assert busy["busy"] is True
+            assert busy["retry_after"] == 0.5
+            assert busy["depth"] == 2 and busy["capacity"] == 2
+            assert "queue full" in busy["error"]
+        finally:
+            srv.close()
+
+    def test_verify_after_shutdown_refused(self, tmp_path):
+        srv = ReproServer(data_dir=tmp_path / "serve", serial=True)
+        try:
+            srv.handle_request({"op": "shutdown"})
+            answer = srv.handle_request(
+                {"op": "verify", "job": JOB.descriptor(), "wait": False}
+            )
+            assert answer["ok"] is False
+            assert "shutting down" in answer["error"]
+        finally:
+            srv.close()
+
+
+class TestCachePolicy:
+    def test_incomplete_verdicts_are_never_cached(self, tmp_path):
+        srv = ReproServer(data_dir=tmp_path / "serve", serial=True)
+        try:
+            srv.supervisor.run_job = lambda job: {
+                "outcome": "incomplete", "reason": "deadline",
+                "job": job.descriptor(),
+            }
+            ticket = srv.queue.admit(JOB)
+            seq, job = srv.queue.take(timeout=0)
+            assert seq == ticket.seq
+            srv._dispatch_one(seq, job)
+            assert len(srv.store) == 0
+            assert srv.store.get(JOB.key) is None
+        finally:
+            srv.close()
+
+    def test_error_verdicts_are_never_cached(self, tmp_path):
+        srv = ReproServer(data_dir=tmp_path / "serve", serial=True)
+        try:
+            srv.supervisor.run_job = lambda job: {
+                "outcome": "error", "detail": "boom",
+                "job": job.descriptor(),
+            }
+            srv.queue.admit(JOB)
+            seq, job = srv.queue.take(timeout=0)
+            srv._dispatch_one(seq, job)
+            assert len(srv.store) == 0
+        finally:
+            srv.close()
+
+
+class TestStatus:
+    def test_status_shape(self, server):
+        server.handle_request({"op": "verify", "job": JOB.descriptor()})
+        status = server.handle_request({"op": "status"})["status"]
+        assert status["endpoint"] == f"{server.host}:{server.port}"
+        assert status["queue"]["capacity"] == 4
+        assert status["queue"]["accepted"] >= 1
+        assert status["cache"]["entries"] == 1
+        assert status["supervisor"]["degraded"] is True
+        assert status["jobs_completed"] >= 1
+        assert status["uptime_s"] >= 0
+
+
+class TestSocketFrontEnd:
+    def test_client_round_trip_over_tcp(self, server, tmp_path):
+        host, port = resolve_endpoint(server.data_dir)
+        assert (host, port) == (server.host, server.port)
+        assert probe(host, port)
+        cold = client.verify(host, port, JOB.descriptor())
+        assert cold["ok"] is True and cold["cached"] is False
+        hit = client.verify(host, port, JOB.descriptor())
+        assert hit["cached"] is True
+        assert hit["fingerprint"] == cold["fingerprint"]
+        polled = client.status(host, port)
+        assert polled["ok"] is True
+        assert polled["status"]["cache"]["entries"] == 1
+
+    def test_endpoint_file_missing_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="endpoint"):
+            resolve_endpoint(tmp_path / "nowhere")
+
+    def test_probe_dead_port_false(self, server):
+        server_port = server.port
+        # a port nothing listens on (the daemon's port + 1 may collide;
+        # port 1 is reserved and always refused on CI hosts)
+        assert probe("127.0.0.1", 1) is False
+        assert probe("127.0.0.1", server_port) is True

@@ -1,0 +1,104 @@
+"""Unit tests for the content-addressed verdict store."""
+
+import warnings
+
+import pytest
+
+from repro.serve.protocol import verdict_fingerprint
+from repro.serve.store import VerdictStore
+
+
+def make_entry(key, outcome="ok"):
+    result = {"outcome": outcome, "detail": "d", "data": {"x": 1},
+              "job": {"n": 3}}
+    return {"key": key, "fingerprint": verdict_fingerprint(result),
+            "result": result}
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        entry = make_entry("k1")
+        store.put("k1", entry)
+        assert store.get("k1") == entry
+        assert list(store.keys()) == ["k1"]
+        assert len(store) == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        assert store.get("absent") is None
+        assert len(store) == 0
+
+    def test_overwrite_is_atomic_last_writer_wins(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        store.put("k", make_entry("k", "ok"))
+        store.put("k", make_entry("k", "refuted"))
+        loaded = store.get("k")
+        assert loaded is not None
+        assert loaded["result"]["outcome"] == "refuted"
+
+
+class TestCorruptionQuarantine:
+    def test_truncation_is_a_miss_and_quarantines(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        path = store.put("k", make_entry("k"))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.warns(RuntimeWarning, match="seal"):
+            assert store.get("k") is None
+        assert not path.exists()  # moved to quarantine
+        assert any(store.quarantine_dir.iterdir())
+
+    def test_every_bit_flip_is_a_miss_never_a_wrong_verdict(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        path = store.put("k", make_entry("k"))
+        pristine = path.read_bytes()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for offset in range(len(pristine)):
+                flipped = bytearray(pristine)
+                flipped[offset] ^= 0x01
+                path.write_bytes(bytes(flipped))
+                assert store.get("k") is None
+                # restore for the next iteration (get may quarantine)
+                path.write_bytes(pristine)
+        assert store.get("k") is not None
+
+    def test_key_mismatch_quarantines(self, tmp_path):
+        """An entry sealed under one key but stored at another (a mv, a
+        backup restore gone wrong) must read as a miss, not as the other
+        job's verdict."""
+        store = VerdictStore(tmp_path / "store")
+        path = store.put("honest", make_entry("honest"))
+        path.rename(store.path("impostor"))
+        with pytest.warns(RuntimeWarning, match="key mismatch"):
+            assert store.get("impostor") is None
+
+    def test_fingerprint_mismatch_quarantines(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        entry = make_entry("k")
+        entry["fingerprint"] = "0" * 32  # sealed, but lying about itself
+        store.put("k", entry)
+        with pytest.warns(RuntimeWarning, match="fingerprint mismatch"):
+            assert store.get("k") is None
+
+    def test_non_json_sealed_payload_quarantines(self, tmp_path):
+        from repro.durable.checkpoint import write_sealed
+
+        store = VerdictStore(tmp_path / "store")
+        write_sealed(store.path("k"), b"sealed but not json")
+        with pytest.warns(RuntimeWarning, match="not JSON"):
+            assert store.get("k") is None
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_a_readable_entry(self, tmp_path):
+        """Two stores writing the same key concurrently: os.replace makes
+        each write atomic, and determinism makes the payloads identical,
+        so the survivor is always valid."""
+        a = VerdictStore(tmp_path / "store")
+        b = VerdictStore(tmp_path / "store")
+        entry = make_entry("k")
+        a.put("k", entry)
+        b.put("k", entry)
+        assert a.get("k") == entry == b.get("k")

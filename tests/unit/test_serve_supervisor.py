@@ -1,0 +1,170 @@
+"""Unit tests for worker supervision: execution, healing, degradation."""
+
+import multiprocessing
+
+import pytest
+
+from repro.durable.retry import BackoffPolicy
+from repro.serve.protocol import VerifyJob, verdict_fingerprint
+from repro.serve.supervisor import WorkerSupervisor, execute_job
+
+# Small, fast jobs — verdicts are deterministic regardless of budget.
+EXPLORE = VerifyJob(mode="explore", max_configs=2000)
+RUN = VerifyJob(mode="run", max_steps=500)
+FAULTS = VerifyJob(mode="faults", fault_family="crashes", trials=2,
+                   budget=2000)
+
+FAST_POLICY = BackoffPolicy(max_retries=1, base_delay=0.0, max_delay=0.0)
+
+
+class TestExecuteJob:
+    @pytest.mark.parametrize("job", [EXPLORE, RUN, FAULTS],
+                             ids=["explore", "run", "faults"])
+    def test_verdict_is_deterministic(self, job):
+        first = execute_job(job.descriptor())
+        second = execute_job(job.descriptor())
+        assert first["outcome"] in ("ok", "refuted")
+        assert verdict_fingerprint(first) == verdict_fingerprint(second)
+
+    def test_payload_echoes_the_job(self):
+        payload = execute_job(RUN.descriptor())
+        assert payload["job"] == RUN.descriptor()
+
+    def test_invalid_descriptor_is_an_error_not_a_raise(self):
+        payload = execute_job({"n": 0})
+        assert payload["outcome"] == "error"
+        assert "n" in payload["detail"]
+
+    def test_unknown_field_is_an_error(self):
+        payload = execute_job({"max_confgs": 10})
+        assert payload["outcome"] == "error"
+        assert "unknown job field" in payload["detail"]
+
+    def test_deadline_zero_budget_reports_incomplete(self):
+        # A deadline this tight fires at the first poll boundary.
+        payload = execute_job(EXPLORE.descriptor(), deadline=1e-9)
+        assert payload["outcome"] == "incomplete"
+        assert payload["reason"] == "deadline"
+
+
+class TestSerialSupervisor:
+    def test_serial_matches_inline_execution(self):
+        supervisor = WorkerSupervisor(serial=True)
+        supervisor.start()
+        try:
+            payload = supervisor.run_job(RUN)
+            assert verdict_fingerprint(payload) == verdict_fingerprint(
+                execute_job(RUN.descriptor())
+            )
+            assert supervisor.status()["degraded"] is True
+            assert supervisor.status()["workers"] == 0
+        finally:
+            supervisor.stop()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(workers=0)
+
+
+class _FailingPool:
+    """A pool whose every apply_async submission explodes."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def apply_async(self, *args, **kwargs):
+        self.calls += 1
+        raise RuntimeError("worker lost")
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+class _WedgedPool:
+    """A pool whose results never arrive: get() always times out."""
+
+    def apply_async(self, *args, **kwargs):
+        class _Handle:
+            def get(self, timeout=None):
+                raise multiprocessing.TimeoutError()
+
+        return _Handle()
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+class TestHealing:
+    def test_pool_failures_heal_then_degrade_to_serial(self, monkeypatch):
+        supervisor = WorkerSupervisor(policy=FAST_POLICY)
+        pools = []
+
+        def build():
+            pools.append(_FailingPool())
+            return pools[-1]
+
+        monkeypatch.setattr(supervisor, "_build_pool", build)
+        supervisor.start()
+        payload = supervisor.run_job(RUN)
+        # Every attempt built a fresh pool, failed, healed; then the
+        # supervisor degraded and answered in-process anyway.
+        assert supervisor.degraded is True
+        assert supervisor.rebuilds == FAST_POLICY.max_retries + 1
+        assert len(pools) == FAST_POLICY.max_retries + 1
+        assert payload["outcome"] in ("ok", "refuted")
+        assert verdict_fingerprint(payload) == verdict_fingerprint(
+            execute_job(RUN.descriptor())
+        )
+
+    def test_degraded_supervisor_skips_the_pool(self, monkeypatch):
+        supervisor = WorkerSupervisor(policy=FAST_POLICY)
+        monkeypatch.setattr(supervisor, "_build_pool", _FailingPool)
+        supervisor.run_job(RUN)
+        assert supervisor.degraded is True
+        rebuilds = supervisor.rebuilds
+        supervisor.run_job(RUN)  # second job: straight to in-process
+        assert supervisor.rebuilds == rebuilds
+
+    def test_unbuildable_pool_degrades_without_burning_retries(self, monkeypatch):
+        supervisor = WorkerSupervisor(policy=FAST_POLICY)
+        monkeypatch.setattr(supervisor, "_build_pool", lambda: None)
+        payload = supervisor.run_job(RUN)
+        assert supervisor.degraded is True
+        assert supervisor.rebuilds == 0
+        assert payload["outcome"] in ("ok", "refuted")
+
+    def test_wedged_worker_is_incomplete_not_retried(self, monkeypatch):
+        """A backstop timeout means the job blew past deadline + grace;
+        retrying a deterministically over-budget job would waste the
+        whole ladder, so the supervisor reports incomplete once."""
+        supervisor = WorkerSupervisor(job_deadline=0.01, policy=FAST_POLICY)
+        monkeypatch.setattr(supervisor, "_build_pool", _WedgedPool)
+        payload = supervisor.run_job(RUN)
+        assert payload == {
+            "outcome": "incomplete", "reason": "deadline",
+            "job": RUN.descriptor(),
+        }
+        assert supervisor.degraded is False
+        assert supervisor.rebuilds == 1
+
+
+class TestRealPool:
+    def test_pooled_verdict_matches_serial(self):
+        """One real fork worker produces the same fingerprint as inline
+        execution — worker identity leaves no trace in the payload."""
+        supervisor = WorkerSupervisor(workers=1, policy=FAST_POLICY)
+        supervisor.start()
+        try:
+            payload = supervisor.run_job(EXPLORE)
+        finally:
+            supervisor.stop()
+        assert supervisor.degraded is False
+        assert verdict_fingerprint(payload) == verdict_fingerprint(
+            execute_job(EXPLORE.descriptor())
+        )

@@ -1,0 +1,152 @@
+"""Regression tests: the telemetry flush survives termination paths.
+
+The bug: a command dying on the SIGTERM path (exit 143) closed its
+telemetry session from ``_dispatch``'s ``finally`` with the graceful
+SIGTERM handler still installed but no watchdog armed — so a second
+SIGTERM landing during the flush raised ``Terminated`` mid-write,
+truncating ``events.jsonl`` (no ``run_end`` => schema-invalid) and
+clobbering the already-computed exit code.  The fix arms a watchdog
+mailbox around ``session.close``; these tests pin both properties: the
+exit code stands, and the stream stays schema-valid.
+"""
+
+import argparse
+
+import pytest
+
+from repro import cli, telemetry
+from repro.durable.watchdog import Terminated, deliver_sigterm
+from repro.telemetry.schema import validate_stream
+from repro.telemetry.sinks import JsonlSink
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def make_args(tmp_path, command="explore"):
+    return argparse.Namespace(
+        command=command, telemetry="jsonl",
+        telemetry_dir=str(tmp_path / "telemetry"),
+    )
+
+
+class TestTerminationLeavesValidTelemetry:
+    def test_sigterm_path_writes_run_end_terminated(self, tmp_path):
+        """A handler unwinding via Terminated still flushes a complete
+        stream whose run_end records exit 143."""
+        args = make_args(tmp_path)
+
+        def handler(args):
+            raise Terminated()
+
+        code = cli._dispatch(handler, args)
+        assert code == 143
+        assert validate_stream(args.telemetry_dir) == []
+        import json
+
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "telemetry" / "events.jsonl")
+            .read_text().splitlines()
+        ]
+        run_end = events[-1]
+        assert run_end["type"] == "run_end"
+        assert run_end["attrs"] == {"exit_code": 143,
+                                    "verdict": "terminated"}
+
+    def test_sigterm_during_flush_is_absorbed(self, tmp_path, monkeypatch):
+        """A SIGTERM landing while session.close is writing must not
+        truncate the stream or replace the exit code.  The malicious
+        sink delivers the signal from inside the flush itself."""
+        args = make_args(tmp_path)
+
+        class SigtermMidFlush:
+            def emit(self, event):
+                if event["type"] == "metrics":
+                    # the worst moment: metrics written, run_end not yet
+                    deliver_sigterm()
+
+            def close(self):
+                pass
+
+        real_open = cli._open_telemetry
+
+        def open_with_evil_sink(args):
+            session = real_open(args)
+            session.sinks.append(SigtermMidFlush())
+            return session
+
+        monkeypatch.setattr(cli, "_open_telemetry", open_with_evil_sink)
+        code = cli._dispatch(lambda args: 0, args)
+        assert code == 0
+        assert validate_stream(args.telemetry_dir) == []
+
+    def test_sink_failure_on_close_cannot_change_the_exit_code(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        args = make_args(tmp_path)
+
+        class ExplodingOnClose:
+            def emit(self, event):
+                pass
+
+            def close(self):
+                raise RuntimeError("disk full")
+
+        real_open = cli._open_telemetry
+
+        def open_with_broken_sink(args):
+            session = real_open(args)
+            session.sinks.append(ExplodingOnClose())
+            return session
+
+        monkeypatch.setattr(cli, "_open_telemetry", open_with_broken_sink)
+        code = cli._dispatch(lambda args: 1, args)
+        assert code == 1
+        assert "close failed" in capsys.readouterr().err
+
+    def test_serve_sigterm_subprocess_leaves_valid_stream(self, tmp_path):
+        """End to end: SIGTERM a real `repro serve` daemon and check the
+        stream it leaves behind validates (the satellite's acceptance:
+        `repro report --check` passes on a 143 run)."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        telemetry_dir = tmp_path / "telemetry"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--data-dir", str(tmp_path / "serve"),
+             "--telemetry", "jsonl",
+             "--telemetry-dir", str(telemetry_dir)],
+            env=env, cwd=os.getcwd(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            endpoint = tmp_path / "serve" / "endpoint"
+            deadline = time.monotonic() + 30
+            while not endpoint.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert endpoint.exists(), "daemon never wrote its endpoint"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 143
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert validate_stream(telemetry_dir) == []
+
+    def test_check_command_agrees(self, tmp_path):
+        """`repro report --check` (the user-facing validator) accepts the
+        stream a Terminated run leaves."""
+        args = make_args(tmp_path)
+        cli._dispatch(lambda args: (_ for _ in ()).throw(Terminated()), args)
+        code = cli.main(["report", str(tmp_path / "telemetry"), "--check"])
+        assert code == 0
