@@ -14,6 +14,11 @@ the rest of the repo leans on without running a single simulation step:
   :class:`Finding` vocabulary, rule catalog, and suppression syntax;
 * :mod:`~repro.analysis.determinism` — AST lint for nondeterminism
   hazards and frozen-state discipline on the step path (DET*/MUT* rules);
+* :mod:`~repro.analysis.callgraph` — the interprocedural call graph the
+  concurrency pass is built on (entry-point reachability);
+* :mod:`~repro.analysis.concurrency` — static concurrency-safety checks
+  over the process-crossing hot paths (CONC* rules: fork-shared state,
+  pickle boundary, file-write protocol, signal handlers, stale allows);
 * :mod:`~repro.analysis.footprint` — symbolic register-footprint checker
   proving each algorithm family against its Figure 1 bound (FP* rules);
 * :mod:`~repro.analysis.sanitizer` — opt-in runtime instrumentation
@@ -29,6 +34,8 @@ from repro.analysis.convergence import (
     convergence_step,
     distinct_values_over_time,
 )
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.concurrency import analyze_concurrency
 from repro.analysis.determinism import lint_paths
 from repro.analysis.footprint import check_footprints, family_footprints
 from repro.analysis.report import AnalysisReport, Finding, RULES, catalog_table
@@ -50,6 +57,8 @@ __all__ = [
     "RULES",
     "catalog_table",
     "lint_paths",
+    "CallGraph",
+    "analyze_concurrency",
     "check_footprints",
     "family_footprints",
     "RegisterSanitizer",

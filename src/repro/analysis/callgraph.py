@@ -1,0 +1,644 @@
+"""A lightweight interprocedural call graph over a Python source tree.
+
+The concurrency pass (:mod:`repro.analysis.concurrency`) needs one
+question answered over and over: *is this function reachable from a
+process-boundary entry point?* — a pool worker, a pool initializer, a
+signal handler.  Answering it statically takes a call graph, and this
+module builds one from nothing but ``ast``:
+
+* every module under the analyzed paths is parsed once and indexed:
+  functions (nested ones included), classes (with their dataclass
+  decoration, ``__slots__``, and reduction-protocol methods), imports
+  (with one level of re-export chasing through package ``__init__``
+  modules), module-level globals, and module-level dispatch tables
+  (``{"key": function, ...}``);
+* call edges are resolved in a fixed priority order: enclosing-scope
+  nested functions, module-level names, imports, ``self``/``cls``
+  methods, receivers whose type is inferable (parameter annotations and
+  ``x = ClassName(...)`` constructor assignments, including
+  ``self.attr`` assignments collected class-wide), and finally a
+  *duck-typed fallback* — an unresolvable ``recv.method()`` edges to
+  every indexed class defining ``method``, capped at
+  :data:`DUCK_FALLBACK_CAP` owning classes so ubiquitous names
+  (``close``, ``get``) do not glue the whole graph together;
+* :meth:`CallGraph.reachable` is a plain BFS over those edges.
+
+Everything is deterministic by construction: files are walked in sorted
+order, edge sets are materialized sorted, and the duck fallback sorts its
+candidates — the analyzer's output must be bit-identical across runs and
+filesystem listing orders (see ``tests/property/test_analysis_determinism.py``).
+
+The graph is an over- *and* under-approximation at once (dynamic dispatch
+through data, ``getattr``, and callables stored in instance attributes
+are invisible), which is the standard static-analysis bargain: rules
+built on it must tolerate both via suppression comments and scope
+tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: A duck-typed ``recv.method()`` call resolves to same-named methods only
+#: when at most this many indexed classes define the method; past the cap
+#: the name is treated as too generic to mean anything.
+DUCK_FALLBACK_CAP = 4
+
+#: Container constructors whose module-level assignment marks a global as
+#: a mutable (fork-divergent) value.
+_MUTABLE_CONSTRUCTORS = {
+    "dict", "list", "set", "deque", "defaultdict", "OrderedDict",
+    "Counter", "bytearray",
+}
+
+#: Methods whose presence gives a class a custom pickle story.
+_REDUCTION_METHODS = ("__reduce__", "__reduce_ex__")
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for *rel_path* (``src/``-aware, fixture-safe)."""
+    parts = list(PurePosixPath(Path(rel_path).as_posix()).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else Path(rel_path).stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, nested definitions included."""
+
+    key: str                      # "module::qualname"
+    module: str
+    name: str
+    qualname: str
+    path: str
+    lineno: int
+    node: ast.AST
+    class_key: Optional[str] = None   # owning class key for methods
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with the facts the passes ask about."""
+
+    key: str
+    module: str
+    name: str
+    qualname: str
+    path: str
+    lineno: int
+    node: ast.ClassDef
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: (frozen, slots) when decorated ``@dataclass``, else None.
+    dataclass_flags: Optional[Tuple[bool, bool]] = None
+    has_slots: bool = False
+    has_reduce: bool = False
+    has_getstate: bool = False
+    has_setstate: bool = False
+    base_names: Tuple[str, ...] = ()
+    #: Dataclass field annotation expressions (AnnAssign values in body).
+    field_annotations: List[ast.expr] = field(default_factory=list)
+    #: Inferred types of ``self.attr`` assignments/annotations (class keys).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def has_reduction_protocol(self) -> bool:
+        """A custom pickle path: ``__reduce__`` family, or get+setstate."""
+        return self.has_reduce or (self.has_getstate and self.has_setstate)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module index: imports, globals, dispatch tables."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: local alias -> fully-qualified target ("pkg.mod" or "pkg.mod.name").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level simple-Name assignment targets -> lineno of definition.
+    globals: Dict[str, int] = field(default_factory=dict)
+    #: the subset of ``globals`` bound to a mutable container value.
+    mutable_globals: Set[str] = field(default_factory=set)
+    #: module-level ``NAME = {const: func, ...}`` tables -> function names.
+    dispatch_tables: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: module-level ``NAME = Union[...]``-style alias -> referenced names.
+    type_aliases: Dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _dataclass_decoration(node: ast.ClassDef) -> Optional[Tuple[bool, bool]]:
+    for decorator in node.decorator_list:
+        target, keywords = decorator, []
+        if isinstance(decorator, ast.Call):
+            target, keywords = decorator.func, decorator.keywords
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name != "dataclass":
+            continue
+        flags = {"frozen": False, "slots": False}
+        for keyword in keywords:
+            if keyword.arg in flags and isinstance(keyword.value, ast.Constant):
+                flags[keyword.arg] = bool(keyword.value.value)
+        return flags["frozen"], flags["slots"]
+    return None
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _is_type_alias_value(node: ast.expr) -> bool:
+    """Union/Optional/Tuple-style subscript or PEP 604 union expressions."""
+    if isinstance(node, ast.Subscript):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return True
+    return False
+
+
+class CallGraph:
+    """The whole-tree index plus resolved call edges."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method name -> sorted keys of classes defining it.
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: caller function key -> sorted callee function keys.
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        #: caller function key -> sorted class keys it constructs.
+        self.constructs: Dict[str, Tuple[str, ...]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Tuple[str, ast.Module]]) -> "CallGraph":
+        """Index *files* (``(rel_path, parsed tree)``) and resolve edges."""
+        graph = cls()
+        for rel_path, tree in files:
+            graph._index_module(rel_path, tree)
+        for name in sorted(graph.classes):
+            graph._collect_attr_types(graph.classes[name])
+        for key in sorted(graph.functions):
+            graph._resolve_edges(graph.functions[key])
+        return graph
+
+    def _index_module(self, rel_path: str, tree: ast.Module) -> None:
+        module = ModuleInfo(name=module_name_for(rel_path), path=rel_path,
+                            tree=tree)
+        self.modules[module.name] = module
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.imports.setdefault(local, target)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    pkg = module.name.split(".")
+                    # Within a package __init__ the module *is* the package.
+                    if not module.path.endswith("__init__.py"):
+                        pkg = pkg[:-1]
+                    pkg = pkg[:len(pkg) - (node.level - 1)] if node.level > 1 else pkg
+                    base = ".".join(pkg + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports.setdefault(local, f"{base}.{alias.name}")
+
+        for stmt in tree.body:
+            self._index_statement(module, stmt, qual_prefix="", class_key=None)
+
+        # Module-level globals / dispatch tables / type aliases.
+        for stmt in tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                module.globals[target.id] = stmt.lineno
+                if value is not None and _is_mutable_value(value):
+                    module.mutable_globals.add(target.id)
+                if isinstance(value, ast.Dict):
+                    funcs = []
+                    for v in value.values:
+                        if isinstance(v, ast.Name):
+                            funcs.append(v.id)
+                    if funcs and len(funcs) == len(value.values):
+                        module.dispatch_tables[target.id] = tuple(funcs)
+                if value is not None and _is_type_alias_value(value):
+                    module.type_aliases[target.id] = value
+
+    def _index_statement(
+        self,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        *,
+        qual_prefix: str,
+        class_key: Optional[str],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{qual_prefix}{stmt.name}"
+            key = f"{module.name}::{qualname}"
+            info = FunctionInfo(
+                key=key, module=module.name, name=stmt.name,
+                qualname=qualname, path=module.path, lineno=stmt.lineno,
+                node=stmt, class_key=class_key,
+            )
+            self.functions[key] = info
+            if class_key is not None:
+                owner = self.classes[class_key]
+                owner.methods[stmt.name] = key
+                if stmt.name in _REDUCTION_METHODS:
+                    owner.has_reduce = True
+                if stmt.name == "__getstate__":
+                    owner.has_getstate = True
+                if stmt.name == "__setstate__":
+                    owner.has_setstate = True
+            for inner in stmt.body:
+                self._index_statement(
+                    module, inner, qual_prefix=f"{qualname}.", class_key=None
+                )
+        elif isinstance(stmt, ast.ClassDef):
+            qualname = f"{qual_prefix}{stmt.name}"
+            key = f"{module.name}::{qualname}"
+            bases = []
+            for base in stmt.bases:
+                if isinstance(base, ast.Name):
+                    bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    bases.append(base.attr)
+            info = ClassInfo(
+                key=key, module=module.name, name=stmt.name,
+                qualname=qualname, path=module.path, lineno=stmt.lineno,
+                node=stmt, dataclass_flags=_dataclass_decoration(stmt),
+                base_names=tuple(bases),
+            )
+            self.classes[key] = info
+            for inner in stmt.body:
+                if isinstance(inner, ast.AnnAssign):
+                    if isinstance(inner.target, ast.Name):
+                        if inner.target.id == "__slots__":
+                            info.has_slots = True
+                        else:
+                            info.field_annotations.append(inner.annotation)
+                elif isinstance(inner, ast.Assign):
+                    for target in inner.targets:
+                        if isinstance(target, ast.Name) and target.id == "__slots__":
+                            info.has_slots = True
+                self._index_statement(
+                    module, inner, qual_prefix=f"{qualname}.", class_key=key
+                )
+            self.methods_by_name = {}  # rebuilt lazily below
+
+    # -- name resolution ---------------------------------------------------
+
+    def _methods_named(self, name: str) -> List[str]:
+        if not self.methods_by_name:
+            table: Dict[str, List[str]] = {}
+            for ckey in sorted(self.classes):
+                for mname in self.classes[ckey].methods:
+                    table.setdefault(mname, []).append(ckey)
+            self.methods_by_name = table
+        return self.methods_by_name.get(name, [])
+
+    def resolve_qualified(self, dotted: str, *, _depth: int = 0) -> Optional[str]:
+        """Resolve ``pkg.mod.name`` to a function/class key, chasing one
+        level of package re-exports (``from pkg.mod import name`` in an
+        ``__init__``)."""
+        if _depth > 4 or "." not in dotted or dotted in self.modules:
+            return None
+        mod, name = dotted.rsplit(".", 1)
+        if mod in self.modules:
+            fkey = f"{mod}::{name}"
+            if fkey in self.functions or fkey in self.classes:
+                return fkey
+            reexport = self.modules[mod].imports.get(name)
+            if reexport is not None:
+                return self.resolve_qualified(reexport, _depth=_depth + 1)
+        # ``pkg.sub.name`` where ``pkg.sub`` itself is not indexed: give the
+        # parent package a chance (``from repro import telemetry``).
+        return None
+
+    def _resolve_name(
+        self, module: ModuleInfo, name: str, local_functions: Dict[str, str]
+    ) -> Optional[str]:
+        if name in local_functions:
+            return local_functions[name]
+        for key in (f"{module.name}::{name}",):
+            if key in self.functions or key in self.classes:
+                return key
+        target = module.imports.get(name)
+        if target is not None:
+            if target in self.modules:
+                return None  # a bare module import, not a callable
+            return self.resolve_qualified(target)
+        return None
+
+    def _imported_module(self, module: ModuleInfo, alias: str) -> Optional[str]:
+        target = module.imports.get(alias)
+        if target is None:
+            return None
+        if target in self.modules:
+            return target
+        return None
+
+    def class_of(self, key: Optional[str]) -> Optional[ClassInfo]:
+        """The :class:`ClassInfo` for *key* (``module::qualname``), or None."""
+        if key is not None and key in self.classes:
+            return self.classes[key]
+        return None
+
+    def ancestors(self, info: ClassInfo) -> List[ClassInfo]:
+        """*info* plus indexed base classes (by bare name, same module first)."""
+        out = [info]
+        for base in info.base_names:
+            resolved = self._resolve_name(
+                self.modules[info.module], base, {}
+            )
+            base_info = self.class_of(resolved)
+            if base_info is not None and base_info is not info:
+                out.append(base_info)
+        return out
+
+    def annotation_classes(
+        self, module: ModuleInfo, annotation: Optional[ast.expr],
+        *, _depth: int = 0,
+    ) -> List[str]:
+        """Class keys referenced by *annotation*, aliases expanded."""
+        if annotation is None or _depth > 6:
+            return []
+        found: List[str] = []
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return []
+        for node in ast.walk(annotation):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name is None:
+                continue
+            if name in module.type_aliases:
+                found.extend(self.annotation_classes(
+                    module, module.type_aliases[name], _depth=_depth + 1
+                ))
+                continue
+            resolved = self._resolve_name(module, name, {})
+            if resolved is None and name in module.imports:
+                # alias defined in another indexed module
+                target = module.imports[name]
+                if "." in target:
+                    tmod, tname = target.rsplit(".", 1)
+                    other = self.modules.get(tmod)
+                    if other is not None and tname in other.type_aliases:
+                        found.extend(self.annotation_classes(
+                            other, other.type_aliases[tname], _depth=_depth + 1
+                        ))
+            if resolved is not None and resolved in self.classes:
+                found.append(resolved)
+        seen: Set[str] = set()
+        ordered = []
+        for key in found:
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        return ordered
+
+    # -- type environments -------------------------------------------------
+
+    def _collect_attr_types(self, info: ClassInfo) -> None:
+        module = self.modules[info.module]
+        for mkey in sorted(info.methods.values()):
+            fn = self.functions[mkey]
+            for node in ast.walk(fn.node):
+                target = None
+                value: Optional[ast.expr] = None
+                annotation: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value, annotation = node.target, node.value, node.annotation
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                inferred: Optional[str] = None
+                if annotation is not None:
+                    candidates = self.annotation_classes(module, annotation)
+                    if len(candidates) == 1:
+                        inferred = candidates[0]
+                if inferred is None and isinstance(value, ast.Call):
+                    inferred = self._constructed_class(module, value, {})
+                if inferred is not None:
+                    info.attr_types.setdefault(target.attr, inferred)
+
+    def _constructed_class(
+        self, module: ModuleInfo, call: ast.Call, local_functions: Dict[str, str]
+    ) -> Optional[str]:
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return None
+        resolved = self._resolve_name(module, name, local_functions)
+        if resolved in self.classes:
+            return resolved
+        return None
+
+    def _local_env(
+        self, module: ModuleInfo, fn: FunctionInfo, local_functions: Dict[str, str]
+    ) -> Dict[str, str]:
+        """Best-effort name -> class key map for *fn*'s body."""
+        env: Dict[str, str] = {}
+        node = fn.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                candidates = self.annotation_classes(module, arg.annotation)
+                if len(candidates) == 1:
+                    env[arg.arg] = candidates[0]
+        for sub in ast.walk(node):
+            target = None
+            value: Optional[ast.expr] = None
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1 and isinstance(
+                sub.targets[0], ast.Name
+            ):
+                target, value = sub.targets[0].id, sub.value
+            elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                candidates = self.annotation_classes(module, sub.annotation)
+                if len(candidates) == 1:
+                    env.setdefault(sub.target.id, candidates[0])
+                continue
+            if target is None or not isinstance(value, ast.Call):
+                continue
+            constructed = self._constructed_class(module, value, local_functions)
+            if constructed is not None:
+                env.setdefault(target, constructed)
+        return env
+
+    # -- edges -------------------------------------------------------------
+
+    def _nested_functions(self, fn: FunctionInfo) -> Dict[str, str]:
+        """Names of functions defined lexically inside *fn* (one level deep
+        is enough for the handler-registration idiom)."""
+        out: Dict[str, str] = {}
+        prefix = f"{fn.module}::{fn.qualname}."
+        for key in self.functions:
+            if key.startswith(prefix):
+                out[self.functions[key].name] = key
+        return out
+
+    def _resolve_edges(self, fn: FunctionInfo) -> None:
+        module = self.modules[fn.module]
+        local_functions = self._nested_functions(fn)
+        # Sibling nested functions (defined next to *fn* in an enclosing
+        # function) are also in lexical scope.
+        if "." in fn.qualname:
+            enclosing = fn.qualname.rsplit(".", 1)[0]
+            prefix = f"{fn.module}::{enclosing}."
+            for key in self.functions:
+                if key.startswith(prefix):
+                    local_functions.setdefault(self.functions[key].name, key)
+        env = self._local_env(module, fn, local_functions)
+        callees: Set[str] = set()
+        constructed: Set[str] = set()
+
+        def note(resolved: Optional[str]) -> None:
+            if resolved is None:
+                return
+            if resolved in self.classes:
+                constructed.add(resolved)
+                init = self.classes[resolved].methods.get("__init__")
+                if init is not None:
+                    callees.add(init)
+                return
+            if resolved in self.functions:
+                callees.add(resolved)
+
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                note(self._resolve_name(module, func.id, local_functions))
+                continue
+            if isinstance(func, ast.Subscript) and isinstance(func.value, ast.Name):
+                table = module.dispatch_tables.get(func.value.id)
+                if table is not None:
+                    for name in table:
+                        note(self._resolve_name(module, name, local_functions))
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            attr = func.attr
+            base = func.value
+            resolved_method = False
+            if isinstance(base, ast.Name):
+                # module alias: telemetry.reset(), heartbeat.publish(), ...
+                target_module = self._imported_module(module, base.id)
+                if target_module is not None:
+                    note(self.resolve_qualified(f"{target_module}.{attr}"))
+                    continue
+                if base.id in ("self", "cls") and fn.class_key is not None:
+                    for owner in self.ancestors(self.classes[fn.class_key]):
+                        if attr in owner.methods:
+                            callees.add(owner.methods[attr])
+                            resolved_method = True
+                            break
+                    if resolved_method:
+                        continue
+                receiver_type = env.get(base.id)
+                if receiver_type is not None:
+                    for owner in self.ancestors(self.classes[receiver_type]):
+                        if attr in owner.methods:
+                            callees.add(owner.methods[attr])
+                            resolved_method = True
+                            break
+                    if resolved_method:
+                        continue
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and fn.class_key is not None
+            ):
+                attr_type = None
+                for owner in self.ancestors(self.classes[fn.class_key]):
+                    attr_type = owner.attr_types.get(base.attr)
+                    if attr_type is not None:
+                        break
+                if attr_type is not None:
+                    for owner in self.ancestors(self.classes[attr_type]):
+                        if attr in owner.methods:
+                            callees.add(owner.methods[attr])
+                            resolved_method = True
+                            break
+                    if resolved_method:
+                        continue
+            # Duck-typed fallback: any indexed class with this method name,
+            # bounded so generic names do not connect everything.
+            if not attr.startswith("__"):
+                owners = self._methods_named(attr)
+                if 0 < len(owners) <= DUCK_FALLBACK_CAP:
+                    for ckey in owners:
+                        callees.add(self.classes[ckey].methods[attr])
+        self.edges[fn.key] = tuple(sorted(callees))
+        self.constructs[fn.key] = tuple(sorted(constructed))
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Function keys reachable from *roots* (roots included)."""
+        seen: Set[str] = set()
+        stack = [r for r in sorted(set(roots)) if r in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            for callee in self.edges.get(key, ()):
+                if callee not in seen:
+                    stack.append(callee)
+        return seen

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.report import (
     AnalysisReport,
@@ -348,11 +348,14 @@ def lint_file(
     det: Optional[bool] = None,
     frozen_rule: Optional[bool] = None,
     slots_rule: Optional[bool] = None,
+    used: Optional[Set[Tuple[int, str]]] = None,
 ) -> List[Finding]:
     """Lint one file.  Rule groups default to their scope tables.
 
     Passing explicit booleans overrides scoping — the fixture tests use
-    this to run every rule against modules outside the package.
+    this to run every rule against modules outside the package.  *used*
+    (when given) collects the ``(line, rule)`` suppressions this file
+    consumed, for the stale-allow audit.
     """
     rel = Path(path).as_posix()
     source = Path(path).read_text()
@@ -368,7 +371,7 @@ def lint_file(
             in_scope(rel, SLOTS_SCOPE) if slots_rule is None else slots_rule
         ),
     )
-    return apply_suppressions(findings, suppressions(source))
+    return apply_suppressions(findings, suppressions(source), used=used)
 
 
 def _python_files(paths: Iterable[str]) -> List[Path]:
@@ -383,20 +386,28 @@ def _python_files(paths: Iterable[str]) -> List[Path]:
 
 
 def lint_paths(
-    paths: Sequence[str], *, all_rules: bool = False
+    paths: Sequence[str],
+    *,
+    all_rules: bool = False,
+    usage: Optional[Dict[str, Set[Tuple[int, str]]]] = None,
 ) -> AnalysisReport:
     """Lint every Python file under *paths*, honoring the rule scopes.
 
     With ``all_rules=True`` every rule group applies to every file
     regardless of scope (the CLI's ``--all-rules``, used against fixture
-    trees).
+    trees).  *usage* (when given) maps each file's POSIX path to the
+    ``(line, rule)`` suppressions it consumed — input to the CONC005
+    stale-allow audit.
     """
     report = AnalysisReport(passes_run=("determinism",))
     override = True if all_rules else None
     for path in _python_files(paths):
         report.files_scanned += 1
+        rel = path.as_posix()
+        used = None if usage is None else usage.setdefault(rel, set())
         for finding in lint_file(
-            str(path), det=override, frozen_rule=override, slots_rule=override
+            str(path), det=override, frozen_rule=override,
+            slots_rule=override, used=used,
         ):
             report.add(finding)
     return report

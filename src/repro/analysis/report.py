@@ -23,15 +23,21 @@ Severities form a three-level gate:
   never affects the exit code.
 
 Suppression is per-line and per-rule: a trailing ``# repro: allow(RULE)``
-comment on the flagged line (or the line above it) silences exactly that
-rule there, and :func:`suppressed` is consulted by every pass — there is
-one suppression syntax, not one per pass.
+comment silences exactly that rule on its own line; an *own-line* comment
+(nothing but the comment on the line) additionally covers the line
+directly below it, as does a comment on an explicit ``\\`` continuation
+line.  :func:`suppressed` is consulted by every pass — there is one
+suppression syntax, not one per pass — and :func:`apply_suppressions`
+records which annotations were actually consumed so the stale-allow
+audit (``CONC005``) can flag the ones that rot.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -65,9 +71,21 @@ RULES: Dict[str, Tuple[str, str]] = {
                        "any other process read it"),
     "SAN104": ("note", "torn frame read: one frame observed two values "
                        "of the same register"),
+    "CONC001": ("error", "module-global mutable written from a pool-worker "
+                         "entry point (fork-divergence hazard)"),
+    "CONC002": ("error", "type transits the pickle boundary without "
+                         "frozen+slots or a reduction protocol"),
+    "CONC003": ("error", "bare write-mode open on a shared path (must use "
+                         "the flock'd journal or sealed write->fsync->"
+                         "rename)"),
+    "CONC004": ("error", "signal-handler-reachable code does more than set "
+                         "flags/close fds"),
+    "CONC005": ("note", "stale repro: allow(...) comment suppresses "
+                        "nothing or names an unknown rule"),
 }
 
-#: ``# repro: allow(DET001)`` — also accepts a comma-separated rule list.
+#: The ``repro: allow`` comment syntax — accepts one rule ID or a
+#: comma-separated list between the parentheses.
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([A-Z0-9, ]+)\)")
 
 
@@ -179,25 +197,85 @@ class AnalysisReport:
         return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def suppressions(source: str) -> Mapping[int, frozenset]:
-    """Map line number -> rules suppressed there via ``# repro: allow(...)``.
+@dataclass(frozen=True)
+class AllowComment:
+    """One parsed ``# repro: allow(...)`` comment and the lines it covers.
 
-    A suppression comment covers its own line and the line directly below
-    it, so both trailing comments and own-line comments above a long
-    statement work.
+    A *trailing* comment (code before the ``#``) covers only its own
+    line.  An *own-line* comment — nothing but the comment — also covers
+    the line below it (the statement it annotates), as does a comment on
+    an explicit ``\\`` continuation line whose statement anchors one line
+    down.  The old behaviour of unconditionally carrying every comment
+    onto the next line let a trailing allow on a decorator leak onto the
+    following ``def``; the carry-over is now scoped to exactly these two
+    forms.
     """
-    table: Dict[int, set] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+
+    line: int
+    rules: Tuple[str, ...]
+    covers: Tuple[int, ...]
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """(line, column, text) of every real COMMENT token in *source*.
+
+    Tokenizing (rather than regex-scanning lines) keeps the suppression
+    machinery from being fooled by ``# repro: allow(...)`` *mentions*
+    inside docstrings and string literals — this module's own docstring
+    would otherwise register as a stale allow.
+    """
+    try:
+        return [
+            (tok.start[0], tok.start[1], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source: fall back to a plain line scan (fixtures
+        # and half-written files still get their suppressions honored).
+        found: List[Tuple[int, int, str]] = []
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            column = line.find("#")
+            if column >= 0:
+                found.append((lineno, column, line[column:]))
+        return found
+
+
+def allow_comments(source: str) -> List[AllowComment]:
+    """Parse every ``# repro: allow(...)`` comment in *source*."""
+    lines = source.splitlines()
+    comments: List[AllowComment] = []
+    for lineno, column, text in _comment_tokens(source):
+        match = _SUPPRESS_RE.search(text)
         if not match:
             continue
-        rules = {
+        rules = tuple(sorted({
             token.strip()
             for token in match.group(1).split(",")
             if token.strip()
-        }
-        table.setdefault(lineno, set()).update(rules)
-        table.setdefault(lineno + 1, set()).update(rules)
+        }))
+        line = lines[lineno - 1] if lineno <= len(lines) else ""
+        own_line = line[:column].strip() == ""
+        continuation = line[:column].rstrip().endswith("\\")
+        if own_line or continuation:
+            covers = (lineno, lineno + 1)
+        else:
+            covers = (lineno,)
+        comments.append(AllowComment(line=lineno, rules=rules, covers=covers))
+    return comments
+
+
+def suppressions(source: str) -> Mapping[int, frozenset]:
+    """Map line number -> rules suppressed there via ``# repro: allow(...)``.
+
+    Trailing comments cover their own line; own-line comments and
+    comments on ``\\`` continuation lines also cover the line below —
+    see :class:`AllowComment`.
+    """
+    table: Dict[int, set] = {}
+    for comment in allow_comments(source):
+        for lineno in comment.covers:
+            table.setdefault(lineno, set()).update(comment.rules)
     return {lineno: frozenset(rules) for lineno, rules in table.items()}
 
 
@@ -209,14 +287,24 @@ def suppressed(
 
 
 def apply_suppressions(
-    findings: Iterable[Finding], table: Mapping[int, frozenset]
+    findings: Iterable[Finding],
+    table: Mapping[int, frozenset],
+    used: Optional[set] = None,
 ) -> List[Finding]:
-    """Drop findings whose (line, rule) the source explicitly allows."""
-    return [
-        finding
-        for finding in findings
-        if not suppressed(table, finding.line, finding.rule)
-    ]
+    """Drop findings whose (line, rule) the source explicitly allows.
+
+    When *used* is given, every ``(line, rule)`` pair consumed by a
+    suppression is recorded into it — the CONC005 stale-allow audit
+    compares these records against the parsed comments.
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        if suppressed(table, finding.line, finding.rule):
+            if used is not None:
+                used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+    return kept
 
 
 def rule_severity(rule: str) -> str:

@@ -248,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the report as JSON (the CI artifact)")
     analyze.add_argument("--no-footprint", action="store_true",
                          help="skip the symbolic Figure 1 footprint pass")
+    analyze.add_argument("--concurrency", action="store_true",
+                         help="also run the concurrency-safety pass "
+                              "(CONC* rules: fork-shared state, pickle "
+                              "boundary, file-write protocol, signal "
+                              "handlers, stale allows); implied by "
+                              "--strict")
     analyze.add_argument("--sanitize", action="store_true",
                          help="also run one sanitized smoke execution per "
                               "algorithm family and fold SAN* findings "
@@ -715,15 +721,29 @@ def cmd_analyze(args) -> int:
             print(f"{rule_id}  {severity:8s}  {summary}")
         return 0
 
+    run_concurrency = args.concurrency or args.strict
+    # The stale-allow audit needs the suppression consumptions of every
+    # pass, so the usage table is threaded through the determinism lint
+    # and into the concurrency pass — but only when the latter runs
+    # (CONC allows would otherwise always look stale).
+    usage = {} if run_concurrency else None
     report = AnalysisReport()
     try:
-        report.extend(lint_paths(args.paths, all_rules=args.all_rules))
+        report.extend(
+            lint_paths(args.paths, all_rules=args.all_rules, usage=usage)
+        )
         if not args.no_footprint:
             # Resolve the shipped families from the installed package, so
             # the footprint contract is checked no matter which paths (or
             # working directory) the lint half was pointed at.
             package_root = Path(repro.__file__).resolve().parents[1]
             report.extend(check_footprints(str(package_root)))
+        if run_concurrency:
+            from repro.analysis.concurrency import analyze_concurrency
+
+            report.extend(analyze_concurrency(
+                args.paths, all_rules=args.all_rules, usage=usage
+            ))
         if args.sanitize:
             from repro.analysis.sanitizer import sanitize_execution
             from repro.bench.workloads import distinct_inputs as _inputs

@@ -136,12 +136,16 @@ class Watchdog:
     def __enter__(self) -> "Watchdog":
         if self.started is None:
             self.started = time.monotonic()
-        _ACTIVE.append(self)
+        # Per-process SIGTERM registry by design: each process arms its
+        # own watchdogs, and forked children clear inherited entries via
+        # reset_active_watchdogs() in their pool initializer.
+        _ACTIVE.append(self)  # repro: allow(CONC001)
         return self
 
     def __exit__(self, *exc_info) -> None:
         try:
-            _ACTIVE.remove(self)
+            # Per-process registry; see __enter__.
+            _ACTIVE.remove(self)  # repro: allow(CONC001)
         except ValueError:
             pass
 
@@ -153,7 +157,9 @@ def active_watchdogs() -> List[Watchdog]:
 
 def reset_active_watchdogs() -> None:
     """Clear the registry — for forked children and test isolation."""
-    _ACTIVE.clear()
+    # This *is* the fork-divergence remedy CONC001 asks for: pool
+    # initializers call it so children drop inherited registrations.
+    _ACTIVE.clear()  # repro: allow(CONC001)
 
 
 def deliver_sigterm() -> None:

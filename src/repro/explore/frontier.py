@@ -87,7 +87,8 @@ from repro.durable.watchdog import Watchdog, reset_active_watchdogs
 from repro.errors import ExplorationEngineError
 from repro.explore import checker
 from repro.explore.canonical import SymmetryClasses, symmetry_classes
-from repro.explore.packed import make_backend
+from repro.explore.packed import Backend, Carrier, make_backend
+from repro.faults.chaos import WorkerKill
 from repro.memory.layout import RegisterCoord
 from repro.memory.ops import is_write_access
 from repro.runtime.events import MemoryEvent
@@ -96,7 +97,7 @@ from repro.telemetry.metrics import COUNT_BUCKETS, MetricsRegistry, MetricsSnaps
 from repro.runtime.system import Configuration, System
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EngineFailure:
     """A worker-side exception, serialized across the pool boundary."""
 
@@ -106,7 +107,7 @@ class EngineFailure:
     traceback: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Expansion:
     """Everything a worker learned about one frontier configuration.
 
@@ -124,7 +125,7 @@ class _Expansion:
     #: ``(pid, carrier, fingerprint)`` per successor; the carrier is a
     #: :class:`Configuration` (reference/legacy) or a
     #: :class:`~repro.explore.packed.PackedState` (packed backend).
-    successors: Tuple[Tuple[int, object, str], ...]
+    successors: Tuple[Tuple[int, Carrier, str], ...]
     failure: Optional[EngineFailure]
     memory_inc: int = 0
     write_inc: int = 0
@@ -134,7 +135,7 @@ class _Expansion:
     encoded_bytes: int = 0
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class _WorkerContext:
     """Immutable per-run inputs every worker needs (sent once, pre-fork)."""
 
@@ -146,14 +147,14 @@ class _WorkerContext:
     classes: Optional[SymmetryClasses]
     survivor_sets: Tuple[Tuple[int, ...], ...]
     solo_budget: int
-    #: Chaos hook (duck-typed ``maybe_kill()``); workers call it per chunk.
-    chaos: Optional[object] = None
+    #: Chaos hook; workers call ``maybe_kill()`` once per chunk.
+    chaos: Optional[WorkerKill] = None
     #: Whether the coordinator has a telemetry session; workers then meter
     #: their chunks and ship snapshots back for the deterministic merge.
     telemetry_enabled: bool = False
     #: The exploration backend (see :mod:`repro.explore.packed`): owns the
     #: fingerprint keying and the frontier/pool carrier representation.
-    backend: object = None
+    backend: Optional[Backend] = None
 
 
 #: Worker-process slot for the run context (set pre-fork / by initializer).
@@ -188,11 +189,13 @@ def _init_worker() -> None:
 def _set_worker(ctx: _WorkerContext) -> None:
     """Pool initializer: install the run context in this worker process."""
     global _WORKER
-    _WORKER = ctx
+    # The one sanctioned worker-side global: the spawn-path handoff slot
+    # for the run context, written exactly once before any chunk runs.
+    _WORKER = ctx  # repro: allow(CONC001)
     _init_worker()
 
 
-def _expand_one(ctx: _WorkerContext, fp: str, carrier: object) -> _Expansion:
+def _expand_one(ctx: _WorkerContext, fp: str, carrier: Carrier) -> _Expansion:
     """Oracle-check one frontier carrier and compute its successors."""
     try:
         backend = ctx.backend
@@ -252,7 +255,7 @@ def _expand_one(ctx: _WorkerContext, fp: str, carrier: object) -> _Expansion:
 
 
 def _expand_chunk(
-    items: List[Tuple[str, object]],
+    items: List[Tuple[str, Carrier]],
 ) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
     """Worker entry point: expand a contiguous frontier slice, in order.
 
@@ -268,7 +271,7 @@ def _expand_chunk(
 
 
 def _expand_chunk_measured(
-    ctx: _WorkerContext, items: List[Tuple[str, object]]
+    ctx: _WorkerContext, items: List[Tuple[str, Carrier]]
 ) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
     """Expand *items* in order, metering the chunk when telemetry is on.
 
@@ -317,7 +320,9 @@ def _make_pool(workers: int, ctx: _WorkerContext):
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
         mp_ctx = multiprocessing.get_context("fork")
-        _WORKER = ctx  # inherited by forked workers; cleared in _teardown
+        # Inherited by forked workers, cleared in _teardown; written only
+        # by the coordinator between runs, never while a pool is live.
+        _WORKER = ctx  # repro: allow(CONC001)
         return mp_ctx.Pool(processes=workers, initializer=_init_worker)
     mp_ctx = multiprocessing.get_context("spawn")
     return mp_ctx.Pool(processes=workers, initializer=_set_worker, initargs=(ctx,))
@@ -325,7 +330,9 @@ def _make_pool(workers: int, ctx: _WorkerContext):
 
 def _teardown(pool) -> None:
     global _WORKER
-    _WORKER = None
+    # Coordinator-side cleanup of the fork handoff slot (see _make_pool);
+    # runs after the pool is gone, so no worker can observe the write.
+    _WORKER = None  # repro: allow(CONC001)
     if pool is not None:
         pool.terminate()
         pool.join()

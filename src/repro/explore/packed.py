@@ -70,7 +70,7 @@ import dataclasses
 import hashlib
 import importlib
 import struct
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro._types import BOT, Params
 from repro.errors import ReproError
@@ -532,7 +532,9 @@ def _resolve_dataclass(module: str, qualname: str) -> type:
         raise PackedCodecError(
             f"{module}.{qualname} resolved to {obj!r}, not a dataclass"
         )
-    _CLASS_CACHE[(module, qualname)] = obj
+    # Per-process memo, write-once per key with a value that is a pure
+    # function of the key; fork inheritance cannot make workers diverge.
+    _CLASS_CACHE[(module, qualname)] = obj  # repro: allow(CONC001)
     return obj
 
 
@@ -609,6 +611,12 @@ class _CodecBackend:
 
     def __init__(self, codec: Optional[PackedCodec] = None) -> None:
         self.codec = codec if codec is not None else PackedCodec()
+
+    def __reduce__(self):
+        """Pickle as a fresh instance: codec memos are per-process state
+        (exactly what :meth:`PackedCodec.__setstate__` would drop anyway),
+        and every backend is stateless apart from them."""
+        return (type(self), ())
 
     def fingerprint(
         self, config: Configuration, classes: Optional[SymmetryClasses]
@@ -692,6 +700,10 @@ class LegacyBackend:
     def __init__(self) -> None:
         self.codec = None
 
+    def __reduce__(self):
+        """Pickle as a fresh instance (stateless; mirrors _CodecBackend)."""
+        return (type(self), ())
+
     def fingerprint(
         self, config: Configuration, classes: Optional[SymmetryClasses]
     ) -> Tuple[str, Optional[bytes]]:
@@ -717,6 +729,17 @@ class LegacyBackend:
     def unpack(self, data: bytes) -> Configuration:
         """Refused: legacy runs must never read cache or journal state."""
         raise PackedCodecError("the legacy backend does not persist state")
+
+
+#: A frontier/pool carrier: the :class:`Configuration` itself
+#: (reference/legacy backends) or its packed form.  This is the element
+#: type that transits the worker-pool pickle boundary.
+Carrier = Union[Configuration, PackedState]
+
+#: Any exploration backend (see :func:`make_backend`).  Backends ride
+#: inside the worker context across the pool boundary, hence the
+#: ``__reduce__`` on each.
+Backend = Union[ReferenceBackend, PackedBackend, LegacyBackend]
 
 
 _BACKEND_TYPES: Dict[str, Callable[[], object]] = {

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerKill:
     """Kill a pool worker per available token in *token_dir*.  Picklable."""
 

@@ -31,7 +31,7 @@ from repro.memory.ops import Op, ReadOp, ScanOp, UpdateOp, WriteOp
 MemoryState = Tuple[Tuple[Value, ...], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegisterCoord:
     """Global coordinates of one register: (bank position, index in bank)."""
 

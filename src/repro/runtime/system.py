@@ -126,7 +126,11 @@ class StepResult:
     event: Event
 
 
-class System:
+# System crosses the pool boundary only via the fork start method (the
+# spawn path default-pickles it, which is correct: automaton, workloads
+# and layout are all plain immutable values with no fds, locks, or memo
+# state — there is nothing a custom reduction would need to drop).
+class System:  # repro: allow(CONC002)
     """A fixed protocol + workload + memory layout; pure step semantics."""
 
     def __init__(

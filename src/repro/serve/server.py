@@ -137,9 +137,16 @@ class ReproServer:
     def start(self) -> None:
         """Start the pool and the acceptor thread; write the endpoint file."""
         self.supervisor.start()
-        (self.data_dir / ENDPOINT_FILE).write_text(
-            f"{self.host}:{self.port}\n"
-        )
+        # Sealed write->fsync->rename: clients race to read the endpoint
+        # file while the daemon (re)starts, and must see the old address
+        # or the new one — never a torn line.
+        endpoint = self.data_dir / ENDPOINT_FILE
+        tmp = endpoint.with_name(endpoint.name + ".tmp")
+        with open(tmp, "w") as handle:
+            handle.write(f"{self.host}:{self.port}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, endpoint)
         self._acceptor = threading.Thread(
             target=self._socket_server.serve_forever,
             kwargs={"poll_interval": 0.1},

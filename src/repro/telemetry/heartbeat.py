@@ -36,8 +36,11 @@ def rss_mb(max_age: float = DEFAULT_MAX_AGE) -> float:
     global _sampled_at, _sampled_rss
     now = time.monotonic()
     if _sampled_at is None or now - _sampled_at > max_age:
-        _sampled_rss = current_rss_mb()
-        _sampled_at = now
+        # Per-process throttle cache holding this process's own RSS;
+        # divergence across workers is the point, and forked children
+        # invalidate the inherited sample via reset() at pool init.
+        _sampled_rss = current_rss_mb()  # repro: allow(CONC001)
+        _sampled_at = now  # repro: allow(CONC001)
     return _sampled_rss
 
 
@@ -60,5 +63,7 @@ def publish(elapsed_s: Optional[float] = None,
 def reset() -> None:
     """Invalidate the cache (test isolation, forked children)."""
     global _sampled_at, _sampled_rss
-    _sampled_at = None
-    _sampled_rss = 0.0
+    # The fork-divergence remedy itself: pool initializers call this so
+    # children drop the coordinator's inherited sample.
+    _sampled_at = None  # repro: allow(CONC001)
+    _sampled_rss = 0.0  # repro: allow(CONC001)

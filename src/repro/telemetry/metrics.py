@@ -116,7 +116,7 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MetricsSnapshot:
     """A picklable, mergeable copy of one registry's state.
 

@@ -216,7 +216,9 @@ def reset() -> None:
     :func:`repro.durable.watchdog.reset_active_watchdogs`.
     """
     global _ACTIVE
-    _ACTIVE = None
+    # The fork-divergence remedy itself: pool initializers call this so
+    # forked children never write into the coordinator's sinks.
+    _ACTIVE = None  # repro: allow(CONC001)
 
 
 def span(name: str, **attrs):

@@ -1,0 +1,5 @@
+"""Regression: a trailing allow must not leak onto the following line."""
+
+import time
+t0 = time.time()  # repro: allow(DET001)
+t1 = time.time()

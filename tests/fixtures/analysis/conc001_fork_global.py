@@ -1,0 +1,19 @@
+"""Seeded CONC001 violation: a worker-reachable write to a module global.
+
+``_memo`` is inherited by every forked pool worker; each worker's copy
+then diverges silently as ``_expand`` populates it.
+"""
+
+_memo = {}
+
+
+def _expand(item: int) -> int:
+    """Pool worker entry point (submitted below) writing a shared global."""
+    if item not in _memo:
+        _memo[item] = item * item
+    return _memo[item]
+
+
+def run(pool, items: list) -> list:
+    """Coordinator: ships ``_expand`` across the pool boundary."""
+    return pool.map(_expand, items)

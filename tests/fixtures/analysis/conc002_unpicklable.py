@@ -1,0 +1,24 @@
+"""Seeded CONC002 violation: an ad-hoc class crossing the pool boundary.
+
+``Payload`` transits pickling via the worker's parameter annotation but
+is neither a frozen+slots dataclass nor does it define a reduction
+protocol — default pickling ships its whole mutable ``__dict__``.
+"""
+
+
+class Payload:
+    """Ad-hoc mutable bag; no __reduce__, no __getstate__/__setstate__."""
+
+    def __init__(self, values: list) -> None:
+        self.values = list(values)
+        self.cursor = 0
+
+
+def _consume(payload: Payload) -> int:
+    """Pool worker entry point taking the ad-hoc class as its argument."""
+    return len(payload.values)
+
+
+def run(pool, payloads: list) -> list:
+    """Coordinator: ships ``_consume`` (and so ``Payload``) to workers."""
+    return pool.map(_consume, payloads)

@@ -1,0 +1,11 @@
+"""Seeded CONC003 violation: a bare write-mode open on a shared path.
+
+No lock is held and neither ``os.fsync`` nor ``os.replace`` appears in
+the function — a concurrent reader can observe the file half-written.
+"""
+
+
+def publish_status(path: str, status: str) -> None:
+    """Writes the shared status file in place, unprotected."""
+    with open(path, "w") as handle:
+        handle.write(status)

@@ -1,0 +1,22 @@
+"""Seeded CONC004 violation: a signal handler doing more than flag-setting.
+
+The registered handler prints (stream I/O can deadlock inside a handler
+that interrupted a write to the same stream) and acquires a lock (fatal
+if the interrupted code already holds it).
+"""
+
+import signal
+import threading
+
+_lock = threading.Lock()
+
+
+def _handler(signum, frame) -> None:
+    """Registered below; does allocation-heavy, lock-taking work."""
+    print("terminating")
+    _lock.acquire()
+
+
+def install() -> None:
+    """Registers the busy handler for SIGTERM."""
+    signal.signal(signal.SIGTERM, _handler)

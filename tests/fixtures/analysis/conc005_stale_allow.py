@@ -1,0 +1,15 @@
+"""Seeded CONC005 violations: allow comments that have rotted.
+
+The first suppresses a rule that fires nowhere near it; the second
+names a rule ID that does not exist in the catalog.
+"""
+
+
+def add_one(x: int) -> int:
+    """No DET001 finding on this line, so the allow is stale."""
+    return x + 1  # repro: allow(DET001)
+
+
+def double(y: int) -> int:
+    """Names an unknown rule ID."""
+    return y * 2  # repro: allow(ZZZ999)

@@ -1,0 +1,89 @@
+"""False-positive regression shells, one per concurrency pass.
+
+Every function here sits just on the allowed side of a CONC rule; the
+known-good test asserts this module produces zero findings even with
+``all_rules=True``.
+"""
+
+import fcntl
+import os
+import signal
+from dataclasses import dataclass
+
+_limit = 100
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenUnit:
+    """The required boundary shape: frozen+slots (CONC002 near-miss)."""
+
+    ident: int
+    label: str
+
+
+class ReducibleUnit:
+    """Ad-hoc class made boundary-safe by a reduction (CONC002 near-miss)."""
+
+    def __init__(self, ident: int = 0) -> None:
+        self.ident = ident
+        self.scratch = []
+
+    def __reduce__(self):
+        return (ReducibleUnit, (self.ident,))
+
+
+def _expand(unit: FrozenUnit) -> int:
+    """Worker that only *reads* a module global (CONC001 near-miss)."""
+    return min(unit.ident, _limit)
+
+
+def _consume(unit: ReducibleUnit) -> int:
+    """Worker whose boundary type carries its own reduction."""
+    cache = {}
+    cache[unit.ident] = unit.ident  # a local, not a global (CONC001 near-miss)
+    return cache[unit.ident]
+
+
+def run(pool, frozen_units: list, reducible_units: list) -> list:
+    """Coordinator: both boundary types are pickle-disciplined."""
+    return pool.map(_expand, frozen_units) + pool.map(_consume, reducible_units)
+
+
+def sealed_write(path: str, payload: str) -> None:
+    """The sanctioned sealed pattern: write -> fsync -> rename."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def locked_append(path: str, record: str) -> None:
+    """The sanctioned flock discipline: the lock is taken in-function."""
+    with open(path, "a") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        handle.write(record)
+
+
+def justified_write(path: str) -> None:
+    """A real CONC003 finding silenced by a justified allow — the CONC005
+    audit must see this annotation as *used*, not stale."""
+    # Single-writer debug artifact, never read concurrently.
+    # repro: allow(CONC003)
+    open(path, "w").close()
+
+
+_terminated = False
+
+
+def _flag_handler(signum, frame) -> None:
+    """A disciplined handler: sets a flag, closes an fd (CONC004 near-miss)."""
+    global _terminated
+    _terminated = True
+    os.close(0)
+
+
+def install() -> None:
+    """Registers the disciplined handler."""
+    signal.signal(signal.SIGTERM, _flag_handler)

@@ -57,7 +57,7 @@ values = st.recursive(
         st.dictionaries(hashable_values, inner, max_size=3),
         st.dictionaries(
             st.text(min_size=1, max_size=6), inner, max_size=3
-        ).map(lambda d: Params(**d)),
+        ).map(Params),  # positional mapping — `**d` chokes on a "self" key
     ),
     max_leaves=12,
 )

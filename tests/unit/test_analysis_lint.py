@@ -99,8 +99,31 @@ def test_suppression_is_per_rule_not_blanket():
     table = suppressions(source)
     assert suppressed(table, 1, "DET001")
     assert not suppressed(table, 1, "DET002")
-    assert suppressed(table, 2, "DET001")  # covers the line below
+    # A *trailing* comment covers only its own line — the old blanket
+    # carry-over let an allow on one statement leak onto the next.
+    assert not suppressed(table, 2, "DET001")
     assert not suppressed(table, 3, "DET001")
+
+
+def test_own_line_suppression_covers_the_statement_below():
+    source = "# repro: allow(DET001)\nx = time.time()\n"
+    table = suppressions(source)
+    assert suppressed(table, 1, "DET001")
+    assert suppressed(table, 2, "DET001")
+    assert not suppressed(table, 3, "DET001")
+
+
+def test_trailing_suppression_does_not_leak_onto_the_next_line():
+    # The regression the carry-over fix exists for: an allow trailing a
+    # decorator line must not silence a finding on the def below it.
+    findings = lint_all_rules("carryover_leak.py")
+    assert [f.rule for f in findings] == ["DET001"]
+    assert findings[0].line == 5
+
+
+def test_docstring_mention_of_allow_syntax_is_not_a_suppression():
+    source = '"""docs say # repro: allow(DET001) here"""\nx = 1\n'
+    assert suppressions(source) == {}
 
 
 def test_suppression_accepts_rule_lists():

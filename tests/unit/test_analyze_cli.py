@@ -30,6 +30,33 @@ def test_shipped_tree_is_clean_strict(capsys):
     out = capsys.readouterr().out
     assert "0 errors" in out
     assert "determinism" in out and "footprint" in out
+    # --strict implies the concurrency pass (the CI gate runs all three).
+    assert "concurrency" in out
+
+
+def test_concurrency_flag_runs_the_pass_without_strict(capsys):
+    assert main(["analyze", "--concurrency", "--no-footprint", SRC]) == 0
+    out = capsys.readouterr().out
+    assert "concurrency" in out
+
+
+def test_concurrency_gates_seeded_fixture_with_exit_1(capsys):
+    code = main([
+        "analyze", "--concurrency", "--all-rules", "--no-footprint",
+        str(FIXTURES / "conc001_fork_global.py"),
+    ])
+    assert code == 1
+    assert "[CONC001]" in capsys.readouterr().out
+
+
+def test_stale_allow_note_never_gates(capsys):
+    # CONC005 is note severity: reported, but exit 0 even under --strict.
+    code = main([
+        "analyze", "--concurrency", "--strict", "--all-rules",
+        "--no-footprint", str(FIXTURES / "conc005_stale_allow.py"),
+    ])
+    assert code == 0
+    assert "[CONC005]" in capsys.readouterr().out
 
 
 def test_known_good_fixture_is_clean_under_all_rules(capsys):
@@ -43,7 +70,8 @@ def test_known_good_fixture_is_clean_under_all_rules(capsys):
 def test_rules_flag_prints_the_catalog(capsys):
     assert main(["analyze", "--rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("DET001", "MUT002", "FP001", "SAN101"):
+    for rule in ("DET001", "MUT002", "FP001", "SAN101", "CONC001",
+                 "CONC005"):
         assert rule in out
 
 

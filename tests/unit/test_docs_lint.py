@@ -134,6 +134,26 @@ class TestDocsCoverExploreFlags:
         )
 
 
+class TestDocsCoverAnalyzeFlags:
+    """Reverse lint for the analyzer: every ``repro analyze`` flag must
+    appear in the documentation corpus — new passes (``--concurrency``)
+    cannot land undocumented."""
+
+    def test_every_analyze_flag_appears_in_the_docs(self):
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        flags = _parser_flags(subparsers.choices["analyze"]) - {"-h", "--help"}
+        corpus = "\n".join(path.read_text() for path in DOC_FILES)
+        undocumented = sorted(flag for flag in flags if flag not in corpus)
+        assert not undocumented, (
+            "`repro analyze` flags missing from the documentation corpus "
+            f"({', '.join(DOC_IDS)}): {undocumented}"
+        )
+
+
 @pytest.mark.parametrize(
     "doc", DOC_FILES, ids=DOC_IDS
 )
