@@ -16,7 +16,10 @@ subsystem's run reports (see ``docs/observability.md``).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
+import subprocess
 import time
 from typing import Any, Dict, List, Optional
 
@@ -28,8 +31,40 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RECORDS_DIR = RESULTS_DIR / "records"
 AGGREGATE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_telemetry.json"
 
+#: Bumped when the record shape changes; v2 adds provenance (``schema``,
+#: ``commit``, ``host``) so ``repro report --bench`` can render a trend
+#: table that says *which* code on *what* machine produced each number.
+BENCH_SCHEMA = 2
+
 #: Record files written during this pytest session, in emission order.
 _SESSION_RECORDS: List[pathlib.Path] = []
+
+#: Memoized git commit — one subprocess per session, not per record.
+_COMMIT: List[str] = []
+
+
+def _git_commit() -> str:
+    """The short HEAD commit of the repo the benchmarks ran from."""
+    if not _COMMIT:
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=pathlib.Path(__file__).parent,
+                capture_output=True, text=True, timeout=10,
+            )
+            _COMMIT.append(proc.stdout.strip() or "unknown")
+        except (OSError, subprocess.SubprocessError):
+            _COMMIT.append("unknown")
+    return _COMMIT[0]
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """The host facts perf numbers are only comparable within."""
+    return {
+        "cpus": os.cpu_count() or 1,
+        "platform": platform.system().lower(),
+        "python": platform.python_version(),
+    }
 
 
 @pytest.fixture(scope="session")
@@ -64,6 +99,9 @@ def emit(results_dir):
         payload["name"] = name
         payload.setdefault("wall_s", round(time.perf_counter() - started, 3))
         payload.setdefault("peak_rss_mb", round(current_rss_mb(), 1))
+        payload.setdefault("schema", BENCH_SCHEMA)
+        payload.setdefault("commit", _git_commit())
+        payload.setdefault("host", host_fingerprint())
         RECORDS_DIR.mkdir(parents=True, exist_ok=True)
         path = RECORDS_DIR / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -98,7 +136,7 @@ def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
         merged[record.get("name", path.stem)] = record
     AGGREGATE_PATH.write_text(
         json.dumps(
-            {"schema": 1, "records": dict(sorted(merged.items()))},
+            {"schema": BENCH_SCHEMA, "records": dict(sorted(merged.items()))},
             indent=2,
             sort_keys=True,
         )

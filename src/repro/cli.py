@@ -16,16 +16,25 @@ entry points:
 * ``analyze``   — static analysis of the reproduction itself: the
   determinism/purity lint, the symbolic register-footprint checker, and
   (with ``--sanitize``) sanitized smoke runs; the CI gate;
+* ``serve``     — the supervised verification daemon (see
+  :mod:`repro.serve` and ``docs/serving.md``);
+* ``top``       — live operator view of a running daemon: polls its
+  ``status`` op and repaints a one-line summary, the LiveSink renderer
+  turned outward;
 * ``report``    — render a Markdown run report from a telemetry stream
-  written by ``--telemetry=jsonl`` (see :mod:`repro.telemetry`).
+  written by ``--telemetry=jsonl`` (see :mod:`repro.telemetry`), or —
+  with ``--bench`` — the perf trend table from a benchmark aggregate.
 
-``run``, ``explore`` and ``faults`` accept ``--telemetry`` (``off`` /
-``live`` / ``jsonl``): ``live`` paints a progress line on stderr,
-``jsonl`` writes the machine-readable event stream + Chrome trace under
-``--telemetry-dir``.  The session wraps the whole command — the dispatch
-wrapper closes it with the final exit code and verdict — and telemetry
-can never change an exit code or a verdict (enforced by the on/off
-bit-identity tests).
+``run``, ``explore``, ``faults`` and ``serve`` accept ``--telemetry``
+(``off`` / ``live`` / ``jsonl``): ``live`` paints a progress line on
+stderr, ``jsonl`` writes the machine-readable event stream + multi-lane
+Chrome trace under ``--telemetry-dir``.  They also accept ``--profile``,
+which statistically samples the main thread off-loop and writes a
+collapsed-stack ``profile.folded`` next to the stream.  The session
+wraps the whole command — the dispatch wrapper closes it with the final
+exit code and verdict — and neither telemetry nor profiling can ever
+change an exit code or a verdict (enforced by the on/off bit-identity
+tests).
 
 Every command prints plain text and exits non-zero on failure, so the CLI
 can anchor shell-based regression checks.  The exit-code discipline is
@@ -309,11 +318,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reporter.add_argument("run_dir",
                           help="telemetry directory (or events.jsonl path) "
-                               "written by a --telemetry=jsonl run")
+                               "written by a --telemetry=jsonl run; with "
+                               "--bench, a BENCH_telemetry.json aggregate "
+                               "(or the directory holding one)")
     reporter.add_argument("--check", action="store_true",
                           help="validate the event stream against the "
                                "telemetry schema first; schema problems "
-                               "print to stderr and exit 1")
+                               "print to stderr (naming the first bad "
+                               "seq) and exit 1")
+    reporter.add_argument("--bench", action="store_true",
+                          help="render the benchmark trend table from a "
+                               "BENCH_telemetry.json aggregate instead of "
+                               "an event stream")
+
+    top = sub.add_parser(
+        "top", help="live operator view of a running serve daemon"
+    )
+    top.add_argument("endpoint",
+                     help="daemon endpoint as host:port, or the daemon's "
+                          "--data-dir (its endpoint file is read)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="seconds between status polls (default 2)")
+    top.add_argument("--count", type=int, default=0, metavar="N",
+                     help="stop after N polls (default 0: poll until "
+                          "Ctrl-C)")
+    top.add_argument("--timeout", type=float, default=5.0,
+                     metavar="SECONDS",
+                     help="per-request socket timeout (default 5)")
 
     return parser
 
@@ -349,7 +381,14 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry-dir", default=".repro-telemetry",
                         metavar="DIR",
                         help="directory for --telemetry=jsonl artifacts "
-                             "(events.jsonl, trace.json)")
+                             "(events.jsonl, trace.json, profile.folded)")
+    parser.add_argument("--profile", action="store_true",
+                        help="statistically sample the main thread "
+                             "(~200Hz, off the per-step loop) and write "
+                             "a collapsed-stack profile.folded under "
+                             "--telemetry-dir, with samples attributed "
+                             "to open telemetry spans; never changes "
+                             "verdicts or exit codes")
 
 
 def _open_telemetry(args) -> Optional[object]:
@@ -371,7 +410,10 @@ def _open_telemetry(args) -> Optional[object]:
             else LiveSink())
     attrs = {"schema": SCHEMA_VERSION}
     for key, value in sorted(vars(args).items()):
-        if key in ("command", "telemetry", "telemetry_dir"):
+        # Observability knobs are not run parameters: the stream (and the
+        # trace id derived from these attrs) must not depend on whether
+        # the run was profiled.
+        if key in ("command", "telemetry", "telemetry_dir", "profile"):
             continue
         if value is None or isinstance(value, (bool, int, float, str)):
             attrs[key] = value
@@ -381,6 +423,43 @@ def _open_telemetry(args) -> Optional[object]:
     if isinstance(sink, LiveSink):
         sink.attach(session)
     return session
+
+
+def _start_profiler(args) -> Optional[object]:
+    """Start the span-scoped sampling profiler when ``--profile`` was given.
+
+    Runs whether or not a telemetry session is open — without one the
+    samples are attributed to ``(no span)``, which is still a usable
+    flat profile.
+    """
+    if not getattr(args, "profile", False):
+        return None
+    from repro.telemetry.profile import SpanProfiler
+
+    profiler = SpanProfiler()
+    profiler.start()
+    return profiler
+
+
+def _finish_profiler(profiler, args) -> None:
+    """Stop the sampler and write ``profile.folded``; never raises.
+
+    Profiling is observability: like telemetry, a failure here prints a
+    note to stderr and cannot change the command's exit code.
+    """
+    from pathlib import Path
+
+    try:
+        profiler.stop()
+        from repro.telemetry.sinks import PROFILE_FILE
+
+        directory = Path(getattr(args, "telemetry_dir", ".repro-telemetry"))
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / PROFILE_FILE
+        samples = profiler.write(target)
+        print(f"profile: {samples} samples -> {target}", file=sys.stderr)
+    except Exception as exc:  # noqa: BLE001 — profiling must not mask the code
+        print(f"profile: failed: {exc}", file=sys.stderr)
 
 
 #: Exit code → run_end verdict, for the telemetry stream and live line.
@@ -766,23 +845,57 @@ def cmd_analyze(args) -> int:
     return 1 if report.gating_findings(strict=args.strict) else 0
 
 
+def _first_bad_seq(problems: List[str]) -> Optional[int]:
+    """The seq of the first schema-bad event, parsed from problem lines.
+
+    ``validate_lines`` prefixes per-event problems with ``line N:``; the
+    stream sequences contiguously from 0, so line ``N`` holds seq
+    ``N - 1``.  Stream-level problems (no prefix) yield ``None``.
+    """
+    lines = []
+    for problem in problems:
+        head, sep, _ = problem.partition(":")
+        if sep and head.startswith("line ") and head[5:].isdigit():
+            lines.append(int(head[5:]))
+    return min(lines) - 1 if lines else None
+
+
 def cmd_report(args) -> int:
     """Render the Markdown run report for one telemetry stream.
 
     Exit codes: 0 — report rendered; 1 — ``--check`` found schema
-    problems (printed to stderr); 2 — no stream at the given path, or an
-    unparseable one.
+    problems (printed to stderr, naming the first bad seq), or the
+    stream / benchmark aggregate exists but is empty or truncated (a
+    one-line diagnostic, not a traceback); 2 — no artifact at the given
+    path at all.
     """
-    from repro.telemetry.report import render_report
+    from repro.telemetry.report import (
+        TruncatedStream, render_bench_report, render_report,
+    )
     from repro.telemetry.schema import validate_stream
 
+    if args.bench:
+        try:
+            print(render_bench_report(args.run_dir))
+        except TruncatedStream as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 1
+        return 0
     if args.check:
         problems = validate_stream(args.run_dir)
         if problems:
+            bad_seq = _first_bad_seq(problems)
+            if bad_seq is not None:
+                print(f"schema: first bad event at seq {bad_seq}",
+                      file=sys.stderr)
             for problem in problems:
                 print(f"schema: {problem}", file=sys.stderr)
             return 1
-    print(render_report(args.run_dir))
+    try:
+        print(render_report(args.run_dir))
+    except TruncatedStream as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -844,6 +957,92 @@ def cmd_serve(args) -> int:
         server.close()
 
 
+def _top_endpoint(text: str) -> Tuple[str, int]:
+    """Resolve ``repro top``'s endpoint argument to ``(host, port)``.
+
+    Accepts either ``host:port`` directly or a daemon ``--data-dir``,
+    whose endpoint file records where that daemon is listening.
+    """
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.serve.client import connect
+
+    if Path(text).is_dir():
+        return connect(Path(text))
+    host, sep, port = text.rpartition(":")
+    if sep and port.isdigit():
+        return host or "127.0.0.1", int(port)
+    raise ReproError(
+        f"endpoint {text!r} is neither host:port nor a daemon --data-dir"
+    )
+
+
+def _format_top_line(snapshot) -> str:
+    """One status line for ``repro top``, from a ``status`` op payload."""
+    queue = snapshot.get("queue") or {}
+    cache = snapshot.get("cache") or {}
+    supervisor = snapshot.get("supervisor") or {}
+    hits = int(cache.get("hits") or 0)
+    misses = int(cache.get("misses") or 0)
+    lookups = hits + misses
+    ratio = f"{100.0 * hits / lookups:.0f}%" if lookups else "-"
+    degraded = " DEGRADED" if supervisor.get("degraded") else ""
+    return (
+        f"{snapshot.get('endpoint', '?')} "
+        f"up {float(snapshot.get('uptime_s') or 0.0):.0f}s | "
+        f"jobs {snapshot.get('jobs_completed', 0)} | "
+        f"queue {queue.get('depth', 0)}/{queue.get('capacity', 0)} "
+        f"(+{queue.get('in_flight', 0)} in flight) | "
+        f"cache {hits}h/{misses}m {ratio} | "
+        f"rebuilds {supervisor.get('pool_rebuilds', 0)}{degraded}"
+    )
+
+
+def cmd_top(args) -> int:
+    """Live operator view: poll a daemon's ``status`` op, repaint one line.
+
+    Exit codes: 0 — ``--count`` polls completed; 2 — bad endpoint, or
+    the daemon became unreachable; 130 — Ctrl-C, the usual way out of
+    the default poll-forever mode.
+    """
+    import time
+
+    from repro.errors import ReproError
+    from repro.serve import client
+    from repro.telemetry.sinks import StatusLine
+
+    if args.interval <= 0:
+        print(f"error: --interval must be positive, got {args.interval}",
+              file=sys.stderr)
+        return 2
+    if args.count < 0:
+        print(f"error: --count must be >= 0, got {args.count}",
+              file=sys.stderr)
+        return 2
+    host, port = _top_endpoint(args.endpoint)
+    status_line = StatusLine(sys.stdout)
+    polls = 0
+    try:
+        while True:
+            response = client.status(host, port, timeout=args.timeout)
+            payload = response.get("status") if response.get("ok") else None
+            if not isinstance(payload, dict):
+                raise ReproError(
+                    f"status poll of {host}:{port} failed: "
+                    f"{response.get('error', 'malformed response')}"
+                )
+            polls += 1
+            final = args.count > 0 and polls >= args.count
+            status_line.paint(_format_top_line(payload), final=final)
+            if final:
+                return 0
+            time.sleep(args.interval)
+    except (Exception, KeyboardInterrupt):
+        status_line.close()  # clear the partial line before any stderr text
+        raise
+
+
 COMMANDS = {
     "bounds": cmd_bounds,
     "run": cmd_run,
@@ -854,6 +1053,7 @@ COMMANDS = {
     "verify": cmd_verify,
     "analyze": cmd_analyze,
     "serve": cmd_serve,
+    "top": cmd_top,
     "report": cmd_report,
 }
 
@@ -893,10 +1093,12 @@ def _dispatch(handler, args) -> int:
     except ValueError:  # not the main thread: leave signal handling alone
         previous = None
     session = None
+    profiler = None
     code = 2
     try:
         try:
             session = _open_telemetry(args)
+            profiler = _start_profiler(args)
             code = handler(args)
         except KeyboardInterrupt:
             print("interrupted", file=sys.stderr)
@@ -923,6 +1125,8 @@ def _dispatch(handler, args) -> int:
         # which would truncate events.jsonl (no run_end => schema-invalid)
         # and replace the already-computed exit code.  A sink failure
         # likewise cannot change the exit code — telemetry never does.
+        if profiler is not None:
+            _finish_profiler(profiler, args)
         if session is not None:
             from repro.durable.watchdog import Watchdog
 

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import signal
 import time
 import traceback
@@ -94,6 +95,7 @@ from repro.memory.ops import is_write_access
 from repro.runtime.events import MemoryEvent
 from repro.telemetry import heartbeat
 from repro.telemetry.metrics import COUNT_BUCKETS, MetricsRegistry, MetricsSnapshot
+from repro.telemetry.tracing import SpanRecord, chunk_lane, chunk_span_id
 from repro.runtime.system import Configuration, System
 
 
@@ -255,35 +257,52 @@ def _expand_one(ctx: _WorkerContext, fp: str, carrier: Carrier) -> _Expansion:
 
 
 def _expand_chunk(
-    items: List[Tuple[str, Carrier]],
+    payload: Tuple[int, int, Optional[str], List[Tuple[str, Carrier]]],
 ) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
     """Worker entry point: expand a contiguous frontier slice, in order.
 
+    *payload* is ``(batch_index, chunk_index, parent_span, items)`` — the
+    trace coordinates ride with the work so the worker can mint its
+    deterministic span identity without any cross-process counter.
     Alongside the expansions, ships back a picklable metrics snapshot of
-    the chunk (``None`` when the run is untelemetered); the coordinator
-    folds snapshots in at the deterministic merge point, in submission
-    order.
+    the chunk (``None`` when the run is untelemetered) carrying the
+    chunk's span record; the coordinator folds snapshots in at the
+    deterministic merge point, in submission order.
     """
+    batch_index, chunk_index, parent, items = payload
     assert _WORKER is not None, "worker context not initialized"
     if _WORKER.chaos is not None:
         _WORKER.chaos.maybe_kill()
-    return _expand_chunk_measured(_WORKER, items)
+    return _expand_chunk_measured(
+        _WORKER, items, batch=batch_index, chunk=chunk_index, parent=parent
+    )
 
 
 def _expand_chunk_measured(
-    ctx: _WorkerContext, items: List[Tuple[str, Carrier]]
+    ctx: _WorkerContext,
+    items: List[Tuple[str, Carrier]],
+    *,
+    batch: int = 0,
+    chunk: int = 0,
+    parent: Optional[str] = None,
 ) -> Tuple[List[_Expansion], Optional[MetricsSnapshot]]:
     """Expand *items* in order, metering the chunk when telemetry is on.
 
     The chunk registry is process-local and fresh per chunk: counters are
     deterministic for a fixed ``workers`` value, durations are volatile by
-    declaration, and nothing touches the per-step hot loop.
+    declaration, and nothing touches the per-step hot loop.  The returned
+    snapshot piggybacks one ``explore.chunk`` span record whose id and
+    lane are pure functions of ``(batch, chunk)`` — emitted only if and
+    when the coordinator *accepts* the batch, so a retried or discarded
+    submission leaves no span behind and durations never double-count.
     """
     if not ctx.telemetry_enabled:
         return [_expand_one(ctx, fp, carrier) for fp, carrier in items], None
     registry = MetricsRegistry()
+    wall0 = time.time()
     t0 = time.perf_counter()
     expansions = [_expand_one(ctx, fp, carrier) for fp, carrier in items]
+    elapsed = time.perf_counter() - t0
     registry.counter("explore.worker.chunks").inc()
     registry.counter("explore.worker.expansions").inc(len(expansions))
     if getattr(ctx.backend, "name", None) == "packed":
@@ -297,9 +316,20 @@ def _expand_chunk_measured(
             sum(e.encoded_bytes for e in expansions)
         )
     registry.histogram("explore.worker.chunk_seconds", volatile=True).observe(
-        time.perf_counter() - t0
+        elapsed
     )
-    return expansions, registry.snapshot()
+    record = SpanRecord(
+        name="explore.chunk",
+        span_id=chunk_span_id(batch, chunk),
+        parent=parent,
+        lane=chunk_lane(chunk),
+        attrs=(("batch", batch), ("chunk", chunk),
+               ("expansions", len(expansions))),
+        t0=wall0,
+        dur=elapsed,
+        pid=os.getpid(),
+    )
+    return expansions, registry.snapshot(spans=(record,))
 
 
 def _split(batch: List, parts: int) -> List[List]:
@@ -745,13 +775,17 @@ def explore(
                     "explore.batch", batch=batch_index, size=count
                 ) as sp:
                     if pool is None:
-                        expansions = _expand_chunk_local(ctx, batch)
+                        expansions = _expand_chunk_local(
+                            ctx, batch, batch_index, sp.span_id
+                        )
                     else:
                         expansions, pool = _expand_batch(
                             pool, ctx, batch, workers,
                             batch_timeout=batch_timeout,
                             max_retries=max_retries,
                             result=result,
+                            batch_index=batch_index,
+                            parent=sp.span_id,
                         )
                     delta, done = _merge_batch(
                         batch_index, count, expansions, parents, frontier,
@@ -827,10 +861,15 @@ def explore(
 
 
 def _expand_chunk_local(
-    ctx: _WorkerContext, batch: List[Tuple[str, object]]
+    ctx: _WorkerContext,
+    batch: List[Tuple[str, object]],
+    batch_index: int = 0,
+    parent: Optional[str] = None,
 ) -> List[_Expansion]:
     """In-process expansion path: ``workers == 1`` and the degraded mode."""
-    expansions, snapshot = _expand_chunk_measured(ctx, batch)
+    expansions, snapshot = _expand_chunk_measured(
+        ctx, batch, batch=batch_index, parent=parent
+    )
     telemetry.merge(snapshot)
     return expansions
 
@@ -870,6 +909,8 @@ def _expand_batch(
     batch_timeout: Optional[float],
     max_retries: int,
     result: checker.ExplorationResult,
+    batch_index: int = 0,
+    parent: Optional[str] = None,
 ) -> Tuple[List[_Expansion], Optional[object]]:
     """Expand one batch through the pool, healing it when it fails.
 
@@ -886,18 +927,24 @@ def _expand_batch(
     unpicklable results) take the same heal path regardless.
     """
     chunks = _split(batch, workers)
+    payloads = [
+        (batch_index, index, parent, chunk)
+        for index, chunk in enumerate(chunks)
+    ]
     policy = dataclasses.replace(DEFAULT_REBUILD_POLICY, max_retries=max_retries)
     for attempt in policy.attempts():
         try:
             if batch_timeout is None:
-                mapped = pool.map(_expand_chunk, chunks)
+                mapped = pool.map(_expand_chunk, payloads)
             else:
-                mapped = pool.map_async(_expand_chunk, chunks).get(
+                mapped = pool.map_async(_expand_chunk, payloads).get(
                     timeout=batch_timeout
                 )
             # Fold worker metrics in only once the batch is accepted, in
-            # submission order — discarded attempts leave no trace, which
-            # keeps retried runs' deterministic metrics identical too.
+            # submission order — discarded attempts leave no trace (their
+            # snapshots, span records included, die with the attempt),
+            # which keeps retried runs' deterministic metrics identical
+            # and span durations single-counted.
             for _, snapshot in mapped:
                 telemetry.merge(snapshot)
             return [e for expansions, _ in mapped for e in expansions], pool
@@ -912,4 +959,4 @@ def _expand_batch(
                 pool = _make_pool(workers, ctx)
     result.degraded = True
     telemetry.mark("explore.degraded")
-    return _expand_chunk_local(ctx, batch), None
+    return _expand_chunk_local(ctx, batch, batch_index, parent), None

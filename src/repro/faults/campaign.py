@@ -164,6 +164,10 @@ def run_trial(
             max_steps=attempt_budget,
             on_limit="return",
             telemetry_span="faults.attempt",
+            # The retry attempt index is deterministic (the backoff ladder
+            # is seeded), so it may live in span attrs: the stitched trace
+            # can tell attempt 1's re-execution apart from attempt 0.
+            telemetry_attrs={"attempt": attempt},
         )
         observed = check_safety(execution, k)
         if observed:

@@ -11,7 +11,7 @@ schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro._types import Value
@@ -87,6 +87,7 @@ def run(
     on_limit: str = "raise",
     monitors: Optional[Sequence[Monitor]] = None,
     telemetry_span: Optional[str] = None,
+    telemetry_attrs: Optional[Dict] = None,
 ) -> Execution:
     """Run *system* under *scheduler* until quiescence, *stop*, or the budget.
 
@@ -107,7 +108,10 @@ def run(
     the inner engine of exploration oracles, where a span per call would
     flood the event stream; the ``runtime.runs`` / ``runtime.steps``
     counters are recorded regardless, and no instrumentation ever runs
-    inside the per-step loop.
+    inside the per-step loop.  ``telemetry_attrs`` adds deterministic
+    attributes to that span — the fault campaign stamps the retry
+    attempt index this way, so a retried attempt is distinguishable from
+    its predecessor in the stitched trace.
     """
     if on_limit not in ("raise", "return"):
         raise ValueError(f"on_limit must be 'raise' or 'return', got {on_limit!r}")
@@ -119,7 +123,8 @@ def run(
         return _drive(system, scheduler, execution, max_steps, stop,
                       on_limit, monitors)
     with telemetry.span(
-        telemetry_span, protocol=system.automaton.name, n=system.n
+        telemetry_span, protocol=system.automaton.name, n=system.n,
+        **(telemetry_attrs or {}),
     ) as sp:
         _drive(system, scheduler, execution, max_steps, stop, on_limit, monitors)
         sp.set(steps=execution.steps, hit_step_limit=execution.hit_step_limit)

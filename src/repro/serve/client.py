@@ -77,6 +77,20 @@ def status(host: str, port: int,
     return request(host, port, {"op": "status"}, timeout=timeout)
 
 
+def metrics(host: str, port: int,
+            *, timeout: Optional[float] = None) -> str:
+    """Scrape the daemon's Prometheus text exposition."""
+    response = request(host, port, {"op": "metrics"}, timeout=timeout)
+    if not response.get("ok"):
+        raise ReproError(
+            f"metrics scrape failed: {response.get('error', 'unknown error')}"
+        )
+    exposition = response.get("exposition")
+    if not isinstance(exposition, str):
+        raise ReproError(f"malformed metrics response: {response!r}")
+    return exposition
+
+
 def shutdown(host: str, port: int,
              *, timeout: Optional[float] = None) -> Dict[str, Any]:
     """Ask the daemon to stop gracefully (drains in-flight work, exit 0)."""

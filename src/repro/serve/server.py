@@ -42,6 +42,8 @@ from repro.serve.protocol import VerifyJob, verdict_fingerprint
 from repro.serve.queue import Backpressure, JobQueue, Ticket
 from repro.serve.store import VerdictStore
 from repro.serve.supervisor import WorkerSupervisor
+from repro.telemetry.metrics import render_exposition
+from repro.telemetry.tracing import job_lane, job_span_id
 
 #: Name of the endpoint file written under the data dir: ``host:port`` of
 #: the live daemon, for clients started without an explicit port.
@@ -121,6 +123,7 @@ class ReproServer:
         self.cache_hits = 0
         self.cache_misses = 0
         self.jobs_completed = 0
+        self.jobs_by_outcome: Dict[str, int] = {}
         self._started = time.monotonic()
         self._lock = threading.Lock()
         self._events: Dict[int, threading.Event] = {}
@@ -188,16 +191,31 @@ class ReproServer:
     def _dispatch_one(self, seq: int, job: VerifyJob) -> None:
         key = job.key
         entry = self.store.get(key)
+        outcome: Optional[str] = None
         if entry is not None:
             self.cache_hits += 1
             telemetry.counter("serve.cache_hits")
+            outcome = entry["result"].get("outcome")
             response = self._verdict_response(entry, cached=True)
         else:
             self.cache_misses += 1
             telemetry.counter("serve.cache_misses")
+            session = telemetry.active()
             with telemetry.span("serve.job", key=key, mode=job.mode) as span:
-                payload = self.supervisor.run_job(job)
+                trace = None
+                if session is not None:
+                    # The wire-form trace context: the worker's
+                    # serve.execute span will hang under this dispatch
+                    # span, on the job's own deterministic lane.
+                    trace = {
+                        "trace": session.trace_id,
+                        "parent": span.span_id,
+                        "span": job_span_id(seq),
+                        "lane": job_lane(seq),
+                    }
+                payload = self.supervisor.run_job(job, trace=trace)
                 span.set(outcome=payload.get("outcome"))
+            outcome = payload.get("outcome")
             if payload.get("outcome") in CACHEABLE_OUTCOMES:
                 entry = {
                     "fingerprint": verdict_fingerprint(payload),
@@ -216,6 +234,9 @@ class ReproServer:
                 }
         self.queue.mark_done(seq)
         self.jobs_completed += 1
+        self.jobs_by_outcome[outcome or "unknown"] = (
+            self.jobs_by_outcome.get(outcome or "unknown", 0) + 1
+        )
         telemetry.counter("serve.jobs_completed")
         with self._lock:
             event = self._events.pop(seq, None)
@@ -270,6 +291,8 @@ class ReproServer:
                 return self._op_result(request)
             if op == "status":
                 return {"ok": True, "status": self.status()}
+            if op == "metrics":
+                return {"ok": True, "exposition": self.metrics_text()}
             if op == "shutdown":
                 self._shutdown.set()
                 return {"ok": True, "shutting_down": True}
@@ -370,6 +393,54 @@ class ReproServer:
                 metrics["serve.queue_depth"] = depth
             status["metrics"] = metrics
         return status
+
+    def metrics_text(self) -> str:
+        """The daemon's instruments as Prometheus text exposition.
+
+        The authoritative values come from the server's own state (queue,
+        cache, supervisor, per-outcome job totals) — available even with
+        ``--telemetry off``; when a session is active, its registry's
+        deterministic and volatile instruments ride along too, with the
+        server-side values winning name collisions.
+        """
+        answered = self.cache_hits + self.cache_misses
+        counters: Dict[str, Any] = {
+            "serve.jobs_completed": self.jobs_completed,
+            "serve.cache_hits": self.cache_hits,
+            "serve.cache_misses": self.cache_misses,
+            "serve.queue_accepted": self.queue.accepted_total,
+            "serve.queue_completed": self.queue.completed_total,
+            "serve.queue_rejected": self.queue.rejected_total,
+            "serve.pool_rebuilds": self.supervisor.rebuilds,
+        }
+        for outcome in sorted(self.jobs_by_outcome):
+            counters[f"serve.jobs_outcome.{outcome}"] = (
+                self.jobs_by_outcome[outcome]
+            )
+        gauges: Dict[str, Any] = {
+            "serve.queue_depth": self.queue.depth(),
+            "serve.queue_in_flight": self.queue.in_flight(),
+            "serve.queue_capacity": self.queue.capacity,
+            "serve.cache_entries": len(self.store),
+            "serve.cache_hit_ratio": (
+                round(self.cache_hits / answered, 6) if answered else 0.0
+            ),
+            "serve.supervisor_degraded": int(self.supervisor.degraded),
+            "serve.uptime_seconds": round(
+                time.monotonic() - self._started, 3
+            ),
+        }
+        histograms: Dict[str, Any] = {}
+        session = telemetry.active()
+        if session is not None:
+            for side in session.registry.export():
+                for name, value in side["counters"].items():
+                    counters.setdefault(name, value)
+                for name, value in side["gauges"].items():
+                    gauges.setdefault(name, value)
+                for name, value in side["histograms"].items():
+                    histograms.setdefault(name, value)
+        return render_exposition(counters, gauges, histograms)
 
 
 def resolve_endpoint(data_dir: Path) -> Tuple[str, int]:

@@ -35,7 +35,9 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import multiprocessing.pool
+import os
 import signal
+import time
 from typing import Any, Dict, Optional
 
 from repro import telemetry
@@ -43,6 +45,7 @@ from repro.durable.retry import DEFAULT_REBUILD_POLICY, BackoffPolicy
 from repro.durable.watchdog import Watchdog, reset_active_watchdogs
 from repro.errors import ReproError
 from repro.serve.protocol import VerifyJob
+from repro.telemetry.tracing import SpanRecord
 
 #: Extra seconds the coordinator waits past a job's deadline before
 #: declaring the worker wedged; the in-worker watchdog should have fired
@@ -181,6 +184,7 @@ def execute_job(
     descriptor: Dict[str, Any],
     deadline: Optional[float] = None,
     max_rss_mb: Optional[float] = None,
+    trace: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run one verify job to a verdict payload.  Never raises.
 
@@ -188,8 +192,19 @@ def execute_job(
     memoizable), ``"incomplete"`` (a watchdog fired — a host accident,
     never cached), or ``"error"`` (the job could not run).  ``job`` is
     echoed back so a payload is self-describing.
+
+    *trace*, when given in a pool worker (where no telemetry session is
+    active), is the coordinator's wire-form trace context; the measured
+    ``serve.execute`` span rides back under the payload's ``"span"`` key.
+    :meth:`WorkerSupervisor.run_job` strips that key and re-emits the
+    span *before* anyone fingerprints the payload, so verdict
+    fingerprints are bit-identical with tracing on or off.  In-process
+    execution (the degraded path, the CLI) has an active session, so the
+    span below emits natively and nothing is attached.
     """
     job = None
+    wall0 = time.time()
+    t0 = time.perf_counter()
     try:
         job = VerifyJob.from_wire(descriptor)
         watchdog = None
@@ -207,6 +222,50 @@ def execute_job(
         payload = {"outcome": "error",
                    "detail": f"{type(exc).__name__}: {exc}"}
     payload["job"] = descriptor if job is None else job.descriptor()
+    if trace is not None and telemetry.active() is None:
+        payload["span"] = {
+            "name": "serve.execute",
+            "span": trace.get("span"),
+            "parent": trace.get("parent"),
+            "lane": trace.get("lane"),
+            "mode": None if job is None else job.mode,
+            "key": None if job is None else job.key,
+            "outcome": payload.get("outcome"),
+            "t0": wall0,
+            "dur": time.perf_counter() - t0,
+            "pid": os.getpid(),
+        }
+    return payload
+
+
+def _strip_span(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pop the piggybacked worker span off a payload and re-emit it.
+
+    Must run before the payload reaches
+    :func:`~repro.serve.protocol.verdict_fingerprint`: the span is
+    observability freight, not verdict identity, so it never participates
+    in fingerprints or the verdict store.  No-op when the payload carries
+    no span (tracing off, degraded in-process execution) or no session is
+    active.
+    """
+    data = payload.pop("span", None)
+    if not isinstance(data, dict) or not data.get("span"):
+        return payload
+    attrs = tuple(
+        (key, data[key])
+        for key in ("key", "mode", "outcome")
+        if data.get(key) is not None
+    )
+    telemetry.emit_span(SpanRecord(
+        name=str(data.get("name", "serve.execute")),
+        span_id=str(data["span"]),
+        parent=data.get("parent"),
+        lane=str(data.get("lane", "")) or "serve",
+        attrs=attrs,
+        t0=float(data.get("t0", 0.0)),
+        dur=float(data.get("dur", 0.0)),
+        pid=int(data.get("pid", 0)),
+    ))
     return payload
 
 
@@ -280,10 +339,19 @@ class WorkerSupervisor:
             except Exception:  # noqa: BLE001 — teardown is best-effort
                 pass
 
-    def run_job(self, job: VerifyJob) -> Dict[str, Any]:
-        """Execute *job*, healing the pool across failures.  Never raises."""
+    def run_job(
+        self, job: VerifyJob, trace: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Execute *job*, healing the pool across failures.  Never raises.
+
+        *trace* (the daemon's wire-form trace context) travels to the
+        worker with the job; the worker-measured span comes back inside
+        the payload and is stripped + re-emitted here — before the
+        caller fingerprints the payload, which is what keeps verdict
+        fingerprints identical to untraced runs.
+        """
         descriptor = job.descriptor()
-        args = (descriptor, self.job_deadline, self.job_max_rss)
+        args = (descriptor, self.job_deadline, self.job_max_rss, trace)
         timeout = (
             None if self.job_deadline is None
             else self.job_deadline + DEADLINE_GRACE
@@ -298,7 +366,7 @@ class WorkerSupervisor:
                     break
             try:
                 handle = self._pool.apply_async(execute_job, args)
-                return handle.get(timeout)
+                return _strip_span(handle.get(timeout))
             except multiprocessing.TimeoutError:
                 # The in-worker watchdog missed its deadline by the whole
                 # grace window: the worker is wedged, not slow.  Kill the
@@ -317,7 +385,7 @@ class WorkerSupervisor:
         if not self.degraded:
             self.degraded = True
             telemetry.mark("serve.degraded")
-        return execute_job(*args)
+        return _strip_span(execute_job(*args))
 
     def _incident(self, kind: str) -> None:
         self.rebuilds += 1

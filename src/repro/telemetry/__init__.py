@@ -6,18 +6,26 @@ executions.  Zero third-party dependencies; nothing here is ever called
 from the per-step hot loop, and nothing here may perturb a verdict
 (enforced by the telemetry-on/off bit-identity tests).
 
-The package splits five ways:
+The package splits seven ways:
 
 * :mod:`repro.telemetry.metrics` — the instrument store: deterministic /
-  volatile counters, gauges, fixed-bucket histograms, and the picklable
+  volatile counters, gauges, fixed-bucket histograms, the picklable
   snapshot-merge protocol that aggregates worker registries at the
-  exploration engine's deterministic merge point;
+  exploration engine's deterministic merge point, and the Prometheus
+  text-exposition renderer the serve daemon's ``metrics`` op uses;
+* :mod:`repro.telemetry.tracing` — cross-process causal identity:
+  deterministic trace ids, per-lane span ids, the picklable
+  :class:`~repro.telemetry.tracing.SpanRecord` workers ship back, and
+  the :class:`~repro.telemetry.tracing.TraceContext` that crosses pool
+  and daemon boundaries;
 * :mod:`repro.telemetry.session` — the process-wide pipeline: the active
   session, span tracing, and the no-op-safe helpers instrumented code
   calls (:func:`span`, :func:`counter`, :func:`gauge`, :func:`observe`,
-  :func:`merge`, :func:`mark`);
-* :mod:`repro.telemetry.sinks` — the JSONL event stream + Chrome trace,
-  and the TTY-aware live progress renderer;
+  :func:`merge`, :func:`mark`, :func:`emit_span`);
+* :mod:`repro.telemetry.profile` — the span-scoped statistical sampler
+  behind ``--profile`` and its collapsed-stack output;
+* :mod:`repro.telemetry.sinks` — the JSONL event stream + multi-lane
+  Chrome trace, and the TTY-aware live progress renderer;
 * :mod:`repro.telemetry.schema` — stream validation and the golden-file
   normalization (volatile section stripped);
 * :mod:`repro.telemetry.report` — the ``repro report`` Markdown renderer.
@@ -34,12 +42,15 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     SECONDS_BUCKETS,
+    render_exposition,
+    validate_exposition,
 )
 from repro.telemetry.session import (
     MODES,
     TelemetrySession,
     active,
     counter,
+    emit_span,
     gauge,
     mark,
     merge,
@@ -48,6 +59,7 @@ from repro.telemetry.session import (
     span,
     start,
 )
+from repro.telemetry.tracing import SpanRecord, TraceContext, derive_trace_id
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -58,14 +70,20 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "SECONDS_BUCKETS",
+    "SpanRecord",
     "TelemetrySession",
+    "TraceContext",
     "active",
     "counter",
+    "derive_trace_id",
+    "emit_span",
     "gauge",
     "mark",
     "merge",
     "observe",
+    "render_exposition",
     "reset",
     "span",
     "start",
+    "validate_exposition",
 ]

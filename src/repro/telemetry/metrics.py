@@ -27,14 +27,19 @@ Design constraints, in order:
   merged values; gauges are last-write-wins in merge order, which the
   exploration engine keeps deterministic by merging in submission order.
 
-Zero dependencies; everything here is stdlib.
+Zero dependencies; everything here is stdlib (plus the equally
+stdlib-only :mod:`repro.telemetry.tracing` for the span record type that
+snapshots carry across the pool boundary).
 """
 
 from __future__ import annotations
 
 import bisect
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.tracing import SpanRecord
 
 Number = Union[int, float]
 
@@ -123,17 +128,26 @@ class MetricsSnapshot:
     The unit that crosses the ``multiprocessing`` pool boundary: workers
     snapshot their local registry and the coordinator folds the snapshots
     into its own via :meth:`MetricsRegistry.merge`.
+
+    ``spans`` piggybacks the worker's finished
+    :class:`~repro.telemetry.tracing.SpanRecord` tuples on the same ride:
+    the snapshot is already merged at exactly the deterministic point
+    where a batch is *accepted*, so spans inherit the engine's atomic
+    discard for free — a rebuilt or retried batch drops its partial
+    snapshot, spans included, and never double-counts durations.
     """
 
     counters: Tuple[Tuple[str, bool, Number], ...]
     gauges: Tuple[Tuple[str, bool, Number], ...]
     histograms: Tuple[Tuple[str, bool, Tuple[float, ...],
                             Tuple[int, ...], float, int], ...]
+    spans: Tuple[SpanRecord, ...] = ()
 
     @property
     def empty(self) -> bool:
-        """True when the snapshot carries no instruments at all."""
-        return not (self.counters or self.gauges or self.histograms)
+        """True when the snapshot carries no instruments and no spans."""
+        return not (self.counters or self.gauges or self.histograms
+                    or self.spans)
 
 
 class MetricsRegistry:
@@ -203,9 +217,15 @@ class MetricsRegistry:
     # Snapshot / merge — the multiprocessing aggregation protocol
     # ------------------------------------------------------------- #
 
-    def snapshot(self) -> MetricsSnapshot:
-        """A picklable copy of the current state, sorted by name."""
+    def snapshot(self, spans: Sequence[SpanRecord] = ()) -> MetricsSnapshot:
+        """A picklable copy of the current state, sorted by name.
+
+        *spans* rides along untouched — the registry holds no span state
+        of its own; workers pass the records they measured and the
+        coordinating session re-emits them as events after the merge.
+        """
         return MetricsSnapshot(
+            spans=tuple(spans),
             counters=tuple(
                 (c.name, c.volatile, c.value)
                 for c in sorted(self._counters.values(), key=lambda c: c.name)
@@ -227,6 +247,10 @@ class MetricsRegistry:
         yields the same sums; gauge merges are last-write-wins, which the
         caller keeps deterministic by merging in a deterministic order
         (the exploration engine merges in batch-submission order).
+
+        ``snapshot.spans`` is deliberately not folded here: the registry
+        keeps no span state.  The session-level merge helper re-emits the
+        records as events; a bare registry merge simply ignores them.
         """
         for name, volatile, value in snapshot.counters:
             self.counter(name, volatile=volatile).inc(value)
@@ -286,3 +310,103 @@ class MetricsRegistry:
             gauge = self._gauges.get(name)
             return None if gauge is None else gauge.value
         raise ValueError(f"unknown instrument kind {kind!r}")
+
+
+# ----------------------------------------------------------------- #
+# Prometheus text exposition
+# ----------------------------------------------------------------- #
+
+#: What a legal Prometheus sample line looks like (name, optional labels,
+#: numeric value).  Used by :func:`validate_exposition`.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+(?:[0-9])?$"
+)
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """A dotted instrument name as a legal Prometheus metric name.
+
+    Dots and any other illegal characters become underscores, and every
+    metric is namespaced under ``repro_`` so a shared scrape target can't
+    collide with other exporters.  Counters conventionally pass
+    ``suffix="_total"``.
+    """
+    body = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    return f"repro_{body}{suffix}"
+
+
+def render_exposition(
+    counters: Dict[str, Number],
+    gauges: Dict[str, Number],
+    histograms: Optional[Dict[str, Dict]] = None,
+) -> str:
+    """Render instrument values as Prometheus text exposition format.
+
+    Input dicts map dotted instrument names to values (histograms to
+    their ``{bounds, counts, total, count}`` export shape).  Output is
+    the ``text/plain; version=0.0.4`` format: a ``# TYPE`` line per
+    family, counters suffixed ``_total``, histograms expanded to
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+    Families are sorted by source name so the scrape is stable.
+    """
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = prometheus_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    for name in sorted(gauges):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]}")
+    for name in sorted(histograms or {}):
+        export = (histograms or {})[name]
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, bucket in zip(export["bounds"], export["counts"]):
+            cumulative += bucket
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += export["counts"][len(export["bounds"])]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {export['total']}")
+        lines.append(f"{metric}_count {export['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Lint a text exposition; returns problems (empty list = parses).
+
+    Checks the subset of the format we emit: every non-comment line must
+    be a well-formed sample, every sample's family must have been
+    declared by a preceding ``# TYPE`` line, and counter samples must end
+    in ``_total``.  CI's smoke jobs call this instead of shipping a real
+    Prometheus parser into the container.
+    """
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                declared[parts[2]] = parts[3]
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {line_no}: malformed sample {line!r}")
+            continue
+        sample = line.split("{")[0].split()[0]
+        family = next(
+            (name for name in declared
+             if sample == name or sample.startswith(name + "_")),
+            None,
+        )
+        if family is None:
+            problems.append(f"line {line_no}: sample {sample!r} has no # TYPE")
+        elif declared[family] == "counter" and not sample.endswith("_total"):
+            problems.append(
+                f"line {line_no}: counter sample {sample!r} missing _total"
+            )
+    if not declared and not problems:
+        problems.append("exposition is empty")
+    return problems

@@ -14,6 +14,11 @@ run, built entirely from ``events.jsonl`` (no live process needed):
 Durations in the span and histogram sections come from the stream's
 volatile section — they are real wall-clock numbers and are expected to
 differ between runs; everything else in the report is deterministic.
+
+When the run directory carries a ``profile.folded`` (a ``--profile``
+run), the report adds a top-N table of the sampler's hottest frames; and
+``repro report --bench`` renders the perf trend table from a
+``BENCH_telemetry.json`` aggregate instead of an event stream.
 """
 
 from __future__ import annotations
@@ -23,11 +28,28 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
-from repro.telemetry.schema import _events_path
+from repro.telemetry.schema import EVENT_KEYS, _events_path
+
+
+class TruncatedStream(ReproError):
+    """An event stream that exists but cannot be rendered.
+
+    Raised for empty files and mid-write-truncated or otherwise mangled
+    lines — the cases ``repro report`` must answer with a one-line
+    diagnostic and exit code 1 (a bad artifact), distinct from exit 2
+    (no artifact at all, plain :class:`~repro.errors.ReproError`).
+    """
 
 
 def load_events(path) -> List[Dict]:
-    """Parse the event stream at *path* (run directory or file)."""
+    """Parse the event stream at *path* (run directory or file).
+
+    Raises a plain :class:`~repro.errors.ReproError` when no stream
+    exists, and :class:`TruncatedStream` when one exists but is empty,
+    unparseable, or carries events without the required keys — a
+    mid-write kill leaves exactly these artifacts, and the renderer must
+    diagnose them in one line rather than traceback on a ``KeyError``.
+    """
     events_path = _events_path(path)
     if not events_path.exists():
         raise ReproError(
@@ -41,13 +63,20 @@ def load_events(path) -> List[Dict]:
             if not raw:
                 continue
             try:
-                events.append(json.loads(raw))
+                event = json.loads(raw)
             except json.JSONDecodeError as exc:
-                raise ReproError(
+                raise TruncatedStream(
                     f"{events_path}:{line_no}: unparseable event ({exc.msg})"
                 ) from exc
+            if (not isinstance(event, dict)
+                    or any(key not in event for key in EVENT_KEYS)):
+                raise TruncatedStream(
+                    f"{events_path}:{line_no}: malformed event "
+                    f"(expected keys {list(EVENT_KEYS)})"
+                )
+            events.append(event)
     if not events:
-        raise ReproError(f"{events_path} is empty")
+        raise TruncatedStream(f"{events_path} is empty")
     return events
 
 
@@ -168,6 +197,9 @@ def render_report(path) -> str:
             ["span", "count", "total", "mean", "max"], rows
         ) + [""]
 
+    # Profile ------------------------------------------------------ #
+    lines += _profile_section(path)
+
     # Histograms --------------------------------------------------- #
     histogram_rows = []
     if metrics is not None:
@@ -211,4 +243,99 @@ def render_report(path) -> str:
         f"({len(events)} events)._",
         "",
     ]
+    return "\n".join(lines)
+
+
+def _profile_section(path) -> List[str]:
+    """The sampler's top-N table, when the run directory has a profile."""
+    from repro.telemetry.profile import read_folded, span_totals, top_frames
+    from repro.telemetry.sinks import PROFILE_FILE
+
+    profile_path = Path(_events_path(path)).parent / PROFILE_FILE
+    if not profile_path.exists():
+        return []
+    try:
+        entries = read_folded(profile_path)
+    except OSError:  # pragma: no cover — unreadable profile is advisory
+        return []
+    if not entries:
+        return []
+    total = sum(count for _, count in entries)
+    lines = [
+        "## Profile (statistical, by sampled stack)",
+        "",
+        f"{total} samples from `{profile_path.name}`; self time goes to "
+        "the leaf frame, attributed to the innermost open span.",
+        "",
+    ]
+    rows = [
+        [f"`{span}`", f"`{frame}`", count, f"{100.0 * count / total:.1f}%"]
+        for span, frame, count in top_frames(entries)
+    ]
+    lines += _md_table(["span", "frame", "self samples", "share"], rows) + [""]
+    span_rows = [
+        [f"`{span}`", count, f"{100.0 * count / total:.1f}%"]
+        for span, count in span_totals(entries)[:8]
+    ]
+    lines += ["### Cumulative samples per span", ""]
+    lines += _md_table(["span", "samples", "share"], span_rows) + [""]
+    return lines
+
+
+def render_bench_report(path) -> str:
+    """The Markdown perf-trend table for a ``BENCH_telemetry.json``.
+
+    The aggregate's records carry provenance since schema 2 (git commit,
+    host fingerprint); the table groups records by name so the trajectory
+    of one benchmark across commits reads top to bottom.
+    """
+    aggregate_path = Path(path)
+    if aggregate_path.is_dir():
+        aggregate_path = aggregate_path / "BENCH_telemetry.json"
+    if not aggregate_path.exists():
+        raise ReproError(
+            f"no benchmark aggregate at {aggregate_path} — run the "
+            "benchmarks suite first"
+        )
+    try:
+        aggregate = json.loads(aggregate_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise TruncatedStream(
+            f"{aggregate_path}: unreadable benchmark aggregate ({exc})"
+        ) from exc
+    records = aggregate.get("records") if isinstance(aggregate, dict) else None
+    if isinstance(records, dict):  # the aggregate keys records by name
+        records = list(records.values())
+    if not isinstance(records, list) or not records:
+        raise TruncatedStream(f"{aggregate_path}: no benchmark records")
+    lines = [
+        "# Benchmark trend report",
+        "",
+        f"Schema {aggregate.get('schema')}, {len(records)} records from "
+        f"`{aggregate_path}`.",
+        "",
+    ]
+    rows = []
+    for record in sorted(
+        records, key=lambda r: (str(r.get("name", "")), str(r.get("commit", "")))
+    ):
+        if not isinstance(record, dict):
+            continue
+        host = record.get("host") or {}
+        host_text = (
+            f"{host.get('platform', '?')}/{host.get('cpus', '?')}cpu"
+            if isinstance(host, dict) else "?"
+        )
+        wall = record.get("wall_s")
+        rss = record.get("peak_rss_mb")
+        rows.append([
+            f"`{record.get('name', '?')}`",
+            record.get("commit", "?"),
+            f"{wall:.3f}s" if isinstance(wall, (int, float)) else "?",
+            f"{rss:.0f}MiB" if isinstance(rss, (int, float)) else "?",
+            host_text,
+        ])
+    lines += _md_table(
+        ["benchmark", "commit", "wall", "peak rss", "host"], rows
+    ) + [""]
     return "\n".join(lines)

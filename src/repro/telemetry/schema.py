@@ -23,7 +23,10 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Tuple
 
 #: Bumped when the event shape changes; stamped into ``run_start.attrs``.
-SCHEMA_VERSION = 1
+#: v2: span events carry deterministic trace identity (``span`` / ``lane``
+#: in attrs, ``parent`` when nested) and ``run_start.attrs`` carries the
+#: run's ``trace`` id.
+SCHEMA_VERSION = 2
 
 #: The exact key set of every event.
 EVENT_KEYS = ("seq", "type", "name", "attrs", "vol")
@@ -52,6 +55,14 @@ def _check_event(event: Dict, problems: List[str], line_no: int) -> None:
         for group in ("counters", "gauges", "histograms"):
             if group not in event["attrs"]:
                 problems.append(f"{prefix}: metrics.attrs missing {group!r}")
+    if event["type"] == "span" and isinstance(event["attrs"], dict):
+        for key in ("span", "lane"):
+            value = event["attrs"].get(key)
+            if not isinstance(value, str) or not value:
+                problems.append(
+                    f"{prefix}: span.attrs.{key} must be a non-empty string "
+                    "(trace identity is part of the v2 schema)"
+                )
 
 
 def validate_lines(lines: Iterable[str]) -> List[str]:

@@ -32,14 +32,16 @@ coordinator's session (their writes would interleave into its sinks);
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     SECONDS_BUCKETS,
 )
+from repro.telemetry.tracing import MAIN_LANE, SpanRecord, derive_trace_id
 
 #: The session currently active in this process, if any.
 _ACTIVE: Optional["TelemetrySession"] = None
@@ -69,18 +71,69 @@ class TelemetrySession:
         self.registry = MetricsRegistry()
         self.sinks: List[object] = list(sinks)
         self.started = time.perf_counter()
+        self.epoch = time.time()
+        self.trace_id = derive_trace_id(command, attrs)
         self.closed = False
         self._seq = 0
+        self._span_count = 0
+        self._open_spans: List[Tuple[str, str]] = []
+        run_attrs = dict(attrs or {})
+        run_attrs["trace"] = self.trace_id
         self.emit(
             "run_start",
             command,
-            attrs=dict(attrs or {}),
-            vol={"ts": self.elapsed()},
+            attrs=run_attrs,
+            vol={"ts": self.elapsed(), "epoch": self.epoch,
+                 "pid": os.getpid()},
         )
 
     def elapsed(self) -> float:
         """Seconds since the session opened (volatile by definition)."""
         return time.perf_counter() - self.started
+
+    def next_span_id(self) -> str:
+        """Allocate the next main-lane span id (``main:<n>``, open order).
+
+        Deterministic because spans on the coordinator open in program
+        order; worker lanes never call this — their ids are pure
+        functions of work coordinates (see :mod:`repro.telemetry.tracing`).
+        """
+        span_id = f"{MAIN_LANE}:{self._span_count}"
+        self._span_count += 1
+        return span_id
+
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open main-lane span's id, or ``None`` at top level."""
+        return self._open_spans[-1][0] if self._open_spans else None
+
+    def open_spans(self) -> Tuple[Tuple[str, str], ...]:
+        """The open-span stack as ``(span_id, name)`` pairs, root first.
+
+        Returns a copy so the sampling profiler can read it from its own
+        thread without holding a reference into live session state.
+        """
+        return tuple(self._open_spans)
+
+    def emit_span_record(self, record: SpanRecord) -> None:
+        """Re-emit a worker-measured span as an ordinary ``span`` event.
+
+        The record's deterministic identity (span id, lane, parent,
+        attrs) goes under ``attrs``; its clock and host facts (absolute
+        start converted to a session-relative offset, duration, worker
+        pid) go under ``vol`` where normalization strips them.
+        """
+        attrs = dict(record.attrs)
+        attrs["span"] = record.span_id
+        attrs["lane"] = record.lane
+        if record.parent is not None:
+            attrs["parent"] = record.parent
+        self.emit(
+            "span",
+            record.name,
+            attrs=attrs,
+            vol={"ts": max(0.0, record.t0 - self.epoch),
+                 "dur": record.dur, "pid": record.pid},
+        )
 
     def emit(
         self,
@@ -129,15 +182,23 @@ class TelemetrySession:
 
 
 class _Span:
-    """A live span: measures wall duration, emits one event on exit."""
+    """A live span: measures wall duration, emits one event on exit.
 
-    __slots__ = ("_session", "name", "attrs", "_t0")
+    On entry it allocates its deterministic main-lane ``span_id``,
+    records the innermost open span as ``parent``, and pushes itself on
+    the session's open-span stack (which is also what the sampling
+    profiler and cross-process dispatchers read to attribute work).
+    """
+
+    __slots__ = ("_session", "name", "attrs", "_t0", "span_id", "parent")
 
     def __init__(self, session: TelemetrySession, name: str, attrs: Dict) -> None:
         self._session = session
         self.name = name
         self.attrs = attrs
         self._t0 = 0.0
+        self.span_id: Optional[str] = None
+        self.parent: Optional[str] = None
 
     def set(self, **attrs) -> None:
         """Attach deterministic attributes before the span closes."""
@@ -145,15 +206,26 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self._t0 = self._session.elapsed()
+        self.span_id = self._session.next_span_id()
+        self.parent = self._session.current_span_id()
+        self._session._open_spans.append((self.span_id, self.name))
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self._session._open_spans
+        if stack and stack[-1][0] == self.span_id:
+            stack.pop()
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
+        attrs = dict(self.attrs)
+        attrs["span"] = self.span_id
+        attrs["lane"] = MAIN_LANE
+        if self.parent is not None:
+            attrs["parent"] = self.parent
         self._session.emit(
             "span",
             self.name,
-            attrs=self.attrs,
+            attrs=attrs,
             vol={"ts": self._t0, "dur": self._session.elapsed() - self._t0},
         )
         return False
@@ -163,6 +235,11 @@ class _NullSpan:
     """The span returned when no session is active: pure no-op."""
 
     __slots__ = ()
+
+    #: Mirrors :class:`_Span` identity fields so dispatchers can read
+    #: ``span.span_id`` unconditionally; always ``None`` when inactive.
+    span_id: Optional[str] = None
+    parent: Optional[str] = None
 
     def set(self, **attrs) -> None:
         """No-op (matches :meth:`_Span.set`)."""
@@ -274,8 +351,27 @@ def merge(snapshot: Optional[MetricsSnapshot]) -> None:
 
     Callers are responsible for merging in a deterministic order (the
     exploration engine merges chunk snapshots in submission order).
+    Span records riding on the snapshot are re-emitted as events here,
+    in the order the worker recorded them — the merge point is the
+    deterministic stitch point for cross-process spans.
     """
     session = _ACTIVE
     if session is None or snapshot is None or snapshot.empty:
         return
     session.registry.merge(snapshot)
+    for record in snapshot.spans:
+        session.emit_span_record(record)
+
+
+def emit_span(record: Optional[SpanRecord]) -> None:
+    """Re-emit one worker-measured span record; no-op when inactive.
+
+    For dispatchers whose worker results travel outside the snapshot
+    protocol — the serve supervisor strips the record off the verdict
+    payload (keeping fingerprints identical to untraced runs) and hands
+    it here.
+    """
+    session = _ACTIVE
+    if session is None or record is None:
+        return
+    session.emit_span_record(record)

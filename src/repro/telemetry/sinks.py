@@ -8,10 +8,16 @@ metrics arrive as the final ``metrics`` event.
   line in ``<dir>/events.jsonl`` (sorted keys, compact separators, so the
   byte stream is a pure function of the event sequence), plus a Chrome
   trace (``<dir>/trace.json``, load it in ``chrome://tracing`` or
-  Perfetto) derived from the span events at close.
+  Perfetto) derived from the span events at close.  Since schema v2 the
+  trace is multi-lane: each trace *lane* (coordinator, pool slot, serve
+  job) renders as its own process track under a synthetic deterministic
+  pid, and cross-lane parent/child links render as flow arrows — the
+  fork is no longer an opaque box.
 * :class:`LiveSink` — the human-readable window: a single self-updating
   status line on a TTY, degrading to plain rate-limited log lines when
-  stderr is a pipe (CI logs stay readable, no ``\\r`` garbage).
+  stderr is a pipe (CI logs stay readable, no ``\\r`` garbage).  The
+  paint mechanics live in :class:`StatusLine` so ``repro top`` (the serve
+  daemon operator view) can reuse them without being a sink.
 
 Neither sink is ever on the step-path: they see one event per batch /
 trial / journal operation, by construction of the call sites.
@@ -28,6 +34,7 @@ from typing import Dict, List, Optional, TextIO
 #: File names inside a telemetry run directory.
 EVENTS_FILE = "events.jsonl"
 TRACE_FILE = "trace.json"
+PROFILE_FILE = "profile.folded"
 
 #: Minimum seconds between repaints (TTY) / log lines (pipe).
 TTY_REFRESH = 0.1
@@ -37,6 +44,72 @@ PIPE_REFRESH = 2.0
 def dump_event(event: Dict) -> str:
     """One event as its canonical JSONL line (sorted keys, compact)."""
     return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def render_chrome_trace(spans: List[Dict], trace_id: str = "") -> Dict:
+    """Span events as one multi-lane Chrome/Perfetto trace object.
+
+    Lanes become process tracks: each distinct ``attrs.lane`` is assigned
+    a synthetic pid in first-appearance order (deterministic because the
+    event sequence is), named via a ``process_name`` metadata record —
+    real OS pids are host accidents and stay in the JSONL ``vol``
+    section.  Spans whose ``attrs.parent`` lives on a *different* lane
+    get a flow arrow (``ph: s``/``f``) from the parent's lane to the
+    span's start, which is what draws the causal edge across the fork.
+    Same-lane nesting needs no arrows — Chrome infers it from slice
+    containment.
+    """
+    lane_pids: Dict[str, int] = {"main": 0}
+    span_lane: Dict[str, str] = {}
+    for event in spans:
+        lane = event["attrs"].get("lane", "main")
+        if lane not in lane_pids:
+            lane_pids[lane] = len(lane_pids)
+        span_id = event["attrs"].get("span")
+        if span_id:
+            span_lane[span_id] = lane
+    records: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": lane},
+        }
+        for lane, pid in lane_pids.items()
+    ]
+    flow_id = 0
+    for event in spans:
+        lane = event["attrs"].get("lane", "main")
+        ts = round(event["vol"].get("ts", 0.0) * 1e6, 3)
+        records.append(
+            {
+                "name": event["name"],
+                "ph": "X",
+                "pid": lane_pids[lane],
+                "tid": 0,
+                "ts": ts,
+                "dur": round(event["vol"].get("dur", 0.0) * 1e6, 3),
+                "args": event["attrs"],
+            }
+        )
+        parent = event["attrs"].get("parent")
+        parent_lane = span_lane.get(parent) if parent else None
+        if parent_lane is not None and parent_lane != lane:
+            arrow = {"name": "causal", "cat": "trace", "id": flow_id, "tid": 0}
+            records.append(
+                {**arrow, "ph": "s", "pid": lane_pids[parent_lane], "ts": ts}
+            )
+            records.append(
+                {**arrow, "ph": "f", "bp": "e", "pid": lane_pids[lane],
+                 "ts": ts}
+            )
+            flow_id += 1
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace": trace_id},
+    }
 
 
 class JsonlSink:
@@ -49,36 +122,64 @@ class JsonlSink:
             self.directory / EVENTS_FILE, "w", encoding="utf-8"
         )
         self._spans: List[Dict] = []
+        self._trace_id = ""
 
     def emit(self, event: Dict) -> None:
         """Write one event line; remember spans for the Chrome trace."""
         self._handle.write(dump_event(event) + "\n")
         self._handle.flush()
+        if event["type"] == "run_start":
+            self._trace_id = event["attrs"].get("trace", "")
         if event["type"] == "span":
             self._spans.append(event)
 
     def close(self) -> None:
         """Close the stream and write the Chrome-trace rendition."""
         self._handle.close()
-        trace = {
-            "traceEvents": [
-                {
-                    "name": event["name"],
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": 0,
-                    "ts": round(event["vol"].get("ts", 0.0) * 1e6, 3),
-                    "dur": round(event["vol"].get("dur", 0.0) * 1e6, 3),
-                    "args": event["attrs"],
-                }
-                for event in self._spans
-            ],
-            "displayTimeUnit": "ms",
-        }
+        trace = render_chrome_trace(self._spans, self._trace_id)
         (self.directory / TRACE_FILE).write_text(
             json.dumps(trace, sort_keys=True, indent=1) + "\n",
             encoding="utf-8",
         )
+
+
+class StatusLine:
+    """One self-repainting terminal line; plain log lines on a pipe.
+
+    The paint mechanics shared by :class:`LiveSink` and ``repro top``:
+    TTY detection, rate limiting, ``\\r``-clear repaints, and a clean
+    final line.  Callers check :meth:`due` before doing any formatting
+    work, then :meth:`paint` unconditionally.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.refresh = TTY_REFRESH if self.tty else PIPE_REFRESH
+        self._last_paint = 0.0
+        self._painted = False
+
+    def due(self) -> bool:
+        """True when enough time has passed for another repaint."""
+        return time.monotonic() - self._last_paint >= self.refresh
+
+    def paint(self, line: str, *, final: bool = False) -> None:
+        """Repaint the status line (or append it, on a pipe)."""
+        self._last_paint = time.monotonic()
+        if self.tty:
+            self.stream.write("\r\x1b[2K" + line)
+            if final:
+                self.stream.write("\n")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._painted = True
+
+    def close(self) -> None:
+        """Terminate the status line cleanly on a TTY."""
+        if self.tty and self._painted:
+            self.stream.write("\r\x1b[2K")
+            self.stream.flush()
 
 
 class LiveSink:
@@ -93,15 +194,11 @@ class LiveSink:
     """
 
     def __init__(self, stream: Optional[TextIO] = None) -> None:
-        self.stream = stream if stream is not None else sys.stderr
-        self.tty = bool(getattr(self.stream, "isatty", lambda: False)())
-        self.refresh = TTY_REFRESH if self.tty else PIPE_REFRESH
+        self._status = StatusLine(stream)
         self._session = None
-        self._last_paint = 0.0
         self._last_done: float = 0.0
         self._last_done_at: Optional[float] = None
         self._rate: float = 0.0
-        self._painted = False
 
     def attach(self, session) -> None:
         """Give the sink registry access (called by the session opener)."""
@@ -154,26 +251,15 @@ class LiveSink:
     def emit(self, event: Dict) -> None:
         """Repaint (rate-limited); run_end always paints a final line."""
         final = event["type"] == "run_end"
-        now = time.monotonic()
-        if not final and now - self._last_paint < self.refresh:
+        if not final and not self._status.due():
             return
-        self._last_paint = now
         line = self._format_line(event)
         if final:
             verdict = event["attrs"].get("verdict")
             code = event["attrs"].get("exit_code")
             line = f"[{event['name']}] done: {verdict} (exit {code})"
-        if self.tty:
-            self.stream.write("\r\x1b[2K" + line)
-            if final:
-                self.stream.write("\n")
-        else:
-            self.stream.write(line + "\n")
-        self.stream.flush()
-        self._painted = True
+        self._status.paint(line, final=final)
 
     def close(self) -> None:
         """Terminate the status line cleanly on a TTY."""
-        if self.tty and self._painted:
-            self.stream.write("\r\x1b[2K")
-            self.stream.flush()
+        self._status.close()

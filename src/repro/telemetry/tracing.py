@@ -1,0 +1,146 @@
+"""Causal tracing: deterministic trace/span identity across processes.
+
+PR 5's spans stopped at the fork: an explore batch fanning out to pool
+workers, or a serve job crossing admission → supervisor → worker, rendered
+as one opaque box in ``trace.json``.  This module is the identity layer
+that lets spans *cross* process boundaries while staying inside the
+golden-stream contract:
+
+* a **trace id** is derived (:func:`derive_trace_id`) from the run's
+  command and deterministic ``run_start`` attributes — same seeded
+  workload, same trace id — so two runs of one workload produce
+  byte-identical normalized streams, trace ids included;
+* **span ids** are allocated per *lane*.  A lane is a logical execution
+  track (``main`` for the coordinator, ``worker-<chunk>`` for an explore
+  pool slot, ``job-<seq>`` for a serve worker) — never an OS pid, because
+  pids are host accidents and belong in the volatile section.  Coordinator
+  span ids are ``main:<n>`` in open order; worker-side ids are pure
+  functions of the work's coordinates (``w<chunk>.b<batch>`` for an
+  explore chunk), so no cross-process counter is needed;
+* a :class:`SpanRecord` is the picklable unit a worker ships back —
+  piggybacked on the :class:`~repro.telemetry.metrics.MetricsSnapshot`
+  merge for explore chunks, attached to the verdict payload (and stripped
+  before fingerprinting) for serve jobs.  The coordinator re-emits each
+  record as an ordinary ``span`` event at its deterministic merge point,
+  which is what stitches every lane into one stream and one multi-lane
+  Chrome/Perfetto trace;
+* a :class:`TraceContext` is the wire form of "who is my parent": the
+  trace id, the parent span id, and the lane the receiver should record
+  under.  It crosses the pool boundary inside chunk payloads
+  (``explore/frontier.py``) and job dispatch arguments
+  (``serve/supervisor.py``).
+
+Determinism split: everything in a record except ``t0`` / ``dur`` /
+``pid`` is a deterministic function of the run; those three are wall- or
+host-derived and are emitted under the event's ``vol`` section, where
+normalization strips them.  Clock stitching is epoch-based: workers stamp
+``t0`` with ``time.time()`` and the session converts to session-relative
+offsets against its own epoch — good to well under a millisecond on one
+host, and volatile by construction either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: The lane of the coordinating process; every directly-emitted span
+#: lives here.  Worker lanes are named by the subsystem that forks them.
+MAIN_LANE = "main"
+
+
+def derive_trace_id(command: str, attrs: Optional[Dict[str, Any]] = None) -> str:
+    """Deterministic trace id: blake2b-128 of the run's identity.
+
+    The identity is the command name plus the deterministic ``run_start``
+    attributes (the CLI's scalar-argument echo), canonically serialized —
+    the same recipe the serve protocol uses for job keys, so equal seeded
+    workloads get equal trace ids and golden streams stay byte-identical.
+    """
+    body = json.dumps(
+        {"command": command, "attrs": attrs or {}},
+        sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+        default=str,
+    ).encode("ascii")
+    return hashlib.blake2b(body, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The causal coordinates handed to another process: picklable, tiny.
+
+    ``parent`` is the span id the receiver's spans should hang under;
+    ``lane`` is the track the receiver must record its spans on.  The
+    receiver allocates its own span ids deterministically (from work
+    coordinates, not counters), so no id state ever crosses back.
+    """
+
+    trace_id: str
+    parent: Optional[str] = None
+    lane: str = MAIN_LANE
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The context as a plain dict (JSON- and pickle-friendly)."""
+        return {"trace": self.trace_id, "parent": self.parent,
+                "lane": self.lane}
+
+    @classmethod
+    def from_wire(cls, obj: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        """Rebuild a context from :meth:`to_wire` output (``None`` passes)."""
+        if obj is None:
+            return None
+        return cls(
+            trace_id=str(obj.get("trace", "")),
+            parent=obj.get("parent"),
+            lane=str(obj.get("lane", MAIN_LANE)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span, measured in another process, shipped back whole.
+
+    Everything except ``t0`` / ``dur`` / ``pid`` is deterministic: the
+    span id and lane are pure functions of the work's coordinates, and
+    ``attrs`` must obey the same determinism rule as directly-emitted
+    span attributes.  ``t0`` is an absolute ``time.time()`` stamp (the
+    session converts it to a session-relative offset on emission),
+    ``dur`` a ``perf_counter`` delta, ``pid`` the OS process that ran the
+    span — all three land in the event's volatile section.
+    """
+
+    name: str
+    span_id: str
+    parent: Optional[str]
+    lane: str
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+    t0: float = 0.0
+    dur: float = 0.0
+    pid: int = 0
+
+
+def chunk_span_id(batch: int, chunk: int) -> str:
+    """The deterministic span id of one explore pool chunk.
+
+    Keyed by (batch, chunk) coordinates — chunks are contiguous frontier
+    slices submitted and merged in order, so the id is invariant across
+    pool scheduling, retries, and the serial degraded path.
+    """
+    return f"w{chunk}.b{batch}"
+
+
+def chunk_lane(chunk: int) -> str:
+    """The lane an explore chunk records under (a pool slot, not a pid)."""
+    return f"worker-{chunk}"
+
+
+def job_span_id(seq: int) -> str:
+    """The deterministic span id of one serve job's worker-side execution."""
+    return f"job{seq}.exec"
+
+
+def job_lane(seq: int) -> str:
+    """The lane one serve job's worker-side execution records under."""
+    return f"job-{seq}"

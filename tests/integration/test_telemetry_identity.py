@@ -27,7 +27,9 @@ from repro import OneShotSetAgreement, System, telemetry
 from repro.cli import main
 from repro.durable.watchdog import Watchdog
 from repro.explore import explore_safety
-from repro.telemetry.schema import normalized_stream, validate_stream
+from repro.telemetry.schema import (
+    SCHEMA_VERSION, normalized_stream, validate_stream,
+)
 from repro.telemetry.sinks import JsonlSink
 
 
@@ -48,7 +50,7 @@ def traced_explore(directory, **kwargs):
     """One telemetered exploration writing its stream to *directory*."""
     session = telemetry.start(
         command="explore", mode="jsonl", sinks=[JsonlSink(str(directory))],
-        attrs={"schema": 1, "n": 3, "m": 1, "k": 2},
+        attrs={"schema": SCHEMA_VERSION, "n": 3, "m": 1, "k": 2},
     )
     try:
         result = explore_safety(

@@ -1,0 +1,251 @@
+"""Cross-process trace stitching: lanes, parent links, and identity.
+
+The tentpole guarantees under test:
+
+* a ``workers=N`` exploration produces ONE trace with a lane per chunk
+  worker, every worker span parented to the coordinating batch span on
+  the main lane — stitched from picklable records that ride the
+  ``MetricsSnapshot`` merge;
+* trace and span ids are deterministic (pure functions of the run's
+  attrs and work coordinates), so they live in the *deterministic*
+  projection and repeated runs golden-compare byte-identically;
+* worker kills / batch retries never double-count span durations or
+  break ``seq`` contiguity — discarded attempts discard their partial
+  snapshots atomically;
+* tracing and ``--profile`` are observability only: verdicts (and serve
+  verdict fingerprints) are bit-identical with them on or off.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import OneShotSetAgreement, System, telemetry
+from repro.explore import explore_safety
+from repro.faults.chaos import arm_worker_kills
+from repro.serve.protocol import VerifyJob
+from repro.serve.server import ReproServer
+from repro.telemetry.profile import SpanProfiler
+from repro.telemetry.schema import (
+    SCHEMA_VERSION, normalized_stream, validate_stream,
+)
+from repro.telemetry.sinks import EVENTS_FILE, TRACE_FILE, JsonlSink
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def make_system():
+    return System(
+        OneShotSetAgreement(n=3, m=1, k=2), workloads=[["a"], ["b"], ["c"]]
+    )
+
+
+def traced_explore(directory, **kwargs):
+    """One telemetered exploration writing stream + trace to *directory*."""
+    session = telemetry.start(
+        command="explore", mode="jsonl", sinks=[JsonlSink(str(directory))],
+        attrs={"schema": SCHEMA_VERSION, "n": 3, "m": 1, "k": 2},
+    )
+    try:
+        result = explore_safety(
+            make_system(), 2, max_configs=800, batch_size=32, **kwargs
+        )
+    finally:
+        session.close(exit_code=0, verdict="ok")
+    return result
+
+
+def load_events(directory):
+    lines = (directory / EVENTS_FILE).read_text().splitlines()
+    return [json.loads(line) for line in lines]
+
+
+def load_trace(directory):
+    return json.loads((directory / TRACE_FILE).read_text())
+
+
+class TestMultiLaneStitching:
+    def test_worker_spans_stitch_into_main_trace(self, tmp_path):
+        run = tmp_path / "run"
+        traced_explore(run, workers=2)
+        events = load_events(run)
+        assert validate_stream(run) == []
+        chunk_spans = [
+            e for e in events
+            if e["type"] == "span" and e["name"] == "explore.chunk"
+        ]
+        assert chunk_spans, "worker chunk spans must ship back to the stream"
+        batch_ids = {
+            e["attrs"]["span"] for e in events
+            if e["type"] == "span" and e["name"] == "explore.batch"
+        }
+        lanes = set()
+        for span in chunk_spans:
+            # every chunk span is parented to a real batch span on main
+            assert span["attrs"]["parent"] in batch_ids
+            assert span["attrs"]["lane"].startswith("worker-")
+            assert span["attrs"]["span"].startswith("w")
+            lanes.add(span["attrs"]["lane"])
+        assert len(lanes) >= 2, "workers=2 must produce at least two lanes"
+
+    def test_worker_spans_carry_worker_pids(self, tmp_path):
+        run = tmp_path / "run"
+        traced_explore(run, workers=2)
+        events = load_events(run)
+        main_pid = [e for e in events if e["type"] == "run_start"][0]["vol"][
+            "pid"
+        ]
+        chunk_pids = {
+            e["vol"]["pid"] for e in events
+            if e["type"] == "span" and e["name"] == "explore.chunk"
+        }
+        assert chunk_pids and main_pid not in chunk_pids
+
+    def test_chrome_trace_is_one_file_with_lane_tracks(self, tmp_path):
+        run = tmp_path / "run"
+        traced_explore(run, workers=2)
+        trace = load_trace(run)
+        lane_names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "main" in lane_names
+        assert any(name.startswith("worker-") for name in lane_names)
+        # main is always synthetic pid 0, the top track in Perfetto
+        main_meta = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["args"]["name"] == "main"
+        ]
+        assert main_meta[0]["pid"] == 0
+        # cross-lane parent links render as flow arrow pairs
+        starts = [e for e in trace["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in trace["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes) >= 1
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+
+    def test_trace_ids_are_deterministic_and_golden(self, tmp_path):
+        traced_explore(tmp_path / "first", workers=2)
+        telemetry.reset()
+        traced_explore(tmp_path / "second", workers=2)
+        # span ids (trace identity) live in attrs => the deterministic
+        # projection — byte-identical across repeated runs
+        assert normalized_stream(tmp_path / "first") == normalized_stream(
+            tmp_path / "second"
+        )
+        first = load_trace(tmp_path / "first")
+        second = load_trace(tmp_path / "second")
+        assert first["otherData"]["trace"] == second["otherData"]["trace"]
+
+
+class TestRetryDiscardsSpans:
+    def test_killed_worker_spans_die_with_the_discarded_batch(
+        self, tmp_path
+    ):
+        run = tmp_path / "run"
+        chaos = arm_worker_kills(str(tmp_path / "kills"), 1)
+        result = traced_explore(
+            run, workers=2, batch_timeout=10.0, max_retries=3, chaos=chaos,
+        )
+        assert result.worker_retries >= 1
+        events = load_events(run)
+        # seq stays contiguous through the pool rebuild
+        assert validate_stream(run) == []
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        # a retried batch re-submits the same chunk coordinates; the
+        # discarded attempt's partial snapshots must not double-emit
+        chunk_ids = [
+            e["attrs"]["span"] for e in events
+            if e["type"] == "span" and e["name"] == "explore.chunk"
+        ]
+        assert len(chunk_ids) == len(set(chunk_ids)), (
+            "retried chunks double-counted their span records"
+        )
+
+    def test_killed_run_still_normalizes_identically(self, tmp_path):
+        healthy = tmp_path / "healthy"
+        traced_explore(healthy, workers=2)
+        telemetry.reset()
+        healed = tmp_path / "healed"
+        chaos = arm_worker_kills(str(tmp_path / "kills"), 1)
+        traced_explore(
+            healed, workers=2, batch_timeout=10.0, max_retries=3,
+            chaos=chaos,
+        )
+        # retry counters differ (they are volatile history), but the
+        # deterministic span/event sequence does not
+        healthy_spans = [
+            (e["name"], e["attrs"].get("span"), e["attrs"].get("lane"))
+            for e in load_events(healthy) if e["type"] == "span"
+        ]
+        healed_spans = [
+            (e["name"], e["attrs"].get("span"), e["attrs"].get("lane"))
+            for e in load_events(healed) if e["type"] == "span"
+        ]
+        assert healed_spans == healthy_spans
+
+
+class TestObservabilityIdentity:
+    def _verdict(self, result):
+        record = dataclasses.asdict(result)
+        record.pop("worker_retries")
+        record.pop("degraded")
+        return record
+
+    def test_explore_verdict_identical_with_profiler_running(self):
+        baseline = explore_safety(make_system(), 2, max_configs=800,
+                                  batch_size=32, workers=2)
+        profiler = SpanProfiler(interval=0.001)
+        profiler.start()
+        profiled = explore_safety(make_system(), 2, max_configs=800,
+                                  batch_size=32, workers=2)
+        profiler.stop()
+        assert self._verdict(profiled) == self._verdict(baseline)
+
+    def test_serve_fingerprints_identical_with_tracing_on(self, tmp_path):
+        job = VerifyJob(mode="run", max_steps=500)
+
+        def run_once(data_dir):
+            server = ReproServer(data_dir=data_dir, serial=True,
+                                 queue_capacity=4)
+            server.start()
+            import threading
+
+            codes = []
+            thread = threading.Thread(
+                target=lambda: codes.append(server.serve_forever()),
+                daemon=True,
+            )
+            thread.start()
+            cold = server.handle_request(
+                {"op": "verify", "job": job.descriptor()}
+            )
+            hit = server.handle_request(
+                {"op": "verify", "job": job.descriptor()}
+            )
+            server.handle_request({"op": "shutdown"})
+            thread.join(timeout=30)
+            return cold, hit
+
+        # untraced baseline
+        cold_off, hit_off = run_once(tmp_path / "off")
+        # traced: a jsonl session is active for the daemon's lifetime
+        session = telemetry.start(
+            command="serve", mode="jsonl",
+            sinks=[JsonlSink(str(tmp_path / "stream"))],
+            attrs={"schema": SCHEMA_VERSION},
+        )
+        try:
+            cold_on, hit_on = run_once(tmp_path / "on")
+        finally:
+            session.close(exit_code=0, verdict="ok")
+        assert cold_on["fingerprint"] == cold_off["fingerprint"]
+        assert hit_on["fingerprint"] == hit_off["fingerprint"]
+        assert cold_on["verdict"] == cold_off["verdict"]
+        # and the traced daemon wrote schema-valid telemetry
+        assert validate_stream(tmp_path / "stream") == []

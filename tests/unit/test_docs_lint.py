@@ -154,6 +154,32 @@ class TestDocsCoverAnalyzeFlags:
         )
 
 
+class TestDocsCoverObservabilityFlags:
+    """Reverse lint for the observability surface: every flag of
+    ``repro report`` and ``repro top`` — and the shared ``--profile``
+    switch — must appear in the documentation corpus, so new
+    observability knobs cannot land undocumented."""
+
+    @pytest.mark.parametrize("command", ["report", "top"])
+    def test_every_flag_appears_in_the_docs(self, command):
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        flags = _parser_flags(subparsers.choices[command]) - {"-h", "--help"}
+        corpus = "\n".join(path.read_text() for path in DOC_FILES)
+        undocumented = sorted(flag for flag in flags if flag not in corpus)
+        assert not undocumented, (
+            f"`repro {command}` flags missing from the documentation corpus "
+            f"({', '.join(DOC_IDS)}): {undocumented}"
+        )
+
+    def test_profile_flag_is_documented(self):
+        corpus = "\n".join(path.read_text() for path in DOC_FILES)
+        assert "--profile" in corpus
+
+
 @pytest.mark.parametrize(
     "doc", DOC_FILES, ids=DOC_IDS
 )

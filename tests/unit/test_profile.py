@@ -1,0 +1,126 @@
+"""Unit tests for the span-scoped sampling profiler (telemetry.profile).
+
+The profiler is statistical — tests assert structure (folded format,
+span attribution, reader behaviour), not exact sample counts, and keep
+the busy loops short so the suite stays fast.
+"""
+
+import time
+
+from repro import telemetry
+from repro.telemetry.profile import (
+    NO_SPAN,
+    SpanProfiler,
+    frame_label,
+    read_folded,
+    span_totals,
+    top_frames,
+)
+
+
+def spin(seconds):
+    """Burn CPU long enough for the sampler to land a few hits."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestFrameLabel:
+    def test_repro_files_become_dotted_modules(self):
+        label = frame_label("/x/src/repro/explore/frontier.py", "_expand")
+        assert label == "repro.explore.frontier:_expand"
+
+    def test_foreign_files_keep_their_stem(self):
+        assert frame_label("/usr/lib/python3/threading.py", "wait") == (
+            "threading:wait"
+        )
+
+
+class TestSampler:
+    def setup_method(self):
+        telemetry.reset()
+
+    def teardown_method(self):
+        telemetry.reset()
+
+    def test_samples_attribute_to_open_span(self, tmp_path):
+        session = telemetry.start(
+            command="x", mode="jsonl", sinks=[], attrs={}
+        )
+        profiler = SpanProfiler(interval=0.001)
+        profiler.start()
+        with telemetry.span("hot.section"):
+            spin(0.15)
+        profiler.stop()
+        session.close(exit_code=0, verdict="ok")
+        lines = profiler.folded_lines()
+        assert lines, "sampler collected nothing in 150ms at 1ms interval"
+        spans = {line.split(";", 1)[0] for line in lines}
+        assert "hot.section" in spans
+
+    def test_samples_without_session_go_to_no_span(self):
+        profiler = SpanProfiler(interval=0.001)
+        profiler.start()
+        spin(0.1)
+        profiler.stop()
+        assert profiler.folded_lines()
+        assert all(
+            line.startswith(NO_SPAN) for line in profiler.folded_lines()
+        )
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        profiler = SpanProfiler(interval=0.001)
+        profiler.start()
+        spin(0.1)
+        profiler.stop()
+        target = tmp_path / "profile.folded"
+        written = profiler.write(target)
+        entries = read_folded(target)
+        assert written == sum(count for _, count in entries)
+        assert all(count > 0 for _, count in entries)
+
+    def test_stop_is_idempotent_and_start_stop_without_samples_ok(
+        self, tmp_path
+    ):
+        profiler = SpanProfiler(interval=5.0)  # will never fire
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert profiler.write(tmp_path / "p.folded") == 0
+
+
+class TestReaders:
+    def test_read_folded_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "profile.folded"
+        path.write_text(
+            "a;b;c 3\n"
+            "no-trailing-count\n"
+            "d;e not-a-number\n"
+            "\n"
+            "a;b 2\n"
+        )
+        entries = read_folded(path)
+        assert entries == [(("a", "b", "c"), 3), (("a", "b"), 2)]
+
+    def test_span_totals_are_cumulative_and_sorted(self):
+        entries = [
+            (("alpha", "f", "g"), 3),
+            (("alpha", "f"), 2),
+            (("beta", "h"), 4),
+        ]
+        assert span_totals(entries) == [("alpha", 5), ("beta", 4)]
+
+    def test_top_frames_assign_self_time_to_leaves(self):
+        entries = [
+            (("alpha", "f", "g"), 3),
+            (("alpha", "f"), 1),
+            (("beta", "h"), 2),
+        ]
+        rows = top_frames(entries, limit=2)
+        assert rows[0] == ("alpha", "g", 3)
+        assert rows[1] == ("beta", "h", 2)
+
+    def test_read_folded_missing_file_is_empty(self, tmp_path):
+        assert read_folded(tmp_path / "absent.folded") == []

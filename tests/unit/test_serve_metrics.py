@@ -1,0 +1,159 @@
+"""Unit tests for the Prometheus exposition and the daemon's metrics op.
+
+The exposition is a public scrape surface, so its format is linted by
+``validate_exposition`` and pinned here: ``# TYPE`` lines, ``repro_``
+prefix, ``_total`` on counters, cumulative histogram buckets.
+"""
+
+import threading
+
+import pytest
+
+from repro.cli import _first_bad_seq, _format_top_line, _top_endpoint
+from repro.errors import ReproError
+from repro.serve.protocol import VerifyJob
+from repro.serve.server import ReproServer
+from repro.telemetry.metrics import (
+    prometheus_name,
+    render_exposition,
+    validate_exposition,
+)
+
+JOB = VerifyJob(mode="run", max_steps=500)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A serial daemon with a live dispatcher thread."""
+    srv = ReproServer(data_dir=tmp_path / "serve", serial=True,
+                      queue_capacity=4)
+    srv.start()
+    exit_code = []
+    thread = threading.Thread(
+        target=lambda: exit_code.append(srv.serve_forever()), daemon=True
+    )
+    thread.start()
+    yield srv
+    srv.handle_request({"op": "shutdown"})
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert exit_code == [0]
+
+
+class TestRenderExposition:
+    def test_counters_get_total_suffix_and_type_lines(self):
+        text = render_exposition({"serve.jobs_completed": 3}, {})
+        assert "# TYPE repro_serve_jobs_completed_total counter" in text
+        assert "repro_serve_jobs_completed_total 3" in text
+
+    def test_gauges_keep_bare_name(self):
+        text = render_exposition({}, {"serve.queue_depth": 2})
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 2" in text
+
+    def test_histograms_render_cumulative_buckets(self):
+        text = render_exposition(
+            {}, {},
+            {"explore.batch_seconds": {
+                "bounds": [0.1, 1.0], "counts": [2, 1, 0],
+                "total": 0.7, "count": 3,
+            }},
+        )
+        assert '_bucket{le="0.1"} 2' in text
+        assert '_bucket{le="1.0"} 3' in text  # cumulative, not per-bucket
+        assert '_bucket{le="+Inf"} 3' in text
+        assert "_sum 0.7" in text
+        assert "_count 3" in text
+
+    def test_rendered_text_validates_clean(self):
+        text = render_exposition(
+            {"a.ok": 1}, {"b.depth": 0},
+            {"c.seconds": {"bounds": [1.0], "counts": [1, 0],
+                           "total": 0.5, "count": 1}},
+        )
+        assert validate_exposition(text) == []
+
+    def test_name_mangling(self):
+        assert prometheus_name("serve.cache-hit ratio") == (
+            "repro_serve_cache_hit_ratio"
+        )
+        assert prometheus_name("x.y", "_total") == "repro_x_y_total"
+
+
+class TestValidateExposition:
+    def test_empty_text_is_a_problem(self):
+        assert validate_exposition("") != []
+
+    def test_sample_without_type_flagged(self):
+        problems = validate_exposition("repro_orphan 1\n")
+        assert any("TYPE" in p for p in problems)
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = "# TYPE repro_bad counter\nrepro_bad 1\n"
+        assert validate_exposition(text) != []
+
+
+class TestMetricsOp:
+    def test_metrics_op_returns_valid_exposition(self, server):
+        response = server.handle_request({"op": "metrics"})
+        assert response["ok"] is True
+        text = response["exposition"]
+        assert validate_exposition(text) == []
+        assert "repro_serve_queue_depth" in text
+        assert "repro_serve_uptime_seconds" in text
+
+    def test_jobs_and_cache_show_up_in_scrape(self, server):
+        server.handle_request({"op": "verify", "job": JOB.descriptor()})
+        server.handle_request({"op": "verify", "job": JOB.descriptor()})
+        text = server.handle_request({"op": "metrics"})["exposition"]
+        assert "repro_serve_jobs_completed_total 1" in text
+        assert "repro_serve_cache_hits_total 1" in text
+        assert "repro_serve_cache_misses_total 1" in text
+        assert "repro_serve_cache_hit_ratio 0.5" in text
+
+    def test_per_outcome_counters(self, server):
+        server.handle_request({"op": "verify", "job": JOB.descriptor()})
+        text = server.handle_request({"op": "metrics"})["exposition"]
+        assert "repro_serve_jobs_outcome_" in text
+
+
+class TestTopHelpers:
+    def test_format_top_line_renders_all_sections(self):
+        line = _format_top_line({
+            "endpoint": "127.0.0.1:9", "uptime_s": 12.4,
+            "jobs_completed": 5,
+            "queue": {"depth": 1, "capacity": 64, "in_flight": 2},
+            "cache": {"hits": 3, "misses": 1},
+            "supervisor": {"pool_rebuilds": 1, "degraded": False},
+        })
+        assert "127.0.0.1:9" in line
+        assert "jobs 5" in line
+        assert "queue 1/64" in line
+        assert "cache 3h/1m 75%" in line
+        assert "rebuilds 1" in line
+        assert "DEGRADED" not in line
+
+    def test_format_top_line_flags_degraded(self):
+        line = _format_top_line({"supervisor": {"degraded": True}})
+        assert "DEGRADED" in line
+
+    def test_top_endpoint_parses_host_port(self):
+        assert _top_endpoint("localhost:8123") == ("localhost", 8123)
+        assert _top_endpoint(":8123") == ("127.0.0.1", 8123)
+
+    def test_top_endpoint_rejects_garbage(self):
+        with pytest.raises(ReproError, match="neither"):
+            _top_endpoint("not-an-endpoint")
+
+    def test_top_endpoint_reads_data_dir(self, tmp_path, server):
+        host, port = _top_endpoint(str(server.data_dir))
+        assert port == server.port
+
+    def test_first_bad_seq_parses_line_prefixes(self):
+        problems = [
+            "stream is empty",
+            "line 4: seq 9 != expected 3",
+            "line 2: not JSON (Expecting value)",
+        ]
+        assert _first_bad_seq(problems) == 1
+        assert _first_bad_seq(["stream is empty"]) is None

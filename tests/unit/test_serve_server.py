@@ -121,7 +121,7 @@ class TestCachePolicy:
     def test_incomplete_verdicts_are_never_cached(self, tmp_path):
         srv = ReproServer(data_dir=tmp_path / "serve", serial=True)
         try:
-            srv.supervisor.run_job = lambda job: {
+            srv.supervisor.run_job = lambda job, trace=None: {
                 "outcome": "incomplete", "reason": "deadline",
                 "job": job.descriptor(),
             }
@@ -137,7 +137,7 @@ class TestCachePolicy:
     def test_error_verdicts_are_never_cached(self, tmp_path):
         srv = ReproServer(data_dir=tmp_path / "serve", serial=True)
         try:
-            srv.supervisor.run_job = lambda job: {
+            srv.supervisor.run_job = lambda job, trace=None: {
                 "outcome": "error", "detail": "boom",
                 "job": job.descriptor(),
             }

@@ -224,8 +224,12 @@ class TestSession:
         types = [event["type"] for event in sink.events]
         assert types == ["run_start", "span", "mark", "metrics", "run_end"]
         assert [event["seq"] for event in sink.events] == list(range(5))
-        assert sink.events[1]["attrs"] == {"step": 1}
+        # v2: spans carry deterministic trace identity next to user attrs.
+        assert sink.events[1]["attrs"] == {
+            "step": 1, "span": "main:0", "lane": "main",
+        }
         assert "dur" in sink.events[1]["vol"]
+        assert sink.events[0]["attrs"]["trace"] == session.trace_id
         assert sink.events[3]["attrs"]["counters"] == {"units": 3}
         assert sink.events[-1]["attrs"] == {"exit_code": 0, "verdict": "ok"}
 
@@ -279,10 +283,11 @@ class TestSinks:
         assert len(lines) == 4
         assert json.loads(lines[0])["type"] == "run_start"
         trace = json.loads((tmp_path / "run" / TRACE_FILE).read_text())
-        assert [entry["name"] for entry in trace["traceEvents"]] == [
-            "explore.batch"
-        ]
-        assert trace["traceEvents"][0]["ph"] == "X"
+        # v2 traces also carry lane-name metadata and flow arrows; the
+        # span inventory is the complete ("X") events.
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [entry["name"] for entry in complete] == ["explore.batch"]
+        assert trace["otherData"]["trace"] == session.trace_id
 
     def test_live_sink_pipe_mode_prints_final_line(self):
         stream = io.StringIO()  # not a TTY: plain rate-limited lines
@@ -491,3 +496,118 @@ class TestReportCommand:
 
         assert main(["report", str(tmp_path / "nothing")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_report_empty_stream_exits_one_with_diagnostic(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        directory = tmp_path / "empty"
+        directory.mkdir()
+        (directory / EVENTS_FILE).write_text("")
+        assert main(["report", str(directory)]) == 1
+        err = capsys.readouterr().err
+        assert "report:" in err and "empty" in err
+
+    def test_report_midwrite_truncation_exits_one_not_traceback(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        directory = self._run_dir(tmp_path)
+        events = directory / EVENTS_FILE
+        # a kill mid-write leaves a half JSON line at the tail
+        events.write_text(events.read_text()[:-30])
+        capsys.readouterr()
+        assert main(["report", str(directory)]) == 1
+        assert "unparseable event" in capsys.readouterr().err
+
+    def test_report_check_names_first_bad_seq(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = self._run_dir(tmp_path)
+        events = directory / EVENTS_FILE
+        lines = events.read_text().splitlines()
+        lines[2] = "garbage"
+        events.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["report", str(directory), "--check"]) == 1
+        assert "first bad event at seq 2" in capsys.readouterr().err
+
+
+class TestBenchReportCommand:
+    def _aggregate(self, tmp_path, payload):
+        path = tmp_path / "BENCH_telemetry.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_bench_trend_table_renders(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._aggregate(tmp_path, {"schema": 2, "records": {
+            "bench_explore": {
+                "name": "bench_explore", "wall_s": 1.5, "peak_rss_mb": 64.0,
+                "commit": "abc1234", "schema": 2,
+                "host": {"cpus": 4, "platform": "linux", "python": "3.11"},
+            },
+        }})
+        assert main(["report", "--bench", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Benchmark trend report" in out
+        assert "`bench_explore`" in out
+        assert "abc1234" in out
+        assert "linux/4cpu" in out
+
+    def test_bench_missing_aggregate_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--bench", str(tmp_path)]) == 2
+        assert "no benchmark aggregate" in capsys.readouterr().err
+
+    def test_bench_unreadable_aggregate_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "BENCH_telemetry.json").write_text("{trunca")
+        assert main(["report", "--bench", str(tmp_path)]) == 1
+        assert "report:" in capsys.readouterr().err
+
+    def test_bench_empty_records_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._aggregate(tmp_path, {"schema": 2, "records": {}})
+        assert main(["report", "--bench", str(tmp_path)]) == 1
+        assert "no benchmark records" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_writes_folded_file_and_keeps_stream_golden(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.telemetry.schema import normalized_stream
+
+        plain = tmp_path / "plain"
+        profiled = tmp_path / "profiled"
+        argv = ["explore", "--protocol", "oneshot", "--n", "2", "--k", "1",
+                "--max-configs", "200", "--telemetry", "jsonl"]
+        assert main(argv + ["--telemetry-dir", str(plain)]) == 0
+        assert main(
+            argv + ["--telemetry-dir", str(profiled), "--profile"]
+        ) == 0
+        assert (profiled / "profile.folded").exists()
+        assert not (plain / "profile.folded").exists()
+        # --profile must not perturb the deterministic stream (and with
+        # it the trace id): identical runs, identical normalization
+        assert normalized_stream(plain) == normalized_stream(profiled)
+        assert "profile:" in capsys.readouterr().err
+
+    def test_profile_without_telemetry_still_writes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = tmp_path / "dir"
+        assert main([
+            "explore", "--protocol", "oneshot", "--n", "2", "--k", "1",
+            "--max-configs", "200", "--telemetry-dir", str(directory),
+            "--profile",
+        ]) == 0
+        assert (directory / "profile.folded").exists()

@@ -1,0 +1,172 @@
+"""Unit tests for the causal-tracing primitives (repro.telemetry.tracing).
+
+Trace identity is deterministic by construction — ids derive from the
+run's command and attributes, worker span ids are pure functions of work
+coordinates — so these tests pin exact values, not just shapes: the
+golden stream tests downstream depend on these staying bit-stable.
+"""
+
+import pickle
+
+from repro import telemetry
+from repro.telemetry.tracing import (
+    MAIN_LANE,
+    SpanRecord,
+    TraceContext,
+    chunk_lane,
+    chunk_span_id,
+    derive_trace_id,
+    job_lane,
+    job_span_id,
+)
+
+
+class ListSink:
+    """In-memory sink capturing events for assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+class TestTraceId:
+    def test_deterministic_across_calls(self):
+        a = derive_trace_id("explore", {"n": 3, "k": 2})
+        b = derive_trace_id("explore", {"n": 3, "k": 2})
+        assert a == b
+        assert len(a) == 32 and int(a, 16) >= 0  # 128-bit hex
+
+    def test_attr_order_does_not_matter(self):
+        assert derive_trace_id("explore", {"n": 3, "k": 2}) == derive_trace_id(
+            "explore", {"k": 2, "n": 3}
+        )
+
+    def test_different_workloads_get_different_traces(self):
+        base = derive_trace_id("explore", {"n": 3})
+        assert derive_trace_id("explore", {"n": 4}) != base
+        assert derive_trace_id("faults", {"n": 3}) != base
+        assert derive_trace_id("explore", None) != base
+
+    def test_unserializable_attrs_fall_back_to_str(self):
+        # attrs may carry arbitrary scalars; default=str keeps it total
+        assert derive_trace_id("x", {"p": object()})  # does not raise
+
+
+class TestTraceContext:
+    def test_wire_roundtrip(self):
+        ctx = TraceContext(trace_id="ab" * 16, parent="main:3", lane="worker-1")
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_defaults(self):
+        ctx = TraceContext(trace_id="cd" * 16)
+        assert ctx.parent is None
+        assert ctx.lane == MAIN_LANE
+
+    def test_from_wire_tolerates_missing_keys(self):
+        ctx = TraceContext.from_wire({"trace": "ef" * 16})
+        assert ctx.trace_id == "ef" * 16
+        assert ctx.parent is None and ctx.lane == MAIN_LANE
+
+
+class TestLaneNaming:
+    def test_chunk_ids_are_pure_functions_of_coordinates(self):
+        assert chunk_span_id(0, 0) == "w0.b0"
+        assert chunk_span_id(3, 1) == "w1.b3"
+        assert chunk_lane(1) == "worker-1"
+
+    def test_job_ids_are_pure_functions_of_seq(self):
+        assert job_span_id(7) == "job7.exec"
+        assert job_lane(7) == "job-7"
+
+    def test_distinct_coordinates_distinct_ids(self):
+        ids = {chunk_span_id(b, c) for b in range(4) for c in range(4)}
+        assert len(ids) == 16
+
+
+class TestSpanRecord:
+    def test_record_pickles_across_process_boundary(self):
+        record = SpanRecord(
+            name="explore.chunk", span_id="w0.b1", parent="main:2",
+            lane="worker-0", attrs=(("chunk", 0),), t0=123.0, dur=0.5, pid=42,
+        )
+        assert pickle.loads(pickle.dumps(record)) == record
+
+    def test_record_is_immutable(self):
+        record = SpanRecord(name="x", span_id="a", parent=None, lane="main")
+        try:
+            record.name = "y"
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("SpanRecord must be frozen")
+
+
+class TestSessionIntegration:
+    def setup_method(self):
+        telemetry.reset()
+
+    def teardown_method(self):
+        telemetry.reset()
+
+    def _session(self, sink):
+        return telemetry.start(
+            command="explore", mode="jsonl", sinks=[sink],
+            attrs={"n": 3, "k": 2},
+        )
+
+    def test_run_start_carries_trace_id(self):
+        sink = ListSink()
+        session = self._session(sink)
+        session.close(exit_code=0, verdict="ok")
+        start = sink.events[0]
+        assert start["attrs"]["trace"] == derive_trace_id(
+            "explore", {"n": 3, "k": 2}
+        )
+
+    def test_nested_spans_record_parent_links(self):
+        sink = ListSink()
+        session = self._session(sink)
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                assert inner.parent == outer.span_id
+        session.close(exit_code=0, verdict="ok")
+        spans = {e["name"]: e for e in sink.events if e["type"] == "span"}
+        assert spans["outer"]["attrs"]["span"] == "main:0"
+        assert "parent" not in spans["outer"]["attrs"]
+        assert spans["inner"]["attrs"]["parent"] == "main:0"
+        assert spans["inner"]["attrs"]["lane"] == MAIN_LANE
+
+    def test_span_ids_allocate_in_open_order(self):
+        sink = ListSink()
+        session = self._session(sink)
+        with telemetry.span("a"):
+            pass
+        with telemetry.span("b"):
+            pass
+        session.close(exit_code=0, verdict="ok")
+        ids = [e["attrs"]["span"] for e in sink.events if e["type"] == "span"]
+        assert ids == ["main:0", "main:1"]
+
+    def test_emitted_worker_record_lands_with_lane_and_offset_ts(self):
+        sink = ListSink()
+        session = self._session(sink)
+        record = SpanRecord(
+            name="explore.chunk", span_id="w0.b0", parent="main:0",
+            lane="worker-0", attrs=(("chunk", 0),),
+            t0=session.epoch + 1.5, dur=0.25, pid=99,
+        )
+        telemetry.emit_span(record)
+        telemetry.emit_span(None)  # tolerated no-op
+        session.close(exit_code=0, verdict="ok")
+        span = [e for e in sink.events if e["type"] == "span"][0]
+        assert span["attrs"]["span"] == "w0.b0"
+        assert span["attrs"]["lane"] == "worker-0"
+        assert span["attrs"]["parent"] == "main:0"
+        assert span["attrs"]["chunk"] == 0
+        assert abs(span["vol"]["ts"] - 1.5) < 0.25
+        assert span["vol"]["pid"] == 99
